@@ -1,0 +1,128 @@
+//! The Erlang-B loss formula.
+
+/// Blocking probability of an Erlang loss system offered `load` erlangs
+/// with `servers` circuits — `L(b, v_l, C_l)` of eq. (16) evaluated
+/// exactly.
+///
+/// Because every anycast flow in the paper's experiments demands the same
+/// bandwidth (64 kb/s), a link with capacity `C_l` behaves as an
+/// `M/M/C_l/C_l` system in units of flow slots and Erlang-B is *exact* for
+/// an isolated link; the UAA of Appendix A is its asymptotic
+/// approximation. Computed with the standard numerically stable recursion
+/// `E_k = a·E_{k−1} / (k + a·E_{k−1})`, which never overflows.
+///
+/// Zero load blocks nothing; zero servers block everything (with positive
+/// load).
+///
+/// # Panics
+///
+/// Panics if `load` is negative or non-finite.
+///
+/// ```rust
+/// use anycast_analysis::erlang_b;
+/// // Classic table value: 10 erlangs on 10 circuits ≈ 0.2146.
+/// assert!((erlang_b(10.0, 10) - 0.2146).abs() < 1e-4);
+/// ```
+pub fn erlang_b(load: f64, servers: u32) -> f64 {
+    assert!(
+        load.is_finite() && load >= 0.0,
+        "offered load must be finite and non-negative, got {load}"
+    );
+    if load == 0.0 {
+        return 0.0;
+    }
+    if servers == 0 {
+        return 1.0;
+    }
+    let mut b = 1.0;
+    for k in 1..=servers {
+        b = load * b / (k as f64 + load * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // Values from standard Erlang-B tables / direct summation.
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-15);
+        assert!((erlang_b(1.0, 2) - 0.2).abs() < 1e-15);
+        // E(2, 3) = (8/6) / (1 + 2 + 2 + 8/6) = (4/3)/(19/3) = 4/19.
+        assert!((erlang_b(2.0, 3) - 4.0 / 19.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matches_direct_summation() {
+        // B = (a^c/c!) / Σ_{k≤c} a^k/k! computed in log space.
+        for &(a, c) in &[(5.0f64, 8u32), (50.0, 60), (312.0, 312), (400.0, 312)] {
+            let mut terms = Vec::with_capacity(c as usize + 1);
+            let mut log_term: f64 = 0.0; // log(a^0/0!)
+            terms.push(log_term);
+            for k in 1..=c {
+                log_term += a.ln() - (k as f64).ln();
+                terms.push(log_term);
+            }
+            let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let denom: f64 = terms.iter().map(|t| (t - max).exp()).sum();
+            let direct = (terms[c as usize] - max).exp() / denom;
+            let rec = erlang_b(a, c);
+            assert!(
+                (rec - direct).abs() < 1e-12,
+                "a={a} c={c}: recursion {rec} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_load() {
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let b = erlang_b(i as f64 * 5.0, 312);
+            assert!(b >= prev);
+            assert!((0.0..=1.0).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn monotone_in_servers() {
+        let mut prev = 1.0;
+        for c in 1..500 {
+            let b = erlang_b(300.0, c);
+            assert!(b <= prev + 1e-15);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn asymptotics() {
+        // Heavy traffic: B → 1 − C/a.
+        let b = erlang_b(10_000.0, 312);
+        assert!((b - (1.0 - 312.0 / 10_000.0)).abs() < 0.01);
+        // Light traffic: essentially no blocking.
+        assert!(erlang_b(10.0, 312) < 1e-100);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(erlang_b(0.0, 10), 0.0);
+        assert_eq!(erlang_b(5.0, 0), 1.0);
+        assert_eq!(erlang_b(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_link_capacity_never_saturates_fp() {
+        // 312 slots at overload 3000 erlangs still yields a finite, sane value.
+        let b = erlang_b(3_000.0, 312);
+        assert!(b > 0.85 && b < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_load_panics() {
+        let _ = erlang_b(-1.0, 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Capacity planning on top of the fixed point: inverting the AP curve.
+
+use crate::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
+use crate::{predict_ap, BlockingModel};
+use anycast_net::Topology;
+
+/// Finds the largest arrival rate λ whose *predicted* admission
+/// probability still meets `target_ap`, by bisection on the analytical
+/// model (no simulation).
+///
+/// The predicted AP is monotone non-increasing in λ (each link's blocking
+/// grows with offered load), so bisection converges to the unique
+/// threshold; the result is accurate to `max(search window) · 2⁻⁵⁰`.
+///
+/// Returns 0.0 when even infinitesimal load misses the target (possible
+/// only for `target_ap > 1`), and `max_lambda` when the target is met
+/// across the whole window.
+///
+/// # Panics
+///
+/// Panics if `target_ap` is not in `(0, 1]`, `max_lambda` is not
+/// positive/finite, or the spec/topology are inconsistent.
+///
+/// # Example
+///
+/// ```rust
+/// use anycast_analysis::planning::sustainable_rate;
+/// use anycast_analysis::scenario::{AnalyzedSystem, ScenarioSpec};
+/// use anycast_analysis::BlockingModel;
+/// use anycast_net::topologies;
+///
+/// let topo = topologies::mci();
+/// let spec = |l| ScenarioSpec::paper_defaults(l);
+/// let rate = sustainable_rate(&topo, spec, AnalyzedSystem::Ed1,
+///                             BlockingModel::ErlangB, 0.95, 500.0);
+/// assert!(rate > 5.0 && rate < 50.0);
+/// ```
+pub fn sustainable_rate(
+    topo: &Topology,
+    spec_at: impl Fn(f64) -> ScenarioSpec,
+    system: AnalyzedSystem,
+    model: BlockingModel,
+    target_ap: f64,
+    max_lambda: f64,
+) -> f64 {
+    assert!(
+        target_ap > 0.0 && target_ap <= 1.0,
+        "target AP must lie in (0, 1], got {target_ap}"
+    );
+    assert!(
+        max_lambda.is_finite() && max_lambda > 0.0,
+        "search window must be positive and finite, got {max_lambda}"
+    );
+    let ap_at = |lambda: f64| -> f64 {
+        let scenario = build_scenario(topo, &spec_at(lambda), system);
+        predict_ap(&scenario, model).admission_probability
+    };
+    if ap_at(max_lambda) >= target_ap {
+        return max_lambda;
+    }
+    let (mut lo, mut hi) = (0.0f64, max_lambda);
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break;
+        }
+        if ap_at(mid) >= target_ap {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_net::{topologies, NodeId};
+
+    fn paper_spec(lambda: f64) -> ScenarioSpec {
+        ScenarioSpec::paper_defaults(lambda)
+    }
+
+    #[test]
+    fn threshold_brackets_the_target() {
+        let topo = topologies::mci();
+        let rate = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.95,
+            500.0,
+        );
+        let at = |l: f64| {
+            predict_ap(
+                &build_scenario(&topo, &paper_spec(l), AnalyzedSystem::Ed1),
+                BlockingModel::ErlangB,
+            )
+            .admission_probability
+        };
+        assert!(at(rate) >= 0.95 - 1e-6, "AP at threshold {}", at(rate));
+        assert!(at(rate * 1.02) < 0.95, "AP just above {}", at(rate * 1.02));
+    }
+
+    #[test]
+    fn looser_targets_allow_more_load() {
+        let topo = topologies::mci();
+        let tight = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.99,
+            500.0,
+        );
+        let loose = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.80,
+            500.0,
+        );
+        assert!(loose > tight, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn spreading_buys_capacity_over_sp_at_moderate_targets() {
+        // The paper's argument as a planning statement: at moderate AP
+        // targets, spreading (ED) sustains more load than concentrating
+        // (SP). Interestingly this *reverses* at very strict targets:
+        // SP's shortest routes block marginally less at light load, so
+        // its AP shoulder sits a touch higher even though its knee is far
+        // steeper — visible in Tables 1–2, where SP only falls behind
+        // from λ ≈ 20 onward.
+        let topo = topologies::mci();
+        let at = |system, target| {
+            sustainable_rate(
+                &topo,
+                paper_spec,
+                system,
+                BlockingModel::ErlangB,
+                target,
+                500.0,
+            )
+        };
+        let ed = at(AnalyzedSystem::Ed1, 0.70);
+        let sp = at(AnalyzedSystem::Sp, 0.70);
+        assert!(ed > sp * 1.05, "ED sustains {ed}, SP {sp}");
+    }
+
+    #[test]
+    fn window_saturation() {
+        let topo = topologies::mci();
+        let rate = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.5,
+            10.0, // window entirely below the 0.5-AP threshold
+        );
+        assert_eq!(rate, 10.0);
+    }
+
+    #[test]
+    fn bigger_groups_sustain_more() {
+        let topo = topologies::mci();
+        let small = sustainable_rate(
+            &topo,
+            |l| {
+                let mut s = paper_spec(l);
+                s.group_members = vec![NodeId::new(8)];
+                s
+            },
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.95,
+            500.0,
+        );
+        let big = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            0.95,
+            500.0,
+        );
+        assert!(big > small, "K=5 sustains {big}, K=1 {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target AP")]
+    fn bad_target_panics() {
+        let topo = topologies::mci();
+        let _ = sustainable_rate(
+            &topo,
+            paper_spec,
+            AnalyzedSystem::Ed1,
+            BlockingModel::ErlangB,
+            1.5,
+            100.0,
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The uniform asymptotic approximation (UAA) of eqs. (23)–(29).
+
+use crate::special::{erfc, erfcx};
+
+/// Link blocking probability by the paper's uniform asymptotic
+/// approximation — `B_l = L(v_l)` of eq. (25).
+///
+/// With `F(z) ≡ v(z−1) − C·ln z`, `V(z) ≡ v·z` and the saddle point
+/// `z* = C/v` (eqs. 24 and 26, at which `V(z*) = C`):
+///
+/// ```text
+/// B ≈ e^{F(z*)} / (M · √(2π·V(z*)))
+/// M = ½·erfc(sgn(1−z*)·√(−F(z*)))
+///     + (e^{F(z*)}/√(2π)) · ( 1/(√V(z*)·(1−z*)) − sgn(1−z*)/√(−2F(z*)) )
+/// ```
+///
+/// As `z* → 1` both terms of the bracket diverge and cancel; the source
+/// text's printed limit expression is corrupted, so we use the analytic
+/// limit `M(1) = ½ + 2/(3·√(2π·C))` (obtained by series expansion of the
+/// general formula; the `z* ≠ 1` branch converges to it) whenever
+/// `|1 − z*|` is below a switchover threshold.
+///
+/// The approximation assumes `C ≥ 1` and `v = O(C)` (eqs. 23–24). It is
+/// validated against the exact [`erlang_b`](crate::erlang_b) in this
+/// module's tests; agreement is within a few percent over the paper's
+/// whole operating range.
+///
+/// # Panics
+///
+/// Panics if `load` is negative/non-finite or `servers` is zero.
+pub fn uaa_blocking(load: f64, servers: u32) -> f64 {
+    assert!(
+        load.is_finite() && load >= 0.0,
+        "offered load must be finite and non-negative, got {load}"
+    );
+    assert!(servers >= 1, "UAA requires C ≥ 1 (eq. 23)");
+    if load == 0.0 {
+        return 0.0;
+    }
+    let v = load;
+    let c = servers as f64;
+    let z_star = c / v;
+    let sqrt_2pi = (2.0 * std::f64::consts::PI).sqrt();
+    // Near the critical point z* = 1 the generic bracket is a 0/0 cancel;
+    // switch to the analytic limit.
+    if (1.0 - z_star).abs() < 1e-4 {
+        let m = 0.5 + 2.0 / (3.0 * sqrt_2pi * c.sqrt());
+        return clamp_unit(1.0 / (m * sqrt_2pi * c.sqrt()));
+    }
+    let f = v * (z_star - 1.0) - c * z_star.ln(); // F(z*) ≤ 0
+    if z_star < 1.0 {
+        // Overload branch (sgn(1 − z*) = +1): every term of M carries a
+        // factor e^{F}, which underflows long before the blocking becomes
+        // negligible. Factor it out analytically with the scaled erfc:
+        //   M = e^{F}·[ ½·erfcx(√(−F)) + (1/√2π)(1/(√C(1−z*)) − 1/√(−2F)) ]
+        //   B = 1 / ( √(2πC) · [ … ] ).
+        let bracket = 0.5 * erfcx((-f).sqrt())
+            + (1.0 / sqrt_2pi) * (1.0 / (c.sqrt() * (1.0 - z_star)) - 1.0 / (-2.0 * f).sqrt());
+        clamp_unit(1.0 / (sqrt_2pi * c.sqrt() * bracket))
+    } else {
+        // Underload branch (sgn(1 − z*) = −1): erfc(−√(−F)) → 2, M is
+        // O(1), and only the numerator e^{F} is small — no cancellation.
+        let ef = f.exp();
+        let m = 0.5 * erfc(-(-f).sqrt())
+            + (ef / sqrt_2pi) * (1.0 / (c.sqrt() * (1.0 - z_star)) + 1.0 / (-2.0 * f).sqrt());
+        clamp_unit(ef / (m * sqrt_2pi * c.sqrt()))
+    }
+}
+
+fn clamp_unit(x: f64) -> f64 {
+    debug_assert!(!x.is_nan(), "UAA produced NaN");
+    x.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erlang_b;
+
+    #[test]
+    fn close_to_erlang_b_over_operating_range() {
+        // The paper's links hold 312 flow slots; sweep offered load from
+        // light to heavy overload.
+        let c = 312u32;
+        for &v in &[
+            150.0, 200.0, 250.0, 280.0, 300.0, 310.0, 312.0, 315.0, 330.0, 360.0, 400.0, 500.0,
+            800.0, 1500.0,
+        ] {
+            let exact = erlang_b(v, c);
+            let approx = uaa_blocking(v, c);
+            let err = (approx - exact).abs();
+            let tol = 0.02 * exact.max(1e-3);
+            assert!(
+                err < tol,
+                "v={v}, C={c}: UAA {approx} vs Erlang-B {exact} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn close_to_erlang_b_for_smaller_links() {
+        for &c in &[20u32, 50, 100] {
+            for frac in [0.6, 0.9, 1.0, 1.1, 1.5, 2.5] {
+                let v = c as f64 * frac;
+                let exact = erlang_b(v, c);
+                let approx = uaa_blocking(v, c);
+                let err = (approx - exact).abs();
+                assert!(
+                    err < 0.05 * exact.max(2e-2),
+                    "v={v}, C={c}: UAA {approx} vs Erlang-B {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_point_is_continuous() {
+        let c = 312u32;
+        let at = uaa_blocking(312.0, c);
+        let below = uaa_blocking(311.5, c);
+        let above = uaa_blocking(312.5, c);
+        assert!((at - below).abs() < 0.002, "at {at}, below {below}");
+        assert!((at - above).abs() < 0.002, "at {at}, above {above}");
+    }
+
+    #[test]
+    fn light_load_blocks_nothing() {
+        assert!(uaa_blocking(10.0, 312) < 1e-30);
+        assert_eq!(uaa_blocking(0.0, 312), 0.0);
+    }
+
+    #[test]
+    fn heavy_load_approaches_loss_ratio() {
+        let b = uaa_blocking(3_000.0, 312);
+        assert!((b - (1.0 - 312.0 / 3_000.0)).abs() < 0.02, "b={b}");
+    }
+
+    #[test]
+    fn always_a_probability() {
+        for i in 0..2_000 {
+            let v = i as f64;
+            let b = uaa_blocking(v, 312);
+            assert!((0.0..=1.0).contains(&b), "v={v}: {b}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_load_over_grid() {
+        let mut prev = 0.0;
+        for i in 1..400 {
+            let b = uaa_blocking(i as f64 * 5.0, 312);
+            assert!(
+                b >= prev - 1e-9,
+                "UAA not monotone at v={}: {b} < {prev}",
+                i * 5
+            );
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C ≥ 1")]
+    fn zero_servers_rejected() {
+        let _ = uaa_blocking(1.0, 0);
+    }
+}

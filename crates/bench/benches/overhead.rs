@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks for the paper's runtime-overhead claims.
+//!
+//! §4.1 argues the DAC procedure must be cheap and scalable: destination
+//! selection is O(K) arithmetic at the AC-router, a reservation walk is
+//! O(hops) ledger updates, and the analytical fixed point (used offline
+//! for capacity planning) solves the whole MCI backbone in microseconds to
+//! milliseconds. These benchmarks put numbers on each step, plus the
+//! end-to-end cost per admitted flow for every system (including the GDI
+//! oracle, whose per-request graph search is the price of its "perfect
+//! information").
+
+use anycast_analysis::scenario::{build_paper_scenario, AnalyzedSystem};
+use anycast_analysis::{erlang_b, predict_ap, uaa_blocking, BlockingModel};
+use anycast_dac::baselines::{GlobalDynamicSystem, ShortestPathSystem};
+use anycast_dac::experiment::{run_experiment, ExperimentConfig, SystemSpec};
+use anycast_dac::policy::{PolicySpec, SelectionContext};
+use anycast_dac::{AdmissionController, RetrialPolicy};
+use anycast_net::routing::RouteTable;
+use anycast_net::{topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId};
+use anycast_rsvp::ReservationEngine;
+use anycast_sim::SimRng;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_weight_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_assignment");
+    let distances = [1u32, 2, 3, 2, 4];
+    let history = [0u32, 3, 1, 0, 2];
+    let bandwidth = [1e7, 5e6, 0.0, 2e7, 8e6];
+    let ctx = SelectionContext {
+        distances: &distances,
+        history: &history,
+        route_bandwidth_bps: &bandwidth,
+    };
+    for spec in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+        let mut policy = spec.build().unwrap();
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| black_box(policy.assign(black_box(&ctx))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reservation_walk(c: &mut Criterion) {
+    let topo = topologies::mci();
+    let group = AnycastGroup::new("A", topologies::MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
+    let routes = RouteTable::shortest_paths(&topo, &group);
+    let route = routes.route(NodeId::new(15), NodeId::new(4)).unwrap();
+    let mut links = LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
+    let mut rsvp = ReservationEngine::new();
+    c.bench_function("rsvp_reserve_teardown", |b| {
+        b.iter(|| {
+            let out = rsvp
+                .probe_and_reserve(&mut links, route, Bandwidth::from_kbps(64))
+                .unwrap();
+            rsvp.teardown(&mut links, out.session).unwrap();
+        })
+    });
+}
+
+fn bench_admission_per_system(c: &mut Criterion) {
+    let topo = topologies::mci();
+    let agroup = AnycastGroup::new("A", topologies::MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
+    let routes = RouteTable::shortest_paths(&topo, &agroup);
+    let source = NodeId::new(7);
+    let demand = Bandwidth::from_kbps(64);
+    let mut group = c.benchmark_group("admit_and_release");
+
+    for spec in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+        group.bench_function(format!("dac_{}", spec.name()), |b| {
+            let mut links =
+                LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
+            let mut rsvp = ReservationEngine::new();
+            let mut rng = SimRng::seed_from(1);
+            let mut controller = AdmissionController::new(
+                spec.build().unwrap(),
+                RetrialPolicy::FixedLimit(2),
+                routes.distances(source),
+            );
+            b.iter(|| {
+                let out = controller.admit(
+                    routes.routes_from(source),
+                    &mut links,
+                    &mut rsvp,
+                    demand,
+                    &mut rng,
+                );
+                if let Some(f) = out.admitted {
+                    rsvp.teardown(&mut links, f.session).unwrap();
+                }
+            })
+        });
+    }
+
+    group.bench_function("sp", |b| {
+        let mut links =
+            LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
+        let mut rsvp = ReservationEngine::new();
+        let sp = ShortestPathSystem::new(routes.nearest_member(source));
+        b.iter(|| {
+            let out = sp.admit(routes.routes_from(source), &mut links, &mut rsvp, demand);
+            if let Some(f) = out.admitted {
+                rsvp.teardown(&mut links, f.session).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("gdi", |b| {
+        let mut links =
+            LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
+        let mut rsvp = ReservationEngine::new();
+        let gdi = GlobalDynamicSystem::new();
+        b.iter(|| {
+            let out = gdi.admit(&topo, &agroup, source, &mut links, &mut rsvp, demand);
+            if let Some(f) = out.admitted {
+                rsvp.teardown(&mut links, f.session).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_blocking_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_blocking");
+    group.bench_function("erlang_b_312", |b| {
+        b.iter(|| black_box(erlang_b(black_box(280.0), black_box(312))))
+    });
+    group.bench_function("uaa_312", |b| {
+        b.iter(|| black_box(uaa_blocking(black_box(280.0), black_box(312))))
+    });
+    group.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let topo = topologies::mci();
+    let mut group = c.benchmark_group("fixed_point_mci");
+    for lambda in [20.0, 50.0] {
+        let scenario = build_paper_scenario(&topo, lambda, AnalyzedSystem::Ed1);
+        group.bench_function(format!("erlang_lambda{lambda}"), |b| {
+            b.iter(|| black_box(predict_ap(black_box(&scenario), BlockingModel::ErlangB)))
+        });
+        group.bench_function(format!("uaa_lambda{lambda}"), |b| {
+            b.iter(|| black_box(predict_ap(black_box(&scenario), BlockingModel::Uaa)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_short_simulation(c: &mut Criterion) {
+    let topo = topologies::mci();
+    c.bench_function("closed_loop_sim_60s_lambda20", |b| {
+        b.iter_batched(
+            || {
+                ExperimentConfig::paper_defaults(20.0, SystemSpec::dac(PolicySpec::Ed, 2))
+                    .with_warmup_secs(10.0)
+                    .with_measure_secs(50.0)
+            },
+            |cfg| black_box(run_experiment(&topo, &cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_weight_assignment,
+    bench_reservation_walk,
+    bench_admission_per_system,
+    bench_blocking_functions,
+    bench_fixed_point,
+    bench_short_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: the paper's fixed retrial counter vs the adaptive extension
+//! that stops early when the untried destinations' selection weights are
+//! negligible — saving signaling messages at equal admission probability.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_dac::RetrialPolicy;
+use anycast_net::topologies;
+
+const LAMBDAS: [f64; 4] = [20.0, 30.0, 40.0, 50.0];
+
+fn main() {
+    let settings = parse_args("ablation_adaptive_retrial");
+    let topo = topologies::mci();
+    let policies = [
+        ("fixed R=5", RetrialPolicy::FixedLimit(5)),
+        (
+            "adaptive 5/0.05",
+            RetrialPolicy::Adaptive {
+                max: 5,
+                min_weight: 0.05,
+            },
+        ),
+        (
+            "adaptive 5/0.15",
+            RetrialPolicy::Adaptive {
+                max: 5,
+                min_weight: 0.15,
+            },
+        ),
+    ];
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for (_, retrial) in policies {
+            let system = SystemSpec::Dac {
+                policy: PolicySpec::wd_dh_default(),
+                retrial,
+            };
+            configs.push(
+                ExperimentConfig::paper_defaults(lambda, system)
+                    .with_warmup_secs(settings.warmup_secs)
+                    .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: fixed vs adaptive retrial control (WD/D+H)");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    for (name, _) in policies {
+        headers.push(format!("{name} AP"));
+        headers.push(format!("{name} msg/req"));
+    }
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..policies.len() {
+            let m = &results[i * policies.len() + j];
+            row.push(format!("{:.4}", m.admission_probability));
+            row.push(format!("{:.2}", m.messages_per_request));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! Ablation: sensitivity of WD/D+H to the history-damping parameter α.
+//!
+//! The paper never states the α used in its experiments (see DESIGN.md §2);
+//! this sweep shows how much it matters. α = 1 disables history entirely
+//! (pure distance weighting); α = 0 gives one failure veto power.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::{HistoryMode, PolicySpec};
+use anycast_net::topologies;
+
+const ALPHAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+const LAMBDAS: [f64; 4] = [20.0, 30.0, 40.0, 50.0];
+
+fn main() {
+    let settings = parse_args("ablation_alpha");
+    let topo = topologies::mci();
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for &alpha in &ALPHAS {
+            let policy = PolicySpec::WdDh {
+                alpha,
+                mode: HistoryMode::FromBase,
+            };
+            configs.push(
+                ExperimentConfig::paper_defaults(lambda, SystemSpec::dac(policy, 2))
+                    .with_warmup_secs(settings.warmup_secs)
+                    .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: WD/D+H admission probability vs alpha (R = 2)");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(ALPHAS.iter().map(|a| format!("alpha={a:.2}")));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..ALPHAS.len() {
+            row.push(format!(
+                "{:.4}",
+                results[i * ALPHAS.len() + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

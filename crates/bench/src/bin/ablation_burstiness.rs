@@ -1,0 +1,54 @@
+//! Ablation (extension): how robust is the paper's Poisson assumption?
+//! The same long-run arrival rate is offered as plain Poisson and as
+//! increasingly bursty MMPP-2 streams; burstiness concentrates arrivals
+//! and erodes admission probability at equal mean load.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ArrivalProcess, ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::topologies;
+
+const LAMBDAS: [f64; 3] = [20.0, 35.0, 50.0];
+const BURSTINESS: [f64; 4] = [1.0, 1.3, 1.6, 1.9];
+
+fn main() {
+    let settings = parse_args("ablation_burstiness");
+    let topo = topologies::mci();
+    let system = SystemSpec::dac(PolicySpec::wd_dh_default(), 2);
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        configs.push(
+            ExperimentConfig::paper_defaults(lambda, system)
+                .with_warmup_secs(settings.warmup_secs)
+                .with_measure_secs(settings.measure_secs),
+        );
+        for &b in &BURSTINESS[1..] {
+            configs.push(
+                ExperimentConfig::paper_defaults(lambda, system)
+                    .with_arrivals(ArrivalProcess::Bursty {
+                        burstiness: b,
+                        mean_sojourn_secs: 60.0,
+                    })
+                    .with_warmup_secs(settings.warmup_secs)
+                    .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: <WD/D+H,2> under bursty (MMPP-2) arrivals at equal mean rate");
+    println!();
+    let mut headers = vec!["lambda".to_string(), "Poisson".to_string()];
+    headers.extend(BURSTINESS[1..].iter().map(|b| format!("bursty {b:.1}")));
+    let mut table = Table::new(headers);
+    let cols = BURSTINESS.len();
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..cols {
+            row.push(format!(
+                "{:.4}",
+                results[i * cols + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,79 @@
+//! Ablation: heterogeneous bandwidth demands (extension — every flow in
+//! the paper demands 64 kb/s). A mix of thin (16 kb/s), standard
+//! (64 kb/s) and fat (512 kb/s) flows stresses the admission logic with
+//! unequal slot sizes; total offered bits are held constant across rows.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{DemandClass, ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Bandwidth};
+
+fn main() {
+    let settings = parse_args("ablation_demand_mix");
+    let topo = topologies::mci();
+    // Mixes with equal mean demand (64 kb/s) so rows are comparable.
+    let mixes: [(&str, Vec<DemandClass>); 3] = [
+        ("uniform 64k", vec![]),
+        (
+            "bimodal 16k/112k",
+            vec![
+                DemandClass {
+                    bandwidth: Bandwidth::from_kbps(16),
+                    weight: 0.5,
+                },
+                DemandClass {
+                    bandwidth: Bandwidth::from_kbps(112),
+                    weight: 0.5,
+                },
+            ],
+        ),
+        (
+            "heavy-tailed 16k/64k/512k",
+            vec![
+                DemandClass {
+                    bandwidth: Bandwidth::from_kbps(16),
+                    weight: 0.571,
+                },
+                DemandClass {
+                    bandwidth: Bandwidth::from_kbps(64),
+                    weight: 0.357,
+                },
+                DemandClass {
+                    bandwidth: Bandwidth::from_kbps(512),
+                    weight: 0.072,
+                },
+            ],
+        ),
+    ];
+    let lambdas = [20.0, 35.0, 50.0];
+    let mut configs = Vec::new();
+    for &lambda in &lambdas {
+        for (_, mix) in &mixes {
+            configs.push(
+                ExperimentConfig::paper_defaults(
+                    lambda,
+                    SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+                )
+                .with_demand_mix(mix.clone())
+                .with_warmup_secs(settings.warmup_secs)
+                .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: <WD/D+H,2> under heterogeneous demands (equal mean 64 kb/s)");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(mixes.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..mixes.len() {
+            row.push(format!(
+                "{:.4}",
+                results[i * mixes.len() + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

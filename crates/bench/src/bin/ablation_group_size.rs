@@ -1,0 +1,50 @@
+//! Ablation: admission probability vs anycast group size K (the paper
+//! fixes K = 5). Larger groups give the randomized selection more freedom.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, NodeId};
+
+const LAMBDAS: [f64; 3] = [20.0, 35.0, 50.0];
+
+fn main() {
+    let settings = parse_args("ablation_group_size");
+    let topo = topologies::mci();
+    let groups: [(&str, &[u32]); 4] = [
+        ("K=1", &[8]),
+        ("K=2", &[0, 8]),
+        ("K=3", &[0, 8, 16]),
+        ("K=5", &[0, 4, 8, 12, 16]),
+    ];
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for (_, members) in groups {
+            configs.push(
+                ExperimentConfig::paper_defaults(
+                    lambda,
+                    SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+                )
+                .with_group(members.iter().map(|&n| NodeId::new(n)).collect())
+                .with_warmup_secs(settings.warmup_secs)
+                .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: <WD/D+H,2> admission probability vs group size K");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(groups.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..groups.len() {
+            row.push(format!(
+                "{:.4}",
+                results[i * groups.len() + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

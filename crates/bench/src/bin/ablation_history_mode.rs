@@ -1,0 +1,49 @@
+//! Ablation: the two readings of the WD/D+H weight update (DESIGN.md §2) —
+//! recompute from base distance weights each selection vs iteratively
+//! mutate a persistent weight vector.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::{HistoryMode, PolicySpec};
+use anycast_net::topologies;
+
+const LAMBDAS: [f64; 4] = [20.0, 30.0, 40.0, 50.0];
+
+fn main() {
+    let settings = parse_args("ablation_history_mode");
+    let topo = topologies::mci();
+    let modes = [
+        ("FromBase", HistoryMode::FromBase),
+        ("Iterative", HistoryMode::Iterative),
+    ];
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for (_, mode) in modes {
+            let policy = PolicySpec::WdDh { alpha: 0.5, mode };
+            configs.push(
+                ExperimentConfig::paper_defaults(lambda, SystemSpec::dac(policy, 2))
+                    .with_warmup_secs(settings.warmup_secs)
+                    .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: WD/D+H weight-update interpretation (alpha = 0.5, R = 2)");
+    println!();
+    let mut table = Table::new(vec![
+        "lambda".into(),
+        "FromBase AP".into(),
+        "Iterative AP".into(),
+        "FromBase tries".into(),
+        "Iterative tries".into(),
+    ]);
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        table.row(vec![
+            format!("{lambda:.1}"),
+            format!("{:.4}", results[i * 2].admission_probability),
+            format!("{:.4}", results[i * 2 + 1].admission_probability),
+            format!("{:.4}", results[i * 2].mean_tries),
+            format!("{:.4}", results[i * 2 + 1].mean_tries),
+        ]);
+    }
+    print!("{}", table.render());
+}

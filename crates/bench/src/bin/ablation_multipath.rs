@@ -1,0 +1,48 @@
+//! Ablation (extension): what does path diversity buy? The paper fixes one
+//! route per (source, member); this compares the single-path DAC against
+//! the multipath variant (k shortest routes per member, Yen's algorithm)
+//! and the GDI oracle that may use any path.
+use anycast_bench::{parse_args, run_grid, Table};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::topologies;
+
+const LAMBDAS: [f64; 5] = [20.0, 27.5, 35.0, 42.5, 50.0];
+
+fn main() {
+    let settings = parse_args("ablation_multipath");
+    let topo = topologies::mci();
+    let systems = [
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2),
+        SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 3),
+        SystemSpec::GlobalDynamic,
+    ];
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDAS {
+        for &system in &systems {
+            configs.push(
+                ExperimentConfig::paper_defaults(lambda, system)
+                    .with_warmup_secs(settings.warmup_secs)
+                    .with_measure_secs(settings.measure_secs),
+            );
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Ablation: single-path vs multipath DAC (WD/D+H, R = 2) vs GDI");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(systems.iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDAS.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..systems.len() {
+            row.push(format!(
+                "{:.4}",
+                results[i * systems.len() + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,45 @@
+//! Ablation: does the Figure-6 system ordering survive on other
+//! topologies? Re-runs the comparison on a grid, a ring and a Waxman
+//! random graph (the paper only evaluates the MCI backbone).
+use anycast_bench::figures::comparison_on;
+use anycast_bench::parse_args;
+use anycast_net::{topologies, Bandwidth, NodeId};
+
+fn main() {
+    let settings = parse_args("ablation_topology");
+    let lambdas = [10.0, 25.0, 40.0];
+    let cap = Bandwidth::from_mbps(100);
+
+    // 5×4 grid: members spread over the mesh, odd sources.
+    let grid = topologies::grid(5, 4, cap);
+    comparison_on(
+        "Grid 5x4",
+        &grid,
+        [0u32, 4, 9, 12, 18].map(NodeId::new).to_vec(),
+        (0..20).filter(|n| n % 2 == 1).map(NodeId::new).collect(),
+        &lambdas,
+        &settings,
+    );
+
+    // 19-ring: the adversarial no-alternative-routes case.
+    let ring = topologies::ring(19, cap);
+    comparison_on(
+        "Ring 19",
+        &ring,
+        [0u32, 4, 8, 12, 16].map(NodeId::new).to_vec(),
+        (0..19).filter(|n| n % 2 == 1).map(NodeId::new).collect(),
+        &lambdas,
+        &settings,
+    );
+
+    // Waxman random ISP-like graph.
+    let wax = topologies::waxman(19, 0.5, 0.5, 7, cap);
+    comparison_on(
+        "Waxman 19 (seed 7)",
+        &wax,
+        [0u32, 4, 8, 12, 16].map(NodeId::new).to_vec(),
+        (0..19).filter(|n| n % 2 == 1).map(NodeId::new).collect(),
+        &lambdas,
+        &settings,
+    );
+}

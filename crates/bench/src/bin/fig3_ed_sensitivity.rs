@@ -1,0 +1,11 @@
+//! Regenerates Figure 3: admission probability of `<ED,R>` vs arrival rate.
+use anycast_bench::figures::main_sensitivity;
+use anycast_dac::policy::PolicySpec;
+
+fn main() {
+    main_sensitivity(
+        "fig3_ed_sensitivity",
+        "Figure 3",
+        PolicySpec::Ed,
+    );
+}

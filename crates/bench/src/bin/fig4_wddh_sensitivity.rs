@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: admission probability of `<WD/D+H,R>` vs arrival rate.
+use anycast_bench::figures::main_sensitivity;
+use anycast_dac::policy::PolicySpec;
+
+fn main() {
+    main_sensitivity(
+        "fig4_wddh_sensitivity",
+        "Figure 4",
+        PolicySpec::wd_dh_default(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5: admission probability of `<WD/D+B,R>` vs arrival rate.
+use anycast_bench::figures::main_sensitivity;
+use anycast_dac::policy::PolicySpec;
+
+fn main() {
+    main_sensitivity(
+        "fig5_wddb_sensitivity",
+        "Figure 5",
+        PolicySpec::WdDb,
+    );
+}

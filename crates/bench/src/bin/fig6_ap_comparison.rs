@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: AP of the three DAC systems (R = 2) vs SP and GDI.
+use anycast_bench::figures::comparison_figure;
+use anycast_bench::parse_args;
+
+fn main() {
+    let settings = parse_args("fig6_ap_comparison");
+    comparison_figure(&settings);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: average number of tries per request (R = 2).
+use anycast_bench::figures::retrials_figure;
+use anycast_bench::parse_args;
+
+fn main() {
+    let settings = parse_args("fig7_avg_retrials");
+    retrials_figure(&settings);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1: analysis vs simulation for `<ED,1>`.
+use anycast_analysis::scenario::AnalyzedSystem;
+use anycast_bench::figures::analysis_table;
+use anycast_bench::parse_args;
+
+fn main() {
+    let settings = parse_args("table1_ed1_analysis_vs_sim");
+    analysis_table(
+        "Table 1: analysis vs simulation, system <ED,1>",
+        AnalyzedSystem::Ed1,
+        &settings,
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 2: analysis vs simulation for `SP`.
+use anycast_analysis::scenario::AnalyzedSystem;
+use anycast_bench::figures::analysis_table;
+use anycast_bench::parse_args;
+
+fn main() {
+    let settings = parse_args("table2_sp_analysis_vs_sim");
+    analysis_table(
+        "Table 2: analysis vs simulation, system SP",
+        AnalyzedSystem::Sp,
+        &settings,
+    );
+}

@@ -1,0 +1,205 @@
+//! Shared drivers behind the per-figure/table binaries.
+
+use crate::{run_grid, parse_args, ReplicatedMetrics, RunSettings, Table, LAMBDA_GRID, RETRIAL_GRID, TABLE_LAMBDAS};
+use anycast_analysis::scenario::{build_paper_scenario, AnalyzedSystem};
+use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, NodeId, Topology};
+
+fn base_config(lambda: f64, system: SystemSpec, settings: &RunSettings) -> ExperimentConfig {
+    ExperimentConfig::paper_defaults(lambda, system)
+        .with_warmup_secs(settings.warmup_secs)
+        .with_measure_secs(settings.measure_secs)
+}
+
+/// Figures 3–5: sensitivity of AP to the retrial limit `R` for one
+/// destination-selection algorithm. Prints one column per `R ∈ 1..=5`,
+/// one row per arrival rate.
+pub fn sensitivity_figure(title: &str, policy: PolicySpec, settings: &RunSettings) {
+    let topo = topologies::mci();
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDA_GRID {
+        for &r in &RETRIAL_GRID {
+            configs.push(base_config(lambda, SystemSpec::dac(policy, r), settings));
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("{title}: admission probability of <{},R> vs arrival rate", policy.name());
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(RETRIAL_GRID.iter().map(|r| format!("R={r}")));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDA_GRID.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..RETRIAL_GRID.len() {
+            let m = &results[i * RETRIAL_GRID.len() + j];
+            row.push(format!("{:.4}", m.admission_probability));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}
+
+/// The five systems of Figure 6 / Figure 7 with the paper's `R = 2`.
+pub fn comparison_systems() -> Vec<SystemSpec> {
+    vec![
+        SystemSpec::dac(PolicySpec::Ed, 2),
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        SystemSpec::dac(PolicySpec::WdDb, 2),
+        SystemSpec::ShortestPath,
+        SystemSpec::GlobalDynamic,
+    ]
+}
+
+/// Runs the Figure 6/7 grid: all comparison systems over the λ grid.
+pub fn run_comparison(topo: &Topology, settings: &RunSettings) -> Vec<Vec<ReplicatedMetrics>> {
+    let systems = comparison_systems();
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDA_GRID {
+        for &system in &systems {
+            configs.push(base_config(lambda, system, settings));
+        }
+    }
+    let flat = run_grid(topo, &configs, settings.active_seeds());
+    flat.chunks(systems.len()).map(|c| c.to_vec()).collect()
+}
+
+/// Figure 6: AP of `<ED,2>`, `<WD/D+H,2>`, `<WD/D+B,2>` vs the SP and GDI
+/// baselines.
+pub fn comparison_figure(settings: &RunSettings) {
+    let topo = topologies::mci();
+    let rows = run_comparison(&topo, settings);
+    println!("Figure 6: admission probability of DAC systems vs baselines");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(comparison_systems().iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDA_GRID.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for m in &rows[i] {
+            row.push(format!("{:.4}", m.admission_probability));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}
+
+/// Figure 7: average number of destinations tried per request for the
+/// three DAC systems (R = 2), plus the signaling messages that cost.
+pub fn retrials_figure(settings: &RunSettings) {
+    let topo = topologies::mci();
+    let systems = [
+        SystemSpec::dac(PolicySpec::Ed, 2),
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        SystemSpec::dac(PolicySpec::WdDb, 2),
+    ];
+    let mut configs = Vec::new();
+    for &lambda in &LAMBDA_GRID {
+        for &system in &systems {
+            configs.push(base_config(lambda, system, settings));
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Figure 7: average number of tries per request (R = 2)");
+    println!();
+    let mut headers = vec!["lambda".to_string()];
+    for s in &systems {
+        headers.push(format!("{} tries", s.label()));
+        headers.push(format!("{} msg/req", s.label()));
+    }
+    let mut table = Table::new(headers);
+    for (i, &lambda) in LAMBDA_GRID.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..systems.len() {
+            let m = &results[i * systems.len() + j];
+            row.push(format!("{:.4}", m.mean_tries));
+            row.push(format!("{:.2}", m.messages_per_request));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}
+
+/// Tables 1 and 2: analytical admission probability (Appendix A) against
+/// simulation, for `<ED,1>` or `SP` at λ ∈ {5, 20, 35, 50}.
+pub fn analysis_table(title: &str, system: AnalyzedSystem, settings: &RunSettings) {
+    let topo = topologies::mci();
+    let sim_system = match system {
+        AnalyzedSystem::Ed1 => SystemSpec::dac(PolicySpec::Ed, 1),
+        AnalyzedSystem::Sp => SystemSpec::ShortestPath,
+    };
+    let configs: Vec<ExperimentConfig> = TABLE_LAMBDAS
+        .iter()
+        .map(|&l| base_config(l, sim_system, settings))
+        .collect();
+    let sims = run_grid(&topo, &configs, settings.active_seeds());
+    println!("{title}");
+    println!();
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(TABLE_LAMBDAS.iter().map(|l| format!("lambda={l:.1}")));
+    let mut table = Table::new(headers);
+    for (name, model) in [
+        ("Mathematical Analysis (Erlang-B)", BlockingModel::ErlangB),
+        ("Mathematical Analysis (UAA)", BlockingModel::Uaa),
+    ] {
+        let mut row = vec![name.to_string()];
+        for &lambda in &TABLE_LAMBDAS {
+            let p = predict_ap(&build_paper_scenario(&topo, lambda, system), model);
+            row.push(format!("{:.6}", p.admission_probability));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["Computer Simulation".to_string()];
+    for m in &sims {
+        row.push(format!("{:.6}", m.admission_probability));
+    }
+    table.row(row);
+    print!("{}", table.render());
+}
+
+/// Shared Figure-6-style comparison on an arbitrary topology (used by the
+/// topology ablation).
+pub fn comparison_on(
+    name: &str,
+    topo: &Topology,
+    members: Vec<NodeId>,
+    sources: Vec<NodeId>,
+    lambdas: &[f64],
+    settings: &RunSettings,
+) {
+    let systems = comparison_systems();
+    let mut configs = Vec::new();
+    for &lambda in lambdas {
+        for &system in &systems {
+            configs.push(
+                base_config(lambda, system, settings)
+                    .with_group(members.clone())
+                    .with_sources(sources.clone()),
+            );
+        }
+    }
+    let results = run_grid(topo, &configs, settings.active_seeds());
+    println!("{name}: admission probability");
+    let mut headers = vec!["lambda".to_string()];
+    headers.extend(systems.iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let mut row = vec![format!("{lambda:.1}")];
+        for j in 0..systems.len() {
+            row.push(format!(
+                "{:.4}",
+                results[i * systems.len() + j].admission_probability
+            ));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!();
+}
+
+/// Entry point shared by the thin figure binaries.
+pub fn main_sensitivity(binary: &str, title: &str, policy: PolicySpec) {
+    let settings = parse_args(binary);
+    sensitivity_figure(title, policy, &settings);
+}

@@ -1,0 +1,91 @@
+//! Run-length settings shared by every experiment binary.
+
+/// How long and how often to simulate.
+///
+/// The *full* profile reproduces §5.1 run lengths (1800 s warm-up, 3600 s
+/// measured, 3 independent replications); the *quick* profile shrinks that
+/// by roughly an order of magnitude for smoke tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSettings {
+    /// Warm-up seconds discarded from statistics.
+    pub warmup_secs: f64,
+    /// Measured seconds.
+    pub measure_secs: f64,
+    /// Replication seeds (one run per seed; results averaged).
+    pub seeds: [u64; 3],
+    /// Number of seeds actually used (quick mode uses 1).
+    pub replications: usize,
+}
+
+impl RunSettings {
+    /// The paper-faithful profile.
+    pub fn full() -> Self {
+        RunSettings {
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            seeds: [101, 202, 303],
+            replications: 3,
+        }
+    }
+
+    /// The shortened smoke-test profile.
+    pub fn quick() -> Self {
+        RunSettings {
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            seeds: [101, 202, 303],
+            replications: 1,
+        }
+    }
+
+    /// The seeds in use.
+    pub fn active_seeds(&self) -> &[u64] {
+        &self.seeds[..self.replications]
+    }
+}
+
+/// Parses the common CLI contract of the experiment binaries:
+/// `--quick` (or env `ANYCAST_QUICK=1`) selects [`RunSettings::quick`].
+///
+/// Unknown arguments abort with a usage message so typos never silently
+/// run a multi-minute sweep with default settings.
+pub fn parse_args(binary: &str) -> RunSettings {
+    let mut quick = std::env::var("ANYCAST_QUICK").map(|v| v == "1").unwrap_or(false);
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--help" | "-h" => {
+                println!("usage: {binary} [--quick|--full]");
+                println!("  --quick  shortened runs (also via ANYCAST_QUICK=1)");
+                println!("  --full   paper-faithful run lengths (default)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("{binary}: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        RunSettings::quick()
+    } else {
+        RunSettings::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ() {
+        let full = RunSettings::full();
+        let quick = RunSettings::quick();
+        assert!(full.measure_secs > quick.measure_secs);
+        assert!(full.replications > quick.replications);
+        assert_eq!(full.active_seeds().len(), 3);
+        assert_eq!(quick.active_seeds().len(), 1);
+        assert_eq!(quick.active_seeds(), &[101]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Parallel sweep execution with replication averaging.
+
+use anycast_dac::experiment::{run_experiment, ExperimentConfig, Metrics};
+use anycast_net::Topology;
+use parking_lot::Mutex;
+
+/// Metrics averaged over independent replications of one configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicatedMetrics {
+    /// The system label of the underlying runs.
+    pub label: String,
+    /// Arrival rate.
+    pub lambda: f64,
+    /// Mean admission probability across replications.
+    pub admission_probability: f64,
+    /// Standard error of the AP across replications (0 for one rep).
+    pub ap_stderr: f64,
+    /// Mean of the per-run mean tries (Figure 7 metric).
+    pub mean_tries: f64,
+    /// Mean of the per-run mean retrials.
+    pub mean_retrials: f64,
+    /// Mean signaling messages per request.
+    pub messages_per_request: f64,
+    /// The individual replication results.
+    pub runs: Vec<Metrics>,
+}
+
+/// Sample mean and standard error of a slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean_and_stderr(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "need at least one value");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// Runs `config` once per seed and averages the replications.
+pub fn run_replicated(
+    topo: &Topology,
+    config: &ExperimentConfig,
+    seeds: &[u64],
+) -> ReplicatedMetrics {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<Metrics> = seeds
+        .iter()
+        .map(|&s| run_experiment(topo, &config.clone().with_seed(s)))
+        .collect();
+    summarize(runs)
+}
+
+fn summarize(runs: Vec<Metrics>) -> ReplicatedMetrics {
+    let aps: Vec<f64> = runs.iter().map(|m| m.admission_probability).collect();
+    let (ap, ap_stderr) = mean_and_stderr(&aps);
+    let tries: Vec<f64> = runs.iter().map(|m| m.mean_tries).collect();
+    let retrials: Vec<f64> = runs.iter().map(|m| m.mean_retrials).collect();
+    let msgs: Vec<f64> = runs.iter().map(|m| m.messages_per_request).collect();
+    ReplicatedMetrics {
+        label: runs[0].label.clone(),
+        lambda: runs[0].lambda,
+        admission_probability: ap,
+        ap_stderr,
+        mean_tries: mean_and_stderr(&tries).0,
+        mean_retrials: mean_and_stderr(&retrials).0,
+        messages_per_request: mean_and_stderr(&msgs).0,
+        runs,
+    }
+}
+
+/// Runs a grid of configurations in parallel (one crossbeam thread per
+/// hardware thread) and returns results in input order.
+///
+/// Each grid cell is replicated over `seeds` and averaged. Work is
+/// distributed by atomic work-stealing over the flattened
+/// `(config, seed)` job list, so heavily loaded cells (high λ) do not
+/// serialise the sweep.
+pub fn run_grid(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+) -> Vec<ReplicatedMetrics> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let jobs: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let results: Mutex<Vec<Vec<Metrics>>> =
+        Mutex::new(vec![Vec::with_capacity(seeds.len()); configs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(cfg_idx, seed)) = jobs.get(j) else {
+                    break;
+                };
+                let metrics =
+                    run_experiment(topo, &configs[cfg_idx].clone().with_seed(seed));
+                results.lock()[cfg_idx].push(metrics);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|mut runs| {
+            // Deterministic order regardless of thread scheduling.
+            runs.sort_by_key(|m| m.seed);
+            summarize(runs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_dac::experiment::SystemSpec;
+    use anycast_dac::policy::PolicySpec;
+    use anycast_net::topologies;
+
+    fn tiny(lambda: f64) -> ExperimentConfig {
+        ExperimentConfig::paper_defaults(lambda, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_warmup_secs(50.0)
+            .with_measure_secs(100.0)
+    }
+
+    #[test]
+    fn mean_stderr_hand_case() {
+        let (m, se) = mean_and_stderr(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((se - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (m1, se1) = mean_and_stderr(&[5.0]);
+        assert_eq!((m1, se1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn replication_is_deterministic_and_ordered() {
+        let topo = topologies::mci();
+        let cfg = tiny(20.0);
+        let a = run_replicated(&topo, &cfg, &[1, 2]);
+        let b = run_replicated(&topo, &cfg, &[1, 2]);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.runs[0].seed, 1);
+        assert_eq!(a.runs[1].seed, 2);
+        assert!(a.ap_stderr >= 0.0);
+    }
+
+    #[test]
+    fn grid_matches_sequential() {
+        let topo = topologies::mci();
+        let configs = vec![tiny(10.0), tiny(30.0)];
+        let grid = run_grid(&topo, &configs, &[7, 8]);
+        for (cfg, rep) in configs.iter().zip(&grid) {
+            let seq = run_replicated(&topo, cfg, &[7, 8]);
+            assert_eq!(rep.runs, seq.runs, "parallel and sequential runs agree");
+        }
+        assert_eq!(grid[0].lambda, 10.0);
+        assert_eq!(grid[1].lambda, 30.0);
+    }
+}

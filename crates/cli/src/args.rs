@@ -1,0 +1,251 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Grammar: `anycast <command> [--flag value]... [--switch]...`.
+//! Flags take exactly one value; switches take none. Unknown flags are
+//! errors (a typo must never silently run a long simulation with
+//! defaults).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+    consumed: BTreeSet<String>,
+}
+
+impl Args {
+    /// Parses raw arguments. `switches` lists the flag names (without
+    /// `--`) that take no value; everything else starting with `--`
+    /// expects one.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for stray positionals, missing values or
+    /// duplicate flags.
+    pub fn parse<I>(raw: I, switches: &[&str]) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{token}`"));
+            };
+            if name.is_empty() {
+                return Err("empty flag `--`".to_string());
+            }
+            if switches.contains(&name) {
+                if !out.switches.insert(name.to_string()) {
+                    return Err(format!("switch --{name} given twice"));
+                }
+                continue;
+            }
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{name} expects a value"));
+            };
+            if out.flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a required flag parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// When missing or unparsable.
+    pub fn require<T>(&mut self, name: &str) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        self.consumed.insert(name.to_string());
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|e| format!("--{name}: cannot parse `{raw}`: {e}"))
+    }
+
+    /// Returns an optional flag parsed as `T`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// When present but unparsable.
+    pub fn get_or<T>(&mut self, name: &str, default: T) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        self.consumed.insert(name.to_string());
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("--{name}: cannot parse `{raw}`: {e}")),
+        }
+    }
+
+    /// Returns an optional flag's raw string.
+    pub fn get_str(&mut self, name: &str) -> Option<String> {
+        self.consumed.insert(name.to_string());
+        self.flags.get(name).cloned()
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&mut self, name: &str) -> bool {
+        self.consumed.insert(name.to_string());
+        self.switches.contains(name)
+    }
+
+    /// Errors if any provided flag was never consumed by the command —
+    /// the typo guard.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown flag.
+    pub fn finish(&self) -> Result<(), String> {
+        for name in self.flags.keys().chain(self.switches.iter()) {
+            if !self.consumed.contains(name) {
+                return Err(format!("unknown flag --{name} for this command"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a comma-separated list of `u32` node ids.
+///
+/// # Errors
+///
+/// On any non-integer element or an empty list.
+pub fn parse_id_list(raw: &str) -> Result<Vec<u32>, String> {
+    let ids: Result<Vec<u32>, _> = raw
+        .split(',')
+        .map(|part| part.trim().parse::<u32>())
+        .collect();
+    let ids = ids.map_err(|e| format!("bad node list `{raw}`: {e}"))?;
+    if ids.is_empty() {
+        return Err("node list is empty".to_string());
+    }
+    Ok(ids)
+}
+
+/// Parses a sweep range `start:end:step` (inclusive ends) or a single
+/// number, into the list of values.
+///
+/// # Errors
+///
+/// On malformed syntax, non-positive step, or an empty range.
+pub fn parse_range(raw: &str) -> Result<Vec<f64>, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    match parts.as_slice() {
+        [single] => {
+            let v: f64 = single
+                .parse()
+                .map_err(|e| format!("bad number `{single}`: {e}"))?;
+            Ok(vec![v])
+        }
+        [start, end, step] => {
+            let (start, end, step): (f64, f64, f64) = (
+                start.parse().map_err(|e| format!("bad start: {e}"))?,
+                end.parse().map_err(|e| format!("bad end: {e}"))?,
+                step.parse().map_err(|e| format!("bad step: {e}"))?,
+            );
+            if step <= 0.0 || step.is_nan() {
+                return Err("range step must be positive".to_string());
+            }
+            if end < start {
+                return Err("range end precedes start".to_string());
+            }
+            let mut out = Vec::new();
+            let mut v = start;
+            while v <= end + 1e-9 {
+                out.push(v);
+                v += step;
+            }
+            Ok(out)
+        }
+        _ => Err(format!("range `{raw}` must be NUM or START:END:STEP")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let mut a = Args::parse(
+            strs(&["--lambda", "20", "--quick", "--seed", "7"]),
+            &["quick"],
+        )
+        .unwrap();
+        assert_eq!(a.require::<f64>("lambda").unwrap(), 20.0);
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.switch("quick"));
+        assert!(!a.switch("full"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_flags_at_finish() {
+        let mut a = Args::parse(strs(&["--oops", "1"]), &[]).unwrap();
+        let _ = a.get_or::<u64>("seed", 0);
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--oops"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(strs(&["positional"]), &[]).is_err());
+        assert!(Args::parse(strs(&["--flag"]), &[]).is_err());
+        assert!(Args::parse(strs(&["--a", "1", "--a", "2"]), &[]).is_err());
+        assert!(Args::parse(strs(&["--q", "--q"]), &["q"]).is_err());
+        assert!(Args::parse(strs(&["--"]), &[]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let mut a = Args::parse(strs(&[]), &[]).unwrap();
+        let err = a.require::<f64>("lambda").unwrap_err();
+        assert!(err.contains("--lambda"));
+    }
+
+    #[test]
+    fn unparsable_value() {
+        let mut a = Args::parse(strs(&["--lambda", "abc"]), &[]).unwrap();
+        assert!(a.require::<f64>("lambda").is_err());
+    }
+
+    #[test]
+    fn id_lists() {
+        assert_eq!(parse_id_list("0,4, 8").unwrap(), vec![0, 4, 8]);
+        assert!(parse_id_list("0,x").is_err());
+        assert!(parse_id_list("").is_err());
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(parse_range("5").unwrap(), vec![5.0]);
+        assert_eq!(
+            parse_range("5:20:5").unwrap(),
+            vec![5.0, 10.0, 15.0, 20.0]
+        );
+        assert!(parse_range("5:20").is_err());
+        assert!(parse_range("5:20:0").is_err());
+        assert!(parse_range("20:5:5").is_err());
+        assert!(parse_range("a:b:c").is_err());
+    }
+}

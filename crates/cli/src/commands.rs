@@ -1,0 +1,397 @@
+//! The CLI subcommands.
+
+use crate::args::{parse_id_list, parse_range, Args};
+use crate::spec::{parse_system, parse_topology};
+use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
+use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_dac::experiment::{run_experiment, ArrivalProcess, ExperimentConfig};
+use anycast_net::{metrics, LinkId, NodeId, Topology};
+
+/// Prints usage for a command (or the overview for anything else).
+pub fn print_help(command: &str) {
+    match command {
+        "simulate" => println!(
+            "usage: anycast simulate --lambda RATE [options]\n\
+             \n\
+             Runs one closed-loop admission-control simulation.\n\
+             \n\
+             options:\n\
+             \x20 --system ed|wddh|wddb|sp|gdi   admission system (default wddh)\n\
+             \x20 --r N                          retrial limit (default 2)\n\
+             \x20 --alpha X                      WD/D+H damping in [0,1] (default 0.5)\n\
+             \x20 --multipath K                  K shortest routes per member (default 1)\n\
+             \x20 --topology SPEC                mci | grid:WxH | ring:N | star:N |\n\
+             \x20                                waxman:N:SEED | <edge-list file> (default mci)\n\
+             \x20 --group IDS                    comma-separated member routers (default 0,4,8,12,16)\n\
+             \x20 --sources IDS                  comma-separated source routers (default: odd\n\
+             \x20                                routers on mci, all non-members elsewhere)\n\
+             \x20 --seed N                       PRNG seed (default 1)\n\
+             \x20 --warmup SECS                  warm-up period (default 1800)\n\
+             \x20 --measure SECS                 measured period (default 3600)\n\
+             \x20 --burstiness B                 MMPP-2 burstiness in [1,2) (default: Poisson)"
+        ),
+        "sweep" => println!(
+            "usage: anycast sweep --lambdas START:END:STEP [simulate options]\n\
+             \n\
+             Runs a λ sweep and prints one row per rate. Takes the same\n\
+             options as `simulate`, with --lambdas replacing --lambda;\n\
+             --no-header omits the column header for scripting."
+        ),
+        "predict" => println!(
+            "usage: anycast predict --lambda RATE [options]\n\
+             \n\
+             Evaluates the Appendix-A analytical model (no simulation).\n\
+             \n\
+             options:\n\
+             \x20 --system ed1|sp                analysed system (default ed1)\n\
+             \x20 --model erlang|uaa             link-blocking model (default erlang)\n\
+             \x20 --topology SPEC                as in `simulate`\n\
+             \x20 --group IDS / --sources IDS    as in `simulate`\n\
+             \x20 --hot N                        list the N hottest links (default 5)"
+        ),
+        "topo" => println!(
+            "usage: anycast topo [--topology SPEC]\n\
+             \n\
+             Prints structural metrics of a topology."
+        ),
+        _ => println!(
+            "anycast — distributed admission control for anycast flows (ICDCS 2001)\n\
+             \n\
+             commands:\n\
+             \x20 simulate   run one closed-loop simulation\n\
+             \x20 sweep      run a λ sweep of simulations\n\
+             \x20 predict    analytical admission probability (Appendix A)\n\
+             \x20 topo       topology structure report\n\
+             \x20 help       this overview\n\
+             \n\
+             `anycast <command> --help` shows per-command options."
+        ),
+    }
+}
+
+/// Builds the topology and experiment configuration shared by `simulate`
+/// and `sweep` from the common option set.
+fn common_config(args: &mut Args, lambda: f64) -> Result<(Topology, ExperimentConfig), String> {
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(format!("arrival rate must be positive, got {lambda}"));
+    }
+    let system_name = args.get_str("system").unwrap_or_else(|| "wddh".into());
+    let r: u32 = args.get_or("r", 2)?;
+    let alpha: f64 = args.get_or("alpha", 0.5)?;
+    let multipath: usize = args.get_or("multipath", 1)?;
+    let system = parse_system(&system_name, r, alpha, multipath)?;
+    let topo_spec = args.get_str("topology").unwrap_or_else(|| "mci".into());
+    let topo = parse_topology(&topo_spec)?;
+
+    let mut config = ExperimentConfig::paper_defaults(lambda, system)
+        .with_seed(args.get_or("seed", 1)?)
+        .with_warmup_secs(args.get_or("warmup", 1_800.0)?)
+        .with_measure_secs(args.get_or("measure", 3_600.0)?);
+    if let Some(group) = args.get_str("group") {
+        config = config.with_group(
+            parse_id_list(&group)?.into_iter().map(NodeId::new).collect(),
+        );
+    }
+    if let Some(sources) = args.get_str("sources") {
+        config = config.with_sources(
+            parse_id_list(&sources)?
+                .into_iter()
+                .map(NodeId::new)
+                .collect(),
+        );
+    } else if topo_spec != "mci" {
+        // The paper's odd-router default only makes sense on the MCI
+        // backbone; elsewhere default to every non-member node.
+        let members: std::collections::BTreeSet<u32> =
+            config.group_members.iter().map(|n| n.raw()).collect();
+        config = config.with_sources(
+            topo.nodes()
+                .filter(|n| !members.contains(&n.raw()))
+                .collect(),
+        );
+        if config.sources.is_empty() {
+            return Err("every node is a group member; no sources remain".to_string());
+        }
+    }
+    if let Some(b) = args.get_str("burstiness") {
+        let burstiness: f64 = b
+            .parse()
+            .map_err(|e| format!("--burstiness: cannot parse `{b}`: {e}"))?;
+        if !(1.0..2.0).contains(&burstiness) {
+            return Err(format!("--burstiness must lie in [1, 2), got {burstiness}"));
+        }
+        config = config.with_arrivals(ArrivalProcess::Bursty {
+            burstiness,
+            mean_sojourn_secs: 60.0,
+        });
+    }
+    // Validate placement early with a clear message.
+    for n in config.group_members.iter().chain(&config.sources) {
+        if !topo.contains_node(*n) {
+            return Err(format!(
+                "{n} is not a node of the topology ({} nodes)",
+                topo.node_count()
+            ));
+        }
+    }
+    Ok((topo, config))
+}
+
+fn print_metrics(m: &anycast_dac::experiment::Metrics) {
+    println!("system                {}", m.label);
+    println!("lambda                {:.3} flows/s", m.lambda);
+    println!("seed                  {}", m.seed);
+    println!("offered               {}", m.offered);
+    println!("admitted              {}", m.admitted);
+    println!(
+        "admission probability {:.6} ± {:.6}",
+        m.admission_probability, m.ap_ci95
+    );
+    println!("mean tries/request    {:.4}", m.mean_tries);
+    println!("messages/request      {:.2}", m.messages_per_request);
+    println!("mean active flows     {:.1}", m.mean_active_flows);
+    println!("network utilization   {:.4}", m.mean_network_utilization);
+    for (g, shares) in m.member_share.iter().enumerate() {
+        let pretty: Vec<String> = shares.iter().map(|s| format!("{s:.3}")).collect();
+        println!("member share (g{g})     [{}]", pretty.join(", "));
+    }
+}
+
+/// `anycast simulate`.
+pub fn simulate(raw: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(raw, &[])?;
+    let lambda: f64 = args.require("lambda")?;
+    let (topo, config) = common_config(&mut args, lambda)?;
+    args.finish()?;
+    let m = run_experiment(&topo, &config);
+    print_metrics(&m);
+    Ok(())
+}
+
+/// `anycast sweep`.
+pub fn sweep(raw: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(raw, &["no-header"])?;
+    let no_header = args.switch("no-header");
+    let lambdas = parse_range(
+        &args
+            .get_str("lambdas")
+            .ok_or_else(|| "missing required flag --lambdas".to_string())?,
+    )?;
+    if args.get_str("lambda").is_some() {
+        return Err("sweeps take --lambdas, not --lambda".to_string());
+    }
+    let (topo, base) = common_config(&mut args, lambdas[0])?;
+    args.finish()?;
+    if !no_header {
+        println!(
+            "{:>8} {:>10} {:>8} {:>9} {:>7}",
+            "lambda", "AP", "tries", "msgs/req", "util"
+        );
+    }
+    for &lambda in &lambdas {
+        let mut config = base.clone();
+        config.lambda = lambda;
+        let m = run_experiment(&topo, &config);
+        println!(
+            "{:>8.2} {:>10.6} {:>8.4} {:>9.2} {:>7.4}",
+            lambda,
+            m.admission_probability,
+            m.mean_tries,
+            m.messages_per_request,
+            m.mean_network_utilization
+        );
+    }
+    Ok(())
+}
+
+/// `anycast predict`.
+pub fn predict(raw: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(raw, &[])?;
+    let lambda: f64 = args.require("lambda")?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(format!("--lambda must be positive, got {lambda}"));
+    }
+    let system = match args
+        .get_str("system")
+        .unwrap_or_else(|| "ed1".into())
+        .as_str()
+    {
+        "ed1" => AnalyzedSystem::Ed1,
+        "sp" => AnalyzedSystem::Sp,
+        other => {
+            return Err(format!(
+                "unknown analysed system `{other}` (expected ed1 or sp)"
+            ))
+        }
+    };
+    let model = match args
+        .get_str("model")
+        .unwrap_or_else(|| "erlang".into())
+        .as_str()
+    {
+        "erlang" => BlockingModel::ErlangB,
+        "uaa" => BlockingModel::Uaa,
+        other => {
+            return Err(format!(
+                "unknown blocking model `{other}` (expected erlang or uaa)"
+            ))
+        }
+    };
+    let topo = parse_topology(&args.get_str("topology").unwrap_or_else(|| "mci".into()))?;
+    let mut spec = ScenarioSpec::paper_defaults(lambda);
+    if let Some(group) = args.get_str("group") {
+        spec.group_members = parse_id_list(&group)?
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+    }
+    if let Some(sources) = args.get_str("sources") {
+        spec.sources = parse_id_list(&sources)?
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+    }
+    for n in spec.group_members.iter().chain(&spec.sources) {
+        if !topo.contains_node(*n) {
+            return Err(format!(
+                "{n} is not a node of the topology ({} nodes)",
+                topo.node_count()
+            ));
+        }
+    }
+    let hot: usize = args.get_or("hot", 5)?;
+    args.finish()?;
+
+    let scenario = build_scenario(&topo, &spec, system);
+    let p = predict_ap(&scenario, model);
+    println!("system                {system:?}");
+    println!("model                 {model:?}");
+    println!("lambda                {lambda:.3} flows/s");
+    println!("admission probability {:.6}", p.admission_probability);
+    println!(
+        "fixed point           {} iterations, converged = {}",
+        p.iterations, p.converged
+    );
+    let mut links: Vec<(usize, f64)> = p.link_blocking.iter().copied().enumerate().collect();
+    links.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("hottest links:");
+    for (l, b) in links.into_iter().take(hot) {
+        let link = topo
+            .link(LinkId::new(l as u32))
+            .expect("blocking vector matches topology");
+        println!("  {} ({}-{}): blocking {:.6}", link.id(), link.a(), link.b(), b);
+    }
+    Ok(())
+}
+
+/// `anycast topo`.
+pub fn topo(raw: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(raw, &[])?;
+    let spec = args.get_str("topology").unwrap_or_else(|| "mci".into());
+    args.finish()?;
+    let topo = parse_topology(&spec)?;
+    let m = metrics::analyze(&topo);
+    println!("topology       {spec}");
+    println!("nodes          {}", m.nodes);
+    println!("links          {}", m.links);
+    println!("mean degree    {:.3}", m.mean_degree);
+    println!("degree range   {}..={}", m.min_degree, m.max_degree);
+    match m.diameter {
+        Some(d) => println!("diameter       {d}"),
+        None => println!("diameter       (disconnected)"),
+    }
+    match m.mean_distance {
+        Some(d) => println!("mean distance  {d:.3}"),
+        None => println!("mean distance  (disconnected)"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn common_config_defaults_to_paper_setup() {
+        let mut args = Args::parse(strs(&[]), &[]).unwrap();
+        let (topo, config) = common_config(&mut args, 20.0).unwrap();
+        assert_eq!(topo.node_count(), 19);
+        assert_eq!(config.lambda, 20.0);
+        assert_eq!(config.system.label(), "<WD/D+H,2>");
+        assert_eq!(config.sources.len(), 9);
+        assert_eq!(config.group_members.len(), 5);
+    }
+
+    #[test]
+    fn non_mci_default_sources_are_non_members() {
+        let mut args = Args::parse(
+            strs(&["--topology", "ring:6", "--group", "0,3"]),
+            &[],
+        )
+        .unwrap();
+        let (_, config) = common_config(&mut args, 5.0).unwrap();
+        let sources: Vec<u32> = config.sources.iter().map(|n| n.raw()).collect();
+        assert_eq!(sources, vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn rejects_bad_common_options() {
+        for (flags, needle) in [
+            (vec!["--system", "bogus"], "unknown system"),
+            (vec!["--burstiness", "2.5"], "burstiness"),
+            (vec!["--group", "0,99"], "not a node"),
+            (vec!["--r", "0"], "--r"),
+        ] {
+            let mut args = Args::parse(strs(&flags), &[]).unwrap();
+            let err = common_config(&mut args, 10.0).unwrap_err();
+            assert!(err.contains(needle), "{flags:?}: {err}");
+        }
+        let mut args = Args::parse(strs(&[]), &[]).unwrap();
+        assert!(common_config(&mut args, -1.0).is_err());
+    }
+
+    #[test]
+    fn simulate_runs_end_to_end() {
+        simulate(strs(&[
+            "--lambda", "3", "--system", "ed", "--warmup", "20", "--measure", "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_and_validates() {
+        sweep(strs(&[
+            "--lambdas", "3:6:3", "--system", "sp", "--warmup", "10", "--measure", "20",
+        ]))
+        .unwrap();
+        assert!(sweep(strs(&["--lambdas", "3", "--lambda", "4"])).is_err());
+        assert!(sweep(strs(&[])).is_err());
+    }
+
+    #[test]
+    fn predict_runs_and_validates() {
+        predict(strs(&["--lambda", "20"])).unwrap();
+        predict(strs(&["--lambda", "20", "--system", "sp", "--model", "uaa"])).unwrap();
+        assert!(predict(strs(&["--lambda", "20", "--system", "x"])).is_err());
+        assert!(predict(strs(&["--lambda", "20", "--model", "x"])).is_err());
+        assert!(predict(strs(&["--lambda", "-3"])).is_err());
+        assert!(predict(strs(&["--lambda", "20", "--group", "77"])).is_err());
+    }
+
+    #[test]
+    fn topo_runs_and_validates() {
+        topo(strs(&[])).unwrap();
+        topo(strs(&["--topology", "grid:3x3"])).unwrap();
+        assert!(topo(strs(&["--topology", "grid:zz"])).is_err());
+        assert!(topo(strs(&["--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_per_command() {
+        assert!(simulate(strs(&["--lambda", "3", "--wat", "1"])).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Textual specifications for topologies and admission systems.
+
+use anycast_dac::experiment::SystemSpec;
+use anycast_dac::policy::{HistoryMode, PolicySpec};
+use anycast_dac::RetrialPolicy;
+use anycast_net::{io, topologies, Bandwidth, Topology};
+
+/// Resolves a `--topology` specification:
+///
+/// * `mci` (default) — the paper's calibrated MCI backbone;
+/// * `grid:WxH`, `ring:N`, `star:N`, `waxman:N:SEED` — synthetic families
+///   (100 Mb/s links);
+/// * anything else — a path to an edge-list file
+///   (see [`anycast_net::io`]).
+///
+/// # Errors
+///
+/// A human-readable message on malformed specs or unreadable files.
+pub fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let cap = Bandwidth::from_mbps(100);
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    match head {
+        "mci" => Ok(topologies::mci()),
+        "grid" => {
+            let dims = parts
+                .next()
+                .ok_or_else(|| "grid needs dimensions, e.g. grid:5x4".to_string())?;
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("bad grid dimensions `{dims}` (expected WxH)"))?;
+            let w: usize = w.parse().map_err(|e| format!("bad grid width: {e}"))?;
+            let h: usize = h.parse().map_err(|e| format!("bad grid height: {e}"))?;
+            if w == 0 || h == 0 {
+                return Err("grid dimensions must be positive".to_string());
+            }
+            Ok(topologies::grid(w, h, cap))
+        }
+        "ring" => {
+            let n: usize = parts
+                .next()
+                .ok_or_else(|| "ring needs a size, e.g. ring:19".to_string())?
+                .parse()
+                .map_err(|e| format!("bad ring size: {e}"))?;
+            if n < 3 {
+                return Err("a ring needs at least 3 nodes".to_string());
+            }
+            Ok(topologies::ring(n, cap))
+        }
+        "star" => {
+            let n: usize = parts
+                .next()
+                .ok_or_else(|| "star needs a size, e.g. star:8".to_string())?
+                .parse()
+                .map_err(|e| format!("bad star size: {e}"))?;
+            if n < 2 {
+                return Err("a star needs at least 2 nodes".to_string());
+            }
+            Ok(topologies::star(n, cap))
+        }
+        "waxman" => {
+            let n: usize = parts
+                .next()
+                .ok_or_else(|| "waxman needs a size, e.g. waxman:19:7".to_string())?
+                .parse()
+                .map_err(|e| format!("bad waxman size: {e}"))?;
+            let seed: u64 = parts
+                .next()
+                .unwrap_or("7")
+                .parse()
+                .map_err(|e| format!("bad waxman seed: {e}"))?;
+            if n < 2 {
+                return Err("waxman needs at least 2 nodes".to_string());
+            }
+            Ok(topologies::waxman(n, 0.5, 0.5, seed, cap))
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read topology file `{path}`: {e}"))?;
+            io::parse_edge_list(&text).map_err(|e| format!("`{path}`: {e}"))
+        }
+    }
+}
+
+/// Resolves a `--system` specification:
+///
+/// * `ed`, `wddh`, `wddb` — the DAC with that selection algorithm;
+/// * `sp`, `gdi` — the baselines.
+///
+/// `r` is the retrial limit for DAC systems, `alpha` the WD/D+H damping,
+/// and `multipath > 1` upgrades DAC systems to the multipath variant.
+///
+/// # Errors
+///
+/// On unknown names or out-of-range parameters.
+pub fn parse_system(
+    name: &str,
+    r: u32,
+    alpha: f64,
+    multipath: usize,
+) -> Result<SystemSpec, String> {
+    if r == 0 {
+        return Err("--r must be at least 1".to_string());
+    }
+    if multipath == 0 {
+        return Err("--multipath must be at least 1".to_string());
+    }
+    let policy = match name {
+        "ed" => PolicySpec::Ed,
+        "wddh" => {
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(format!("--alpha must lie in [0, 1], got {alpha}"));
+            }
+            PolicySpec::WdDh {
+                alpha,
+                mode: HistoryMode::FromBase,
+            }
+        }
+        "wddb" => PolicySpec::WdDb,
+        "sp" => return Ok(SystemSpec::ShortestPath),
+        "gdi" => return Ok(SystemSpec::GlobalDynamic),
+        other => {
+            return Err(format!(
+                "unknown system `{other}` (expected ed, wddh, wddb, sp or gdi)"
+            ))
+        }
+    };
+    Ok(if multipath > 1 {
+        SystemSpec::DacMultipath {
+            policy,
+            retrial: RetrialPolicy::FixedLimit(r),
+            paths_per_member: multipath,
+        }
+    } else {
+        SystemSpec::Dac {
+            policy,
+            retrial: RetrialPolicy::FixedLimit(r),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_topologies() {
+        assert_eq!(parse_topology("mci").unwrap().node_count(), 19);
+        assert_eq!(parse_topology("grid:5x4").unwrap().node_count(), 20);
+        assert_eq!(parse_topology("ring:7").unwrap().link_count(), 7);
+        assert_eq!(parse_topology("star:6").unwrap().link_count(), 5);
+        let w = parse_topology("waxman:12:3").unwrap();
+        assert_eq!(w.node_count(), 12);
+        assert!(w.is_connected());
+    }
+
+    #[test]
+    fn bad_topology_specs() {
+        for bad in [
+            "grid",
+            "grid:5",
+            "grid:0x3",
+            "ring:2",
+            "star:1",
+            "waxman:1",
+            "/no/such/file.edges",
+        ] {
+            assert!(parse_topology(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn topology_file_round_trip() {
+        let path = std::env::temp_dir().join("anycast_cli_test.edges");
+        std::fs::write(&path, "0 1 1000\n1 2 1000\n").unwrap();
+        let topo = parse_topology(path.to_str().unwrap()).unwrap();
+        assert_eq!(topo.node_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn systems() {
+        assert_eq!(
+            parse_system("ed", 2, 0.5, 1).unwrap().label(),
+            "<ED,2>"
+        );
+        assert_eq!(
+            parse_system("wddh", 3, 0.25, 1).unwrap().label(),
+            "<WD/D+H,3>"
+        );
+        assert_eq!(
+            parse_system("wddb", 1, 0.5, 1).unwrap().label(),
+            "<WD/D+B,1>"
+        );
+        assert_eq!(parse_system("sp", 1, 0.5, 1).unwrap().label(), "SP");
+        assert_eq!(parse_system("gdi", 1, 0.5, 1).unwrap().label(), "GDI");
+        assert_eq!(
+            parse_system("wddh", 2, 0.5, 3).unwrap().label(),
+            "<WD/D+H,2,k=3>"
+        );
+    }
+
+    #[test]
+    fn bad_systems() {
+        assert!(parse_system("bogus", 2, 0.5, 1).is_err());
+        assert!(parse_system("ed", 0, 0.5, 1).is_err());
+        assert!(parse_system("wddh", 2, 1.5, 1).is_err());
+        assert!(parse_system("ed", 2, 0.5, 0).is_err());
+    }
+}

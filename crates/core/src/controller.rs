@@ -1,0 +1,439 @@
+//! The admission controller: the DAC procedure of §4.2.
+
+use crate::policy::{SelectionContext, WeightAssigner};
+use crate::{HistoryTable, RetrialPolicy};
+use anycast_net::{Bandwidth, LinkStateTable, Path};
+use anycast_rsvp::{ReservationEngine, SessionId};
+use anycast_sim::SimRng;
+
+/// A flow that passed admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmittedFlow {
+    /// The reservation session to tear down when the flow ends.
+    pub session: SessionId,
+    /// Index of the selected group member.
+    pub member_index: usize,
+    /// Bottleneck bandwidth of the route before this flow reserved on it.
+    pub route_bandwidth: Bandwidth,
+}
+
+/// The outcome of running the DAC procedure for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionOutcome {
+    /// `Some` if the flow was admitted.
+    pub admitted: Option<AdmittedFlow>,
+    /// Number of destinations tried (≥ 1 unless the group was exhausted
+    /// before any try, which cannot happen with a non-empty group).
+    pub tries: u32,
+}
+
+impl AdmissionOutcome {
+    /// `true` when the flow was admitted.
+    pub fn is_admitted(&self) -> bool {
+        self.admitted.is_some()
+    }
+}
+
+/// One AC-router's admission-control state: a weight policy, its local
+/// admission history, and a retrial budget.
+///
+/// The paper places admission decisions at the source routers ("we assume
+/// that the source routers that receive anycast flow requests are
+/// AC-routers", §4.2), so an experiment creates one controller per source;
+/// each accumulates its own history.
+///
+/// [`admit`](Self::admit) runs the REPEAT loop of Figure 1:
+///
+/// 1. select a destination by weighted random draw over the not-yet-tried
+///    members (weights from the policy, §4.3);
+/// 2. attempt an RSVP-style reservation along the fixed route (§4.4);
+/// 3. on failure consult the retrial policy (§4.5) and possibly repeat.
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: Box<dyn WeightAssigner>,
+    retrial: RetrialPolicy,
+    history: HistoryTable,
+    distances: Vec<u32>,
+}
+
+impl AdmissionController {
+    /// Creates a controller for one source.
+    ///
+    /// `distances[i]` must be the hop count of the fixed route from this
+    /// source to group member `i` (as produced by
+    /// [`RouteTable::distances`](anycast_net::RouteTable::distances)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is empty.
+    pub fn new(
+        policy: Box<dyn WeightAssigner>,
+        retrial: RetrialPolicy,
+        distances: Vec<u32>,
+    ) -> Self {
+        assert!(!distances.is_empty(), "group must have at least one member");
+        let history = HistoryTable::new(distances.len());
+        AdmissionController {
+            policy,
+            retrial,
+            history,
+            distances,
+        }
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// This router's local admission history.
+    pub fn history(&self) -> &HistoryTable {
+        &self.history
+    }
+
+    /// The configured retrial policy.
+    pub fn retrial(&self) -> RetrialPolicy {
+        self.retrial
+    }
+
+    /// Computes the policy's current selection weights without performing
+    /// an admission (used by examples and diagnostics).
+    pub fn current_weights(&mut self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
+        let bw_info = self.route_bandwidth_info(routes, links);
+        let ctx = SelectionContext {
+            distances: &self.distances,
+            history: self.history.entries(),
+            route_bandwidth_bps: &bw_info,
+        };
+        self.policy.assign(&ctx)
+    }
+
+    /// Runs the DAC procedure of Figure 1 for one flow request.
+    ///
+    /// `routes[i]` must be the fixed route to member `i` (same order as the
+    /// distances given at construction). Retrials draw without replacement:
+    /// every try targets a member not yet tried for this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` does not match the construction-time group size.
+    pub fn admit(
+        &mut self,
+        routes: &[Path],
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        demand: Bandwidth,
+        rng: &mut SimRng,
+    ) -> AdmissionOutcome {
+        assert_eq!(
+            routes.len(),
+            self.distances.len(),
+            "routes must cover every group member"
+        );
+        let k = routes.len();
+        let mut untried = vec![true; k];
+        let mut tries = 0u32;
+        loop {
+            // Step 1.1: destination selection.
+            let bw_info = self.route_bandwidth_info(routes, links);
+            let ctx = SelectionContext {
+                distances: &self.distances,
+                history: self.history.entries(),
+                route_bandwidth_bps: &bw_info,
+            };
+            let weights = self.policy.assign(&ctx);
+            debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            let pick = match rng.choose_weighted_masked(&weights, &untried) {
+                Some(i) => i,
+                None => {
+                    // Every untried member carries zero weight (the policy
+                    // considers them hopeless); fall back to a uniform draw
+                    // over the untried so behaviour stays total.
+                    let remaining: Vec<usize> = (0..k).filter(|&i| untried[i]).collect();
+                    match remaining.len() {
+                        0 => break, // group exhausted
+                        n => remaining[rng.below(n)],
+                    }
+                }
+            };
+            // Steps 1.2–1.3: resource reservation.
+            tries += 1;
+            match rsvp.probe_and_reserve(links, &routes[pick], demand) {
+                Ok(outcome) => {
+                    self.history.record_success(pick);
+                    return AdmissionOutcome {
+                        admitted: Some(AdmittedFlow {
+                            session: outcome.session,
+                            member_index: pick,
+                            route_bandwidth: outcome.route_bandwidth,
+                        }),
+                        tries,
+                    };
+                }
+                Err(_) => {
+                    self.history.record_failure(pick);
+                    untried[pick] = false;
+                }
+            }
+            // Step 1.4: retrial control.
+            if untried.iter().all(|&u| !u) {
+                break; // no alternative destination left
+            }
+            let remaining_weight: f64 = weights
+                .iter()
+                .zip(&untried)
+                .filter(|(_, &u)| u)
+                .map(|(&w, _)| w)
+                .sum();
+            if !self.retrial.keep_going(tries, remaining_weight) {
+                break;
+            }
+        }
+        // Step 2: the flow is rejected.
+        AdmissionOutcome {
+            admitted: None,
+            tries,
+        }
+    }
+
+    /// Clears the admission history (e.g. between measurement epochs).
+    pub fn reset_history(&mut self) {
+        self.history.reset();
+    }
+
+    fn route_bandwidth_info(&self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
+        if !self.policy.needs_route_bandwidth() {
+            return Vec::new();
+        }
+        routes
+            .iter()
+            .map(|r| {
+                let bw = links.min_available_on(r).bps();
+                // Trivial routes report u64::MAX; clamp to keep weights
+                // finite but overwhelmingly in favour of the local member.
+                if bw == u64::MAX {
+                    1e18
+                } else {
+                    bw as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Ed, PolicySpec, WdDb, WdDh};
+    use anycast_net::routing::RouteTable;
+    use anycast_net::{AnycastGroup, NodeId, Topology, TopologyBuilder};
+
+    /// Line 0-1-2-3-4 with members at 0 and 4; source at 1.
+    fn fixture() -> (Topology, Vec<Path>, Vec<u32>) {
+        let mut b = TopologyBuilder::new(5);
+        b.links_uniform(
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+            Bandwidth::from_kbps(128),
+        )
+        .unwrap();
+        let topo = b.build();
+        let group = AnycastGroup::new("A", [NodeId::new(0), NodeId::new(4)]).unwrap();
+        let table = RouteTable::shortest_paths(&topo, &group);
+        let routes = table.routes_from(NodeId::new(1)).to_vec();
+        let dists = table.distances(NodeId::new(1));
+        (topo, routes, dists)
+    }
+
+    fn controller(policy: Box<dyn WeightAssigner>, r: u32, dists: Vec<u32>) -> AdmissionController {
+        AdmissionController::new(policy, RetrialPolicy::FixedLimit(r), dists)
+    }
+
+    #[test]
+    fn admits_on_idle_network() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        let mut rsvp = ReservationEngine::new();
+        let mut rng = SimRng::seed_from(1);
+        let mut c = controller(Box::new(Ed), 1, dists);
+        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        assert!(out.is_admitted());
+        assert_eq!(out.tries, 1);
+        assert_eq!(c.history().clean_count(), 2);
+    }
+
+    #[test]
+    fn retries_distinct_destination_and_succeeds() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        // Saturate the route toward member 0 (link 0-1).
+        links
+            .reserve(routes[0].links()[0], Bandwidth::from_kbps(128))
+            .unwrap();
+        let mut rsvp = ReservationEngine::new();
+        let mut c = controller(Box::new(Ed), 2, dists);
+        // Try many seeds: whenever member 0 is picked first, the retry must
+        // land on member 1 and succeed; tear down to keep the network clean.
+        let mut retried = false;
+        for seed in 0..50 {
+            let mut rng = SimRng::seed_from(seed);
+            let out =
+                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+            assert!(out.is_admitted(), "seed {seed}");
+            let flow = out.admitted.unwrap();
+            assert_eq!(flow.member_index, 1, "only member 1 is reachable");
+            if out.tries == 2 {
+                retried = true;
+            }
+            rsvp.teardown(&mut links, flow.session).unwrap();
+        }
+        assert!(retried, "some request should have needed a retry");
+    }
+
+    #[test]
+    fn r1_rejects_when_first_pick_blocked() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        links
+            .reserve(routes[0].links()[0], Bandwidth::from_kbps(128))
+            .unwrap();
+        let mut rsvp = ReservationEngine::new();
+        let mut c = controller(Box::new(Ed), 1, dists);
+        let mut rejections = 0;
+        for seed in 0..200 {
+            let mut rng = SimRng::seed_from(seed);
+            let out =
+                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+            assert_eq!(out.tries, 1);
+            match out.admitted {
+                Some(flow) => {
+                    rsvp.teardown(&mut links, flow.session).unwrap();
+                }
+                None => rejections += 1,
+            }
+        }
+        // ED picks member 0 about half the time; all those reject under R=1.
+        assert!(
+            (60..140).contains(&rejections),
+            "rejections {rejections} not near half"
+        );
+    }
+
+    #[test]
+    fn rejects_when_all_members_blocked() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        links
+            .reserve(routes[0].links()[0], Bandwidth::from_kbps(128))
+            .unwrap();
+        links
+            .reserve(routes[1].links()[2], Bandwidth::from_kbps(128))
+            .unwrap();
+        let mut rsvp = ReservationEngine::new();
+        let mut rng = SimRng::seed_from(9);
+        let mut c = controller(Box::new(Ed), 5, dists);
+        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        assert!(!out.is_admitted());
+        assert_eq!(out.tries, 2, "both members tried once, none twice");
+        assert_eq!(c.history().failures(0), 1);
+        assert_eq!(c.history().failures(1), 1);
+    }
+
+    #[test]
+    fn history_steers_wddh_away_from_failures() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        links
+            .reserve(routes[0].links()[0], Bandwidth::from_kbps(128))
+            .unwrap();
+        let mut rsvp = ReservationEngine::new();
+        let policy = WdDh::new(0.2, crate::policy::HistoryMode::FromBase).unwrap();
+        let mut c = controller(Box::new(policy), 2, dists);
+        let mut rng = SimRng::seed_from(3);
+        // Warm the history with a few requests.
+        let mut sessions = Vec::new();
+        for _ in 0..10 {
+            let out =
+                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_bps(1), &mut rng);
+            if let Some(f) = out.admitted {
+                sessions.push(f.session);
+            }
+        }
+        for s in sessions {
+            rsvp.teardown(&mut links, s).unwrap();
+        }
+        let w = c.current_weights(&routes, &links);
+        assert!(
+            w[1] > w[0],
+            "member 0 keeps failing, weights should favour member 1: {w:?}"
+        );
+    }
+
+    #[test]
+    fn wddb_avoids_saturated_route_without_history() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        links
+            .reserve(routes[0].links()[0], Bandwidth::from_kbps(128))
+            .unwrap();
+        let mut rsvp = ReservationEngine::new();
+        let mut c = controller(Box::new(WdDb), 1, dists);
+        // WD/D+B sees B_0 = 0 and should never pick member 0, so even with
+        // R = 1 every request is admitted.
+        for seed in 0..100 {
+            let mut rng = SimRng::seed_from(seed);
+            let out =
+                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(1), &mut rng);
+            assert!(out.is_admitted(), "seed {seed}");
+            let flow = out.admitted.unwrap();
+            assert_eq!(flow.member_index, 1);
+            rsvp.teardown(&mut links, flow.session).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_weight_fallback_still_tries() {
+        // All routes saturated: WD/D+B weights degrade to distance weights,
+        // reservation fails, request rejected after R tries or exhaustion.
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        for l in 0..4u32 {
+            let id = anycast_net::LinkId::new(l);
+            let avail = links.available(id);
+            links.reserve(id, avail).unwrap();
+        }
+        let mut rsvp = ReservationEngine::new();
+        let mut rng = SimRng::seed_from(5);
+        let mut c = controller(Box::new(WdDb), 5, dists);
+        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        assert!(!out.is_admitted());
+        assert_eq!(out.tries, 2, "both members tried");
+    }
+
+    #[test]
+    fn reset_history_clears_state() {
+        let (_, _, dists) = fixture();
+        let mut c = controller(PolicySpec::wd_dh_default().build().unwrap(), 2, dists);
+        c.history.record_failure(0);
+        c.reset_history();
+        assert_eq!(c.history().clean_count(), 2);
+        assert_eq!(c.retrial(), RetrialPolicy::FixedLimit(2));
+        assert_eq!(c.policy_name(), "WD/D+H");
+    }
+
+    #[test]
+    #[should_panic(expected = "routes must cover every group member")]
+    fn mismatched_routes_panic() {
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        let mut rsvp = ReservationEngine::new();
+        let mut rng = SimRng::seed_from(0);
+        let mut c = controller(Box::new(Ed), 1, dists);
+        let _ = c.admit(
+            &routes[..1],
+            &mut links,
+            &mut rsvp,
+            Bandwidth::from_kbps(64),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,970 @@
+//! The closed-loop simulation experiment of §5: workload in, metrics out.
+//!
+//! [`run_experiment`] wires together the whole stack — topology and fixed
+//! routes ([`anycast_net`]), RSVP-style reservation ([`anycast_rsvp`]), the
+//! admission systems of this crate, and the discrete-event engine and
+//! statistics of ([`anycast_sim`]) — and reproduces the measurement setup
+//! of §5.1: Poisson arrivals over the odd-numbered source routers,
+//! exponential lifetimes, one five-member anycast group, 64 kb/s demands
+//! against the 20% anycast partition of 100 Mb/s links.
+
+use crate::baselines::{GlobalDynamicSystem, ShortestPathSystem};
+use crate::multipath::{MultipathController, MultipathRouteTable};
+use crate::policy::PolicySpec;
+use crate::{AdmissionController, AdmissionOutcome, RetrialPolicy};
+use anycast_net::{
+    topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, RouteTable, Topology,
+};
+use anycast_rsvp::{MessageLedger, ReservationEngine, SessionId};
+use anycast_sim::stats::{AdmissionStats, TimeWeighted};
+use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
+use anycast_sim::{Engine, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which admission system the experiment evaluates — the paper's
+/// `<A, R>` tuples plus the two baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemSpec {
+    /// The DAC procedure with a destination-selection policy and retrial
+    /// control: the `<A, R>` notation of §5.1.
+    Dac {
+        /// Destination-selection algorithm `A`.
+        policy: PolicySpec,
+        /// Retrial control (the paper's `R` is `FixedLimit(R)`).
+        retrial: RetrialPolicy,
+    },
+    /// The multipath extension: DAC where each member may be probed over
+    /// its `paths_per_member` shortest alternate routes (§6 future work;
+    /// see [`crate::multipath::MultipathController`] — the paper's §6
+    /// future work).
+    DacMultipath {
+        /// Destination-selection algorithm `A`.
+        policy: PolicySpec,
+        /// Retrial control over members.
+        retrial: RetrialPolicy,
+        /// Alternate fixed routes per member (k of Yen's algorithm).
+        paths_per_member: usize,
+    },
+    /// The SP baseline: always the nearest member, no retrials.
+    ShortestPath,
+    /// The GDI baseline: perfect global dynamic information, any path.
+    GlobalDynamic,
+}
+
+impl SystemSpec {
+    /// `<policy, R>` with the standard fixed retrial limit.
+    pub fn dac(policy: PolicySpec, r: u32) -> Self {
+        SystemSpec::Dac {
+            policy,
+            retrial: RetrialPolicy::FixedLimit(r),
+        }
+    }
+
+    /// Multipath DAC with a fixed member-retrial limit and `k` routes per
+    /// member.
+    pub fn dac_multipath(policy: PolicySpec, r: u32, paths_per_member: usize) -> Self {
+        SystemSpec::DacMultipath {
+            policy,
+            retrial: RetrialPolicy::FixedLimit(r),
+            paths_per_member,
+        }
+    }
+
+    /// The paper's label for this system, e.g. `<ED,2>`, `SP`, `GDI`;
+    /// the multipath extension is labelled `<A,R,k>`.
+    pub fn label(&self) -> String {
+        match self {
+            SystemSpec::Dac { policy, retrial } => {
+                format!("<{},{}>", policy.name(), retrial.max_tries())
+            }
+            SystemSpec::DacMultipath {
+                policy,
+                retrial,
+                paths_per_member,
+            } => format!(
+                "<{},{},k={}>",
+                policy.name(),
+                retrial.max_tries(),
+                paths_per_member
+            ),
+            SystemSpec::ShortestPath => "SP".to_string(),
+            SystemSpec::GlobalDynamic => "GDI".to_string(),
+        }
+    }
+}
+
+/// The arrival process shape (extension — the paper assumes Poisson).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Plain Poisson arrivals at rate λ (§5.1).
+    Poisson,
+    /// MMPP-2 bursty arrivals with long-run mean λ: the rate alternates
+    /// between `λ·burstiness` and `λ·(2−burstiness)` with exponential
+    /// sojourns of the given mean.
+    Bursty {
+        /// Burst intensity in `[1, 2)`; 1 ≈ Poisson.
+        burstiness: f64,
+        /// Mean sojourn in each modulating state, seconds.
+        mean_sojourn_secs: f64,
+    },
+}
+
+/// One anycast group of a multi-service workload (extension — the paper
+/// evaluates a single group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// The group's member routers.
+    pub members: Vec<NodeId>,
+    /// Relative share of the request stream targeting this group
+    /// (need not be normalised; must be positive).
+    pub share: f64,
+}
+
+/// One bandwidth class of a heterogeneous workload (extension beyond the
+/// paper, whose flows all demand 64 kb/s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandClass {
+    /// Per-flow bandwidth demand of this class.
+    pub bandwidth: Bandwidth,
+    /// Relative frequency (need not be normalised; must be positive).
+    pub weight: f64,
+}
+
+/// Full description of one simulation run.
+///
+/// [`ExperimentConfig::paper_defaults`] reproduces §5.1; the `with_*`
+/// builders tweak individual knobs for sweeps, ablations and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// PRNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Total anycast request rate λ in flows/second.
+    pub lambda: f64,
+    /// Mean exponential flow lifetime in seconds (paper: 180).
+    pub mean_holding_secs: f64,
+    /// Per-flow bandwidth demand (paper: 64 kb/s). Ignored when
+    /// `demand_mix` is non-empty.
+    pub flow_bandwidth: Bandwidth,
+    /// Heterogeneous demand classes (extension). Empty means every flow
+    /// demands `flow_bandwidth`, as in the paper.
+    pub demand_mix: Vec<DemandClass>,
+    /// Fraction of each link reserved for anycast flows (paper: 0.2).
+    pub anycast_fraction: f64,
+    /// Capacity assumed for links whose topology capacity is zero.
+    pub default_link_capacity: Bandwidth,
+    /// Transient period discarded from statistics, in seconds.
+    pub warmup_secs: f64,
+    /// Measured period after warm-up, in seconds.
+    pub measure_secs: f64,
+    /// The anycast group members (ignored when `groups` is non-empty).
+    pub group_members: Vec<NodeId>,
+    /// Multiple anycast groups sharing the network (extension). Empty
+    /// means the single group of `group_members`, as in the paper.
+    pub groups: Vec<GroupSpec>,
+    /// The source routers whose hosts originate requests.
+    pub sources: Vec<NodeId>,
+    /// The admission system under test.
+    pub system: SystemSpec,
+    /// Shape of the request arrival process (extension; paper: Poisson).
+    pub arrivals: ArrivalProcess,
+}
+
+impl ExperimentConfig {
+    /// The §5.1 setup on the MCI backbone: group at routers {0,4,8,12,16},
+    /// sources at the odd routers, 64 kb/s flows living 180 s on average
+    /// against a 20% anycast partition of 100 Mb/s links; 1800 s warm-up
+    /// and 3600 s of measurement.
+    pub fn paper_defaults(lambda: f64, system: SystemSpec) -> Self {
+        ExperimentConfig {
+            seed: 0x5EED,
+            lambda,
+            mean_holding_secs: 180.0,
+            flow_bandwidth: Bandwidth::from_kbps(64),
+            demand_mix: Vec::new(),
+            anycast_fraction: 0.2,
+            default_link_capacity: Bandwidth::from_mbps(100),
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            group_members: topologies::MCI_GROUP_MEMBERS.map(NodeId::new).to_vec(),
+            groups: Vec::new(),
+            sources: topologies::mci_source_nodes(),
+            system,
+            arrivals: ArrivalProcess::Poisson,
+        }
+    }
+
+    /// Replaces the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the measured duration.
+    pub fn with_measure_secs(mut self, secs: f64) -> Self {
+        self.measure_secs = secs;
+        self
+    }
+
+    /// Replaces the warm-up duration.
+    pub fn with_warmup_secs(mut self, secs: f64) -> Self {
+        self.warmup_secs = secs;
+        self
+    }
+
+    /// Replaces the anycast group members.
+    pub fn with_group(mut self, members: Vec<NodeId>) -> Self {
+        self.group_members = members;
+        self
+    }
+
+    /// Replaces the source routers.
+    pub fn with_sources(mut self, sources: Vec<NodeId>) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Replaces the per-flow bandwidth demand.
+    pub fn with_flow_bandwidth(mut self, bw: Bandwidth) -> Self {
+        self.flow_bandwidth = bw;
+        self
+    }
+
+    /// Replaces the admission system under test.
+    pub fn with_system(mut self, system: SystemSpec) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Replaces the arrival-process shape (extension beyond the paper).
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Installs multiple anycast groups (extension beyond the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any share is non-positive or non-finite.
+    pub fn with_groups(mut self, groups: Vec<GroupSpec>) -> Self {
+        for g in &groups {
+            assert!(
+                g.share.is_finite() && g.share > 0.0,
+                "group shares must be positive and finite"
+            );
+        }
+        self.groups = groups;
+        self
+    }
+
+    /// The effective group list: `groups` if set, else the single
+    /// paper-style group.
+    pub fn effective_groups(&self) -> Vec<GroupSpec> {
+        if self.groups.is_empty() {
+            vec![GroupSpec {
+                members: self.group_members.clone(),
+                share: 1.0,
+            }]
+        } else {
+            self.groups.clone()
+        }
+    }
+
+    /// Installs a heterogeneous demand mix (extension beyond the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class weight is non-positive or non-finite.
+    pub fn with_demand_mix(mut self, mix: Vec<DemandClass>) -> Self {
+        for class in &mix {
+            assert!(
+                class.weight.is_finite() && class.weight > 0.0,
+                "demand class weights must be positive and finite"
+            );
+        }
+        self.demand_mix = mix;
+        self
+    }
+}
+
+/// Measured output of one run: the paper's two performance metrics plus
+/// the supporting evidence (message counts, load levels, CIs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// The system's paper label (`<ED,2>`, `SP`, `GDI`, …).
+    pub label: String,
+    /// Arrival rate the run was driven at.
+    pub lambda: f64,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Admission probability over the measured period.
+    pub admission_probability: f64,
+    /// 95% half-width of the admission probability estimate.
+    pub ap_ci95: f64,
+    /// Requests offered after warm-up.
+    pub offered: u64,
+    /// Requests admitted after warm-up.
+    pub admitted: u64,
+    /// Mean destinations tried per request (Figure 7's y-axis).
+    pub mean_tries: f64,
+    /// Mean retrials per request (tries beyond the first).
+    pub mean_retrials: f64,
+    /// Signaling messages during the measured period.
+    pub messages: MessageLedger,
+    /// Signaling messages per offered request.
+    pub messages_per_request: f64,
+    /// Time-average number of concurrently active flows.
+    pub mean_active_flows: f64,
+    /// Distribution of destinations tried per request: index `t` holds the
+    /// number of requests that made exactly `t` tries.
+    pub tries_histogram: Vec<u64>,
+    /// Per-group admission probabilities, in `effective_groups` order
+    /// (length 1 for paper-style single-group runs).
+    pub per_group_ap: Vec<f64>,
+    /// Time-average fraction of the network's total anycast partition
+    /// held by reservations — the paper's "effectiveness" objective
+    /// (§4.1: "maximize the bandwidth utilization to the possible
+    /// extent").
+    pub mean_network_utilization: f64,
+    /// Fraction of admitted flows sent to each member, per group
+    /// (`member_share[g][i]` for member `i` of group `g`) — how well the
+    /// §4.1 goal of "randomly distribut\[ing\] anycast flows" is met.
+    pub member_share: Vec<Vec<f64>>,
+}
+
+/// Internal event alphabet of the closed-loop simulation.
+#[derive(Debug)]
+enum Event {
+    Arrival {
+        source_index: usize,
+        group_index: usize,
+        holding_secs: f64,
+        demand: Bandwidth,
+    },
+    Departure(SessionId),
+    WarmupEnd,
+}
+
+/// Arrival-stream dispatch without a trait object (both variants are
+/// concrete and cheap).
+enum WorkloadKind {
+    Poisson(PoissonWorkload),
+    Bursty(BurstyWorkload),
+}
+
+impl WorkloadKind {
+    fn next_request(&mut self) -> FlowRequest {
+        match self {
+            WorkloadKind::Poisson(w) => w.next_request(),
+            WorkloadKind::Bursty(w) => w.next_request(),
+        }
+    }
+}
+
+/// Per-group admission machinery (controllers are per source within it).
+enum SystemState {
+    Dac(Vec<AdmissionController>),
+    DacMulti(Box<MultipathRouteTable>, Vec<MultipathController>),
+    Sp(Vec<ShortestPathSystem>),
+    Gdi(GlobalDynamicSystem),
+}
+
+/// Runs one closed-loop simulation and returns its metrics.
+///
+/// Deterministic: the same `(topo, config)` always produces the same
+/// metrics. The run processes every arrival in
+/// `[0, warmup_secs + measure_secs]`; departures beyond the horizon are
+/// irrelevant to the reported statistics and are left unprocessed.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent with the topology (unknown
+/// nodes, empty groups or sources, non-positive durations, an invalid
+/// policy parameter, or a disconnected topology).
+pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
+    assert!(
+        config.measure_secs > 0.0 && config.warmup_secs >= 0.0,
+        "durations must be positive"
+    );
+    assert!(!config.sources.is_empty(), "need at least one source");
+    for s in &config.sources {
+        assert!(topo.contains_node(*s), "source {s} not in topology");
+    }
+    let group_specs = config.effective_groups();
+    let mut groups = Vec::with_capacity(group_specs.len());
+    let mut route_tables = Vec::with_capacity(group_specs.len());
+    for (gi, spec) in group_specs.iter().enumerate() {
+        let group = AnycastGroup::new(format!("G{gi}"), spec.members.iter().copied())
+            .expect("group must be non-empty");
+        for m in group.members() {
+            assert!(topo.contains_node(*m), "member {m} not in topology");
+        }
+        route_tables.push(RouteTable::shortest_paths(topo, &group));
+        groups.push(group);
+    }
+    let mut links = LinkStateTable::with_uniform_fraction(
+        topo,
+        config.default_link_capacity,
+        config.anycast_fraction,
+    );
+    let mut rsvp = ReservationEngine::new();
+
+    let mut systems: Vec<SystemState> = groups
+        .iter()
+        .zip(&route_tables)
+        .map(|(group, routes)| match &config.system {
+            SystemSpec::Dac { policy, retrial } => SystemState::Dac(
+                config
+                    .sources
+                    .iter()
+                    .map(|&s| {
+                        AdmissionController::new(
+                            policy.build().expect("policy parameters validated"),
+                            *retrial,
+                            routes.distances(s),
+                        )
+                    })
+                    .collect(),
+            ),
+            SystemSpec::DacMultipath {
+                policy,
+                retrial,
+                paths_per_member,
+            } => {
+                let table = MultipathRouteTable::build(topo, group, *paths_per_member);
+                let controllers = config
+                    .sources
+                    .iter()
+                    .map(|&s| {
+                        MultipathController::new(
+                            policy.build().expect("policy parameters validated"),
+                            *retrial,
+                            table.distances(s),
+                        )
+                    })
+                    .collect();
+                SystemState::DacMulti(Box::new(table), controllers)
+            }
+            SystemSpec::ShortestPath => SystemState::Sp(
+                config
+                    .sources
+                    .iter()
+                    .map(|&s| ShortestPathSystem::new(routes.nearest_member(s)))
+                    .collect(),
+            ),
+            SystemSpec::GlobalDynamic => SystemState::Gdi(GlobalDynamicSystem::new()),
+        })
+        .collect();
+
+    let mut master_rng = SimRng::seed_from(config.seed);
+    let mut workload = match config.arrivals {
+        ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
+            config.lambda,
+            config.mean_holding_secs,
+            config.sources.len(),
+            &mut master_rng,
+        )),
+        ArrivalProcess::Bursty {
+            burstiness,
+            mean_sojourn_secs,
+        } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
+            config.lambda,
+            burstiness,
+            mean_sojourn_secs,
+            config.mean_holding_secs,
+            config.sources.len(),
+            &mut master_rng,
+        )),
+    };
+    let mut selection_rng = master_rng.fork();
+    let mut demand_rng = master_rng.fork();
+    let mut group_rng = master_rng.fork();
+    let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
+    let draw_group = move |rng: &mut SimRng| -> usize {
+        if group_shares.len() == 1 {
+            0
+        } else {
+            rng.choose_weighted(&group_shares)
+                .expect("group shares validated positive")
+        }
+    };
+    let demand_weights: Vec<f64> = config.demand_mix.iter().map(|c| c.weight).collect();
+    let draw_demand = move |rng: &mut SimRng| -> Bandwidth {
+        if config.demand_mix.is_empty() {
+            config.flow_bandwidth
+        } else {
+            let idx = rng
+                .choose_weighted(&demand_weights)
+                .expect("demand weights validated positive");
+            config.demand_mix[idx].bandwidth
+        }
+    };
+
+    let warmup_end = SimTime::from_secs(config.warmup_secs);
+    let horizon = SimTime::from_secs(config.warmup_secs + config.measure_secs);
+    let mut stats = AdmissionStats::new(warmup_end);
+    let mut group_stats: Vec<AdmissionStats> = group_specs
+        .iter()
+        .map(|_| AdmissionStats::new(warmup_end))
+        .collect();
+    let mut member_counts: Vec<Vec<u64>> = groups
+        .iter()
+        .map(|g| vec![0u64; g.len()])
+        .collect();
+    let mut active: Option<TimeWeighted> = None;
+    let mut reserved_bw: Option<TimeWeighted> = None;
+    let total_partition: f64 = links
+        .iter()
+        .map(|(_, s)| s.capacity.bps() as f64)
+        .sum();
+
+    let mut engine: Engine<Event> = Engine::new();
+    engine.schedule_at(warmup_end, Event::WarmupEnd);
+    let first = workload.next_request();
+    let first_demand = draw_demand(&mut demand_rng);
+    let first_group = draw_group(&mut group_rng);
+    engine.schedule_at(
+        first.arrival,
+        Event::Arrival {
+            source_index: first.source_index,
+            group_index: first_group,
+            holding_secs: first.holding.as_secs(),
+            demand: first_demand,
+        },
+    );
+
+    engine.run_until(horizon, |eng, now, event| match event {
+        Event::Arrival {
+            source_index,
+            group_index,
+            holding_secs,
+            demand,
+        } => {
+            let source = config.sources[source_index];
+            let group = &groups[group_index];
+            let routes = &route_tables[group_index];
+            let outcome: AdmissionOutcome = match &mut systems[group_index] {
+                SystemState::Dac(controllers) => controllers[source_index].admit(
+                    routes.routes_from(source),
+                    &mut links,
+                    &mut rsvp,
+                    demand,
+                    &mut selection_rng,
+                ),
+                SystemState::DacMulti(table, controllers) => {
+                    controllers[source_index]
+                        .admit(
+                            table.routes_from(source),
+                            &mut links,
+                            &mut rsvp,
+                            demand,
+                            &mut selection_rng,
+                        )
+                        .outcome
+                }
+                SystemState::Sp(per_source) => per_source[source_index].admit(
+                    routes.routes_from(source),
+                    &mut links,
+                    &mut rsvp,
+                    demand,
+                ),
+                SystemState::Gdi(gdi) => gdi.admit(
+                    topo,
+                    group,
+                    source,
+                    &mut links,
+                    &mut rsvp,
+                    demand,
+                ),
+            };
+            stats.record(now, outcome.is_admitted(), outcome.tries);
+            group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
+            if now >= warmup_end {
+                if let Some(flow) = &outcome.admitted {
+                    member_counts[group_index][flow.member_index] += 1;
+                }
+            }
+            if let Some(flow) = outcome.admitted {
+                eng.schedule_in(
+                    now,
+                    anycast_sim::Duration::from_secs(holding_secs),
+                    Event::Departure(flow.session),
+                );
+            }
+            if let Some(tw) = active.as_mut() {
+                tw.update(now, rsvp.active_sessions() as f64);
+            }
+            if let Some(tw) = reserved_bw.as_mut() {
+                tw.update(now, links.total_reserved().bps() as f64);
+            }
+            let next = workload.next_request();
+            let next_demand = draw_demand(&mut demand_rng);
+            let next_group = draw_group(&mut group_rng);
+            eng.schedule_at(
+                next.arrival,
+                Event::Arrival {
+                    source_index: next.source_index,
+                    group_index: next_group,
+                    holding_secs: next.holding.as_secs(),
+                    demand: next_demand,
+                },
+            );
+        }
+        Event::Departure(session) => {
+            rsvp.teardown(&mut links, session)
+                .expect("departing flows hold live sessions");
+            if let Some(tw) = active.as_mut() {
+                tw.update(now, rsvp.active_sessions() as f64);
+            }
+            if let Some(tw) = reserved_bw.as_mut() {
+                tw.update(now, links.total_reserved().bps() as f64);
+            }
+        }
+        Event::WarmupEnd => {
+            rsvp.reset_ledger();
+            active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
+            reserved_bw = Some(TimeWeighted::new(
+                now,
+                links.total_reserved().bps() as f64,
+            ));
+        }
+    });
+
+    let messages = rsvp.ledger().clone();
+    let offered = stats.offered();
+    Metrics {
+        label: config.system.label(),
+        lambda: config.lambda,
+        seed: config.seed,
+        admission_probability: stats.admission_probability(),
+        ap_ci95: stats.ap_ci95_half_width(),
+        offered,
+        admitted: stats.admitted(),
+        mean_tries: stats.mean_tries(),
+        mean_retrials: stats.mean_retrials(),
+        messages_per_request: if offered == 0 {
+            0.0
+        } else {
+            messages.total() as f64 / offered as f64
+        },
+        messages,
+        tries_histogram: stats.tries_histogram().buckets().to_vec(),
+        per_group_ap: group_stats
+            .iter()
+            .map(|s| s.admission_probability())
+            .collect(),
+        member_share: member_counts
+            .iter()
+            .map(|counts| {
+                let total: u64 = counts.iter().sum();
+                counts
+                    .iter()
+                    .map(|&c| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            c as f64 / total as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+        mean_active_flows: active
+            .as_ref()
+            .map(|tw| tw.average_until(horizon))
+            .unwrap_or(0.0),
+        mean_network_utilization: reserved_bw
+            .as_ref()
+            .map(|tw| {
+                if total_partition == 0.0 {
+                    0.0
+                } else {
+                    tw.average_until(horizon) / total_partition
+                }
+            })
+            .unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(lambda: f64, system: SystemSpec) -> ExperimentConfig {
+        ExperimentConfig::paper_defaults(lambda, system)
+            .with_warmup_secs(300.0)
+            .with_measure_secs(600.0)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn low_load_admits_everything() {
+        let topo = topologies::mci();
+        for system in [
+            SystemSpec::dac(PolicySpec::Ed, 1),
+            SystemSpec::ShortestPath,
+            SystemSpec::GlobalDynamic,
+        ] {
+            let m = run_experiment(&topo, &quick(0.5, system));
+            assert!(
+                m.admission_probability > 0.999,
+                "{}: AP {} at trivial load",
+                m.label,
+                m.admission_probability
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let topo = topologies::mci();
+        let cfg = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let a = run_experiment(&topo, &cfg);
+        let b = run_experiment(&topo, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_vary_outcomes() {
+        let topo = topologies::mci();
+        let cfg = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let a = run_experiment(&topo, &cfg);
+        let b = run_experiment(&topo, &cfg.clone().with_seed(99));
+        assert_ne!(
+            a.admitted, b.admitted,
+            "different seeds should explore different sample paths"
+        );
+    }
+
+    #[test]
+    fn high_load_rejects_some() {
+        let topo = topologies::mci();
+        let m = run_experiment(&topo, &quick(50.0, SystemSpec::dac(PolicySpec::Ed, 1)));
+        assert!(m.admission_probability < 0.9, "AP {}", m.admission_probability);
+        assert!(m.admission_probability > 0.1);
+        assert!(m.offered > 10_000);
+        assert_eq!(m.offered, m.admitted + (m.offered - m.admitted));
+        assert!(m.mean_active_flows > 0.0);
+        assert!(m.messages.total() > 0);
+        assert!(m.messages_per_request > 0.0);
+    }
+
+    #[test]
+    fn retrials_increase_ap_and_tries() {
+        let topo = topologies::mci();
+        let r1 = run_experiment(&topo, &quick(35.0, SystemSpec::dac(PolicySpec::Ed, 1)));
+        let r3 = run_experiment(&topo, &quick(35.0, SystemSpec::dac(PolicySpec::Ed, 3)));
+        assert!(
+            r3.admission_probability > r1.admission_probability,
+            "R=3 {} must beat R=1 {}",
+            r3.admission_probability,
+            r1.admission_probability
+        );
+        assert!(r3.mean_tries > r1.mean_tries);
+        assert!((r1.mean_tries - 1.0).abs() < 1e-9, "R=1 always tries once");
+        assert_eq!(r1.mean_retrials, 0.0);
+    }
+
+    #[test]
+    fn gdi_dominates_sp_at_load() {
+        let topo = topologies::mci();
+        let sp = run_experiment(&topo, &quick(35.0, SystemSpec::ShortestPath));
+        let gdi = run_experiment(&topo, &quick(35.0, SystemSpec::GlobalDynamic));
+        assert!(
+            gdi.admission_probability > sp.admission_probability,
+            "GDI {} vs SP {}",
+            gdi.admission_probability,
+            sp.admission_probability
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(SystemSpec::dac(PolicySpec::Ed, 2).label(), "<ED,2>");
+        assert_eq!(
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 3).label(),
+            "<WD/D+H,3>"
+        );
+        assert_eq!(SystemSpec::dac(PolicySpec::WdDb, 1).label(), "<WD/D+B,1>");
+        assert_eq!(SystemSpec::ShortestPath.label(), "SP");
+        assert_eq!(SystemSpec::GlobalDynamic.label(), "GDI");
+    }
+
+    #[test]
+    fn member_share_reflects_algorithm_bias() {
+        let topo = topologies::mci();
+        // ED spreads uniformly; SP concentrates per source on the nearest
+        // member, so its shares are lumpier.
+        let ed = run_experiment(&topo, &quick(10.0, SystemSpec::dac(PolicySpec::Ed, 1)));
+        let sp = run_experiment(&topo, &quick(10.0, SystemSpec::ShortestPath));
+        let spread = |shares: &[f64]| -> f64 {
+            let max = shares.iter().cloned().fold(0.0, f64::max);
+            let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+            max - min
+        };
+        let ed_shares = &ed.member_share[0];
+        let sp_shares = &sp.member_share[0];
+        assert_eq!(ed_shares.len(), 5);
+        assert!((ed_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            spread(ed_shares) < 0.1,
+            "ED at low load is near-uniform: {ed_shares:?}"
+        );
+        assert!(
+            spread(sp_shares) > spread(ed_shares),
+            "SP concentrates: {sp_shares:?} vs ED {ed_shares:?}"
+        );
+    }
+
+    #[test]
+    fn utilization_tracks_load_and_algorithm() {
+        let topo = topologies::mci();
+        // More admitted flows → more reserved bandwidth. GDI admits the
+        // most, so it utilises the partition at least as much as SP.
+        let sp = run_experiment(&topo, &quick(35.0, SystemSpec::ShortestPath));
+        let gdi = run_experiment(&topo, &quick(35.0, SystemSpec::GlobalDynamic));
+        assert!(sp.mean_network_utilization > 0.0);
+        assert!(sp.mean_network_utilization < 1.0);
+        assert!(
+            gdi.mean_network_utilization > sp.mean_network_utilization,
+            "GDI {} must fill more of the partition than SP {}",
+            gdi.mean_network_utilization,
+            sp.mean_network_utilization
+        );
+        // And utilization grows with offered load.
+        let light = run_experiment(&topo, &quick(5.0, SystemSpec::ShortestPath));
+        assert!(light.mean_network_utilization < sp.mean_network_utilization);
+    }
+
+    #[test]
+    fn multi_group_splits_traffic() {
+        let topo = topologies::mci();
+        let groups = vec![
+            GroupSpec {
+                members: vec![NodeId::new(0), NodeId::new(8), NodeId::new(16)],
+                share: 2.0,
+            },
+            GroupSpec {
+                members: vec![NodeId::new(4), NodeId::new(12)],
+                share: 1.0,
+            },
+        ];
+        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
+            .with_groups(groups);
+        let m = run_experiment(&topo, &cfg);
+        assert_eq!(m.per_group_ap.len(), 2);
+        for &ap in &m.per_group_ap {
+            assert!(ap > 0.0 && ap <= 1.0);
+        }
+        // Overall AP is a weighted combination, so it lies between the
+        // per-group extremes.
+        let lo = m.per_group_ap.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = m.per_group_ap.iter().cloned().fold(0.0, f64::max);
+        assert!(m.admission_probability >= lo - 1e-12);
+        assert!(m.admission_probability <= hi + 1e-12);
+    }
+
+    #[test]
+    fn single_group_field_matches_groups_vec() {
+        // Configuring the paper group explicitly through `groups` must be
+        // equivalent to the legacy `group_members` field.
+        let topo = topologies::mci();
+        let base = quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let a = run_experiment(&topo, &base);
+        let explicit = base.clone().with_groups(vec![GroupSpec {
+            members: topologies::MCI_GROUP_MEMBERS.map(NodeId::new).to_vec(),
+            share: 1.0,
+        }]);
+        let b = run_experiment(&topo, &explicit);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.admission_probability, b.admission_probability);
+        assert_eq!(b.per_group_ap.len(), 1);
+        assert_eq!(b.per_group_ap[0], b.admission_probability);
+    }
+
+    #[test]
+    fn multipath_system_dominates_single_path() {
+        let topo = topologies::mci();
+        let single = run_experiment(
+            &topo,
+            &quick(35.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2)),
+        );
+        let multi = run_experiment(
+            &topo,
+            &quick(35.0, SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2)),
+        );
+        assert_eq!(multi.label, "<WD/D+H,2,k=2>");
+        assert!(
+            multi.admission_probability > single.admission_probability,
+            "multipath {} must beat single-path {}",
+            multi.admission_probability,
+            single.admission_probability
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_lower_ap_at_equal_mean_load() {
+        // Burstiness concentrates arrivals, so blocking worsens at the
+        // same long-run rate — the classic overdispersion penalty.
+        let topo = topologies::mci();
+        let system = SystemSpec::dac(PolicySpec::wd_dh_default(), 2);
+        // Long enough for the modulating chain to cycle ~40 times, else
+        // the realised mean rate is dominated by a few sojourns.
+        let base = quick(30.0, system).with_measure_secs(2_400.0);
+        let poisson = run_experiment(&topo, &base);
+        let bursty = run_experiment(
+            &topo,
+            &base.clone().with_arrivals(ArrivalProcess::Bursty {
+                burstiness: 1.9,
+                mean_sojourn_secs: 60.0,
+            }),
+        );
+        assert!(
+            bursty.admission_probability < poisson.admission_probability,
+            "bursty {} must underperform Poisson {}",
+            bursty.admission_probability,
+            poisson.admission_probability
+        );
+        // Comparable offered volume (same mean rate).
+        let ratio = bursty.offered as f64 / poisson.offered as f64;
+        assert!((0.8..1.2).contains(&ratio), "offered ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must be positive")]
+    fn bad_group_share_panics() {
+        let _ = ExperimentConfig::paper_defaults(1.0, SystemSpec::ShortestPath).with_groups(vec![
+            GroupSpec {
+                members: vec![NodeId::new(0)],
+                share: 0.0,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in topology")]
+    fn unknown_source_panics() {
+        let topo = topologies::mci();
+        let cfg = quick(1.0, SystemSpec::ShortestPath).with_sources(vec![NodeId::new(99)]);
+        let _ = run_experiment(&topo, &cfg);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = ExperimentConfig::paper_defaults(5.0, SystemSpec::GlobalDynamic)
+            .with_seed(1)
+            .with_warmup_secs(10.0)
+            .with_measure_secs(20.0)
+            .with_flow_bandwidth(Bandwidth::from_kbps(128))
+            .with_group(vec![NodeId::new(0)])
+            .with_sources(vec![NodeId::new(1)])
+            .with_system(SystemSpec::ShortestPath);
+        assert_eq!(cfg.seed, 1);
+        assert_eq!(cfg.warmup_secs, 10.0);
+        assert_eq!(cfg.measure_secs, 20.0);
+        assert_eq!(cfg.flow_bandwidth, Bandwidth::from_kbps(128));
+        assert_eq!(cfg.group_members.len(), 1);
+        assert_eq!(cfg.sources.len(), 1);
+        assert_eq!(cfg.system, SystemSpec::ShortestPath);
+    }
+}

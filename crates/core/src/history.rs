@@ -1,0 +1,144 @@
+//! The local admission history of eqs. (5)–(7).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-AC-router admission history `H = <h₁, …, h_K>` (eq. 5).
+///
+/// `h_i` counts the *consecutive* failures in the most recent selections of
+/// member `i`: it resets to zero whenever a reservation toward `i` succeeds
+/// (eq. 7). This log is "readily available at the AC-router. Its collection
+/// does not cost much at all" (§4.3.2) — it is the cheap dynamic signal
+/// behind the WD/D+H algorithm.
+///
+/// ```rust
+/// use anycast_dac::HistoryTable;
+/// let mut h = HistoryTable::new(3);
+/// h.record_failure(1);
+/// h.record_failure(1);
+/// assert_eq!(h.entries(), &[0, 2, 0]);
+/// h.record_success(1);
+/// assert_eq!(h.entries(), &[0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryTable {
+    entries: Vec<u32>,
+}
+
+impl HistoryTable {
+    /// Creates an all-zero history for a group of `k` members (eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "history needs at least one member");
+        HistoryTable {
+            entries: vec![0; k],
+        }
+    }
+
+    /// Group size `K`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always `false`: constructed non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw `h_i` values in member order.
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// `h_i` for one member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn failures(&self, member: usize) -> u32 {
+        self.entries[member]
+    }
+
+    /// Records that a reservation toward `member` succeeded: `h_i ← 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn record_success(&mut self, member: usize) {
+        self.entries[member] = 0;
+    }
+
+    /// Records that a reservation toward `member` failed: `h_i ← h_i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn record_failure(&mut self, member: usize) {
+        self.entries[member] = self.entries[member].saturating_add(1);
+    }
+
+    /// Number of members with a clean record (`h_i = 0`) — the `M` of
+    /// eq. (9).
+    pub fn clean_count(&self) -> usize {
+        self.entries.iter().filter(|&&h| h == 0).count()
+    }
+
+    /// Clears all records back to the initial state.
+    pub fn reset(&mut self) {
+        self.entries.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clean() {
+        let h = HistoryTable::new(5);
+        assert_eq!(h.len(), 5);
+        assert!(!h.is_empty());
+        assert_eq!(h.entries(), &[0; 5]);
+        assert_eq!(h.clean_count(), 5);
+    }
+
+    #[test]
+    fn failures_accumulate_and_success_resets() {
+        let mut h = HistoryTable::new(3);
+        h.record_failure(0);
+        h.record_failure(0);
+        h.record_failure(2);
+        assert_eq!(h.failures(0), 2);
+        assert_eq!(h.failures(1), 0);
+        assert_eq!(h.failures(2), 1);
+        assert_eq!(h.clean_count(), 1);
+        h.record_success(0);
+        assert_eq!(h.failures(0), 0);
+        assert_eq!(h.clean_count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut h = HistoryTable::new(2);
+        h.record_failure(0);
+        h.record_failure(1);
+        h.reset();
+        assert_eq!(h.entries(), &[0, 0]);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut h = HistoryTable::new(1);
+        h.entries[0] = u32::MAX;
+        h.record_failure(0);
+        assert_eq!(h.failures(0), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        let _ = HistoryTable::new(0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Destination-selection policies: ED, WD/D+H and WD/D+B (§4.3).
+
+use crate::weights::{
+    bandwidth_distance_weights, distance_weights, history_adjusted_weights, uniform_weights,
+};
+use crate::DacError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything a weight policy may look at when selecting a destination.
+///
+/// The three algorithms deliberately consume different subsets (that is the
+/// paper's experimental axis): ED ignores all of it, WD/D+H reads
+/// `distances` and `history`, WD/D+B reads `distances` and
+/// `route_bandwidth_bps`.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionContext<'a> {
+    /// Hop distance `D_i` of the fixed route to each member.
+    pub distances: &'a [u32],
+    /// Local admission history `h_i` for each member (eq. 5).
+    pub history: &'a [u32],
+    /// Route bottleneck bandwidth `B_i` in bits/s for each member (eq. 11).
+    /// May be empty when the policy does not request bandwidth information.
+    pub route_bandwidth_bps: &'a [f64],
+}
+
+impl SelectionContext<'_> {
+    /// Validates internal consistency: all populated slices share the
+    /// group size `K`.
+    ///
+    /// # Errors
+    ///
+    /// [`DacError::ContextShapeMismatch`] naming the offending field.
+    pub fn validate(&self) -> Result<(), DacError> {
+        let k = self.distances.len();
+        if self.history.len() != k {
+            return Err(DacError::ContextShapeMismatch {
+                expected: k,
+                actual: self.history.len(),
+                field: "history",
+            });
+        }
+        if !self.route_bandwidth_bps.is_empty() && self.route_bandwidth_bps.len() != k {
+            return Err(DacError::ContextShapeMismatch {
+                expected: k,
+                actual: self.route_bandwidth_bps.len(),
+                field: "route_bandwidth_bps",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A destination-selection weight policy (sealed).
+///
+/// Implementations return a probability distribution over the `K` group
+/// members: non-negative weights summing to one (eq. 1). `assign` takes
+/// `&mut self` because WD/D+H in [`HistoryMode::Iterative`] carries
+/// persistent weight state between selections.
+pub trait WeightAssigner: fmt::Debug + Send + private::Sealed {
+    /// Computes the member weights for the next selection.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on malformed contexts (mismatched lengths);
+    /// validate with [`SelectionContext::validate`] at the boundary.
+    fn assign(&mut self, ctx: &SelectionContext<'_>) -> Vec<f64>;
+
+    /// The paper's name for the algorithm (`"ED"`, `"WD/D+H"`, `"WD/D+B"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether [`SelectionContext::route_bandwidth_bps`] must be populated.
+    /// Collecting that information costs signaling-protocol extensions
+    /// (§4.3.2), so the experiment driver only gathers it on demand.
+    fn needs_route_bandwidth(&self) -> bool {
+        false
+    }
+}
+
+mod private {
+    /// Seals [`super::WeightAssigner`]: the algorithm set is the paper's.
+    pub trait Sealed {}
+    impl Sealed for super::Ed {}
+    impl Sealed for super::WdDh {}
+    impl Sealed for super::WdDb {}
+}
+
+/// Even Distribution (ED, §4.3.1): every member equally likely, `W_i = 1/K`.
+///
+/// Uses no status information beyond the group size — the cheapest and
+/// least informed of the three algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ed;
+
+impl WeightAssigner for Ed {
+    fn assign(&mut self, ctx: &SelectionContext<'_>) -> Vec<f64> {
+        uniform_weights(ctx.distances.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "ED"
+    }
+}
+
+/// How WD/D+H composes eqs. (8)–(10) across successive selections.
+///
+/// The paper initialises weights from eq. (4) and says they are "updated"
+/// before every selection, which admits two readings; both are provided
+/// and compared in the `ablation_history_mode` bench (see `DESIGN.md` §2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryMode {
+    /// Recompute effective weights from the *base* distance weights and the
+    /// current history at every selection (stable; the default).
+    #[default]
+    FromBase,
+    /// Mutate a persistent weight vector: each selection's output becomes
+    /// the next selection's input (the literal sequential reading).
+    Iterative,
+}
+
+/// Weighted Distribution with route Distance and local admission History
+/// (WD/D+H, §4.3.2): distance-biased weights damped by recent failures.
+///
+/// The damping strength is `alpha ∈ [0, 1]`: 0 gives history maximal
+/// impact, 1 disables it (pure distance weighting).
+#[derive(Debug, Clone)]
+pub struct WdDh {
+    alpha: f64,
+    mode: HistoryMode,
+    history_cap: Option<u32>,
+    persistent: Option<Vec<f64>>,
+}
+
+impl WdDh {
+    /// Creates the policy with the given damping parameter and update mode.
+    ///
+    /// # Errors
+    ///
+    /// [`DacError::InvalidParameter`] if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64, mode: HistoryMode) -> Result<Self, DacError> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(DacError::InvalidParameter {
+                name: "alpha",
+                constraint: "must lie in [0, 1]",
+                value: alpha,
+            });
+        }
+        Ok(WdDh {
+            alpha,
+            mode,
+            history_cap: None,
+            persistent: None,
+        })
+    }
+
+    /// Creates the policy with a *history cap* (extension): the damping
+    /// exponent is `min(h_i, cap)`, so a member's selection probability
+    /// has a floor of roughly `α^cap` and a long outage cannot exile it
+    /// forever (see `DESIGN.md` §5 — with the paper's unbounded history,
+    /// `α^{h_i}` underflows and the member never gets the success that
+    /// would reset `h_i`).
+    ///
+    /// # Errors
+    ///
+    /// [`DacError::InvalidParameter`] if `alpha` is outside `[0, 1]` or
+    /// `cap` is zero.
+    pub fn with_history_cap(alpha: f64, mode: HistoryMode, cap: u32) -> Result<Self, DacError> {
+        if cap == 0 {
+            return Err(DacError::InvalidParameter {
+                name: "history_cap",
+                constraint: "must be at least 1",
+                value: 0.0,
+            });
+        }
+        let mut policy = Self::new(alpha, mode)?;
+        policy.history_cap = Some(cap);
+        Ok(policy)
+    }
+
+    /// The damping parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The history cap, if configured.
+    pub fn history_cap(&self) -> Option<u32> {
+        self.history_cap
+    }
+
+    fn effective_history(&self, history: &[u32]) -> Vec<u32> {
+        match self.history_cap {
+            None => history.to_vec(),
+            Some(cap) => history.iter().map(|&h| h.min(cap)).collect(),
+        }
+    }
+
+    /// The configured update mode.
+    pub fn mode(&self) -> HistoryMode {
+        self.mode
+    }
+}
+
+impl WeightAssigner for WdDh {
+    fn assign(&mut self, ctx: &SelectionContext<'_>) -> Vec<f64> {
+        let history = self.effective_history(ctx.history);
+        match self.mode {
+            HistoryMode::FromBase => {
+                let base = distance_weights(ctx.distances);
+                history_adjusted_weights(&base, &history, self.alpha)
+            }
+            HistoryMode::Iterative => {
+                let base = self
+                    .persistent
+                    .take()
+                    .unwrap_or_else(|| distance_weights(ctx.distances));
+                let adjusted = history_adjusted_weights(&base, &history, self.alpha);
+                self.persistent = Some(adjusted.clone());
+                adjusted
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "WD/D+H"
+    }
+}
+
+/// Weighted Distribution with route Distance and available Bandwidth
+/// (WD/D+B, §4.3.2): `W_i ∝ B_i / D_i` (eq. 12).
+///
+/// Requires the route bottleneck bandwidths, which in deployment means
+/// extending the signaling protocol (RESV feedback); the experiment driver
+/// reads them from the link ledger, matching the paper's assumption that
+/// the information is simply available.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WdDb;
+
+impl WeightAssigner for WdDb {
+    fn assign(&mut self, ctx: &SelectionContext<'_>) -> Vec<f64> {
+        assert!(
+            !ctx.route_bandwidth_bps.is_empty(),
+            "WD/D+B requires route bandwidth information in the selection context"
+        );
+        bandwidth_distance_weights(ctx.route_bandwidth_bps, ctx.distances)
+    }
+
+    fn name(&self) -> &'static str {
+        "WD/D+B"
+    }
+
+    fn needs_route_bandwidth(&self) -> bool {
+        true
+    }
+}
+
+/// Serialisable specification of a weight policy — what experiment configs
+/// store and sweep over.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Even Distribution.
+    Ed,
+    /// WD/D+H with damping `alpha` and update `mode`.
+    WdDh {
+        /// History damping parameter in `[0, 1]`.
+        alpha: f64,
+        /// Weight-update interpretation.
+        mode: HistoryMode,
+    },
+    /// WD/D+B.
+    WdDb,
+}
+
+impl PolicySpec {
+    /// WD/D+H with the repository default `α = 0.5` and
+    /// [`HistoryMode::FromBase`].
+    pub fn wd_dh_default() -> Self {
+        PolicySpec::WdDh {
+            alpha: 0.5,
+            mode: HistoryMode::FromBase,
+        }
+    }
+
+    /// Instantiates the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`DacError::InvalidParameter`] for an out-of-range `alpha`.
+    pub fn build(&self) -> Result<Box<dyn WeightAssigner>, DacError> {
+        Ok(match self {
+            PolicySpec::Ed => Box::new(Ed),
+            PolicySpec::WdDh { alpha, mode } => Box::new(WdDh::new(*alpha, *mode)?),
+            PolicySpec::WdDb => Box::new(WdDb),
+        })
+    }
+
+    /// The paper's display name for the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Ed => "ED",
+            PolicySpec::WdDh { .. } => "WD/D+H",
+            PolicySpec::WdDb => "WD/D+B",
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        distances: &'a [u32],
+        history: &'a [u32],
+        bw: &'a [f64],
+    ) -> SelectionContext<'a> {
+        SelectionContext {
+            distances,
+            history,
+            route_bandwidth_bps: bw,
+        }
+    }
+
+    #[test]
+    fn ed_is_uniform_regardless_of_context() {
+        let mut ed = Ed;
+        let w = ed.assign(&ctx(&[1, 9, 3], &[5, 0, 2], &[]));
+        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12));
+        assert_eq!(ed.name(), "ED");
+        assert!(!ed.needs_route_bandwidth());
+    }
+
+    #[test]
+    fn wddh_from_base_is_stateless() {
+        let mut p = WdDh::new(0.5, HistoryMode::FromBase).unwrap();
+        let c = ctx(&[1, 2], &[1, 0], &[]);
+        let a = p.assign(&c);
+        let b = p.assign(&c);
+        assert_eq!(a, b, "FromBase must not accumulate state");
+        assert!(a[0] < a[1], "failed member damped below clean member");
+    }
+
+    #[test]
+    fn wddh_iterative_accumulates() {
+        let mut p = WdDh::new(0.5, HistoryMode::Iterative).unwrap();
+        let c = ctx(&[1, 1], &[1, 0], &[]);
+        let a = p.assign(&c);
+        let b = p.assign(&c);
+        assert!(
+            b[0] < a[0],
+            "iterative mode compounds damping: {a:?} then {b:?}"
+        );
+    }
+
+    #[test]
+    fn wddh_rejects_bad_alpha() {
+        assert!(matches!(
+            WdDh::new(1.5, HistoryMode::FromBase),
+            Err(DacError::InvalidParameter { name: "alpha", .. })
+        ));
+        assert!(WdDh::new(0.0, HistoryMode::FromBase).is_ok());
+        assert!(WdDh::new(1.0, HistoryMode::FromBase).is_ok());
+        assert!(WdDh::new(f64::NAN, HistoryMode::FromBase).is_err());
+    }
+
+    #[test]
+    fn wddh_history_cap_floors_the_damping() {
+        let mut uncapped = WdDh::new(0.5, HistoryMode::FromBase).unwrap();
+        let mut capped = WdDh::with_history_cap(0.5, HistoryMode::FromBase, 3).unwrap();
+        assert_eq!(capped.history_cap(), Some(3));
+        assert_eq!(uncapped.history_cap(), None);
+        let c = ctx(&[1, 1], &[40, 0], &[]);
+        let wu = uncapped.assign(&c);
+        let wc = capped.assign(&c);
+        // Uncapped: α^40 ≈ 0 — member 0 is gone. Capped: floor of α³ = 1/8.
+        assert!(wu[0] < 1e-9, "{wu:?}");
+        assert!(wc[0] > 0.05, "{wc:?}");
+        // At or below the cap the two agree exactly.
+        let c2 = ctx(&[1, 1], &[2, 0], &[]);
+        assert_eq!(uncapped.assign(&c2), capped.assign(&c2));
+    }
+
+    #[test]
+    fn wddh_zero_cap_rejected() {
+        assert!(matches!(
+            WdDh::with_history_cap(0.5, HistoryMode::FromBase, 0),
+            Err(DacError::InvalidParameter {
+                name: "history_cap",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn wddh_accessors() {
+        let p = WdDh::new(0.25, HistoryMode::Iterative).unwrap();
+        assert_eq!(p.alpha(), 0.25);
+        assert_eq!(p.mode(), HistoryMode::Iterative);
+        assert_eq!(p.name(), "WD/D+H");
+    }
+
+    #[test]
+    fn wddb_uses_bandwidth() {
+        let mut p = WdDb;
+        assert!(p.needs_route_bandwidth());
+        let w = p.assign(&ctx(&[1, 1], &[0, 0], &[100.0, 300.0]));
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires route bandwidth")]
+    fn wddb_without_bandwidth_panics() {
+        let mut p = WdDb;
+        let _ = p.assign(&ctx(&[1, 1], &[0, 0], &[]));
+    }
+
+    #[test]
+    fn spec_builds_matching_policies() {
+        for spec in [
+            PolicySpec::Ed,
+            PolicySpec::wd_dh_default(),
+            PolicySpec::WdDb,
+        ] {
+            let policy = spec.build().unwrap();
+            assert_eq!(policy.name(), spec.name());
+            assert_eq!(spec.to_string(), spec.name());
+        }
+        assert!(PolicySpec::WdDh {
+            alpha: -0.1,
+            mode: HistoryMode::FromBase
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn context_validation() {
+        assert!(ctx(&[1, 2], &[0, 0], &[]).validate().is_ok());
+        assert!(ctx(&[1, 2], &[0, 0], &[1.0, 2.0]).validate().is_ok());
+        assert!(matches!(
+            ctx(&[1, 2], &[0], &[]).validate(),
+            Err(DacError::ContextShapeMismatch { field: "history", .. })
+        ));
+        assert!(matches!(
+            ctx(&[1, 2], &[0, 0], &[1.0]).validate(),
+            Err(DacError::ContextShapeMismatch {
+                field: "route_bandwidth_bps",
+                ..
+            })
+        ));
+    }
+}

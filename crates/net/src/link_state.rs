@@ -1,0 +1,513 @@
+//! The link-capacity ledger: available bandwidth per link.
+
+use crate::{Bandwidth, LinkId, NetError, Path, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Read-only snapshot of one link's capacity accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSnapshot {
+    /// Capacity usable by anycast flows (the anycast partition of §5.1).
+    pub capacity: Bandwidth,
+    /// Bandwidth currently reserved by admitted flows.
+    pub reserved: Bandwidth,
+    /// Number of flows currently holding a reservation across this link.
+    pub flows: u32,
+    /// `true` while the link is administratively or physically down
+    /// (fault-injection extension; the paper assumes a fault-free network).
+    pub failed: bool,
+}
+
+impl LinkSnapshot {
+    /// Remaining capacity — the paper's available bandwidth `AB_l`.
+    /// A failed link has no available bandwidth.
+    pub fn available(&self) -> Bandwidth {
+        if self.failed {
+            Bandwidth::ZERO
+        } else {
+            self.capacity.saturating_sub(self.reserved)
+        }
+    }
+
+    /// Fraction of the anycast partition in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity.is_zero() {
+            0.0
+        } else {
+            self.reserved.bps() as f64 / self.capacity.bps() as f64
+        }
+    }
+}
+
+/// Mutable per-link bandwidth bookkeeping for one simulation run.
+///
+/// Tracks, for every link, how much of the anycast partition is reserved by
+/// active flows. `AB_l` of the paper is [`available`](Self::available). The
+/// ledger enforces the two invariants the admission control relies on:
+/// reservations never exceed capacity, and releases never exceed
+/// reservations.
+///
+/// Path-level operations ([`reserve_path`](Self::reserve_path)) are
+/// all-or-nothing: on failure the ledger is left exactly as it was.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkStateTable {
+    states: Vec<LinkSnapshot>,
+}
+
+impl LinkStateTable {
+    /// Builds a ledger where every link's anycast partition is
+    /// `fraction` of its physical capacity.
+    ///
+    /// The paper reserves 20% of each 100 Mb/s link for anycast flows, so
+    /// `with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2)` — or
+    /// simply `fraction = 0.2` of the capacities already stored in the
+    /// topology — reproduces the experimental setup. The `default_capacity`
+    /// argument is used for links whose topology capacity is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or not finite.
+    pub fn with_uniform_fraction(
+        topo: &Topology,
+        default_capacity: Bandwidth,
+        fraction: f64,
+    ) -> Self {
+        let states = topo
+            .links()
+            .map(|l| {
+                let base = if l.capacity().is_zero() {
+                    default_capacity
+                } else {
+                    l.capacity()
+                };
+                LinkSnapshot {
+                    capacity: base.scaled(fraction),
+                    reserved: Bandwidth::ZERO,
+                    flows: 0,
+                    failed: false,
+                }
+            })
+            .collect();
+        LinkStateTable { states }
+    }
+
+    /// Builds a ledger using each link's full topology capacity.
+    pub fn from_topology(topo: &Topology) -> Self {
+        Self::with_uniform_fraction(topo, Bandwidth::ZERO, 1.0)
+    }
+
+    /// Number of links tracked.
+    pub fn link_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Snapshot of one link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownLink`] if `link` is out of range.
+    pub fn snapshot(&self, link: LinkId) -> Result<LinkSnapshot, NetError> {
+        self.states
+            .get(link.index())
+            .copied()
+            .ok_or(NetError::UnknownLink(link))
+    }
+
+    /// Available bandwidth `AB_l` of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn available(&self, link: LinkId) -> Bandwidth {
+        self.states[link.index()].available()
+    }
+
+    /// Capacity of the anycast partition of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn capacity(&self, link: LinkId) -> Bandwidth {
+        self.states[link.index()].capacity
+    }
+
+    /// Reserves `bw` on a single link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InsufficientBandwidth`] if less than `bw` is available;
+    /// [`NetError::UnknownLink`] if the link is out of range.
+    pub fn reserve(&mut self, link: LinkId, bw: Bandwidth) -> Result<(), NetError> {
+        let state = self
+            .states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        let available = state.available();
+        if bw > available {
+            return Err(NetError::InsufficientBandwidth {
+                link,
+                demanded: bw,
+                available,
+            });
+        }
+        state.reserved += bw;
+        state.flows += 1;
+        Ok(())
+    }
+
+    /// Releases `bw` previously reserved on a single link.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ReleaseUnderflow`] if `bw` exceeds the reserved amount;
+    /// [`NetError::UnknownLink`] if the link is out of range.
+    pub fn release(&mut self, link: LinkId, bw: Bandwidth) -> Result<(), NetError> {
+        let state = self
+            .states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        if bw > state.reserved || state.flows == 0 {
+            return Err(NetError::ReleaseUnderflow {
+                link,
+                released: bw,
+                reserved: state.reserved,
+            });
+        }
+        state.reserved -= bw;
+        state.flows -= 1;
+        Ok(())
+    }
+
+    /// Checks whether `bw` is available on every link of `path` without
+    /// reserving anything. Returns the first bottleneck link on failure.
+    pub fn check_path(&self, path: &Path, bw: Bandwidth) -> Result<(), LinkId> {
+        for link in path.links() {
+            if self.available(*link) < bw {
+                return Err(*link);
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically reserves `bw` on every link of `path`.
+    ///
+    /// All-or-nothing: if any link lacks capacity, nothing is reserved.
+    /// A trivial path reserves nothing and always succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InsufficientBandwidth`] naming the first bottleneck link.
+    pub fn reserve_path(&mut self, path: &Path, bw: Bandwidth) -> Result<(), NetError> {
+        if let Err(link) = self.check_path(path, bw) {
+            return Err(NetError::InsufficientBandwidth {
+                link,
+                demanded: bw,
+                available: self.available(link),
+            });
+        }
+        for link in path.links() {
+            self.reserve(*link, bw)
+                .expect("checked availability above; reservation cannot fail");
+        }
+        Ok(())
+    }
+
+    /// Releases `bw` on every link of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ReleaseUnderflow`] if any link holds less than `bw`;
+    /// links earlier in the path are released before the error surfaces, so
+    /// callers should treat this as a logic bug, not a recoverable state.
+    pub fn release_path(&mut self, path: &Path, bw: Bandwidth) -> Result<(), NetError> {
+        for link in path.links() {
+            self.release(*link, bw)?;
+        }
+        Ok(())
+    }
+
+    /// Minimum available bandwidth along a path — the paper's *route
+    /// bandwidth* `B_i = min_{l ∈ r} AB_l` (eq. 11) used by the WD/D+B
+    /// destination-selection algorithm.
+    ///
+    /// A trivial path has unbounded route bandwidth; we report
+    /// `Bandwidth::from_bps(u64::MAX)` in that case.
+    pub fn min_available_on(&self, path: &Path) -> Bandwidth {
+        path.links()
+            .iter()
+            .map(|l| self.available(*l))
+            .min()
+            .unwrap_or(Bandwidth::from_bps(u64::MAX))
+    }
+
+    /// Iterates over `(LinkId, LinkSnapshot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, LinkSnapshot)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LinkId::new(i as u32), *s))
+    }
+
+    /// Total reserved bandwidth across all links (a congestion indicator).
+    pub fn total_reserved(&self) -> Bandwidth {
+        self.states.iter().map(|s| s.reserved).sum()
+    }
+
+    /// Number of links with zero available bandwidth for a demand of `bw`.
+    pub fn saturated_links(&self, bw: Bandwidth) -> usize {
+        self.states.iter().filter(|s| s.available() < bw).count()
+    }
+
+    /// Marks a link as failed (fault-injection extension, beyond the
+    /// paper's fault-free assumption in §3).
+    ///
+    /// While failed the link reports zero available bandwidth, so every
+    /// new admission across it is rejected. Existing reservations remain
+    /// recorded — the flows holding them are broken in reality, and it is
+    /// the caller's policy whether to tear them down (releasing across a
+    /// failed link works normally).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownLink`] if `link` is out of range.
+    pub fn fail_link(&mut self, link: LinkId) -> Result<(), NetError> {
+        self.states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?
+            .failed = true;
+        Ok(())
+    }
+
+    /// Brings a failed link back into service.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownLink`] if `link` is out of range.
+    pub fn restore_link(&mut self, link: LinkId) -> Result<(), NetError> {
+        self.states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?
+            .failed = false;
+        Ok(())
+    }
+
+    /// Whether a link is currently failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn is_failed(&self, link: LinkId) -> bool {
+        self.states[link.index()].failed
+    }
+
+    /// Clears all reservations and failures, returning the ledger to its
+    /// initial state.
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            s.reserved = Bandwidth::ZERO;
+            s.flows = 0;
+            s.failed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, TopologyBuilder};
+
+    fn line4() -> (Topology, Path) {
+        let mut b = TopologyBuilder::new(4);
+        b.links_uniform([(0, 1), (1, 2), (2, 3)], Bandwidth::from_mbps(100))
+            .unwrap();
+        let topo = b.build();
+        let path = Path::new(
+            &topo,
+            (0..4).map(NodeId::new).collect(),
+            (0..3).map(LinkId::new).collect(),
+        )
+        .unwrap();
+        (topo, path)
+    }
+
+    #[test]
+    fn partition_fraction_applied() {
+        let (topo, _) = line4();
+        let table = LinkStateTable::with_uniform_fraction(&topo, Bandwidth::ZERO, 0.2);
+        assert_eq!(table.capacity(LinkId::new(0)), Bandwidth::from_mbps(20));
+        assert_eq!(table.available(LinkId::new(0)), Bandwidth::from_mbps(20));
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let before = table.snapshot(LinkId::new(1)).unwrap();
+        table.reserve_path(&path, Bandwidth::from_kbps(64)).unwrap();
+        assert_eq!(table.snapshot(LinkId::new(1)).unwrap().flows, 1);
+        table.release_path(&path, Bandwidth::from_kbps(64)).unwrap();
+        assert_eq!(table.snapshot(LinkId::new(1)).unwrap(), before);
+    }
+
+    #[test]
+    fn reserve_path_is_atomic_on_failure() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        // Saturate the middle link.
+        table
+            .reserve(LinkId::new(1), Bandwidth::from_mbps(100))
+            .unwrap();
+        let err = table
+            .reserve_path(&path, Bandwidth::from_kbps(64))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InsufficientBandwidth {
+                link,
+                ..
+            } if link == LinkId::new(1)
+        ));
+        // Links 0 and 2 must be untouched.
+        assert_eq!(table.available(LinkId::new(0)), Bandwidth::from_mbps(100));
+        assert_eq!(table.available(LinkId::new(2)), Bandwidth::from_mbps(100));
+    }
+
+    #[test]
+    fn release_underflow_detected() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let err = table
+            .release(LinkId::new(0), Bandwidth::from_bps(1))
+            .unwrap_err();
+        assert!(matches!(err, NetError::ReleaseUnderflow { .. }));
+    }
+
+    #[test]
+    fn min_available_is_bottleneck() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(1), Bandwidth::from_mbps(60))
+            .unwrap();
+        assert_eq!(table.min_available_on(&path), Bandwidth::from_mbps(40));
+    }
+
+    #[test]
+    fn trivial_path_always_reservable() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let p = Path::trivial(NodeId::new(2));
+        table.reserve_path(&p, Bandwidth::from_mbps(10_000)).unwrap();
+        assert_eq!(table.total_reserved(), Bandwidth::ZERO);
+        assert_eq!(
+            table.min_available_on(&p),
+            Bandwidth::from_bps(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn check_path_names_first_bottleneck() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(2), Bandwidth::from_mbps(100))
+            .unwrap();
+        assert_eq!(
+            table.check_path(&path, Bandwidth::from_bps(1)),
+            Err(LinkId::new(2))
+        );
+    }
+
+    #[test]
+    fn utilization_and_saturation() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(50))
+            .unwrap();
+        let snap = table.snapshot(LinkId::new(0)).unwrap();
+        assert!((snap.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(table.saturated_links(Bandwidth::from_mbps(60)), 1);
+        assert_eq!(table.saturated_links(Bandwidth::from_mbps(10)), 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.reserve_path(&path, Bandwidth::from_mbps(3)).unwrap();
+        table.reset();
+        assert_eq!(table.total_reserved(), Bandwidth::ZERO);
+        for (_, s) in table.iter() {
+            assert_eq!(s.flows, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_link_errors() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert!(matches!(
+            table.reserve(LinkId::new(50), Bandwidth::ZERO),
+            Err(NetError::UnknownLink(_))
+        ));
+        assert!(matches!(
+            table.snapshot(LinkId::new(50)),
+            Err(NetError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_link_utilization_is_zero() {
+        let snap = LinkSnapshot {
+            capacity: Bandwidth::ZERO,
+            reserved: Bandwidth::ZERO,
+            flows: 0,
+            failed: false,
+        };
+        assert_eq!(snap.utilization(), 0.0);
+    }
+
+    #[test]
+    fn failed_link_blocks_new_reservations() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_link(LinkId::new(1)).unwrap();
+        assert!(table.is_failed(LinkId::new(1)));
+        assert_eq!(table.available(LinkId::new(1)), Bandwidth::ZERO);
+        assert!(matches!(
+            table.reserve_path(&path, Bandwidth::from_bps(1)),
+            Err(NetError::InsufficientBandwidth { link, .. }) if link == LinkId::new(1)
+        ));
+        table.restore_link(LinkId::new(1)).unwrap();
+        assert!(!table.is_failed(LinkId::new(1)));
+        table.reserve_path(&path, Bandwidth::from_bps(1)).unwrap();
+    }
+
+    #[test]
+    fn release_across_failed_link_works() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.reserve_path(&path, Bandwidth::from_kbps(64)).unwrap();
+        table.fail_link(LinkId::new(0)).unwrap();
+        table.release_path(&path, Bandwidth::from_kbps(64)).unwrap();
+        assert_eq!(table.snapshot(LinkId::new(0)).unwrap().reserved, Bandwidth::ZERO);
+        // Still failed after the release; reset clears it.
+        assert!(table.is_failed(LinkId::new(0)));
+        table.reset();
+        assert!(!table.is_failed(LinkId::new(0)));
+    }
+
+    #[test]
+    fn fail_unknown_link_errors() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert!(matches!(
+            table.fail_link(LinkId::new(99)),
+            Err(NetError::UnknownLink(_))
+        ));
+        assert!(matches!(
+            table.restore_link(LinkId::new(99)),
+            Err(NetError::UnknownLink(_))
+        ));
+    }
+}

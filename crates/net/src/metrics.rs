@@ -1,0 +1,138 @@
+//! Structural graph metrics, used by topology ablations and diagnostics.
+
+use crate::routing::bfs_tree;
+use crate::Topology;
+
+/// Summary statistics of a topology's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected links.
+    pub links: usize,
+    /// Mean node degree `2·|E|/|V|`.
+    pub mean_degree: f64,
+    /// Smallest node degree.
+    pub min_degree: usize,
+    /// Largest node degree.
+    pub max_degree: usize,
+    /// Longest shortest path (hops); `None` when disconnected.
+    pub diameter: Option<u32>,
+    /// Mean shortest-path length over ordered distinct pairs; `None` when
+    /// disconnected or fewer than two nodes.
+    pub mean_distance: Option<f64>,
+}
+
+/// Computes structural metrics for a topology.
+///
+/// Runs one BFS per node, so cost is `O(V·(V+E))` — instantaneous at
+/// backbone scale, and only used offline.
+///
+/// ```rust
+/// use anycast_net::metrics::analyze;
+/// use anycast_net::topologies;
+///
+/// let m = analyze(&topologies::mci());
+/// assert_eq!(m.nodes, 19);
+/// assert_eq!(m.links, 32);
+/// assert_eq!(m.diameter, Some(4));
+/// ```
+pub fn analyze(topo: &Topology) -> TopologyMetrics {
+    let nodes = topo.node_count();
+    let links = topo.link_count();
+    let degrees: Vec<usize> = topo.nodes().map(|n| topo.degree(n)).collect();
+    let mean_degree = if nodes == 0 {
+        0.0
+    } else {
+        2.0 * links as f64 / nodes as f64
+    };
+    let mut diameter: Option<u32> = Some(0);
+    let mut sum_dist = 0u64;
+    let mut pairs = 0u64;
+    'outer: for s in topo.nodes() {
+        let tree = bfs_tree(topo, s);
+        for d in topo.nodes() {
+            if s == d {
+                continue;
+            }
+            match tree.distance(d) {
+                Some(dist) => {
+                    diameter = diameter.map(|cur| cur.max(dist));
+                    sum_dist += u64::from(dist);
+                    pairs += 1;
+                }
+                None => {
+                    diameter = None;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    TopologyMetrics {
+        nodes,
+        links,
+        mean_degree,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        diameter,
+        mean_distance: if diameter.is_some() && pairs > 0 {
+            Some(sum_dist as f64 / pairs as f64)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topologies, Bandwidth, NodeId, TopologyBuilder};
+
+    #[test]
+    fn ring_metrics_closed_form() {
+        let m = analyze(&topologies::ring(6, Bandwidth::from_mbps(1)));
+        assert_eq!(m.nodes, 6);
+        assert_eq!(m.links, 6);
+        assert_eq!(m.mean_degree, 2.0);
+        assert_eq!((m.min_degree, m.max_degree), (2, 2));
+        assert_eq!(m.diameter, Some(3));
+        // Distances from any node on C6: 1,1,2,2,3 → mean 9/5.
+        assert!((m.mean_distance.unwrap() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_metrics() {
+        let m = analyze(&topologies::star(5, Bandwidth::from_mbps(1)));
+        assert_eq!(m.diameter, Some(2));
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 4);
+    }
+
+    #[test]
+    fn disconnected_has_no_diameter() {
+        let mut b = TopologyBuilder::new(4);
+        b.link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap();
+        let m = analyze(&b.build());
+        assert_eq!(m.diameter, None);
+        assert_eq!(m.mean_distance, None);
+    }
+
+    #[test]
+    fn mci_metrics_match_design_doc() {
+        let m = analyze(&topologies::mci());
+        assert_eq!(m.nodes, 19);
+        assert_eq!(m.links, 32);
+        assert!((m.mean_degree - 64.0 / 19.0).abs() < 1e-12);
+        assert_eq!(m.diameter, Some(4));
+        assert!(m.mean_distance.unwrap() < 3.0);
+    }
+
+    #[test]
+    fn singleton_topology() {
+        let m = analyze(&TopologyBuilder::new(1).build());
+        assert_eq!(m.diameter, Some(0));
+        assert_eq!(m.mean_distance, None);
+        assert_eq!(m.mean_degree, 0.0);
+    }
+}

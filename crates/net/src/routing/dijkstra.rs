@@ -1,0 +1,163 @@
+//! Weighted shortest paths (Dijkstra) with deterministic tie-breaking.
+
+use crate::{LinkId, NodeId, Path, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Finds the minimum-cost path from `src` to `dst` where each link's cost is
+/// given by `cost(link)`.
+///
+/// Hop-count routing is the special case `|_| 1.0`; examples use inverse
+/// capacity or measured delay as costs. Ties are broken deterministically by
+/// preferring the lexicographically smallest `(cost, node)` frontier entry.
+///
+/// Returns `None` when `dst` is unreachable.
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `topo`, or if `cost` returns a negative
+/// or non-finite value.
+pub fn dijkstra_path<F>(topo: &Topology, src: NodeId, dst: NodeId, mut cost: F) -> Option<Path>
+where
+    F: FnMut(LinkId) -> f64,
+{
+    assert!(topo.contains_node(src), "source {src} not in topology");
+    if !topo.contains_node(dst) {
+        return None;
+    }
+    let n = topo.node_count();
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    // Reverse((OrderedCost, node)) min-heap; f64 wrapped via total_cmp key.
+    let mut heap: BinaryHeap<Reverse<(OrderedCost, NodeId)>> = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(Reverse((OrderedCost(0.0), src)));
+    while let Some(Reverse((OrderedCost(du), u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == dst {
+            break;
+        }
+        for &(v, link) in topo.neighbors(u) {
+            if done[v.index()] {
+                continue;
+            }
+            let c = cost(link);
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "link cost must be finite and non-negative, got {c} for {link}"
+            );
+            let alt = du + c;
+            if alt < dist[v.index()] {
+                dist[v.index()] = alt;
+                parent[v.index()] = Some((u, link));
+                heap.push(Reverse((OrderedCost(alt), v)));
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (prev, link) = parent[cur.index()]?;
+        nodes.push(prev);
+        links.push(link);
+        cur = prev;
+    }
+    nodes.reverse();
+    links.reverse();
+    Some(Path::new(topo, nodes, links).expect("dijkstra produces consistent paths"))
+}
+
+/// Total-order wrapper over finite `f64` costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedCost(f64);
+
+impl Eq for OrderedCost {}
+
+impl PartialOrd for OrderedCost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedCost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_path;
+    use crate::{Bandwidth, TopologyBuilder};
+
+    fn weighted_square() -> Topology {
+        // 0-1 (l0), 1-3 (l1), 0-2 (l2), 2-3 (l3)
+        let mut b = TopologyBuilder::new(4);
+        b.links_uniform([(0, 1), (1, 3), (0, 2), (2, 3)], Bandwidth::from_mbps(1))
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn unit_costs_match_bfs() {
+        let topo = weighted_square();
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                let bfs = shortest_path(&topo, s, d).unwrap();
+                let dij = dijkstra_path(&topo, s, d, |_| 1.0).unwrap();
+                assert_eq!(bfs.hops(), dij.hops(), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_can_reroute() {
+        let topo = weighted_square();
+        // Make the upper route (links 0 and 1) expensive.
+        let p = dijkstra_path(&topo, NodeId::new(0), NodeId::new(3), |l| {
+            if l.index() <= 1 {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new(3);
+        b.link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap();
+        let topo = b.build();
+        assert!(dijkstra_path(&topo, NodeId::new(0), NodeId::new(2), |_| 1.0).is_none());
+        assert!(dijkstra_path(&topo, NodeId::new(0), NodeId::new(9), |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn source_equals_destination_is_trivial() {
+        let topo = weighted_square();
+        let p = dijkstra_path(&topo, NodeId::new(1), NodeId::new(1), |_| 1.0).unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_panics() {
+        let topo = weighted_square();
+        let _ = dijkstra_path(&topo, NodeId::new(0), NodeId::new(3), |_| -1.0);
+    }
+}

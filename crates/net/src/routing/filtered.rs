@@ -1,0 +1,200 @@
+//! Shortest paths over the residual network — the GDI search primitive.
+
+use crate::{Bandwidth, LinkStateTable, NodeId, Path, Topology};
+use std::collections::VecDeque;
+
+/// Finds the shortest path from `src` to `dst` using only links whose
+/// available bandwidth is at least `demand`.
+///
+/// This is the core primitive of the paper's GDI baseline: with perfect
+/// global dynamic information, an admission succeeds exactly when some path
+/// of feasible links reaches some group member. Among feasible paths we
+/// return a shortest one (fewest hops, deterministic lowest-id tie-break) so
+/// GDI consumes the least bandwidth per admitted flow.
+///
+/// Returns `None` when no feasible path exists. The trivial path is returned
+/// when `src == dst`.
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `topo`.
+pub fn filtered_shortest_path(
+    topo: &Topology,
+    links: &LinkStateTable,
+    src: NodeId,
+    dst: NodeId,
+    demand: Bandwidth,
+) -> Option<Path> {
+    assert!(topo.contains_node(src), "source {src} not in topology");
+    if !topo.contains_node(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(Path::trivial(src));
+    }
+    let n = topo.node_count();
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &(v, link) in topo.neighbors(u) {
+            if seen[v.index()] || links.available(link) < demand {
+                continue;
+            }
+            seen[v.index()] = true;
+            parent[v.index()] = Some((u, link));
+            if v == dst {
+                let mut nodes = vec![dst];
+                let mut plinks = Vec::new();
+                let mut cur = dst;
+                while cur != src {
+                    let (prev, l) = parent[cur.index()].expect("reached nodes have parents");
+                    nodes.push(prev);
+                    plinks.push(l);
+                    cur = prev;
+                }
+                nodes.reverse();
+                plinks.reverse();
+                return Some(
+                    Path::new(topo, nodes, plinks).expect("BFS produces consistent paths"),
+                );
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bandwidth, LinkId, TopologyBuilder};
+
+    fn diamond() -> Topology {
+        // 0-1 (l0), 0-2 (l1), 1-3 (l2), 2-3 (l3)
+        let mut b = TopologyBuilder::new(4);
+        b.links_uniform(
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+            Bandwidth::from_mbps(100),
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn routes_around_saturated_link() {
+        let topo = diamond();
+        let mut state = LinkStateTable::from_topology(&topo);
+        // Kill the preferred upper route at link 0-1.
+        state
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(100))
+            .unwrap();
+        let p = filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(3),
+            Bandwidth::from_kbps(64),
+        )
+        .unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn no_feasible_path_is_none() {
+        let topo = diamond();
+        let mut state = LinkStateTable::from_topology(&topo);
+        // Node 3 cut off on both sides.
+        state
+            .reserve(LinkId::new(2), Bandwidth::from_mbps(100))
+            .unwrap();
+        state
+            .reserve(LinkId::new(3), Bandwidth::from_mbps(100))
+            .unwrap();
+        assert!(filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(3),
+            Bandwidth::from_kbps(64)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn exact_fit_is_feasible() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        let p = filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(1),
+            Bandwidth::from_mbps(100),
+        );
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn over_demand_is_infeasible() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        assert!(filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(1),
+            Bandwidth::from_mbps(101)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn same_node_is_trivial() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        let p = filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(2),
+            NodeId::new(2),
+            Bandwidth::from_mbps(1_000),
+        )
+        .unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn unknown_destination_is_none() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        assert!(filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(40),
+            Bandwidth::ZERO
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn prefers_shortest_feasible() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        let p = filtered_shortest_path(
+            &topo,
+            &state,
+            NodeId::new(0),
+            NodeId::new(3),
+            Bandwidth::from_kbps(64),
+        )
+        .unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+}

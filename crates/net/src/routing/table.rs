@@ -1,0 +1,194 @@
+//! Precomputed fixed routes from every source to every group member.
+
+use crate::routing::bfs_tree;
+use crate::{AnycastGroup, NodeId, Path, Topology};
+use std::collections::HashMap;
+
+/// The fixed-route table assumed by §3: for every `(source, member)` pair,
+/// one deterministic shortest path.
+///
+/// Route distances feed the `1/D_i` terms of the weighted selection
+/// algorithms; the paths themselves are what the reservation engine walks.
+///
+/// ```rust
+/// use anycast_net::{topologies, AnycastGroup, NodeId, RouteTable};
+///
+/// # fn main() -> Result<(), anycast_net::NetError> {
+/// let topo = topologies::mci();
+/// let group = AnycastGroup::new("A", [0u32, 4, 8, 12, 16].map(NodeId::new))?;
+/// let routes = RouteTable::shortest_paths(&topo, &group);
+/// let dists = routes.distances(NodeId::new(1));
+/// assert_eq!(dists.len(), group.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    group: AnycastGroup,
+    /// `routes[source][member_index]`
+    routes: HashMap<NodeId, Vec<Path>>,
+}
+
+impl RouteTable {
+    /// Builds shortest-path routes from *every* node of `topo` to every
+    /// member of `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some member is unreachable from some node — the paper
+    /// assumes a connected, fault-free network; partial tables for faulty
+    /// networks are built with [`RouteTable::try_shortest_paths`].
+    pub fn shortest_paths(topo: &Topology, group: &AnycastGroup) -> Self {
+        Self::try_shortest_paths(topo, group).expect(
+            "topology must be connected so every source reaches every group member; \
+             use try_shortest_paths for partial networks",
+        )
+    }
+
+    /// Builds shortest-path routes, returning `None` if any `(source,
+    /// member)` pair is disconnected.
+    pub fn try_shortest_paths(topo: &Topology, group: &AnycastGroup) -> Option<Self> {
+        let mut routes = HashMap::with_capacity(topo.node_count());
+        for src in topo.nodes() {
+            let tree = bfs_tree(topo, src);
+            let mut paths = Vec::with_capacity(group.len());
+            for &m in group.members() {
+                paths.push(tree.path_to(topo, m)?);
+            }
+            routes.insert(src, paths);
+        }
+        Some(RouteTable {
+            group: group.clone(),
+            routes,
+        })
+    }
+
+    /// The anycast group this table routes toward.
+    pub fn group(&self) -> &AnycastGroup {
+        &self.group
+    }
+
+    /// All routes from `source`, indexed by member index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` was not a node of the topology the table was
+    /// built from.
+    pub fn routes_from(&self, source: NodeId) -> &[Path] {
+        self.routes
+            .get(&source)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| panic!("no routes recorded for source {source}"))
+    }
+
+    /// The fixed route from `source` to a specific member node.
+    ///
+    /// Returns `None` when `member` is not in the group or `source` unknown.
+    pub fn route(&self, source: NodeId, member: NodeId) -> Option<&Path> {
+        let idx = self.group.member_index(member)?;
+        self.routes.get(&source).map(|paths| &paths[idx])
+    }
+
+    /// Hop distances `D_i` from `source` to every member, in member order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` was not a node of the topology.
+    pub fn distances(&self, source: NodeId) -> Vec<u32> {
+        self.routes_from(source)
+            .iter()
+            .map(|p| p.hops() as u32)
+            .collect()
+    }
+
+    /// Member index of the member with the shortest route from `source`
+    /// (the SP baseline's choice). Ties break toward the lower member index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` was not a node of the topology.
+    pub fn nearest_member(&self, source: NodeId) -> usize {
+        let paths = self.routes_from(source);
+        let mut best = 0;
+        for (i, p) in paths.iter().enumerate().skip(1) {
+            if p.hops() < paths[best].hops() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bandwidth, NetError, TopologyBuilder};
+
+    fn line5_group() -> (Topology, AnycastGroup) {
+        let mut b = TopologyBuilder::new(5);
+        b.links_uniform([(0, 1), (1, 2), (2, 3), (3, 4)], Bandwidth::from_mbps(1))
+            .unwrap();
+        let g = AnycastGroup::new("A", [NodeId::new(0), NodeId::new(4)]).unwrap();
+        (b.build(), g)
+    }
+
+    #[test]
+    fn distances_in_member_order() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        assert_eq!(table.distances(NodeId::new(1)), vec![1, 3]);
+        assert_eq!(table.distances(NodeId::new(4)), vec![4, 0]);
+    }
+
+    #[test]
+    fn nearest_member_matches_distances() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        assert_eq!(table.nearest_member(NodeId::new(1)), 0);
+        assert_eq!(table.nearest_member(NodeId::new(3)), 1);
+        // Equidistant: tie toward lower member index.
+        assert_eq!(table.nearest_member(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn route_lookup_by_member_node() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        let p = table.route(NodeId::new(2), NodeId::new(4)).unwrap();
+        assert_eq!(p.destination(), NodeId::new(4));
+        assert_eq!(p.hops(), 2);
+        assert!(table.route(NodeId::new(2), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn group_accessor() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        assert_eq!(table.group(), &g);
+    }
+
+    #[test]
+    fn member_as_source_has_trivial_route() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        assert!(table.route(NodeId::new(0), NodeId::new(0)).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn disconnected_topology_yields_none() {
+        let mut b = TopologyBuilder::new(3);
+        b.link(NodeId::new(0), NodeId::new(1), Bandwidth::ZERO)
+            .unwrap();
+        let topo = b.build();
+        let g = AnycastGroup::new("A", [NodeId::new(2)]).unwrap();
+        assert!(RouteTable::try_shortest_paths(&topo, &g).is_none());
+    }
+
+    #[test]
+    fn empty_group_is_impossible() {
+        assert_eq!(
+            AnycastGroup::new("A", std::iter::empty()).unwrap_err(),
+            NetError::EmptyGroup
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Maximum-bottleneck ("widest") paths over the residual network.
+
+use crate::{Bandwidth, LinkStateTable, NodeId, Path, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Finds a path from `src` to `dst` maximising the minimum available
+/// bandwidth along the path (the *route bandwidth* `B_i` of eq. 11).
+///
+/// Among equally wide paths the search prefers fewer hops, then lower node
+/// ids, so results are deterministic. This is not used by the paper's own
+/// systems (which keep fixed routes) but serves the ablation benches and
+/// examples exploring how much headroom dynamic routing would add beyond
+/// GDI's feasibility search.
+///
+/// Returns `None` when `dst` is unreachable; the trivial path (with
+/// unbounded width) when `src == dst`.
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `topo`.
+pub fn widest_path(
+    topo: &Topology,
+    links: &LinkStateTable,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<(Path, Bandwidth)> {
+    assert!(topo.contains_node(src), "source {src} not in topology");
+    if !topo.contains_node(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some((Path::trivial(src), Bandwidth::from_bps(u64::MAX)));
+    }
+    let n = topo.node_count();
+    // (width, neg hops) lexicographic maximisation via BinaryHeap of
+    // (width, Reverse(hops), Reverse(node), node).
+    let mut best_width = vec![Bandwidth::ZERO; n];
+    let mut best_hops = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    best_width[src.index()] = Bandwidth::from_bps(u64::MAX);
+    best_hops[src.index()] = 0;
+    heap.push((Bandwidth::from_bps(u64::MAX), Reverse(0u32), Reverse(src)));
+    while let Some((width, Reverse(hops), Reverse(u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == dst {
+            break;
+        }
+        for &(v, link) in topo.neighbors(u) {
+            if done[v.index()] {
+                continue;
+            }
+            let w = width.min(links.available(link));
+            let h = hops + 1;
+            if w > best_width[v.index()]
+                || (w == best_width[v.index()] && h < best_hops[v.index()])
+            {
+                best_width[v.index()] = w;
+                best_hops[v.index()] = h;
+                parent[v.index()] = Some((u, link));
+                heap.push((w, Reverse(h), Reverse(v)));
+            }
+        }
+    }
+    if best_width[dst.index()].is_zero() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut plinks = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (prev, l) = parent[cur.index()]?;
+        nodes.push(prev);
+        plinks.push(l);
+        cur = prev;
+    }
+    nodes.reverse();
+    plinks.reverse();
+    let path = Path::new(topo, nodes, plinks).expect("widest search produces consistent paths");
+    Some((path, best_width[dst.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkId, TopologyBuilder};
+
+    fn diamond() -> Topology {
+        // 0-1 (l0), 0-2 (l1), 1-3 (l2), 2-3 (l3)
+        let mut b = TopologyBuilder::new(4);
+        b.links_uniform(
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+            Bandwidth::from_mbps(100),
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn picks_wider_route() {
+        let topo = diamond();
+        let mut state = LinkStateTable::from_topology(&topo);
+        // Narrow the upper route to 10 Mb/s.
+        state
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(90))
+            .unwrap();
+        let (p, width) = widest_path(&topo, &state, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(
+            p.nodes(),
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
+        );
+        assert_eq!(width, Bandwidth::from_mbps(100));
+    }
+
+    #[test]
+    fn width_is_bottleneck() {
+        let topo = diamond();
+        let mut state = LinkStateTable::from_topology(&topo);
+        state
+            .reserve(LinkId::new(1), Bandwidth::from_mbps(40))
+            .unwrap();
+        state
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(70))
+            .unwrap();
+        let (_, width) = widest_path(&topo, &state, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(width, Bandwidth::from_mbps(60));
+    }
+
+    #[test]
+    fn equal_width_prefers_fewer_hops() {
+        // 0-1-2 (two hops) vs 0-2 (one hop), equal capacities.
+        let mut b = TopologyBuilder::new(3);
+        b.links_uniform([(0, 1), (1, 2), (0, 2)], Bandwidth::from_mbps(50))
+            .unwrap();
+        let topo = b.build();
+        let state = LinkStateTable::from_topology(&topo);
+        let (p, width) = widest_path(&topo, &state, NodeId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(p.hops(), 1);
+        assert_eq!(width, Bandwidth::from_mbps(50));
+    }
+
+    #[test]
+    fn fully_saturated_is_none() {
+        let topo = diamond();
+        let mut state = LinkStateTable::from_topology(&topo);
+        for l in 0..4 {
+            state
+                .reserve(LinkId::new(l), Bandwidth::from_mbps(100))
+                .unwrap();
+        }
+        assert!(widest_path(&topo, &state, NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn trivial_path_unbounded() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        let (p, w) = widest_path(&topo, &state, NodeId::new(1), NodeId::new(1)).unwrap();
+        assert!(p.is_trivial());
+        assert_eq!(w, Bandwidth::from_bps(u64::MAX));
+    }
+
+    #[test]
+    fn unknown_destination_is_none() {
+        let topo = diamond();
+        let state = LinkStateTable::from_topology(&topo);
+        assert!(widest_path(&topo, &state, NodeId::new(0), NodeId::new(9)).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! Ready-made topologies: the paper's MCI backbone plus synthetic families.
+//!
+//! The headline experiments run on [`mci`], a 19-node reconstruction of the
+//! MCI ISP backbone of the paper's Figure 2 (see `DESIGN.md` §2 for the
+//! substitution note — the figure image is not part of the source text, so
+//! the adjacency is reconstructed with the same size, density and diameter).
+//!
+//! The synthetic families ([`grid`], [`ring`], [`star`], [`waxman`]) drive
+//! the topology-robustness ablation: the paper's qualitative conclusions
+//! should not depend on the particular backbone.
+
+mod mci;
+mod synthetic;
+
+pub use mci::{
+    mci, mci_source_nodes, mci_with_capacity, MCI_GROUP_MEMBERS, MCI_LINKS, MCI_NODES, MCI_SOURCES,
+};
+pub use synthetic::{grid, ring, star, waxman};

@@ -1,0 +1,211 @@
+//! Synthetic topology families for robustness ablations.
+
+use crate::{Bandwidth, NodeId, Topology, TopologyBuilder};
+
+/// Builds a `width × height` grid (mesh) topology.
+///
+/// Node `(x, y)` has id `y * width + x`; horizontal and vertical neighbours
+/// are linked. Grids stress the admission algorithms with many equal-length
+/// route alternatives.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(width: usize, height: usize, capacity: Bandwidth) -> Topology {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let mut b = TopologyBuilder::new(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let id = (y * width + x) as u32;
+            if x + 1 < width {
+                b.link(NodeId::new(id), NodeId::new(id + 1), capacity)
+                    .expect("grid links valid");
+            }
+            if y + 1 < height {
+                b.link(NodeId::new(id), NodeId::new(id + width as u32), capacity)
+                    .expect("grid links valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds a ring of `n ≥ 3` nodes.
+///
+/// Rings are the adversarial case for admission control: exactly two routes
+/// exist between any pair, so congestion cannot be routed around.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, capacity: Bandwidth) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut b = TopologyBuilder::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.link(NodeId::new(i as u32), NodeId::new(j as u32), capacity)
+            .expect("ring links valid");
+    }
+    b.build()
+}
+
+/// Builds a star: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// Stars model the degenerate centralised case — every route crosses the
+/// hub, so the destination-selection algorithms cannot spread load.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize, capacity: Bandwidth) -> Topology {
+    assert!(n >= 2, "a star needs a hub and at least one leaf");
+    let mut b = TopologyBuilder::new(n);
+    for i in 1..n {
+        b.link(NodeId::new(0), NodeId::new(i as u32), capacity)
+            .expect("star links valid");
+    }
+    b.build()
+}
+
+/// Builds a connected Waxman random graph over `n` nodes.
+///
+/// Nodes are placed uniformly in the unit square by a deterministic
+/// splitmix-style generator seeded with `seed`; each pair is linked with the
+/// Waxman probability `α · exp(−d / (β · √2))` where `d` is Euclidean
+/// distance. A spanning chain in placement order is added first so the
+/// result is always connected, mimicking real ISP growth.
+///
+/// Typical parameters: `alpha = 0.4`, `beta = 0.3`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the parameters are not in `(0, 1]`.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64, capacity: Bandwidth) -> Topology {
+    assert!(n >= 2, "waxman needs at least 2 nodes");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0,
+        "waxman parameters must be in (0, 1]"
+    );
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next_f64 = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (next_f64(), next_f64())).collect();
+    let mut b = TopologyBuilder::new(n);
+    // Spanning chain for guaranteed connectivity.
+    for i in 0..n - 1 {
+        b.link(NodeId::new(i as u32), NodeId::new(i as u32 + 1), capacity)
+            .expect("chain links valid");
+    }
+    let max_d = std::f64::consts::SQRT_2;
+    for i in 0..n {
+        for j in i + 1..n {
+            if j == i + 1 {
+                continue; // already chained
+            }
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = alpha * (-d / (beta * max_d)).exp();
+            if next_f64() < p {
+                b.link(NodeId::new(i as u32), NodeId::new(j as u32), capacity)
+                    .expect("waxman links valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::shortest_path;
+
+    const CAP: Bandwidth = Bandwidth::from_mbps(100);
+
+    #[test]
+    fn grid_structure() {
+        let t = grid(4, 3, CAP);
+        assert_eq!(t.node_count(), 12);
+        // Links: horizontal 3*3 + vertical 4*2 = 17.
+        assert_eq!(t.link_count(), 17);
+        assert!(t.is_connected());
+        // Corner degree 2, inner degree 4.
+        assert_eq!(t.degree(NodeId::new(0)), 2);
+        assert_eq!(t.degree(NodeId::new(5)), 4);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let t = grid(5, 5, CAP);
+        let p = shortest_path(&t, NodeId::new(0), NodeId::new(24)).unwrap();
+        assert_eq!(p.hops(), 8);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(6, CAP);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 6);
+        assert!(t.is_connected());
+        assert!(t.nodes().all(|n| t.degree(n) == 2));
+        // Opposite nodes are n/2 apart.
+        let p = shortest_path(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star(7, CAP);
+        assert_eq!(t.link_count(), 6);
+        assert_eq!(t.degree(NodeId::new(0)), 6);
+        assert!(t.nodes().skip(1).all(|n| t.degree(n) == 1));
+        let p = shortest_path(&t, NodeId::new(1), NodeId::new(6)).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let a = waxman(20, 0.4, 0.3, 42, CAP);
+        let b = waxman(20, 0.4, 0.3, 42, CAP);
+        assert!(a.is_connected());
+        assert_eq!(a.link_count(), b.link_count());
+        let la: Vec<_> = a.links().map(|l| (l.a(), l.b())).collect();
+        let lb: Vec<_> = b.links().map(|l| (l.a(), l.b())).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn waxman_seeds_differ() {
+        let a = waxman(20, 0.4, 0.3, 1, CAP);
+        let b = waxman(20, 0.4, 0.3, 2, CAP);
+        let la: Vec<_> = a.links().map(|l| (l.a(), l.b())).collect();
+        let lb: Vec<_> = b.links().map(|l| (l.a(), l.b())).collect();
+        assert_ne!(la, lb, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn waxman_density_grows_with_alpha() {
+        let sparse = waxman(30, 0.1, 0.3, 7, CAP);
+        let dense = waxman(30, 0.9, 0.9, 7, CAP);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = ring(2, CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn empty_grid_panics() {
+        let _ = grid(0, 3, CAP);
+    }
+}

@@ -1,0 +1,535 @@
+//! Output statistics: counters, running moments, time averages and the
+//! admission-probability estimator used by every experiment.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Running mean and variance via Welford's online algorithm.
+///
+/// ```rust
+/// use anycast_sim::stats::MeanVar;
+/// let mut m = MeanVar::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.record(x);
+/// }
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence half-width (`1.96 · SE`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// active flows or the reserved bandwidth of a link over simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator starting at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_time: t0,
+            last_value: v0,
+            integral: 0.0,
+            started: true,
+            start_time: t0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous update.
+    pub fn update(&mut self, t: SimTime, value: f64) {
+        let dt = t.since(self.last_time).as_secs();
+        self.integral += self.last_value * dt;
+        self.last_time = t;
+        self.last_value = value;
+    }
+
+    /// The time average over `[t0, t]`, closing the last segment at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous update.
+    pub fn average_until(&self, t: SimTime) -> f64 {
+        let span = t.since(self.start_time).as_secs();
+        if span == 0.0 {
+            return self.last_value;
+        }
+        let tail = t.since(self.last_time).as_secs();
+        (self.integral + self.last_value * tail) / span
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Outcome counters for one admission-control run: the estimator behind
+/// *Admission Probability* (Figures 3–6) and *average number of retrials*
+/// (Figure 7).
+///
+/// Requests arriving before the warm-up cutoff are counted separately and
+/// excluded from the reported statistics, removing initial-transient bias.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    warmup_end: SimTime,
+    warmup_requests: u64,
+    offered: u64,
+    admitted: u64,
+    tries: MeanVar,
+    tries_admitted: MeanVar,
+    tries_rejected: MeanVar,
+    tries_hist: Histogram,
+}
+
+impl AdmissionStats {
+    /// Creates an estimator that ignores requests before `warmup_end`.
+    pub fn new(warmup_end: SimTime) -> Self {
+        AdmissionStats {
+            warmup_end,
+            warmup_requests: 0,
+            offered: 0,
+            admitted: 0,
+            tries: MeanVar::new(),
+            tries_admitted: MeanVar::new(),
+            tries_rejected: MeanVar::new(),
+            tries_hist: Histogram::new(),
+        }
+    }
+
+    /// Records the outcome of one flow request: whether it was admitted and
+    /// how many destinations were tried (≥ 1 whenever a selection happened).
+    pub fn record(&mut self, at: SimTime, admitted: bool, tries: u32) {
+        if at < self.warmup_end {
+            self.warmup_requests += 1;
+            return;
+        }
+        self.offered += 1;
+        if admitted {
+            self.admitted += 1;
+            self.tries_admitted.record(tries as f64);
+        } else {
+            self.tries_rejected.record(tries as f64);
+        }
+        self.tries.record(tries as f64);
+        self.tries_hist.record(tries);
+    }
+
+    /// Requests observed after warm-up.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Requests admitted after warm-up.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests rejected after warm-up.
+    pub fn rejected(&self) -> u64 {
+        self.offered - self.admitted
+    }
+
+    /// Requests discarded as warm-up transient.
+    pub fn warmup_requests(&self) -> u64 {
+        self.warmup_requests
+    }
+
+    /// The admission probability estimate `admitted / offered`
+    /// (1.0 when nothing was offered, matching the paper's low-load limit).
+    pub fn admission_probability(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / self.offered as f64
+        }
+    }
+
+    /// Normal-approximation 95% half-width for the admission probability
+    /// (binomial proportion).
+    pub fn ap_ci95_half_width(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        let p = self.admission_probability();
+        1.96 * (p * (1.0 - p) / self.offered as f64).sqrt()
+    }
+
+    /// Mean number of destinations tried per request (Figure 7's metric).
+    pub fn mean_tries(&self) -> f64 {
+        self.tries.mean()
+    }
+
+    /// Mean number of *re*-trials per request: tries beyond the first.
+    pub fn mean_retrials(&self) -> f64 {
+        if self.tries.count() == 0 {
+            0.0
+        } else {
+            (self.tries.mean() - 1.0).max(0.0)
+        }
+    }
+
+    /// Mean tries among admitted requests only.
+    pub fn mean_tries_admitted(&self) -> f64 {
+        self.tries_admitted.mean()
+    }
+
+    /// Mean tries among rejected requests only.
+    pub fn mean_tries_rejected(&self) -> f64 {
+        self.tries_rejected.mean()
+    }
+
+    /// Distribution of tries per request (index = number of tries).
+    pub fn tries_histogram(&self) -> &Histogram {
+        &self.tries_hist
+    }
+}
+
+/// A dense histogram over small non-negative integers (e.g. tries per
+/// request, which is bounded by the group size).
+///
+/// ```rust
+/// use anycast_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1, 1, 2, 1, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(1), 3);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.quantile(0.5), Some(1));
+/// assert_eq!(h.quantile(1.0), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u32) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations equal to `value`.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw bucket counts, index = value.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The smallest value `v` with `P(X ≤ v) ≥ q`; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must lie in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let threshold = (q * self.total as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= threshold {
+                return Some(v as u32);
+            }
+        }
+        Some(self.counts.len() as u32 - 1)
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Batch-means estimator: groups a stream of observations into fixed-size
+/// batches so that batch averages are approximately independent, giving an
+/// honest confidence interval for autocorrelated simulation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batches: MeanVar,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: MeanVar::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.record(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Mean over completed batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// 95% half-width over completed batch means.
+    pub fn ci95_half_width(&self) -> f64 {
+        self.batches.ci95_half_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meanvar_single_and_empty() {
+        let mut m = MeanVar::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.std_err(), 0.0);
+        m.record(3.5);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn meanvar_matches_closed_form() {
+        let mut m = MeanVar::new();
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for x in data {
+            m.record(x);
+        }
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+        assert!((m.variance() - 2.5).abs() < 1e-12);
+        assert!((m.std_dev() - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((m.std_err() - (2.5f64 / 5.0).sqrt()).abs() < 1e-12);
+        assert!((m.ci95_half_width() - 1.96 * (0.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(10.0), 2.0); // 0 for 10s
+        tw.update(SimTime::from_secs(20.0), 4.0); // 2 for 10s
+        let avg = tw.average_until(SimTime::from_secs(30.0)); // 4 for 10s
+        assert!((avg - 2.0).abs() < 1e-12); // (0+20+40)/30
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5.0), 7.0);
+        assert_eq!(tw.average_until(SimTime::from_secs(5.0)), 7.0);
+    }
+
+    #[test]
+    fn admission_stats_warmup_excluded() {
+        let mut s = AdmissionStats::new(SimTime::from_secs(100.0));
+        s.record(SimTime::from_secs(50.0), false, 2); // warm-up
+        s.record(SimTime::from_secs(150.0), true, 1);
+        s.record(SimTime::from_secs(160.0), true, 2);
+        s.record(SimTime::from_secs(170.0), false, 2);
+        assert_eq!(s.warmup_requests(), 1);
+        assert_eq!(s.offered(), 3);
+        assert_eq!(s.admitted(), 2);
+        assert_eq!(s.rejected(), 1);
+        assert!((s.admission_probability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_tries() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_retrials() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_tries_admitted() - 1.5).abs() < 1e-12);
+        assert!((s.mean_tries_rejected() - 2.0).abs() < 1e-12);
+        assert!(s.ap_ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn admission_stats_empty_is_unity() {
+        let s = AdmissionStats::new(SimTime::ZERO);
+        assert_eq!(s.admission_probability(), 1.0);
+        assert_eq!(s.ap_ci95_half_width(), 0.0);
+        assert_eq!(s.mean_retrials(), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u32, 2, 1, 1, 5, 2] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.83), Some(2));
+        assert_eq!(h.quantile(1.0), Some(5));
+        assert!((h.mean() - 12.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.buckets(), &[0, 3, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_empty_and_merge() {
+        let mut a = Histogram::new();
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.mean(), 0.0);
+        a.record(0);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie in (0, 1]")]
+    fn histogram_bad_quantile_panics() {
+        let h = Histogram::new();
+        let _ = h.quantile(0.0);
+    }
+
+    #[test]
+    fn batch_means_groups_correctly() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..95 {
+            b.record(i as f64);
+        }
+        assert_eq!(b.batch_count(), 9); // last 5 observations pending
+        // Batch means are 4.5, 14.5, ..., 84.5, averaging 44.5.
+        assert!((b.mean() - 44.5).abs() < 1e-12);
+        assert!(b.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Capacity planning with the analytical model — no simulation required.
+//!
+//! Appendix A's fixed point answers "what admission probability will this
+//! network deliver at rate λ?" in microseconds, which makes it a planning
+//! tool: sweep λ, invert for the maximum sustainable rate at a target AP,
+//! and compare provisioning options (bigger anycast partition vs more
+//! group members) before touching a simulator.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use anycast::analysis::planning::sustainable_rate;
+use anycast::prelude::*;
+
+/// Largest λ with predicted AP ≥ `target` (the library's bisection).
+fn max_rate_for_target(
+    topo: &Topology,
+    spec_at: impl Fn(f64) -> ScenarioSpec,
+    target: f64,
+) -> f64 {
+    sustainable_rate(
+        topo,
+        spec_at,
+        AnalyzedSystem::Ed1,
+        BlockingModel::ErlangB,
+        target,
+        500.0,
+    )
+}
+
+fn main() {
+    let topo = topologies::mci();
+
+    println!("Predicted admission probability on the MCI backbone (<ED,1>):");
+    println!("{:>8} {:>12} {:>12}", "lambda", "Erlang-B", "UAA");
+    for lambda in [5.0, 15.0, 25.0, 35.0, 45.0] {
+        let scenario = build_paper_scenario(&topo, lambda, AnalyzedSystem::Ed1);
+        let erl = predict_ap(&scenario, BlockingModel::ErlangB);
+        let uaa = predict_ap(&scenario, BlockingModel::Uaa);
+        println!(
+            "{:>8.1} {:>12.6} {:>12.6}",
+            lambda, erl.admission_probability, uaa.admission_probability
+        );
+    }
+
+    // Invert: what rate keeps AP at three nines of the target levels?
+    println!();
+    for target in [0.99, 0.95, 0.90] {
+        let max_rate = max_rate_for_target(
+            &topo,
+            ScenarioSpec::paper_defaults,
+            target,
+        );
+        println!("max sustainable rate for AP >= {target:.2}: {max_rate:.2} flows/s");
+    }
+
+    // Provisioning comparison: double the anycast partition vs double the
+    // group size (members at every even router).
+    println!();
+    let base = max_rate_for_target(&topo, ScenarioSpec::paper_defaults, 0.95);
+    let double_partition = max_rate_for_target(
+        &topo,
+        |l| {
+            let mut s = ScenarioSpec::paper_defaults(l);
+            s.anycast_fraction = 0.4;
+            s
+        },
+        0.95,
+    );
+    let bigger_group = max_rate_for_target(
+        &topo,
+        |l| {
+            let mut s = ScenarioSpec::paper_defaults(l);
+            s.group_members = (0..19).filter(|n| n % 2 == 0).map(NodeId::new).collect();
+            s
+        },
+        0.95,
+    );
+    println!("capacity at AP >= 0.95:");
+    println!("  paper setup (20% partition, K = 5):   {base:.1} flows/s");
+    println!("  40% partition, K = 5:                 {double_partition:.1} flows/s ({:.2}x)", double_partition / base);
+    println!("  20% partition, K = 10 (even routers): {bigger_group:.1} flows/s ({:.2}x)", bigger_group / base);
+
+    // Show which links the model says saturate first at the base capacity.
+    println!();
+    let scenario = build_paper_scenario(&topo, base, AnalyzedSystem::Ed1);
+    let p = predict_ap(&scenario, BlockingModel::ErlangB);
+    let mut hot: Vec<(usize, f64)> = p.link_blocking.iter().copied().enumerate().collect();
+    hot.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("hottest links at {base:.1} flows/s (blocking probability):");
+    for (l, b) in hot.iter().take(5) {
+        let link = topo.link(LinkId::new(*l as u32)).expect("link exists");
+        println!("  {} ({}-{}): {:.4}", link.id(), link.a(), link.b(), b);
+    }
+}

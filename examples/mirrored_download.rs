@@ -1,0 +1,106 @@
+//! Mirrored-server downloads — the paper's §1 motivating application.
+//!
+//! An e-commerce provider mirrors its download service behind one anycast
+//! address. Clients open QoS-protected flows (say, 256 kb/s paid download
+//! streams) toward the group; the network must pick a mirror per flow.
+//! This example drives the admission controllers directly — without the
+//! closed-loop experiment harness — to show the raw API: fixed routes,
+//! per-source controllers, weighted selection, reservation and teardown,
+//! and how the WD/D+H history steers traffic when one mirror's
+//! neighbourhood congests.
+//!
+//! Run with: `cargo run --release --example mirrored_download`
+
+use anycast::prelude::*;
+
+fn main() {
+    let topo = topologies::mci();
+    let group = AnycastGroup::new(
+        "downloads.example.com",
+        topologies::MCI_GROUP_MEMBERS.map(NodeId::new),
+    )
+    .expect("static group is non-empty");
+    let routes = RouteTable::shortest_paths(&topo, &group);
+    let mut links = LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
+    let mut rsvp = ReservationEngine::new();
+    let mut rng = SimRng::seed_from(2024);
+
+    // One AC-router per client point-of-presence. Each keeps its own
+    // local admission history (the "cheap" dynamic signal of §4.3.2).
+    let client = NodeId::new(9);
+    let mut controller = AdmissionController::new(
+        PolicySpec::wd_dh_default().build().expect("valid policy"),
+        RetrialPolicy::FixedLimit(2),
+        routes.distances(client),
+    );
+
+    let demand = Bandwidth::from_kbps(64);
+    let mirror_names: Vec<String> = group.members().iter().map(|m| m.to_string()).collect();
+    println!("client at {client}, mirrors at {}", mirror_names.join(", "));
+    println!("initial weights: {:?}\n", rounded(&controller.current_weights(routes.routes_from(client), &links)));
+
+    // Phase 1: a burst of downloads on an idle network. Each download
+    // holds its reservation (sessions pile up, as in a busy hour).
+    let mut sessions = Vec::new();
+    let mut admitted = 0;
+    for _ in 0..100 {
+        let outcome = controller.admit(routes.routes_from(client), &mut links, &mut rsvp, demand, &mut rng);
+        if let Some(flow) = outcome.admitted {
+            admitted += 1;
+            sessions.push(flow.session);
+        }
+    }
+    println!("phase 1 (idle network): {admitted}/100 downloads admitted");
+    println!("signaling so far: {}", rsvp.ledger());
+
+    // Phase 2: a flash crowd elsewhere congests the nearest mirror's
+    // *own* access route; watch the controller adapt.
+    let nearest = routes.nearest_member(client);
+    let nearest_node = group.members()[nearest];
+    let dead_route = &routes.routes_from(client)[nearest];
+    let bottleneck = *dead_route.links().last().expect("nearest member is remote");
+    let avail = links.available(bottleneck);
+    if !avail.is_zero() {
+        links.reserve(bottleneck, avail).expect("saturating a live link");
+    }
+    println!("\nsaturated {bottleneck}, the access link of mirror {nearest_node} (member #{nearest})");
+
+    let mut admitted2 = 0;
+    let mut to_nearest = 0;
+    for _ in 0..200 {
+        let outcome = controller.admit(routes.routes_from(client), &mut links, &mut rsvp, demand, &mut rng);
+        if let Some(flow) = outcome.admitted {
+            admitted2 += 1;
+            if flow.member_index == nearest {
+                to_nearest += 1;
+            }
+            sessions.push(flow.session);
+        }
+    }
+    let weights = controller.current_weights(routes.routes_from(client), &links);
+    println!("phase 2 (congested nearest mirror): {admitted2}/200 admitted, {to_nearest} to the dead mirror");
+    println!("history h_i = {:?}", controller.history().entries());
+    println!("adapted weights: {:?}", rounded(&weights));
+    assert_eq!(to_nearest, 0, "the dead mirror cannot admit");
+    assert!(
+        admitted2 > 150,
+        "surviving mirrors must carry the load, got {admitted2}"
+    );
+    assert!(
+        weights[nearest] < 1.0 / group.len() as f64,
+        "history must demote the congested mirror: {weights:?}"
+    );
+
+    // Phase 3: downloads finish; every reservation is returned.
+    for s in sessions {
+        rsvp.teardown(&mut links, s).expect("sessions are live");
+    }
+    println!("\nall downloads finished; residual reserved bandwidth on client-side routes:");
+    for (i, path) in routes.routes_from(client).iter().enumerate() {
+        println!("  to member #{i} ({} hops): bottleneck {}", path.hops(), links.min_available_on(path));
+    }
+}
+
+fn rounded(w: &[f64]) -> Vec<f64> {
+    w.iter().map(|x| (x * 1_000.0).round() / 1_000.0).collect()
+}

@@ -1,0 +1,80 @@
+//! A realistic multi-service backbone — every extension at once.
+//!
+//! Three anycast services with different replication degrees share the
+//! anycast partition; traffic is bursty (MMPP-2) rather than Poisson; and
+//! the operator compares the paper's single-path DAC against the
+//! multipath variant to decide whether routing diversity is worth
+//! deploying.
+//!
+//! Run with: `cargo run --release --example multi_service`
+
+use anycast::prelude::*;
+
+fn services() -> Vec<GroupSpec> {
+    vec![
+        // CDN: five replicas, half of all traffic.
+        GroupSpec {
+            members: [0u32, 4, 8, 12, 16].map(NodeId::new).to_vec(),
+            share: 2.0,
+        },
+        // Payments: two sites.
+        GroupSpec {
+            members: [2u32, 14].map(NodeId::new).to_vec(),
+            share: 1.0,
+        },
+        // Legacy mainframe: one site (unicast in anycast clothing).
+        GroupSpec {
+            members: [10u32].map(NodeId::new).to_vec(),
+            share: 1.0,
+        },
+    ]
+}
+
+fn main() {
+    let topo = topologies::mci();
+    let lambda = 35.0;
+    let arrivals = ArrivalProcess::Bursty {
+        burstiness: 1.6,
+        mean_sojourn_secs: 60.0,
+    };
+
+    println!("three services on the MCI backbone, bursty arrivals, lambda = {lambda}");
+    println!();
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "system", "overall", "CDN K=5", "pay K=2", "legacy", "msgs/req"
+    );
+
+    for system in [
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2),
+        SystemSpec::ShortestPath,
+        SystemSpec::GlobalDynamic,
+    ] {
+        let config = ExperimentConfig::paper_defaults(lambda, system)
+            .with_groups(services())
+            .with_arrivals(arrivals)
+            .with_warmup_secs(900.0)
+            .with_measure_secs(2_400.0)
+            .with_seed(2001);
+        let m = run_experiment(&topo, &config);
+        println!(
+            "{:<22} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10.2}",
+            m.label,
+            m.admission_probability,
+            m.per_group_ap[0],
+            m.per_group_ap[1],
+            m.per_group_ap[2],
+            m.messages_per_request,
+        );
+    }
+
+    println!();
+    println!("Replication degree dominates: the K=5 CDN rides out bursts the");
+    println!("single-site service cannot, whatever the admission algorithm.");
+    println!();
+    println!("Note how GDI loses its crown here: it is a per-request oracle, not");
+    println!("an optimal online policy — greedily admitting every feasible flow");
+    println!("onto long detours consumes bandwidth future requests needed. The");
+    println!("paper's single-service experiments never stress that distinction.");
+}

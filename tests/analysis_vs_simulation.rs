@@ -1,0 +1,126 @@
+//! Cross-validation of Appendix A: the analytical fixed point and the
+//! discrete-event simulation must agree, exactly as the paper's Tables 1
+//! and 2 demonstrate ("the values ... obtained by both mathematical
+//! analysis and computer simulation are almost identical").
+
+use anycast::prelude::*;
+
+fn simulate(lambda: f64, system: SystemSpec) -> f64 {
+    let topo = topologies::mci();
+    let seeds = [5u64, 6, 7];
+    let total: f64 = seeds
+        .iter()
+        .map(|&s| {
+            run_experiment(
+                &topo,
+                &ExperimentConfig::paper_defaults(lambda, system)
+                    .with_warmup_secs(900.0)
+                    .with_measure_secs(1_800.0)
+                    .with_seed(s),
+            )
+            .admission_probability
+        })
+        .sum();
+    total / seeds.len() as f64
+}
+
+/// Table 1: `<ED,1>` analysis vs simulation at the paper's rates.
+#[test]
+fn table1_ed1_agreement() {
+    let topo = topologies::mci();
+    for (lambda, tol) in [(20.0, 0.02), (35.0, 0.02), (50.0, 0.02)] {
+        let analytic = predict_ap(
+            &build_paper_scenario(&topo, lambda, AnalyzedSystem::Ed1),
+            BlockingModel::ErlangB,
+        )
+        .admission_probability;
+        let simulated = simulate(lambda, SystemSpec::dac(PolicySpec::Ed, 1));
+        assert!(
+            (analytic - simulated).abs() < tol,
+            "λ={lambda}: analysis {analytic} vs simulation {simulated}"
+        );
+    }
+}
+
+/// Table 2: `SP` analysis vs simulation at the paper's rates.
+#[test]
+fn table2_sp_agreement() {
+    let topo = topologies::mci();
+    for (lambda, tol) in [(20.0, 0.02), (35.0, 0.02), (50.0, 0.02)] {
+        let analytic = predict_ap(
+            &build_paper_scenario(&topo, lambda, AnalyzedSystem::Sp),
+            BlockingModel::ErlangB,
+        )
+        .admission_probability;
+        let simulated = simulate(lambda, SystemSpec::ShortestPath);
+        assert!(
+            (analytic - simulated).abs() < tol,
+            "λ={lambda}: analysis {analytic} vs simulation {simulated}"
+        );
+    }
+}
+
+/// The calibrated MCI reconstruction reproduces the paper's published
+/// Table 1/2 values analytically (see DESIGN.md §2).
+#[test]
+fn published_table_values_reproduced() {
+    let topo = topologies::mci();
+    let table1 = [(5.0, 1.0), (20.0, 0.833933), (35.0, 0.584068), (50.0, 0.435654)];
+    for (lambda, paper) in table1 {
+        let got = predict_ap(
+            &build_paper_scenario(&topo, lambda, AnalyzedSystem::Ed1),
+            BlockingModel::ErlangB,
+        )
+        .admission_probability;
+        assert!(
+            (got - paper).abs() < 2e-3,
+            "Table 1 λ={lambda}: got {got}, paper {paper}"
+        );
+    }
+    let table2 = [(5.0, 1.0), (20.0, 0.771044), (35.0, 0.444341), (50.0, 0.311417)];
+    for (lambda, paper) in table2 {
+        let got = predict_ap(
+            &build_paper_scenario(&topo, lambda, AnalyzedSystem::Sp),
+            BlockingModel::ErlangB,
+        )
+        .admission_probability;
+        assert!(
+            (got - paper).abs() < 2e-3,
+            "Table 2 λ={lambda}: got {got}, paper {paper}"
+        );
+    }
+}
+
+/// The two link-blocking models (exact Erlang-B and the paper's UAA)
+/// agree through the full network fixed point.
+#[test]
+fn uaa_tracks_erlang_through_fixed_point() {
+    let topo = topologies::mci();
+    for system in [AnalyzedSystem::Ed1, AnalyzedSystem::Sp] {
+        for lambda in [10.0, 25.0, 40.0] {
+            let scenario = build_paper_scenario(&topo, lambda, system);
+            let erl = predict_ap(&scenario, BlockingModel::ErlangB).admission_probability;
+            let uaa = predict_ap(&scenario, BlockingModel::Uaa).admission_probability;
+            assert!(
+                (erl - uaa).abs() < 5e-3,
+                "{system:?} λ={lambda}: Erlang {erl} vs UAA {uaa}"
+            );
+        }
+    }
+}
+
+/// The `<ED,R>` analytical extension tracks simulation for R = 2.
+#[test]
+fn ed_r_extension_tracks_simulation() {
+    let topo = topologies::mci();
+    let spec = ScenarioSpec::paper_defaults(35.0);
+    let (analytic, _) =
+        anycast::analysis::scenario::approx_ap_ed_r(&topo, &spec, 2, BlockingModel::ErlangB);
+    let simulated = simulate(35.0, SystemSpec::dac(PolicySpec::Ed, 2));
+    // The extension ignores retry-induced load shift, so allow a wider
+    // band than the R = 1 agreement.
+    assert!(
+        (analytic - simulated).abs() < 0.06,
+        "analysis {analytic} vs simulation {simulated}"
+    );
+}
