@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# Usage: ./ci.sh
+#
+# Runs offline — all external dependencies are vendored under vendor/.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -172,11 +172,7 @@ pub fn predict_ap_with(
             converged = true;
             break;
         }
-        let update: Vec<f64> = fresh
-            .iter()
-            .zip(&blocking)
-            .map(|(f, b)| f - b)
-            .collect();
+        let update: Vec<f64> = fresh.iter().zip(&blocking).map(|(f, b)| f - b).collect();
         let oscillating = !prev_update.is_empty()
             && prev_update
                 .iter()

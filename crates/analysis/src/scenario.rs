@@ -262,8 +262,7 @@ pub fn approx_ap_ed_r(
         // Retry-aware offered loads from the current rejection estimates.
         let mut max_delta: f64 = 0.0;
         for s in 0..sources {
-            let losses: Vec<f64> =
-                prediction.route_rejection[s * k..(s + 1) * k].to_vec();
+            let losses: Vec<f64> = prediction.route_rejection[s * k..(s + 1) * k].to_vec();
             for i in 0..k {
                 let q = attempt_probability(&losses, i, r_eff);
                 let offered = rho_s * q;
@@ -524,7 +523,10 @@ mod tests {
         );
         let a = predict_ap(&replicated, BlockingModel::ErlangB).admission_probability;
         let b = predict_ap(&half_unicast, BlockingModel::ErlangB).admission_probability;
-        assert!(b < a, "unicast-heavy mix {b} must underperform replicated {a}");
+        assert!(
+            b < a,
+            "unicast-heavy mix {b} must underperform replicated {a}"
+        );
     }
 
     #[test]

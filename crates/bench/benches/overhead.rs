@@ -32,7 +32,11 @@ fn bench_weight_assignment(c: &mut Criterion) {
         history: &history,
         route_bandwidth_bps: &bandwidth,
     };
-    for spec in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+    for spec in [
+        PolicySpec::Ed,
+        PolicySpec::wd_dh_default(),
+        PolicySpec::WdDb,
+    ] {
         let mut policy = spec.build().unwrap();
         group.bench_function(spec.name(), |b| {
             b.iter(|| black_box(policy.assign(black_box(&ctx))))
@@ -66,7 +70,11 @@ fn bench_admission_per_system(c: &mut Criterion) {
     let demand = Bandwidth::from_kbps(64);
     let mut group = c.benchmark_group("admit_and_release");
 
-    for spec in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+    for spec in [
+        PolicySpec::Ed,
+        PolicySpec::wd_dh_default(),
+        PolicySpec::WdDb,
+    ] {
         group.bench_function(format!("dac_{}", spec.name()), |b| {
             let mut links =
                 LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);

@@ -1,0 +1,9 @@
+//! Ablation: admission probability and network availability of SP, GDI,
+//! `<ED,2>` and `<WD/D+H,2>` as the link failure rate rises.
+use anycast_bench::figures::faults_ablation;
+use anycast_bench::parse_args;
+
+fn main() {
+    let settings = parse_args("ablation_faults");
+    faults_ablation(&settings);
+}

@@ -3,9 +3,5 @@ use anycast_bench::figures::main_sensitivity;
 use anycast_dac::policy::PolicySpec;
 
 fn main() {
-    main_sensitivity(
-        "fig3_ed_sensitivity",
-        "Figure 3",
-        PolicySpec::Ed,
-    );
+    main_sensitivity("fig3_ed_sensitivity", "Figure 3", PolicySpec::Ed);
 }

@@ -3,9 +3,5 @@ use anycast_bench::figures::main_sensitivity;
 use anycast_dac::policy::PolicySpec;
 
 fn main() {
-    main_sensitivity(
-        "fig5_wddb_sensitivity",
-        "Figure 5",
-        PolicySpec::WdDb,
-    );
+    main_sensitivity("fig5_wddb_sensitivity", "Figure 5", PolicySpec::WdDb);
 }

@@ -1,8 +1,13 @@
 //! Shared drivers behind the per-figure/table binaries.
 
-use crate::{run_grid, parse_args, ReplicatedMetrics, RunSettings, Table, LAMBDA_GRID, RETRIAL_GRID, TABLE_LAMBDAS};
+use crate::json::{emit_results, JsonValue};
+use crate::{
+    parse_args, run_grid, ReplicatedMetrics, RunSettings, Table, LAMBDA_GRID, RETRIAL_GRID,
+    TABLE_LAMBDAS,
+};
 use anycast_analysis::scenario::{build_paper_scenario, AnalyzedSystem};
 use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_chaos::FaultPlan;
 use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
 use anycast_dac::policy::PolicySpec;
 use anycast_net::{topologies, NodeId, Topology};
@@ -25,7 +30,10 @@ pub fn sensitivity_figure(title: &str, policy: PolicySpec, settings: &RunSetting
         }
     }
     let results = run_grid(&topo, &configs, settings.active_seeds());
-    println!("{title}: admission probability of <{},R> vs arrival rate", policy.name());
+    println!(
+        "{title}: admission probability of <{},R> vs arrival rate",
+        policy.name()
+    );
     println!();
     let mut headers = vec!["lambda".to_string()];
     headers.extend(RETRIAL_GRID.iter().map(|r| format!("R={r}")));
@@ -83,6 +91,31 @@ pub fn comparison_figure(settings: &RunSettings) {
         table.row(row);
     }
     print!("{}", table.render());
+    let series = comparison_systems()
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            JsonValue::obj([
+                ("label", JsonValue::Str(s.label())),
+                (
+                    "admission_probability",
+                    JsonValue::nums(rows.iter().map(|r| r[j].admission_probability)),
+                ),
+                (
+                    "ap_stderr",
+                    JsonValue::nums(rows.iter().map(|r| r[j].ap_stderr)),
+                ),
+            ])
+        })
+        .collect();
+    emit_results(
+        "fig6_ap_comparison",
+        &JsonValue::obj([
+            ("figure", JsonValue::Str("fig6_ap_comparison".into())),
+            ("lambda", JsonValue::nums(LAMBDA_GRID)),
+            ("series", JsonValue::Arr(series)),
+        ]),
+    );
 }
 
 /// Figure 7: average number of destinations tried per request for the
@@ -119,6 +152,28 @@ pub fn retrials_figure(settings: &RunSettings) {
         table.row(row);
     }
     print!("{}", table.render());
+    let series = systems
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            let column = |f: fn(&ReplicatedMetrics) -> f64| {
+                JsonValue::nums((0..LAMBDA_GRID.len()).map(|i| f(&results[i * systems.len() + j])))
+            };
+            JsonValue::obj([
+                ("label", JsonValue::Str(s.label())),
+                ("mean_tries", column(|m| m.mean_tries)),
+                ("messages_per_request", column(|m| m.messages_per_request)),
+            ])
+        })
+        .collect();
+    emit_results(
+        "fig7_avg_retrials",
+        &JsonValue::obj([
+            ("figure", JsonValue::Str("fig7_avg_retrials".into())),
+            ("lambda", JsonValue::nums(LAMBDA_GRID)),
+            ("series", JsonValue::Arr(series)),
+        ]),
+    );
 }
 
 /// Tables 1 and 2: analytical admission probability (Appendix A) against
@@ -196,6 +251,99 @@ pub fn comparison_on(
     }
     print!("{}", table.render());
     println!();
+}
+
+/// The link-MTBF grid of the fault ablation (seconds; `INFINITY` = no
+/// faults). MTTR is fixed at [`ABLATION_MTTR_SECS`].
+pub const ABLATION_MTBF_GRID: [f64; 5] = [f64::INFINITY, 2_000.0, 1_000.0, 500.0, 250.0];
+
+/// Mean time to repair used throughout the fault ablation (seconds).
+pub const ABLATION_MTTR_SECS: f64 = 60.0;
+
+fn mean_availability(rep: &ReplicatedMetrics) -> f64 {
+    rep.runs.iter().map(|m| m.availability).sum::<f64>() / rep.runs.len() as f64
+}
+
+/// Fault ablation: AP of `<ED,2>` and `<WD/D+H,2>` vs the SP and GDI
+/// baselines as the link failure rate rises (fixed 60 s mean repair).
+///
+/// The fault timeline is a function of the seed and the plan only, so for
+/// a given MTBF every system sees the identical outage schedule and the
+/// availability column applies to the whole row.
+pub fn faults_ablation(settings: &RunSettings) {
+    let topo = topologies::mci();
+    let systems = [
+        SystemSpec::ShortestPath,
+        SystemSpec::GlobalDynamic,
+        SystemSpec::dac(PolicySpec::Ed, 2),
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+    ];
+    const LAMBDA: f64 = 30.0;
+    let mut configs = Vec::new();
+    for &mtbf in &ABLATION_MTBF_GRID {
+        for &system in &systems {
+            let mut cfg = base_config(LAMBDA, system, settings);
+            if mtbf.is_finite() {
+                cfg = cfg.with_faults(FaultPlan::none().with_link_model(mtbf, ABLATION_MTTR_SECS));
+            }
+            configs.push(cfg);
+        }
+    }
+    let results = run_grid(&topo, &configs, settings.active_seeds());
+    println!("Fault ablation: admission probability vs link failure rate (lambda = {LAMBDA:.0})");
+    println!();
+    let mut headers = vec!["link MTBF".to_string(), "avail".to_string()];
+    headers.extend(systems.iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+    for (i, &mtbf) in ABLATION_MTBF_GRID.iter().enumerate() {
+        let row_results = &results[i * systems.len()..(i + 1) * systems.len()];
+        let mut row = vec![
+            if mtbf.is_finite() {
+                format!("{mtbf:.0}s")
+            } else {
+                "none".to_string()
+            },
+            format!("{:.4}", mean_availability(&row_results[0])),
+        ];
+        for m in row_results {
+            row.push(format!("{:.4}", m.admission_probability));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    let series = systems
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            JsonValue::obj([
+                ("label", JsonValue::Str(s.label())),
+                (
+                    "admission_probability",
+                    JsonValue::nums(
+                        (0..ABLATION_MTBF_GRID.len())
+                            .map(|i| results[i * systems.len() + j].admission_probability),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    emit_results(
+        "ablation_faults",
+        &JsonValue::obj([
+            ("figure", JsonValue::Str("ablation_faults".into())),
+            ("lambda", JsonValue::Num(LAMBDA)),
+            ("mttr_secs", JsonValue::Num(ABLATION_MTTR_SECS)),
+            ("link_mtbf_secs", JsonValue::nums(ABLATION_MTBF_GRID)),
+            (
+                "availability",
+                JsonValue::nums(
+                    (0..ABLATION_MTBF_GRID.len())
+                        .map(|i| mean_availability(&results[i * systems.len()])),
+                ),
+            ),
+            ("series", JsonValue::Arr(series)),
+        ]),
+    );
 }
 
 /// Entry point shared by the thin figure binaries.

@@ -15,15 +15,18 @@
 //! | `table1_ed1_analysis_vs_sim` | Table 1 — analysis vs simulation, `<ED,1>` |
 //! | `table2_sp_analysis_vs_sim` | Table 2 — analysis vs simulation, `SP` |
 //! | `ablation_*` | design-choice ablations (α, history mode, topology, group size) |
+//! | `ablation_faults` | AP and availability under rising link-failure rates |
 //!
 //! All binaries accept `--quick` (or `ANYCAST_QUICK=1`) for a shortened
 //! smoke-test configuration, and print deterministic output for fixed
-//! seeds.
+//! seeds. Figure binaries additionally drop a machine-readable copy of
+//! their series into `results/<binary>.json` (see [`json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod json;
 mod settings;
 mod sweep;
 mod table;

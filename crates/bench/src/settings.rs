@@ -50,7 +50,9 @@ impl RunSettings {
 /// Unknown arguments abort with a usage message so typos never silently
 /// run a multi-minute sweep with default settings.
 pub fn parse_args(binary: &str) -> RunSettings {
-    let mut quick = std::env::var("ANYCAST_QUICK").map(|v| v == "1").unwrap_or(false);
+    let mut quick = std::env::var("ANYCAST_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,

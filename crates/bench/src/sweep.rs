@@ -105,8 +105,7 @@ pub fn run_grid(
                 let Some(&(cfg_idx, seed)) = jobs.get(j) else {
                     break;
                 };
-                let metrics =
-                    run_experiment(topo, &configs[cfg_idx].clone().with_seed(seed));
+                let metrics = run_experiment(topo, &configs[cfg_idx].clone().with_seed(seed));
                 results.lock()[cfg_idx].push(metrics);
             });
         }

@@ -3,7 +3,9 @@
 //! scale.
 
 use anycast_bench::figures::{comparison_systems, run_comparison};
-use anycast_bench::{run_grid, run_replicated, RunSettings, LAMBDA_GRID, RETRIAL_GRID, TABLE_LAMBDAS};
+use anycast_bench::{
+    run_grid, run_replicated, RunSettings, LAMBDA_GRID, RETRIAL_GRID, TABLE_LAMBDAS,
+};
 use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
 use anycast_dac::policy::PolicySpec;
 use anycast_net::topologies;
@@ -67,7 +69,10 @@ fn replication_stderr_reflects_seed_spread() {
     let one = run_replicated(&topo, &cfg, &[1]);
     let three = run_replicated(&topo, &cfg, &[1, 2, 3]);
     assert_eq!(one.ap_stderr, 0.0);
-    assert!(three.ap_stderr > 0.0, "distinct seeds must disagree a little");
+    assert!(
+        three.ap_stderr > 0.0,
+        "distinct seeds must disagree a little"
+    );
     assert_eq!(three.runs.len(), 3);
 }
 

@@ -1,0 +1,116 @@
+//! Outage accounting: the ledger behind the availability, recovery-time
+//! and soft-state metrics.
+
+use anycast_net::{LinkId, NodeId};
+use std::collections::HashMap;
+
+/// A thing that can be down: one link or one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEntity {
+    /// A failed link.
+    Link(LinkId),
+    /// A crashed router.
+    Node(NodeId),
+}
+
+/// Running ledger of one experiment's fault history.
+///
+/// The book never looks at the network itself; the experiment loop
+/// reports state transitions and the book turns them into durations and
+/// counts. Double-failing an already-down entity or restoring a healthy
+/// one is ignored, so idempotent scripted plans stay well-defined.
+#[derive(Debug, Clone, Default)]
+pub struct FaultBook {
+    down_since: HashMap<FaultEntity, f64>,
+    completed_outages: u64,
+    total_repair_secs: f64,
+    /// Live flows torn down because a fault removed their path.
+    pub flows_killed: u64,
+    /// Reservations orphaned by a lost teardown message.
+    pub orphans_created: u64,
+    /// Orphaned reservations reclaimed by soft-state expiry.
+    pub orphans_reclaimed: u64,
+}
+
+impl FaultBook {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `entity` went down at `now` (ignored if already
+    /// down).
+    pub fn record_down(&mut self, entity: FaultEntity, now: f64) {
+        self.down_since.entry(entity).or_insert(now);
+    }
+
+    /// Records that `entity` came back at `now`, completing an outage
+    /// (ignored if it was not down).
+    pub fn record_up(&mut self, entity: FaultEntity, now: f64) {
+        if let Some(start) = self.down_since.remove(&entity) {
+            self.completed_outages += 1;
+            self.total_repair_secs += now - start;
+        }
+    }
+
+    /// Outages that completed (failure followed by repair).
+    pub fn completed_outages(&self) -> u64 {
+        self.completed_outages
+    }
+
+    /// Entities still down.
+    pub fn open_outages(&self) -> usize {
+        self.down_since.len()
+    }
+
+    /// Mean repair time over completed outages (0 when none completed).
+    pub fn mean_recovery_secs(&self) -> f64 {
+        if self.completed_outages == 0 {
+            0.0
+        } else {
+            self.total_repair_secs / self.completed_outages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(n: u32) -> FaultEntity {
+        FaultEntity::Link(LinkId::new(n))
+    }
+
+    #[test]
+    fn outage_durations_accumulate() {
+        let mut b = FaultBook::new();
+        b.record_down(link(1), 10.0);
+        b.record_down(FaultEntity::Node(NodeId::new(3)), 20.0);
+        assert_eq!(b.open_outages(), 2);
+        b.record_up(link(1), 40.0);
+        b.record_up(FaultEntity::Node(NodeId::new(3)), 30.0);
+        assert_eq!(b.completed_outages(), 2);
+        assert_eq!(b.open_outages(), 0);
+        assert!((b.mean_recovery_secs() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_fail_and_spurious_restore_are_ignored() {
+        let mut b = FaultBook::new();
+        b.record_down(link(7), 5.0);
+        b.record_down(link(7), 8.0); // keeps the original start
+        b.record_up(link(7), 15.0);
+        assert_eq!(b.completed_outages(), 1);
+        assert!((b.mean_recovery_secs() - 10.0).abs() < 1e-12);
+        b.record_up(link(7), 99.0); // not down: no-op
+        assert_eq!(b.completed_outages(), 1);
+    }
+
+    #[test]
+    fn empty_book_reports_zeroes() {
+        let b = FaultBook::new();
+        assert_eq!(b.completed_outages(), 0);
+        assert_eq!(b.mean_recovery_secs(), 0.0);
+        assert_eq!(b.open_outages(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the anycast admission-control
+//! simulator.
+//!
+//! The paper's analysis (§3, §5) is fault-free: links never die, members
+//! never crash, and RSVP teardown messages always arrive. This crate
+//! supplies the missing failure model so the experiment can measure how
+//! the admission systems degrade and recover:
+//!
+//! - [`FaultPlan`] describes *what* can fail — stochastic link and
+//!   member up/down processes (exponential MTBF/MTTR), RSVP control-plane
+//!   loss and delay, and an explicit scripted timeline.
+//! - [`build_timeline`] expands a plan into a concrete, deterministic
+//!   sequence of [`FaultAction`]s for one run: same plan + same RNG seed
+//!   ⇒ bit-identical timeline, so faulty runs replay exactly.
+//! - [`FaultBook`] keeps the outage ledger (down intervals, repair
+//!   times, killed flows, orphaned reservations) that feeds the
+//!   availability and recovery metrics.
+//! - [`spec::parse_fault_plan`] reads a plan from a small TOML subset so
+//!   the CLI can take `--faults plan.toml` without a TOML dependency.
+//!
+//! The crate deliberately knows nothing about admission policies: it
+//! only speaks the vocabulary of [`anycast_net`] (links, nodes) and
+//! [`anycast_rsvp`] (sessions, soft state), and the experiment loop in
+//! `anycast-dac` interprets the actions.
+
+mod book;
+mod plan;
+pub mod spec;
+mod timeline;
+
+pub use book::{FaultBook, FaultEntity};
+pub use plan::{ControlFaultModel, FaultAction, FaultPlan, ScriptedFault, StochasticFaultModel};
+pub use timeline::{build_timeline, FaultTimeline};

@@ -1,0 +1,283 @@
+//! The fault-plan vocabulary: what can break, how often, and on what
+//! schedule.
+
+use anycast_net::{LinkId, NodeId};
+use anycast_rsvp::RefreshConfig;
+use serde::{Deserialize, Serialize};
+
+/// One atomic state change injected into the running experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Take a link down; flows whose path crosses it are killed.
+    FailLink(LinkId),
+    /// Bring a previously failed link back up.
+    RestoreLink(LinkId),
+    /// Crash a router (an anycast member, under the stochastic member
+    /// model); all its incident links go down and flows through it die.
+    CrashNode(NodeId),
+    /// Bring a crashed router back.
+    RestoreNode(NodeId),
+}
+
+impl FaultAction {
+    /// Whether this action takes capacity away (as opposed to restoring
+    /// it).
+    pub fn is_failure(&self) -> bool {
+        matches!(self, FaultAction::FailLink(_) | FaultAction::CrashNode(_))
+    }
+}
+
+/// An alternating up/down renewal process: exponential time-to-failure
+/// with mean `mtbf_secs`, exponential repair with mean `mttr_secs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticFaultModel {
+    /// Mean time between failures (exponential), seconds of up time.
+    pub mtbf_secs: f64,
+    /// Mean time to repair (exponential), seconds of down time.
+    pub mttr_secs: f64,
+}
+
+impl StochasticFaultModel {
+    /// Builds a model, validating that both means are positive and
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite means.
+    pub fn new(mtbf_secs: f64, mttr_secs: f64) -> Self {
+        assert!(
+            mtbf_secs.is_finite() && mtbf_secs > 0.0,
+            "MTBF must be positive and finite, got {mtbf_secs}"
+        );
+        assert!(
+            mttr_secs.is_finite() && mttr_secs > 0.0,
+            "MTTR must be positive and finite, got {mttr_secs}"
+        );
+        StochasticFaultModel {
+            mtbf_secs,
+            mttr_secs,
+        }
+    }
+
+    /// Long-run fraction of time an entity under this model is up.
+    pub fn steady_state_availability(&self) -> f64 {
+        self.mtbf_secs / (self.mtbf_secs + self.mttr_secs)
+    }
+}
+
+/// RSVP control-plane faults: teardown (PATH_TEAR) messages can be lost
+/// — orphaning the reservation until soft state expires it — or delayed,
+/// holding bandwidth past the flow's departure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlFaultModel {
+    /// Probability that a flow's teardown message is lost entirely.
+    pub teardown_loss_probability: f64,
+    /// Mean of an exponential extra delay on (non-lost) teardown
+    /// delivery; `0` means teardowns land instantly, as in the fault-free
+    /// model.
+    pub teardown_delay_secs: f64,
+}
+
+impl ControlFaultModel {
+    /// No control-plane faults at all.
+    pub fn none() -> Self {
+        ControlFaultModel {
+            teardown_loss_probability: 0.0,
+            teardown_delay_secs: 0.0,
+        }
+    }
+
+    /// Whether this model never perturbs anything.
+    pub fn is_inert(&self) -> bool {
+        self.teardown_loss_probability == 0.0 && self.teardown_delay_secs == 0.0
+    }
+}
+
+impl Default for ControlFaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// One hand-scripted fault at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedFault {
+    /// When the action fires, in seconds of simulated time.
+    pub at_secs: f64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Full failure description for one experiment run.
+///
+/// [`FaultPlan::none`] is the fault-free plan and is the default of
+/// `ExperimentConfig`; an experiment run under it must be bit-identical
+/// to one that predates fault injection entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Stochastic up/down process applied independently to every link
+    /// (`None` = links never fail on their own).
+    pub link_model: Option<StochasticFaultModel>,
+    /// Stochastic crash/repair process applied independently to every
+    /// anycast member router (`None` = members never crash).
+    pub member_model: Option<StochasticFaultModel>,
+    /// RSVP control-plane loss and delay.
+    pub control: ControlFaultModel,
+    /// Soft-state refresh lifecycle governing how fast orphaned
+    /// reservations are reclaimed.
+    pub refresh: RefreshConfig,
+    /// Explicit scripted faults, merged with the stochastic timelines.
+    pub script: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: nothing ever fails and no control message is
+    /// perturbed. Soft-state refresh still runs (it is part of RSVP, not
+    /// a fault), at the protocol default cadence.
+    pub fn none() -> Self {
+        FaultPlan {
+            link_model: None,
+            member_model: None,
+            control: ControlFaultModel::none(),
+            refresh: RefreshConfig::rsvp_default(),
+            script: Vec::new(),
+        }
+    }
+
+    /// Whether this plan can never inject any fault.
+    pub fn is_inert(&self) -> bool {
+        self.link_model.is_none()
+            && self.member_model.is_none()
+            && self.control.is_inert()
+            && self.script.is_empty()
+    }
+
+    /// Installs a stochastic link up/down model.
+    pub fn with_link_model(mut self, mtbf_secs: f64, mttr_secs: f64) -> Self {
+        self.link_model = Some(StochasticFaultModel::new(mtbf_secs, mttr_secs));
+        self
+    }
+
+    /// Installs a stochastic member crash/repair model.
+    pub fn with_member_model(mut self, mtbf_secs: f64, mttr_secs: f64) -> Self {
+        self.member_model = Some(StochasticFaultModel::new(mtbf_secs, mttr_secs));
+        self
+    }
+
+    /// Sets the probability that a flow's teardown message is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is a probability in `[0, 1]`.
+    pub fn with_teardown_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in [0,1]"
+        );
+        self.control.teardown_loss_probability = p;
+        self
+    }
+
+    /// Sets the mean exponential teardown delivery delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite means.
+    pub fn with_teardown_delay(mut self, mean_secs: f64) -> Self {
+        assert!(
+            mean_secs.is_finite() && mean_secs >= 0.0,
+            "teardown delay mean {mean_secs} must be non-negative"
+        );
+        self.control.teardown_delay_secs = mean_secs;
+        self
+    }
+
+    /// Replaces the soft-state refresh lifecycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive refresh interval or a zero missed-refresh
+    /// limit.
+    pub fn with_refresh(mut self, refresh: RefreshConfig) -> Self {
+        assert!(
+            refresh.refresh_interval_secs.is_finite() && refresh.refresh_interval_secs > 0.0,
+            "refresh interval must be positive"
+        );
+        assert!(
+            refresh.missed_refresh_limit > 0,
+            "missed-refresh limit must be at least 1"
+        );
+        self.refresh = refresh;
+        self
+    }
+
+    /// Appends one scripted fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite fire time.
+    pub fn with_scripted(mut self, at_secs: f64, action: FaultAction) -> Self {
+        assert!(
+            at_secs.is_finite() && at_secs >= 0.0,
+            "scripted fault time {at_secs} must be non-negative"
+        );
+        self.script.push(ScriptedFault { at_secs, action });
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_inert());
+        assert_eq!(p, FaultPlan::default());
+        assert_eq!(p.refresh, RefreshConfig::rsvp_default());
+    }
+
+    #[test]
+    fn any_knob_breaks_inertness() {
+        assert!(!FaultPlan::none().with_link_model(100.0, 10.0).is_inert());
+        assert!(!FaultPlan::none().with_member_model(100.0, 10.0).is_inert());
+        assert!(!FaultPlan::none().with_teardown_loss(0.1).is_inert());
+        assert!(!FaultPlan::none().with_teardown_delay(5.0).is_inert());
+        assert!(!FaultPlan::none()
+            .with_scripted(10.0, FaultAction::FailLink(LinkId::new(0)))
+            .is_inert());
+    }
+
+    #[test]
+    fn steady_state_availability() {
+        let m = StochasticFaultModel::new(90.0, 10.0);
+        assert!((m.steady_state_availability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_actions_classified() {
+        assert!(FaultAction::FailLink(LinkId::new(1)).is_failure());
+        assert!(FaultAction::CrashNode(NodeId::new(1)).is_failure());
+        assert!(!FaultAction::RestoreLink(LinkId::new(1)).is_failure());
+        assert!(!FaultAction::RestoreNode(NodeId::new(1)).is_failure());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_rejected() {
+        let _ = StochasticFaultModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn bad_loss_probability_rejected() {
+        let _ = FaultPlan::none().with_teardown_loss(1.5);
+    }
+}

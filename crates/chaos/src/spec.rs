@@ -1,0 +1,400 @@
+//! Textual fault-plan specifications — a hand-rolled subset of TOML so
+//! the CLI's `--faults plan.toml` needs no external parser.
+//!
+//! Supported grammar (one statement per line, `#` comments):
+//!
+//! ```toml
+//! [links]                       # stochastic link up/down model
+//! mtbf_secs = 900.0
+//! mttr_secs = 120.0
+//!
+//! [members]                     # stochastic member crash model
+//! mtbf_secs = 3000.0
+//! mttr_secs = 300.0
+//!
+//! [control]                     # RSVP control-plane faults
+//! teardown_loss_probability = 0.05
+//! teardown_delay_secs = 0.5
+//!
+//! [refresh]                     # soft-state lifecycle
+//! interval_secs = 30.0
+//! missed_limit = 3
+//!
+//! [[script]]                    # explicit timeline entries
+//! at_secs = 100.0
+//! action = "fail_link"          # fail_link | restore_link |
+//! id = 7                        #   crash_node | restore_node
+//! ```
+
+use crate::plan::{ControlFaultModel, FaultAction, FaultPlan, ScriptedFault};
+use anycast_net::{LinkId, NodeId};
+use anycast_rsvp::RefreshConfig;
+
+/// Which `[section]` the parser is inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Section {
+    Top,
+    Links,
+    Members,
+    Control,
+    Refresh,
+    Script,
+}
+
+/// One partially parsed `[[script]]` table.
+#[derive(Debug, Default, Clone)]
+struct ScriptEntry {
+    at_secs: Option<f64>,
+    action: Option<String>,
+    id: Option<u32>,
+    line: usize,
+}
+
+impl ScriptEntry {
+    fn finish(self) -> Result<ScriptedFault, String> {
+        let at_secs = self
+            .at_secs
+            .ok_or_else(|| format!("line {}: [[script]] entry missing `at_secs`", self.line))?;
+        if !at_secs.is_finite() || at_secs < 0.0 {
+            return Err(format!(
+                "line {}: `at_secs` must be non-negative, got {at_secs}",
+                self.line
+            ));
+        }
+        let action = self
+            .action
+            .ok_or_else(|| format!("line {}: [[script]] entry missing `action`", self.line))?;
+        let id = self
+            .id
+            .ok_or_else(|| format!("line {}: [[script]] entry missing `id`", self.line))?;
+        let action = match action.as_str() {
+            "fail_link" => FaultAction::FailLink(LinkId::new(id)),
+            "restore_link" => FaultAction::RestoreLink(LinkId::new(id)),
+            "crash_node" | "crash_member" => FaultAction::CrashNode(NodeId::new(id)),
+            "restore_node" | "restore_member" => FaultAction::RestoreNode(NodeId::new(id)),
+            other => {
+                return Err(format!(
+                    "line {}: unknown action `{other}` (expected fail_link, restore_link, \
+                     crash_node/crash_member or restore_node/restore_member)",
+                    self.line
+                ))
+            }
+        };
+        Ok(ScriptedFault { at_secs, action })
+    }
+}
+
+/// Accumulates `mtbf_secs`/`mttr_secs` for one stochastic model section.
+#[derive(Debug, Default, Clone, Copy)]
+struct ModelBuilder {
+    mtbf: Option<f64>,
+    mttr: Option<f64>,
+}
+
+impl ModelBuilder {
+    fn is_set(&self) -> bool {
+        self.mtbf.is_some() || self.mttr.is_some()
+    }
+
+    fn finish(self, section: &str) -> Result<(f64, f64), String> {
+        match (self.mtbf, self.mttr) {
+            (Some(b), Some(r)) => {
+                for (name, v) in [("mtbf_secs", b), ("mttr_secs", r)] {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(format!("[{section}] {name} must be positive, got {v}"));
+                    }
+                }
+                Ok((b, r))
+            }
+            _ => Err(format!("[{section}] needs both mtbf_secs and mttr_secs")),
+        }
+    }
+}
+
+fn parse_f64(key: &str, value: &str, line: usize) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|e| format!("line {line}: bad number for `{key}`: {e}"))
+}
+
+fn parse_u32(key: &str, value: &str, line: usize) -> Result<u32, String> {
+    value
+        .parse::<u32>()
+        .map_err(|e| format!("line {line}: bad integer for `{key}`: {e}"))
+}
+
+/// Parses a fault plan from the TOML subset documented at module level.
+///
+/// An empty document parses to [`FaultPlan::none`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending line on malformed
+/// input, unknown sections or keys, or out-of-range values.
+pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    let mut section = Section::Top;
+    let mut links = ModelBuilder::default();
+    let mut members = ModelBuilder::default();
+    let mut refresh = RefreshConfig::rsvp_default();
+    let mut control = ControlFaultModel::none();
+    let mut current_script: Option<ScriptEntry> = None;
+    let mut scripts: Vec<ScriptEntry> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[script]]" {
+            if let Some(entry) = current_script.take() {
+                scripts.push(entry);
+            }
+            current_script = Some(ScriptEntry {
+                line: lineno,
+                ..ScriptEntry::default()
+            });
+            section = Section::Script;
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(entry) = current_script.take() {
+                scripts.push(entry);
+            }
+            section = match line {
+                "[links]" => Section::Links,
+                "[members]" => Section::Members,
+                "[control]" => Section::Control,
+                "[refresh]" => Section::Refresh,
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown section `{other}` (expected [links], \
+                         [members], [control], [refresh] or [[script]])"
+                    ))
+                }
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`, got `{line}`"))?;
+        let key = key.trim();
+        let value = value.trim().trim_matches('"');
+        match section {
+            Section::Top => {
+                return Err(format!(
+                    "line {lineno}: `{key}` outside any section (start with [links], \
+                     [members], [control], [refresh] or [[script]])"
+                ))
+            }
+            Section::Links | Section::Members => {
+                let model = if section == Section::Links {
+                    &mut links
+                } else {
+                    &mut members
+                };
+                match key {
+                    "mtbf_secs" => model.mtbf = Some(parse_f64(key, value, lineno)?),
+                    "mttr_secs" => model.mttr = Some(parse_f64(key, value, lineno)?),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown key `{other}` (expected mtbf_secs or \
+                             mttr_secs)"
+                        ))
+                    }
+                }
+            }
+            Section::Control => match key {
+                "teardown_loss_probability" => {
+                    let p = parse_f64(key, value, lineno)?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!(
+                            "line {lineno}: teardown_loss_probability {p} not in [0, 1]"
+                        ));
+                    }
+                    control.teardown_loss_probability = p;
+                }
+                "teardown_delay_secs" => {
+                    let d = parse_f64(key, value, lineno)?;
+                    if !d.is_finite() || d < 0.0 {
+                        return Err(format!(
+                            "line {lineno}: teardown_delay_secs must be non-negative, got {d}"
+                        ));
+                    }
+                    control.teardown_delay_secs = d;
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` (expected \
+                         teardown_loss_probability or teardown_delay_secs)"
+                    ))
+                }
+            },
+            Section::Refresh => match key {
+                "interval_secs" => {
+                    let i = parse_f64(key, value, lineno)?;
+                    if !i.is_finite() || i <= 0.0 {
+                        return Err(format!(
+                            "line {lineno}: interval_secs must be positive, got {i}"
+                        ));
+                    }
+                    refresh.refresh_interval_secs = i;
+                }
+                "missed_limit" => {
+                    let k = parse_u32(key, value, lineno)?;
+                    if k == 0 {
+                        return Err(format!("line {lineno}: missed_limit must be at least 1"));
+                    }
+                    refresh.missed_refresh_limit = k;
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` (expected interval_secs or \
+                         missed_limit)"
+                    ))
+                }
+            },
+            Section::Script => {
+                let entry = current_script
+                    .as_mut()
+                    .expect("Script section implies an open entry");
+                match key {
+                    "at_secs" => entry.at_secs = Some(parse_f64(key, value, lineno)?),
+                    "action" => entry.action = Some(value.to_string()),
+                    "id" => entry.id = Some(parse_u32(key, value, lineno)?),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown key `{other}` (expected at_secs, action \
+                             or id)"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    if let Some(entry) = current_script.take() {
+        scripts.push(entry);
+    }
+
+    if links.is_set() {
+        let (mtbf, mttr) = links.finish("links")?;
+        plan = plan.with_link_model(mtbf, mttr);
+    }
+    if members.is_set() {
+        let (mtbf, mttr) = members.finish("members")?;
+        plan = plan.with_member_model(mtbf, mttr);
+    }
+    plan.control = control;
+    plan.refresh = refresh;
+    for entry in scripts {
+        let fault = entry.finish()?;
+        plan.script.push(fault);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_fault_free() {
+        let plan = parse_fault_plan("").unwrap();
+        assert_eq!(plan, FaultPlan::none());
+        let plan = parse_fault_plan("# only a comment\n\n").unwrap();
+        assert!(plan.is_inert());
+    }
+
+    #[test]
+    fn full_document_round_trips() {
+        let text = r#"
+# a busy afternoon on the backbone
+[links]
+mtbf_secs = 900.0
+mttr_secs = 120.0
+
+[members]
+mtbf_secs = 3000.0
+mttr_secs = 300.0
+
+[control]
+teardown_loss_probability = 0.05
+teardown_delay_secs = 0.5
+
+[refresh]
+interval_secs = 15.0
+missed_limit = 2
+
+[[script]]
+at_secs = 100.0
+action = "fail_link"
+id = 7
+
+[[script]]
+at_secs = 400.0
+action = "restore_link"
+id = 7
+
+[[script]]
+at_secs = 250.0
+action = "crash_member"
+id = 4
+"#;
+        let plan = parse_fault_plan(text).unwrap();
+        let links = plan.link_model.unwrap();
+        assert_eq!((links.mtbf_secs, links.mttr_secs), (900.0, 120.0));
+        let members = plan.member_model.unwrap();
+        assert_eq!((members.mtbf_secs, members.mttr_secs), (3000.0, 300.0));
+        assert_eq!(plan.control.teardown_loss_probability, 0.05);
+        assert_eq!(plan.control.teardown_delay_secs, 0.5);
+        assert_eq!(plan.refresh.refresh_interval_secs, 15.0);
+        assert_eq!(plan.refresh.missed_refresh_limit, 2);
+        assert_eq!(plan.script.len(), 3);
+        assert_eq!(
+            plan.script[0],
+            ScriptedFault {
+                at_secs: 100.0,
+                action: FaultAction::FailLink(LinkId::new(7)),
+            }
+        );
+        assert_eq!(
+            plan.script[2].action,
+            FaultAction::CrashNode(NodeId::new(4))
+        );
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_fault_plan("[links]\nmtbf_secs = fast\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_fault_plan("[bogus]\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+        let err = parse_fault_plan("mtbf_secs = 1.0\n").unwrap_err();
+        assert!(err.contains("outside any section"), "{err}");
+        let err = parse_fault_plan("[links]\nmtbf_secs = 10.0\n").unwrap_err();
+        assert!(err.contains("both mtbf_secs and mttr_secs"), "{err}");
+        let err = parse_fault_plan("[[script]]\nat_secs = 1.0\naction = \"explode\"\nid = 1\n")
+            .unwrap_err();
+        assert!(err.contains("unknown action"), "{err}");
+        let err = parse_fault_plan("[[script]]\nat_secs = 1.0\nid = 1\n").unwrap_err();
+        assert!(err.contains("missing `action`"), "{err}");
+        let err = parse_fault_plan("[control]\nteardown_loss_probability = 2.0\n").unwrap_err();
+        assert!(err.contains("not in [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_values_rejected() {
+        assert!(parse_fault_plan("[links]\nmtbf_secs = -5\nmttr_secs = 1\n").is_err());
+        assert!(parse_fault_plan("[refresh]\ninterval_secs = 0\n").is_err());
+        assert!(parse_fault_plan("[refresh]\nmissed_limit = 0\n").is_err());
+        assert!(
+            parse_fault_plan("[[script]]\nat_secs = -1\naction = \"fail_link\"\nid = 0\n").is_err()
+        );
+    }
+}

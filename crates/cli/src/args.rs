@@ -239,10 +239,7 @@ mod tests {
     #[test]
     fn ranges() {
         assert_eq!(parse_range("5").unwrap(), vec![5.0]);
-        assert_eq!(
-            parse_range("5:20:5").unwrap(),
-            vec![5.0, 10.0, 15.0, 20.0]
-        );
+        assert_eq!(parse_range("5:20:5").unwrap(), vec![5.0, 10.0, 15.0, 20.0]);
         assert!(parse_range("5:20").is_err());
         assert!(parse_range("5:20:0").is_err());
         assert!(parse_range("20:5:5").is_err());

@@ -28,7 +28,9 @@ pub fn print_help(command: &str) {
              \x20 --seed N                       PRNG seed (default 1)\n\
              \x20 --warmup SECS                  warm-up period (default 1800)\n\
              \x20 --measure SECS                 measured period (default 3600)\n\
-             \x20 --burstiness B                 MMPP-2 burstiness in [1,2) (default: Poisson)"
+             \x20 --burstiness B                 MMPP-2 burstiness in [1,2) (default: Poisson)\n\
+             \x20 --faults FILE                  fault-plan spec (TOML subset; see\n\
+             \x20                                anycast-chaos::spec for the grammar)"
         ),
         "sweep" => println!(
             "usage: anycast sweep --lambdas START:END:STEP [simulate options]\n\
@@ -89,7 +91,10 @@ fn common_config(args: &mut Args, lambda: f64) -> Result<(Topology, ExperimentCo
         .with_measure_secs(args.get_or("measure", 3_600.0)?);
     if let Some(group) = args.get_str("group") {
         config = config.with_group(
-            parse_id_list(&group)?.into_iter().map(NodeId::new).collect(),
+            parse_id_list(&group)?
+                .into_iter()
+                .map(NodeId::new)
+                .collect(),
         );
     }
     if let Some(sources) = args.get_str("sources") {
@@ -125,6 +130,13 @@ fn common_config(args: &mut Args, lambda: f64) -> Result<(Topology, ExperimentCo
             mean_sojourn_secs: 60.0,
         });
     }
+    if let Some(path) = args.get_str("faults") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
+        let plan =
+            anycast_chaos::spec::parse_fault_plan(&text).map_err(|e| format!("`{path}`: {e}"))?;
+        config = config.with_faults(plan);
+    }
     // Validate placement early with a clear message.
     for n in config.group_members.iter().chain(&config.sources) {
         if !topo.contains_node(*n) {
@@ -151,6 +163,17 @@ fn print_metrics(m: &anycast_dac::experiment::Metrics) {
     println!("messages/request      {:.2}", m.messages_per_request);
     println!("mean active flows     {:.1}", m.mean_active_flows);
     println!("network utilization   {:.4}", m.mean_network_utilization);
+    println!("availability          {:.6}", m.availability);
+    if m.outages > 0 || m.flows_killed_by_failure > 0 || m.orphaned_reservations > 0 {
+        println!("outages completed     {}", m.outages);
+        println!("mean recovery         {:.1} s", m.mean_recovery_secs);
+        println!("flows killed by fault {}", m.flows_killed_by_failure);
+        println!(
+            "orphaned reservations {} ({} reclaimed)",
+            m.orphaned_reservations, m.orphans_reclaimed
+        );
+        println!("leaked bandwidth      {} bps", m.leaked_bandwidth_bps);
+    }
     for (g, shares) in m.member_share.iter().enumerate() {
         let pretty: Vec<String> = shares.iter().map(|s| format!("{s:.3}")).collect();
         println!("member share (g{g})     [{}]", pretty.join(", "));
@@ -279,7 +302,13 @@ pub fn predict(raw: Vec<String>) -> Result<(), String> {
         let link = topo
             .link(LinkId::new(l as u32))
             .expect("blocking vector matches topology");
-        println!("  {} ({}-{}): blocking {:.6}", link.id(), link.a(), link.b(), b);
+        println!(
+            "  {} ({}-{}): blocking {:.6}",
+            link.id(),
+            link.a(),
+            link.b(),
+            b
+        );
     }
     Ok(())
 }
@@ -328,11 +357,7 @@ mod tests {
 
     #[test]
     fn non_mci_default_sources_are_non_members() {
-        let mut args = Args::parse(
-            strs(&["--topology", "ring:6", "--group", "0,3"]),
-            &[],
-        )
-        .unwrap();
+        let mut args = Args::parse(strs(&["--topology", "ring:6", "--group", "0,3"]), &[]).unwrap();
         let (_, config) = common_config(&mut args, 5.0).unwrap();
         let sources: Vec<u32> = config.sources.iter().map(|n| n.raw()).collect();
         assert_eq!(sources, vec![1, 2, 4, 5]);
@@ -357,15 +382,62 @@ mod tests {
     #[test]
     fn simulate_runs_end_to_end() {
         simulate(strs(&[
-            "--lambda", "3", "--system", "ed", "--warmup", "20", "--measure", "40",
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "20",
+            "--measure",
+            "40",
         ]))
         .unwrap();
     }
 
     #[test]
+    fn simulate_accepts_a_fault_plan() {
+        let path = std::env::temp_dir().join("anycast_cli_faults_test.toml");
+        std::fs::write(
+            &path,
+            "[links]\nmtbf_secs = 60.0\nmttr_secs = 20.0\n\n[control]\nteardown_loss_probability = 0.1\n",
+        )
+        .unwrap();
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "20",
+            "--measure",
+            "60",
+            "--faults",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        // Unreadable and malformed plans are rejected with context.
+        let err = simulate(strs(&["--lambda", "3", "--faults", "/no/such/plan.toml"])).unwrap_err();
+        assert!(err.contains("cannot read fault plan"), "{err}");
+        let bad = std::env::temp_dir().join("anycast_cli_faults_bad.toml");
+        std::fs::write(&bad, "[bogus]\n").unwrap();
+        let err =
+            simulate(strs(&["--lambda", "3", "--faults", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
     fn sweep_runs_and_validates() {
         sweep(strs(&[
-            "--lambdas", "3:6:3", "--system", "sp", "--warmup", "10", "--measure", "20",
+            "--lambdas",
+            "3:6:3",
+            "--system",
+            "sp",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
         ]))
         .unwrap();
         assert!(sweep(strs(&["--lambdas", "3", "--lambda", "4"])).is_err());
@@ -375,7 +447,10 @@ mod tests {
     #[test]
     fn predict_runs_and_validates() {
         predict(strs(&["--lambda", "20"])).unwrap();
-        predict(strs(&["--lambda", "20", "--system", "sp", "--model", "uaa"])).unwrap();
+        predict(strs(&[
+            "--lambda", "20", "--system", "sp", "--model", "uaa",
+        ]))
+        .unwrap();
         assert!(predict(strs(&["--lambda", "20", "--system", "x"])).is_err());
         assert!(predict(strs(&["--lambda", "20", "--model", "x"])).is_err());
         assert!(predict(strs(&["--lambda", "-3"])).is_err());

@@ -32,9 +32,7 @@ fn main() -> ExitCode {
             commands::print_help("");
             Ok(())
         }
-        other => Err(format!(
-            "unknown command `{other}` (try `anycast help`)"
-        )),
+        other => Err(format!("unknown command `{other}` (try `anycast help`)")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn systems() {
-        assert_eq!(
-            parse_system("ed", 2, 0.5, 1).unwrap().label(),
-            "<ED,2>"
-        );
+        assert_eq!(parse_system("ed", 2, 0.5, 1).unwrap().label(), "<ED,2>");
         assert_eq!(
             parse_system("wddh", 3, 0.25, 1).unwrap().label(),
             "<WD/D+H,3>"

@@ -230,8 +230,12 @@ mod tests {
         let source = NodeId::new(0);
         let mut links = LinkStateTable::from_topology(&topo);
         // Cut both exits of node 0.
-        links.reserve(LinkId::new(0), Bandwidth::from_kbps(128)).unwrap();
-        links.reserve(LinkId::new(1), Bandwidth::from_kbps(128)).unwrap();
+        links
+            .reserve(LinkId::new(0), Bandwidth::from_kbps(128))
+            .unwrap();
+        links
+            .reserve(LinkId::new(1), Bandwidth::from_kbps(128))
+            .unwrap();
         let mut rsvp = ReservationEngine::new();
         let out = GlobalDynamicSystem::new().admit(
             &topo,
@@ -281,7 +285,12 @@ mod tests {
             let mut rsvp_sp = ReservationEngine::new();
             let mut rsvp_gdi = ReservationEngine::new();
             let sp = ShortestPathSystem::new(table.nearest_member(source));
-            let sp_out = sp.admit(table.routes_from(source), &mut links_sp, &mut rsvp_sp, demand);
+            let sp_out = sp.admit(
+                table.routes_from(source),
+                &mut links_sp,
+                &mut rsvp_sp,
+                demand,
+            );
             let gdi_out = GlobalDynamicSystem::new().admit(
                 &topo,
                 &group,

@@ -231,11 +231,8 @@ mod tests {
     /// Line 0-1-2-3-4 with members at 0 and 4; source at 1.
     fn fixture() -> (Topology, Vec<Path>, Vec<u32>) {
         let mut b = TopologyBuilder::new(5);
-        b.links_uniform(
-            [(0, 1), (1, 2), (2, 3), (3, 4)],
-            Bandwidth::from_kbps(128),
-        )
-        .unwrap();
+        b.links_uniform([(0, 1), (1, 2), (2, 3), (3, 4)], Bandwidth::from_kbps(128))
+            .unwrap();
         let topo = b.build();
         let group = AnycastGroup::new("A", [NodeId::new(0), NodeId::new(4)]).unwrap();
         let table = RouteTable::shortest_paths(&topo, &group);
@@ -255,7 +252,13 @@ mod tests {
         let mut rsvp = ReservationEngine::new();
         let mut rng = SimRng::seed_from(1);
         let mut c = controller(Box::new(Ed), 1, dists);
-        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        let out = c.admit(
+            &routes,
+            &mut links,
+            &mut rsvp,
+            Bandwidth::from_kbps(64),
+            &mut rng,
+        );
         assert!(out.is_admitted());
         assert_eq!(out.tries, 1);
         assert_eq!(c.history().clean_count(), 2);
@@ -276,8 +279,13 @@ mod tests {
         let mut retried = false;
         for seed in 0..50 {
             let mut rng = SimRng::seed_from(seed);
-            let out =
-                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+            let out = c.admit(
+                &routes,
+                &mut links,
+                &mut rsvp,
+                Bandwidth::from_kbps(64),
+                &mut rng,
+            );
             assert!(out.is_admitted(), "seed {seed}");
             let flow = out.admitted.unwrap();
             assert_eq!(flow.member_index, 1, "only member 1 is reachable");
@@ -301,8 +309,13 @@ mod tests {
         let mut rejections = 0;
         for seed in 0..200 {
             let mut rng = SimRng::seed_from(seed);
-            let out =
-                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+            let out = c.admit(
+                &routes,
+                &mut links,
+                &mut rsvp,
+                Bandwidth::from_kbps(64),
+                &mut rng,
+            );
             assert_eq!(out.tries, 1);
             match out.admitted {
                 Some(flow) => {
@@ -331,7 +344,13 @@ mod tests {
         let mut rsvp = ReservationEngine::new();
         let mut rng = SimRng::seed_from(9);
         let mut c = controller(Box::new(Ed), 5, dists);
-        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        let out = c.admit(
+            &routes,
+            &mut links,
+            &mut rsvp,
+            Bandwidth::from_kbps(64),
+            &mut rng,
+        );
         assert!(!out.is_admitted());
         assert_eq!(out.tries, 2, "both members tried once, none twice");
         assert_eq!(c.history().failures(0), 1);
@@ -352,8 +371,13 @@ mod tests {
         // Warm the history with a few requests.
         let mut sessions = Vec::new();
         for _ in 0..10 {
-            let out =
-                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_bps(1), &mut rng);
+            let out = c.admit(
+                &routes,
+                &mut links,
+                &mut rsvp,
+                Bandwidth::from_bps(1),
+                &mut rng,
+            );
             if let Some(f) = out.admitted {
                 sessions.push(f.session);
             }
@@ -381,8 +405,13 @@ mod tests {
         // R = 1 every request is admitted.
         for seed in 0..100 {
             let mut rng = SimRng::seed_from(seed);
-            let out =
-                c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(1), &mut rng);
+            let out = c.admit(
+                &routes,
+                &mut links,
+                &mut rsvp,
+                Bandwidth::from_kbps(1),
+                &mut rng,
+            );
             assert!(out.is_admitted(), "seed {seed}");
             let flow = out.admitted.unwrap();
             assert_eq!(flow.member_index, 1);
@@ -404,7 +433,13 @@ mod tests {
         let mut rsvp = ReservationEngine::new();
         let mut rng = SimRng::seed_from(5);
         let mut c = controller(Box::new(WdDb), 5, dists);
-        let out = c.admit(&routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64), &mut rng);
+        let out = c.admit(
+            &routes,
+            &mut links,
+            &mut rsvp,
+            Bandwidth::from_kbps(64),
+            &mut rng,
+        );
         assert!(!out.is_admitted());
         assert_eq!(out.tries, 2, "both members tried");
     }

@@ -12,14 +12,16 @@ use crate::baselines::{GlobalDynamicSystem, ShortestPathSystem};
 use crate::multipath::{MultipathController, MultipathRouteTable};
 use crate::policy::PolicySpec;
 use crate::{AdmissionController, AdmissionOutcome, RetrialPolicy};
+use anycast_chaos::{build_timeline, FaultAction, FaultBook, FaultEntity, FaultPlan};
 use anycast_net::{
     topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, RouteTable, Topology,
 };
-use anycast_rsvp::{MessageLedger, ReservationEngine, SessionId};
+use anycast_rsvp::{MessageLedger, RefreshTracker, ReservationEngine, SessionId};
 use anycast_sim::stats::{AdmissionStats, TimeWeighted};
 use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
 use anycast_sim::{Engine, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Which admission system the experiment evaluates — the paper's
 /// `<A, R>` tuples plus the two baselines.
@@ -167,6 +169,9 @@ pub struct ExperimentConfig {
     pub system: SystemSpec,
     /// Shape of the request arrival process (extension; paper: Poisson).
     pub arrivals: ArrivalProcess,
+    /// Fault-injection plan (extension; the paper's analysis is
+    /// fault-free, which [`FaultPlan::none`] reproduces exactly).
+    pub faults: FaultPlan,
 }
 
 impl ExperimentConfig {
@@ -190,6 +195,7 @@ impl ExperimentConfig {
             sources: topologies::mci_source_nodes(),
             system,
             arrivals: ArrivalProcess::Poisson,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -238,6 +244,12 @@ impl ExperimentConfig {
     /// Replaces the arrival-process shape (extension beyond the paper).
     pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Installs a fault-injection plan (extension beyond the paper).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -330,6 +342,25 @@ pub struct Metrics {
     /// (`member_share[g][i]` for member `i` of group `g`) — how well the
     /// §4.1 goal of "randomly distribut\[ing\] anycast flows" is met.
     pub member_share: Vec<Vec<f64>>,
+    /// Time-average fraction of links operational over the measured
+    /// period (1.0 in fault-free runs).
+    pub availability: f64,
+    /// Flows torn down mid-service because a fault removed their path
+    /// (counted over the whole run, warm-up included).
+    pub flows_killed_by_failure: u64,
+    /// Completed outages (failure followed by repair) over the run.
+    pub outages: u64,
+    /// Mean repair time over completed outages, seconds (0 when none).
+    pub mean_recovery_secs: f64,
+    /// Reservations orphaned by a lost teardown message over the run.
+    pub orphaned_reservations: u64,
+    /// Orphaned reservations whose bandwidth was recovered — by
+    /// soft-state expiry, or early when a fault tore their path down.
+    pub orphans_reclaimed: u64,
+    /// Reserved bandwidth at the horizon not attributable to any
+    /// surviving session, in bit/s per link-hop. Always 0 unless the
+    /// bookkeeping leaks.
+    pub leaked_bandwidth_bps: u64,
 }
 
 /// Internal event alphabet of the closed-loop simulation.
@@ -342,6 +373,13 @@ enum Event {
         demand: Bandwidth,
     },
     Departure(SessionId),
+    /// A delayed PATH_TEAR finally landing (control-plane delay model).
+    Teardown(SessionId),
+    /// One fault-plan action firing.
+    Fault(FaultAction),
+    /// Periodic soft-state refresh: live sources re-arm their sessions;
+    /// orphans miss the refresh and eventually expire.
+    RefreshSweep,
     WarmupEnd,
 }
 
@@ -380,7 +418,8 @@ enum SystemState {
 ///
 /// Panics if the configuration is inconsistent with the topology (unknown
 /// nodes, empty groups or sources, non-positive durations, an invalid
-/// policy parameter, or a disconnected topology).
+/// policy parameter, a disconnected topology, or a fault plan whose
+/// scripted actions reference unknown links or nodes).
 pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
     assert!(
         config.measure_secs > 0.0 && config.warmup_secs >= 0.0,
@@ -390,6 +429,24 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
     for s in &config.sources {
         assert!(topo.contains_node(*s), "source {s} not in topology");
     }
+    let refresh = config.faults.refresh;
+    assert!(
+        refresh.refresh_interval_secs.is_finite() && refresh.refresh_interval_secs > 0.0,
+        "refresh interval must be positive"
+    );
+    assert!(
+        refresh.missed_refresh_limit > 0,
+        "missed-refresh limit must be at least 1"
+    );
+    let control = config.faults.control;
+    assert!(
+        (0.0..=1.0).contains(&control.teardown_loss_probability),
+        "teardown loss probability must lie in [0, 1]"
+    );
+    assert!(
+        control.teardown_delay_secs.is_finite() && control.teardown_delay_secs >= 0.0,
+        "teardown delay mean must be non-negative"
+    );
     let group_specs = config.effective_groups();
     let mut groups = Vec::with_capacity(group_specs.len());
     let mut route_tables = Vec::with_capacity(group_specs.len());
@@ -479,6 +536,10 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
     let mut selection_rng = master_rng.fork();
     let mut demand_rng = master_rng.fork();
     let mut group_rng = master_rng.fork();
+    // Forked last so the fault stream never perturbs the workload,
+    // selection, demand or group streams: a run under FaultPlan::none()
+    // is bit-identical to one that predates fault injection.
+    let mut fault_rng = master_rng.fork();
     let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
     let draw_group = move |rng: &mut SimRng| -> usize {
         if group_shares.len() == 1 {
@@ -507,19 +568,44 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
         .iter()
         .map(|_| AdmissionStats::new(warmup_end))
         .collect();
-    let mut member_counts: Vec<Vec<u64>> = groups
-        .iter()
-        .map(|g| vec![0u64; g.len()])
-        .collect();
+    let mut member_counts: Vec<Vec<u64>> = groups.iter().map(|g| vec![0u64; g.len()]).collect();
     let mut active: Option<TimeWeighted> = None;
     let mut reserved_bw: Option<TimeWeighted> = None;
-    let total_partition: f64 = links
-        .iter()
-        .map(|(_, s)| s.capacity.bps() as f64)
-        .sum();
+    let total_partition: f64 = links.iter().map(|(_, s)| s.capacity.bps() as f64).sum();
+
+    // --- Fault-injection state ---------------------------------------
+    // The timeline is expanded up front (deterministically, from its own
+    // forked stream) and scheduled as ordinary events; the soft-state
+    // tracker runs even in fault-free experiments, so reservation
+    // lifecycle behaviour never depends on whether faults are possible.
+    let mut tracker = RefreshTracker::new(refresh);
+    let mut live_flows: HashSet<SessionId> = HashSet::new();
+    let mut orphaned: HashSet<SessionId> = HashSet::new();
+    let mut killed: HashSet<SessionId> = HashSet::new();
+    let mut book = FaultBook::new();
+    let mut availability: Option<TimeWeighted> = None;
+    let refresh_interval = anycast_sim::Duration::from_secs(refresh.refresh_interval_secs);
 
     let mut engine: Engine<Event> = Engine::new();
     engine.schedule_at(warmup_end, Event::WarmupEnd);
+    let fault_members: Vec<NodeId> = groups
+        .iter()
+        .flat_map(|g| g.members().iter().copied())
+        .collect();
+    let timeline = build_timeline(
+        &config.faults,
+        topo,
+        &fault_members,
+        config.warmup_secs + config.measure_secs,
+        &mut fault_rng,
+    );
+    for ev in timeline.events() {
+        engine.schedule_at(SimTime::from_secs(ev.at_secs), Event::Fault(ev.action));
+    }
+    engine.schedule_at(
+        SimTime::from_secs(refresh.refresh_interval_secs),
+        Event::RefreshSweep,
+    );
     let first = workload.next_request();
     let first_demand = draw_demand(&mut demand_rng);
     let first_group = draw_group(&mut group_rng);
@@ -568,14 +654,9 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                     &mut rsvp,
                     demand,
                 ),
-                SystemState::Gdi(gdi) => gdi.admit(
-                    topo,
-                    group,
-                    source,
-                    &mut links,
-                    &mut rsvp,
-                    demand,
-                ),
+                SystemState::Gdi(gdi) => {
+                    gdi.admit(topo, group, source, &mut links, &mut rsvp, demand)
+                }
             };
             stats.record(now, outcome.is_admitted(), outcome.tries);
             group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
@@ -585,6 +666,8 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 }
             }
             if let Some(flow) = outcome.admitted {
+                live_flows.insert(flow.session);
+                tracker.register(flow.session, now.as_secs());
                 eng.schedule_in(
                     now,
                     anycast_sim::Duration::from_secs(holding_secs),
@@ -611,8 +694,99 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
             );
         }
         Event::Departure(session) => {
-            rsvp.teardown(&mut links, session)
-                .expect("departing flows hold live sessions");
+            live_flows.remove(&session);
+            if killed.remove(&session) {
+                // The reservation already died with a fault; the flow's
+                // endpoints have nothing left to tear down.
+            } else if control.teardown_loss_probability > 0.0
+                && fault_rng.uniform() < control.teardown_loss_probability
+            {
+                // PATH_TEAR lost: the reservation holds its bandwidth
+                // until soft state expires it.
+                orphaned.insert(session);
+                book.orphans_created += 1;
+            } else if control.teardown_delay_secs > 0.0 {
+                let delay = fault_rng.exp_duration(control.teardown_delay_secs);
+                eng.schedule_in(now, delay, Event::Teardown(session));
+            } else {
+                rsvp.teardown(&mut links, session)
+                    .expect("departing flows hold live sessions");
+                tracker.forget(session);
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
+                }
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+            }
+        }
+        Event::Teardown(session) => {
+            if killed.remove(&session) {
+                // A fault beat the delayed teardown to the reservation.
+            } else {
+                rsvp.teardown(&mut links, session)
+                    .expect("delayed teardowns target live sessions");
+                tracker.forget(session);
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
+                }
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+            }
+        }
+        Event::Fault(action) => {
+            let t = now.as_secs();
+            let victims: Vec<SessionId> = match action {
+                FaultAction::FailLink(link) => {
+                    links
+                        .fail_link(link)
+                        .expect("fault plan references known links");
+                    book.record_down(FaultEntity::Link(link), t);
+                    rsvp.sessions_using_link(link)
+                }
+                FaultAction::RestoreLink(link) => {
+                    links
+                        .restore_link(link)
+                        .expect("fault plan references known links");
+                    book.record_up(FaultEntity::Link(link), t);
+                    Vec::new()
+                }
+                FaultAction::CrashNode(node) => {
+                    links
+                        .fail_node(node)
+                        .expect("fault plan references known nodes");
+                    book.record_down(FaultEntity::Node(node), t);
+                    rsvp.sessions_through_node(node)
+                }
+                FaultAction::RestoreNode(node) => {
+                    links
+                        .restore_node(node)
+                        .expect("fault plan references known nodes");
+                    book.record_up(FaultEntity::Node(node), t);
+                    Vec::new()
+                }
+            };
+            for session in victims {
+                rsvp.teardown(&mut links, session)
+                    .expect("fault victims hold live reservations");
+                tracker.forget(session);
+                if orphaned.remove(&session) {
+                    // The fault returned an orphan's bandwidth before soft
+                    // state got to it.
+                    book.orphans_reclaimed += 1;
+                } else {
+                    // A Departure or delayed Teardown event is still
+                    // pending for this session and must become a no-op.
+                    killed.insert(session);
+                    if live_flows.contains(&session) {
+                        book.flows_killed += 1;
+                    }
+                }
+            }
+            if let Some(tw) = availability.as_mut() {
+                tw.update(now, links.operational_fraction());
+            }
             if let Some(tw) = active.as_mut() {
                 tw.update(now, rsvp.active_sessions() as f64);
             }
@@ -620,15 +794,60 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 tw.update(now, links.total_reserved().bps() as f64);
             }
         }
+        Event::RefreshSweep => {
+            let t = now.as_secs();
+            for session in rsvp.session_ids_sorted() {
+                if !orphaned.contains(&session) {
+                    // The flow's source (or, post-departure, its pending
+                    // delayed teardown) still exists and keeps the state
+                    // alive.
+                    tracker
+                        .refresh(session, t)
+                        .expect("live sessions are tracked");
+                }
+            }
+            let expired = tracker.collect_expired(t);
+            if !expired.is_empty() {
+                for session in expired {
+                    rsvp.teardown(&mut links, session)
+                        .expect("expired sessions hold reservations");
+                    orphaned.remove(&session);
+                    book.orphans_reclaimed += 1;
+                }
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
+                }
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+            }
+            eng.schedule_in(now, refresh_interval, Event::RefreshSweep);
+        }
         Event::WarmupEnd => {
             rsvp.reset_ledger();
             active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
-            reserved_bw = Some(TimeWeighted::new(
-                now,
-                links.total_reserved().bps() as f64,
-            ));
+            reserved_bw = Some(TimeWeighted::new(now, links.total_reserved().bps() as f64));
+            availability = Some(TimeWeighted::new(now, links.operational_fraction()));
         }
     });
+
+    // Close the books at the horizon: one final soft-state sweep so
+    // orphans whose lifetime ended inside the run are reclaimed even when
+    // the next periodic sweep would have fallen beyond it.
+    for session in tracker.collect_expired(horizon.as_secs()) {
+        rsvp.teardown(&mut links, session)
+            .expect("expired sessions hold reservations");
+        orphaned.remove(&session);
+        book.orphans_reclaimed += 1;
+    }
+    // Audit the bandwidth ledger: every reserved bit must be attributable
+    // to a surviving session (live flows, pending teardowns, and orphans
+    // still inside their soft-state lifetime).
+    let attributable: u64 = rsvp
+        .sessions()
+        .map(|(_, r)| r.bandwidth().bps() * r.path().links().len() as u64)
+        .sum();
+    let leaked_bandwidth_bps = links.total_reserved().bps().saturating_sub(attributable);
 
     let messages = rsvp.ledger().clone();
     let offered = stats.offered();
@@ -683,6 +902,16 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 }
             })
             .unwrap_or(0.0),
+        availability: availability
+            .as_ref()
+            .map(|tw| tw.average_until(horizon))
+            .unwrap_or(1.0),
+        flows_killed_by_failure: book.flows_killed,
+        outages: book.completed_outages(),
+        mean_recovery_secs: book.mean_recovery_secs(),
+        orphaned_reservations: book.orphans_created,
+        orphans_reclaimed: book.orphans_reclaimed,
+        leaked_bandwidth_bps,
     }
 }
 
@@ -740,7 +969,11 @@ mod tests {
     fn high_load_rejects_some() {
         let topo = topologies::mci();
         let m = run_experiment(&topo, &quick(50.0, SystemSpec::dac(PolicySpec::Ed, 1)));
-        assert!(m.admission_probability < 0.9, "AP {}", m.admission_probability);
+        assert!(
+            m.admission_probability < 0.9,
+            "AP {}",
+            m.admission_probability
+        );
         assert!(m.admission_probability > 0.1);
         assert!(m.offered > 10_000);
         assert_eq!(m.offered, m.admitted + (m.offered - m.admitted));
@@ -849,8 +1082,7 @@ mod tests {
                 share: 1.0,
             },
         ];
-        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
-            .with_groups(groups);
+        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2)).with_groups(groups);
         let m = run_experiment(&topo, &cfg);
         assert_eq!(m.per_group_ap.len(), 2);
         for &ap in &m.per_group_ap {
@@ -891,7 +1123,10 @@ mod tests {
         );
         let multi = run_experiment(
             &topo,
-            &quick(35.0, SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2)),
+            &quick(
+                35.0,
+                SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2),
+            ),
         );
         assert_eq!(multi.label, "<WD/D+H,2,k=2>");
         assert!(
@@ -947,6 +1182,108 @@ mod tests {
         let topo = topologies::mci();
         let cfg = quick(1.0, SystemSpec::ShortestPath).with_sources(vec![NodeId::new(99)]);
         let _ = run_experiment(&topo, &cfg);
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_fault_free_metrics_exactly() {
+        let topo = topologies::mci();
+        let base = quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let fault_free = run_experiment(&topo, &base);
+        // An explicit (but inert) plan, and a plan whose only scripted
+        // action lies beyond the horizon, must both be bit-identical to
+        // the fault-free run.
+        let explicit = base.clone().with_faults(FaultPlan::none());
+        assert_eq!(fault_free, run_experiment(&topo, &explicit));
+        let beyond = base.clone().with_faults(FaultPlan::none().with_scripted(
+            1_000_000.0,
+            FaultAction::FailLink(anycast_net::LinkId::new(0)),
+        ));
+        assert_eq!(fault_free, run_experiment(&topo, &beyond));
+        assert_eq!(fault_free.availability, 1.0);
+        assert_eq!(fault_free.flows_killed_by_failure, 0);
+        assert_eq!(fault_free.orphaned_reservations, 0);
+        assert_eq!(fault_free.leaked_bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_identically() {
+        let topo = topologies::mci();
+        let plan = FaultPlan::none()
+            .with_link_model(400.0, 60.0)
+            .with_member_model(600.0, 120.0)
+            .with_teardown_loss(0.1)
+            .with_teardown_delay(2.0);
+        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2)).with_faults(plan);
+        let a = run_experiment(&topo, &cfg);
+        let b = run_experiment(&topo, &cfg);
+        assert_eq!(a, b, "same seed + same plan must replay exactly");
+        assert!(a.outages > 0, "the stochastic models must actually fire");
+    }
+
+    #[test]
+    fn link_faults_cost_availability_without_leaking_bandwidth() {
+        let topo = topologies::mci();
+        let plan = FaultPlan::none().with_link_model(500.0, 100.0);
+        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_faults(plan);
+        let m = run_experiment(&topo, &cfg);
+        assert!(
+            m.availability < 1.0,
+            "links failing every ~500 s must dent availability, got {}",
+            m.availability
+        );
+        assert!(m.availability > 0.5, "MTTR ≪ MTBF keeps most links up");
+        assert!(m.flows_killed_by_failure > 0);
+        assert!(m.outages > 0);
+        assert!(m.mean_recovery_secs > 0.0);
+        assert_eq!(m.leaked_bandwidth_bps, 0, "no fault may leak bandwidth");
+        assert!(
+            m.admission_probability < 1.0,
+            "lost capacity must cost some admissions"
+        );
+    }
+
+    #[test]
+    fn lost_teardowns_orphan_and_soft_state_reclaims() {
+        let topo = topologies::mci();
+        let plan = FaultPlan::none().with_teardown_loss(0.25);
+        let cfg = quick(15.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_faults(plan);
+        let m = run_experiment(&topo, &cfg);
+        assert!(
+            m.orphaned_reservations > 100,
+            "a quarter of teardowns vanish: {}",
+            m.orphaned_reservations
+        );
+        assert!(
+            m.orphans_reclaimed > 0,
+            "refresh sweeps must expire orphans"
+        );
+        // Orphans linger ≤ one lifetime + one sweep; with a 900 s run and
+        // a 90 s lifetime, nearly all created orphans are reclaimed.
+        assert!(m.orphans_reclaimed <= m.orphaned_reservations);
+        assert_eq!(m.leaked_bandwidth_bps, 0);
+        // Orphans hold bandwidth the fault-free run would have released,
+        // so admission can only get worse.
+        let clean = run_experiment(&topo, &quick(15.0, SystemSpec::dac(PolicySpec::Ed, 2)));
+        assert!(m.admission_probability <= clean.admission_probability);
+    }
+
+    #[test]
+    fn scripted_member_crash_shifts_traffic() {
+        let topo = topologies::mci();
+        let member = NodeId::new(0);
+        let plan = FaultPlan::none()
+            .with_scripted(400.0, FaultAction::CrashNode(member))
+            .with_scripted(700.0, FaultAction::RestoreNode(member));
+        let cfg = quick(10.0, SystemSpec::dac(PolicySpec::Ed, 3)).with_faults(plan);
+        let m = run_experiment(&topo, &cfg);
+        let clean = run_experiment(&topo, &quick(10.0, SystemSpec::dac(PolicySpec::Ed, 3)));
+        assert!(m.availability < 1.0, "a crashed member downs its links");
+        assert_eq!(m.outages, 1);
+        assert!((m.mean_recovery_secs - 300.0).abs() < 1e-6);
+        // The crashed member (group index 0) receives less than its
+        // fault-free share while the outage lasts.
+        assert!(m.member_share[0][0] < clean.member_share[0][0]);
+        assert_eq!(m.leaked_bandwidth_bps, 0);
     }
 
     #[test]

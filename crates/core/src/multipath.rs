@@ -282,11 +282,8 @@ mod tests {
     /// Diamond to a single member: two disjoint 2-hop routes.
     fn diamond() -> (Topology, AnycastGroup, MultipathRouteTable) {
         let mut b = TopologyBuilder::new(4);
-        b.links_uniform(
-            [(0, 1), (1, 3), (0, 2), (2, 3)],
-            Bandwidth::from_kbps(128),
-        )
-        .unwrap();
+        b.links_uniform([(0, 1), (1, 3), (0, 2), (2, 3)], Bandwidth::from_kbps(128))
+            .unwrap();
         let topo = b.build();
         let group = AnycastGroup::new("G", [NodeId::new(3)]).unwrap();
         let table = MultipathRouteTable::build(&topo, &group, 2);
@@ -327,7 +324,10 @@ mod tests {
             Bandwidth::from_kbps(64),
             &mut rng,
         );
-        assert!(out.outcome.is_admitted(), "alternate route must save the flow");
+        assert!(
+            out.outcome.is_admitted(),
+            "alternate route must save the flow"
+        );
         assert_eq!(out.outcome.tries, 1, "one member tried");
         assert_eq!(out.path_attempts, 2, "two paths probed");
         assert_eq!(c.history().failures(0), 0, "member succeeded overall");
@@ -367,8 +367,7 @@ mod tests {
         // With one path per member the multipath controller must behave
         // exactly like the classic one under the same RNG stream.
         let topo = topologies::mci();
-        let group =
-            AnycastGroup::new("G", topologies::MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
+        let group = AnycastGroup::new("G", topologies::MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
         let multi = MultipathRouteTable::build(&topo, &group, 1);
         let single = anycast_net::RouteTable::shortest_paths(&topo, &group);
         let source = NodeId::new(7);
@@ -406,7 +405,10 @@ mod tests {
             );
             assert_eq!(a.outcome.is_admitted(), b.is_admitted());
             assert_eq!(a.outcome.tries, b.tries);
-            assert_eq!(a.path_attempts, b.tries, "k=1: one path probe per member try");
+            assert_eq!(
+                a.path_attempts, b.tries,
+                "k=1: one path probe per member try"
+            );
             match (a.outcome.admitted, b.admitted) {
                 (Some(fa), Some(fb)) => assert_eq!(fa.member_index, fb.member_index),
                 (None, None) => {}

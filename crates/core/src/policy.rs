@@ -313,11 +313,7 @@ impl fmt::Display for PolicySpec {
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        distances: &'a [u32],
-        history: &'a [u32],
-        bw: &'a [f64],
-    ) -> SelectionContext<'a> {
+    fn ctx<'a>(distances: &'a [u32], history: &'a [u32], bw: &'a [f64]) -> SelectionContext<'a> {
         SelectionContext {
             distances,
             history,
@@ -444,7 +440,10 @@ mod tests {
         assert!(ctx(&[1, 2], &[0, 0], &[1.0, 2.0]).validate().is_ok());
         assert!(matches!(
             ctx(&[1, 2], &[0], &[]).validate(),
-            Err(DacError::ContextShapeMismatch { field: "history", .. })
+            Err(DacError::ContextShapeMismatch {
+                field: "history",
+                ..
+            })
         ));
         assert!(matches!(
             ctx(&[1, 2], &[0, 0], &[1.0]).validate(),

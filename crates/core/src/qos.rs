@@ -103,7 +103,8 @@ pub fn required_bandwidth(
         });
     }
     // Rate-dependent term: (σ + (H−1)·L) / g ≤ D − fixed.
-    let numerator_bits = (spec.burst_bytes + (hops as u64 - 1) * spec.max_packet_bytes) as f64 * 8.0;
+    let numerator_bits =
+        (spec.burst_bytes + (hops as u64 - 1) * spec.max_packet_bytes) as f64 * 8.0;
     let g = numerator_bits / (delay_bound_secs - fixed);
     let g = Bandwidth::from_bps(g.ceil() as u64);
     Ok(g.max(spec.sustained_rate))
@@ -130,7 +131,8 @@ pub fn guaranteed_delay(
     assert!(!link_capacity.is_zero(), "link capacity must be positive");
     let per_hop_latency = (link_max_packet_bytes as f64 * 8.0) / link_capacity.bps() as f64;
     let fixed = hops as f64 * per_hop_latency;
-    let numerator_bits = (spec.burst_bytes + (hops as u64 - 1) * spec.max_packet_bytes) as f64 * 8.0;
+    let numerator_bits =
+        (spec.burst_bytes + (hops as u64 - 1) * spec.max_packet_bytes) as f64 * 8.0;
     fixed + numerator_bits / rate.bps() as f64
 }
 

@@ -29,7 +29,10 @@ pub fn uniform_weights(k: usize) -> Vec<f64> {
 ///
 /// Panics if `weights` is empty, or any weight is negative or non-finite.
 pub fn normalize_weights(weights: &mut [f64]) {
-    assert!(!weights.is_empty(), "cannot normalise an empty weight vector");
+    assert!(
+        !weights.is_empty(),
+        "cannot normalise an empty weight vector"
+    );
     let mut sum = 0.0;
     for &w in weights.iter() {
         assert!(
@@ -209,7 +212,10 @@ mod tests {
     fn zero_distance_clamped() {
         let w = distance_weights(&[0, 1]);
         assert_distribution(&w);
-        assert!((w[0] - 0.5).abs() < 1e-12, "co-located member treated as d=1");
+        assert!(
+            (w[0] - 0.5).abs() < 1e-12,
+            "co-located member treated as d=1"
+        );
     }
 
     #[test]

@@ -46,24 +46,27 @@ pub fn parse_edge_list(text: &str) -> Result<Topology, NetError> {
                 reason: name,
             })
         };
-        let a: u32 = field("missing first endpoint")?
-            .parse()
-            .map_err(|_| NetError::MalformedEdgeList {
-                line: idx + 1,
-                reason: "first endpoint is not an integer",
-            })?;
-        let b: u32 = field("missing second endpoint")?
-            .parse()
-            .map_err(|_| NetError::MalformedEdgeList {
-                line: idx + 1,
-                reason: "second endpoint is not an integer",
-            })?;
-        let cap: u64 = field("missing capacity")?
-            .parse()
-            .map_err(|_| NetError::MalformedEdgeList {
-                line: idx + 1,
-                reason: "capacity is not an integer (bits per second)",
-            })?;
+        let a: u32 =
+            field("missing first endpoint")?
+                .parse()
+                .map_err(|_| NetError::MalformedEdgeList {
+                    line: idx + 1,
+                    reason: "first endpoint is not an integer",
+                })?;
+        let b: u32 =
+            field("missing second endpoint")?
+                .parse()
+                .map_err(|_| NetError::MalformedEdgeList {
+                    line: idx + 1,
+                    reason: "second endpoint is not an integer",
+                })?;
+        let cap: u64 =
+            field("missing capacity")?
+                .parse()
+                .map_err(|_| NetError::MalformedEdgeList {
+                    line: idx + 1,
+                    reason: "capacity is not an integer (bits per second)",
+                })?;
         if parts.next().is_some() {
             return Err(NetError::MalformedEdgeList {
                 line: idx + 1,
@@ -140,10 +143,7 @@ mod tests {
     #[test]
     fn reports_line_numbers() {
         let err = parse_edge_list("0 1 100\nbogus line\n").unwrap_err();
-        assert!(matches!(
-            err,
-            NetError::MalformedEdgeList { line: 2, .. }
-        ));
+        assert!(matches!(err, NetError::MalformedEdgeList { line: 2, .. }));
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "{msg}");
     }
@@ -161,10 +161,7 @@ mod tests {
             ("# only comments\n", "no links"),
         ] {
             let err = parse_edge_list(text).unwrap_err();
-            assert!(
-                err.to_string().contains(reason_part),
-                "{text:?} → {err}"
-            );
+            assert!(err.to_string().contains(reason_part), "{text:?} → {err}");
         }
     }
 

@@ -43,8 +43,8 @@ mod link_state;
 pub mod metrics;
 mod path;
 pub mod routing;
-mod topology;
 pub mod topologies;
+mod topology;
 
 pub use bandwidth::Bandwidth;
 pub use error::NetError;

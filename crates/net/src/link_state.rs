@@ -1,6 +1,7 @@
-//! The link-capacity ledger: available bandwidth per link.
+//! The link-capacity ledger: available bandwidth per link, plus link and
+//! node up/down state for the fault-injection extension.
 
-use crate::{Bandwidth, LinkId, NetError, Path, Topology};
+use crate::{Bandwidth, LinkId, NetError, NodeId, Path, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Read-only snapshot of one link's capacity accounting.
@@ -48,9 +49,20 @@ impl LinkSnapshot {
 ///
 /// Path-level operations ([`reserve_path`](Self::reserve_path)) are
 /// all-or-nothing: on failure the ledger is left exactly as it was.
+/// Link and node up/down state is tracked separately from the capacity
+/// accounting: `LinkSnapshot::failed` is the *effective* state (a link is
+/// down if it failed itself **or** either endpoint node is down), while
+/// the table remembers the explicit link faults so that restoring a node
+/// does not silently resurrect a link that is still broken on its own.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkStateTable {
     states: Vec<LinkSnapshot>,
+    /// Explicit per-link faults (`fail_link`), independent of node state.
+    link_failed: Vec<bool>,
+    /// Per-node faults (`fail_node`); a down node downs every incident link.
+    node_failed: Vec<bool>,
+    /// Link endpoints, captured from the topology at construction.
+    endpoints: Vec<(NodeId, NodeId)>,
 }
 
 impl LinkStateTable {
@@ -87,7 +99,13 @@ impl LinkStateTable {
                 }
             })
             .collect();
-        LinkStateTable { states }
+        let endpoints = topo.links().map(|l| (l.a(), l.b())).collect();
+        LinkStateTable {
+            states,
+            link_failed: vec![false; topo.link_count()],
+            node_failed: vec![false; topo.node_count()],
+            endpoints,
+        }
     }
 
     /// Builds a ledger using each link's full topology capacity.
@@ -270,27 +288,79 @@ impl LinkStateTable {
     ///
     /// [`NetError::UnknownLink`] if `link` is out of range.
     pub fn fail_link(&mut self, link: LinkId) -> Result<(), NetError> {
-        self.states
-            .get_mut(link.index())
-            .ok_or(NetError::UnknownLink(link))?
-            .failed = true;
+        let i = link.index();
+        if i >= self.states.len() {
+            return Err(NetError::UnknownLink(link));
+        }
+        self.link_failed[i] = true;
+        self.recompute_effective(i);
         Ok(())
     }
 
-    /// Brings a failed link back into service.
+    /// Brings a failed link back into service. If an endpoint node is
+    /// still down, the link stays effectively down until the node returns.
     ///
     /// # Errors
     ///
     /// [`NetError::UnknownLink`] if `link` is out of range.
     pub fn restore_link(&mut self, link: LinkId) -> Result<(), NetError> {
-        self.states
-            .get_mut(link.index())
-            .ok_or(NetError::UnknownLink(link))?
-            .failed = false;
+        let i = link.index();
+        if i >= self.states.len() {
+            return Err(NetError::UnknownLink(link));
+        }
+        self.link_failed[i] = false;
+        self.recompute_effective(i);
         Ok(())
     }
 
-    /// Whether a link is currently failed.
+    /// Marks a node as failed (crashed router / anycast server host).
+    ///
+    /// Every link incident to the node becomes effectively down: new
+    /// admissions across it are rejected, while existing reservations
+    /// remain recorded for the caller's teardown policy, exactly as with
+    /// [`fail_link`](Self::fail_link).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `node` is out of range.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        let n = node.index();
+        if n >= self.node_failed.len() {
+            return Err(NetError::UnknownNode(node));
+        }
+        self.node_failed[n] = true;
+        self.recompute_incident(node);
+        Ok(())
+    }
+
+    /// Brings a failed node back into service. Incident links recover
+    /// unless they carry an explicit link fault of their own (or their
+    /// other endpoint is still down).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `node` is out of range.
+    pub fn restore_node(&mut self, node: NodeId) -> Result<(), NetError> {
+        let n = node.index();
+        if n >= self.node_failed.len() {
+            return Err(NetError::UnknownNode(node));
+        }
+        self.node_failed[n] = false;
+        self.recompute_incident(node);
+        Ok(())
+    }
+
+    /// Whether a node is currently failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_node_failed(&self, node: NodeId) -> bool {
+        self.node_failed[node.index()]
+    }
+
+    /// Whether a link is currently (effectively) failed — down itself or
+    /// attached to a down node.
     ///
     /// # Panics
     ///
@@ -299,14 +369,47 @@ impl LinkStateTable {
         self.states[link.index()].failed
     }
 
-    /// Clears all reservations and failures, returning the ledger to its
-    /// initial state.
+    /// Number of links currently (effectively) down.
+    pub fn failed_link_count(&self) -> usize {
+        self.states.iter().filter(|s| s.failed).count()
+    }
+
+    /// Fraction of links currently operational, in `[0, 1]` — the
+    /// instantaneous network availability the fault metrics integrate.
+    /// An empty ledger reports full availability.
+    pub fn operational_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.failed_link_count() as f64 / self.states.len() as f64
+    }
+
+    fn recompute_effective(&mut self, link_index: usize) {
+        let (a, b) = self.endpoints[link_index];
+        self.states[link_index].failed = self.link_failed[link_index]
+            || self.node_failed[a.index()]
+            || self.node_failed[b.index()];
+    }
+
+    fn recompute_incident(&mut self, node: NodeId) {
+        for i in 0..self.states.len() {
+            let (a, b) = self.endpoints[i];
+            if a == node || b == node {
+                self.recompute_effective(i);
+            }
+        }
+    }
+
+    /// Clears all reservations and failures (link and node), returning
+    /// the ledger to its initial state.
     pub fn reset(&mut self) {
         for s in &mut self.states {
             s.reserved = Bandwidth::ZERO;
             s.flows = 0;
             s.failed = false;
         }
+        self.link_failed.fill(false);
+        self.node_failed.fill(false);
     }
 }
 
@@ -396,12 +499,11 @@ mod tests {
         let (topo, _) = line4();
         let mut table = LinkStateTable::from_topology(&topo);
         let p = Path::trivial(NodeId::new(2));
-        table.reserve_path(&p, Bandwidth::from_mbps(10_000)).unwrap();
+        table
+            .reserve_path(&p, Bandwidth::from_mbps(10_000))
+            .unwrap();
         assert_eq!(table.total_reserved(), Bandwidth::ZERO);
-        assert_eq!(
-            table.min_available_on(&p),
-            Bandwidth::from_bps(u64::MAX)
-        );
+        assert_eq!(table.min_available_on(&p), Bandwidth::from_bps(u64::MAX));
     }
 
     #[test]
@@ -490,11 +592,73 @@ mod tests {
         table.reserve_path(&path, Bandwidth::from_kbps(64)).unwrap();
         table.fail_link(LinkId::new(0)).unwrap();
         table.release_path(&path, Bandwidth::from_kbps(64)).unwrap();
-        assert_eq!(table.snapshot(LinkId::new(0)).unwrap().reserved, Bandwidth::ZERO);
+        assert_eq!(
+            table.snapshot(LinkId::new(0)).unwrap().reserved,
+            Bandwidth::ZERO
+        );
         // Still failed after the release; reset clears it.
         assert!(table.is_failed(LinkId::new(0)));
         table.reset();
         assert!(!table.is_failed(LinkId::new(0)));
+    }
+
+    #[test]
+    fn failed_node_downs_incident_links_only() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_node(NodeId::new(1)).unwrap();
+        assert!(table.is_node_failed(NodeId::new(1)));
+        // Links 0 (0-1) and 1 (1-2) touch node 1; link 2 (2-3) does not.
+        assert!(table.is_failed(LinkId::new(0)));
+        assert!(table.is_failed(LinkId::new(1)));
+        assert!(!table.is_failed(LinkId::new(2)));
+        assert_eq!(table.available(LinkId::new(0)), Bandwidth::ZERO);
+        assert_eq!(table.failed_link_count(), 2);
+        assert!((table.operational_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        table.restore_node(NodeId::new(1)).unwrap();
+        assert_eq!(table.failed_link_count(), 0);
+        assert_eq!(table.operational_fraction(), 1.0);
+    }
+
+    #[test]
+    fn node_restore_preserves_explicit_link_faults() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_link(LinkId::new(0)).unwrap();
+        table.fail_node(NodeId::new(0)).unwrap();
+        // Restoring the node must not resurrect the separately failed link.
+        table.restore_node(NodeId::new(0)).unwrap();
+        assert!(table.is_failed(LinkId::new(0)));
+        // And restoring the link while the node is down keeps it down.
+        table.fail_node(NodeId::new(0)).unwrap();
+        table.restore_link(LinkId::new(0)).unwrap();
+        assert!(table.is_failed(LinkId::new(0)));
+        table.restore_node(NodeId::new(0)).unwrap();
+        assert!(!table.is_failed(LinkId::new(0)));
+    }
+
+    #[test]
+    fn fail_unknown_node_errors() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert!(matches!(
+            table.fail_node(NodeId::new(99)),
+            Err(NetError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            table.restore_node(NodeId::new(99)),
+            Err(NetError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn reset_clears_node_faults() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_node(NodeId::new(2)).unwrap();
+        table.reset();
+        assert!(!table.is_node_failed(NodeId::new(2)));
+        assert_eq!(table.failed_link_count(), 0);
     }
 
     #[test]

@@ -49,9 +49,9 @@ impl Path {
             return Err(NetError::MalformedPath("path revisits a node"));
         }
         for (i, link) in links.iter().enumerate() {
-            let l = topo.link(*link).map_err(|_| {
-                NetError::MalformedPath("link id out of range for this topology")
-            })?;
+            let l = topo
+                .link(*link)
+                .map_err(|_| NetError::MalformedPath("link id out of range for this topology"))?;
             let joins = (l.a() == nodes[i] && l.b() == nodes[i + 1])
                 || (l.b() == nodes[i] && l.a() == nodes[i + 1]);
             if !joins {

@@ -119,10 +119,7 @@ mod tests {
         let topo = diamond();
         let p = shortest_path(&topo, NodeId::new(0), NodeId::new(3)).unwrap();
         // Via node 1, not node 2.
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
     }
 
     #[test]

@@ -131,10 +131,7 @@ mod tests {
             }
         })
         .unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
     }
 
     #[test]

@@ -75,11 +75,8 @@ mod tests {
     fn diamond() -> Topology {
         // 0-1 (l0), 0-2 (l1), 1-3 (l2), 2-3 (l3)
         let mut b = TopologyBuilder::new(4);
-        b.links_uniform(
-            [(0, 1), (0, 2), (1, 3), (2, 3)],
-            Bandwidth::from_mbps(100),
-        )
-        .unwrap();
+        b.links_uniform([(0, 1), (0, 2), (1, 3), (2, 3)], Bandwidth::from_mbps(100))
+            .unwrap();
         b.build()
     }
 
@@ -99,10 +96,7 @@ mod tests {
             Bandwidth::from_kbps(64),
         )
         .unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
     }
 
     #[test]

@@ -171,7 +171,10 @@ mod tests {
     fn member_as_source_has_trivial_route() {
         let (topo, g) = line5_group();
         let table = RouteTable::shortest_paths(&topo, &g);
-        assert!(table.route(NodeId::new(0), NodeId::new(0)).unwrap().is_trivial());
+        assert!(table
+            .route(NodeId::new(0), NodeId::new(0))
+            .unwrap()
+            .is_trivial());
     }
 
     #[test]

@@ -57,8 +57,7 @@ pub fn widest_path(
             }
             let w = width.min(links.available(link));
             let h = hops + 1;
-            if w > best_width[v.index()]
-                || (w == best_width[v.index()] && h < best_hops[v.index()])
+            if w > best_width[v.index()] || (w == best_width[v.index()] && h < best_hops[v.index()])
             {
                 best_width[v.index()] = w;
                 best_hops[v.index()] = h;
@@ -93,11 +92,8 @@ mod tests {
     fn diamond() -> Topology {
         // 0-1 (l0), 0-2 (l1), 1-3 (l2), 2-3 (l3)
         let mut b = TopologyBuilder::new(4);
-        b.links_uniform(
-            [(0, 1), (0, 2), (1, 3), (2, 3)],
-            Bandwidth::from_mbps(100),
-        )
-        .unwrap();
+        b.links_uniform([(0, 1), (0, 2), (1, 3), (2, 3)], Bandwidth::from_mbps(100))
+            .unwrap();
         b.build()
     }
 
@@ -110,10 +106,7 @@ mod tests {
             .reserve(LinkId::new(0), Bandwidth::from_mbps(90))
             .unwrap();
         let (p, width) = widest_path(&topo, &state, NodeId::new(0), NodeId::new(3)).unwrap();
-        assert_eq!(
-            p.nodes(),
-            &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]
-        );
+        assert_eq!(p.nodes(), &[NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
         assert_eq!(width, Bandwidth::from_mbps(100));
     }
 

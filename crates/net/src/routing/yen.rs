@@ -51,8 +51,7 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                     }
                 }
             }
-            let banned_nodes: BTreeSet<NodeId> =
-                root_nodes[..spur_idx].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeId> = root_nodes[..spur_idx].iter().copied().collect();
             let Some(spur) =
                 restricted_shortest(topo, spur_node, dst, &banned_nodes, &banned_links)
             else {

@@ -125,8 +125,14 @@ mod tests {
                 diameter = diameter.max(tree.distance(d).unwrap());
             }
         }
-        assert!(diameter <= 6, "diameter {diameter} too large for a backbone");
-        assert!(diameter >= 3, "diameter {diameter} too small to be interesting");
+        assert!(
+            diameter <= 6,
+            "diameter {diameter} too large for a backbone"
+        );
+        assert!(
+            diameter >= 3,
+            "diameter {diameter} too small to be interesting"
+        );
     }
 
     #[test]
@@ -145,8 +151,7 @@ mod tests {
     #[test]
     fn every_source_reaches_every_member() {
         let topo = mci();
-        let group =
-            AnycastGroup::new("A", MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
+        let group = AnycastGroup::new("A", MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
         let table = RouteTable::shortest_paths(&topo, &group);
         for s in mci_source_nodes() {
             let dists = table.distances(s);
@@ -162,6 +167,8 @@ mod tests {
     #[test]
     fn custom_capacity_respected() {
         let topo = mci_with_capacity(Bandwidth::from_mbps(10));
-        assert!(topo.links().all(|l| l.capacity() == Bandwidth::from_mbps(10)));
+        assert!(topo
+            .links()
+            .all(|l| l.capacity() == Bandwidth::from_mbps(10)));
     }
 }

@@ -128,7 +128,8 @@ impl ReservationEngine {
         self.ledger.record(MessageKind::Resv, hops);
         let session = SessionId::new(self.next_id);
         self.next_id += 1;
-        self.active.insert(session, Reservation::new(route.clone(), bw));
+        self.active
+            .insert(session, Reservation::new(route.clone(), bw));
         Ok(ReservationOutcome {
             session,
             route_bandwidth,
@@ -161,11 +162,7 @@ impl ReservationEngine {
     /// extended RESV message would report for WD/D+B. In the experiments
     /// this read is treated as free (the paper assumes the information is
     /// simply "available" at the AC-router once the protocol is extended).
-    pub fn measure_route_bandwidth(
-        &self,
-        links: &LinkStateTable,
-        route: &Path,
-    ) -> Bandwidth {
+    pub fn measure_route_bandwidth(&self, links: &LinkStateTable, route: &Path) -> Bandwidth {
         links.min_available_on(route)
     }
 
@@ -177,6 +174,49 @@ impl ReservationEngine {
     /// Looks up an active session's reservation.
     pub fn reservation(&self, session: SessionId) -> Option<&Reservation> {
         self.active.get(&session)
+    }
+
+    /// Iterates over all active sessions in unspecified order. Callers
+    /// that need determinism (e.g. the fault injector tearing down the
+    /// victims of a link failure) should sort the collected ids —
+    /// [`session_ids_sorted`](Self::session_ids_sorted) does exactly that.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &Reservation)> {
+        self.active.iter().map(|(&s, r)| (s, r))
+    }
+
+    /// All active session ids, ascending — a deterministic iteration
+    /// order independent of the hash map's internal state.
+    pub fn session_ids_sorted(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self.active.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Active sessions whose route crosses `link`, ascending by id.
+    /// These are the flows a failure of `link` severs.
+    pub fn sessions_using_link(&self, link: LinkId) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .active
+            .iter()
+            .filter(|(_, r)| r.path().uses_link(link))
+            .map(|(&s, _)| s)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Active sessions whose route visits `node` (as source, transit hop
+    /// or destination), ascending by id. These are the flows a crash of
+    /// `node` severs.
+    pub fn sessions_through_node(&self, node: anycast_net::NodeId) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .active
+            .iter()
+            .filter(|(_, r)| r.path().nodes().contains(&node))
+            .map(|(&s, _)| s)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The signaling message tally so far.
@@ -318,6 +358,38 @@ mod tests {
         engine.reset_ledger();
         assert_eq!(engine.ledger().total(), 0);
         assert_eq!(engine.active_sessions(), 1);
+    }
+
+    #[test]
+    fn session_queries_find_victims_of_a_fault() {
+        let (_t, mut links, path) = line4();
+        let mut engine = ReservationEngine::new();
+        // Two flows over 0→3 and one trivial flow at node 1.
+        let a = engine
+            .probe_and_reserve(&mut links, &path, Bandwidth::from_kbps(64))
+            .unwrap();
+        let b = engine
+            .probe_and_reserve(&mut links, &path, Bandwidth::from_kbps(64))
+            .unwrap();
+        let c = engine
+            .probe_and_reserve(&mut links, &Path::trivial(NodeId::new(1)), Bandwidth::ZERO)
+            .unwrap();
+        assert_eq!(
+            engine.session_ids_sorted(),
+            vec![a.session, b.session, c.session]
+        );
+        assert_eq!(
+            engine.sessions_using_link(path.links()[1]),
+            vec![a.session, b.session]
+        );
+        assert_eq!(
+            engine.sessions_through_node(NodeId::new(1)),
+            vec![a.session, b.session, c.session]
+        );
+        assert_eq!(engine.sessions_through_node(NodeId::new(3)).len(), 2);
+        assert_eq!(engine.sessions().count(), 3);
+        engine.teardown(&mut links, a.session).unwrap();
+        assert_eq!(engine.sessions_using_link(path.links()[1]), vec![b.session]);
     }
 
     #[test]

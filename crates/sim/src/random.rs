@@ -119,11 +119,7 @@ impl SimRng {
     /// # Panics
     ///
     /// Panics if the slices have different lengths, or on invalid weights.
-    pub fn choose_weighted_masked(
-        &mut self,
-        weights: &[f64],
-        eligible: &[bool],
-    ) -> Option<usize> {
+    pub fn choose_weighted_masked(&mut self, weights: &[f64], eligible: &[bool]) -> Option<usize> {
         assert_eq!(
             weights.len(),
             eligible.len(),

@@ -82,7 +82,6 @@ pub struct TimeWeighted {
     last_time: SimTime,
     last_value: f64,
     integral: f64,
-    started: bool,
     start_time: SimTime,
 }
 
@@ -93,7 +92,6 @@ impl TimeWeighted {
             last_time: t0,
             last_value: v0,
             integral: 0.0,
-            started: true,
             start_time: t0,
         }
     }
@@ -381,7 +379,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batches.record(self.current_sum / self.batch_size as f64);
+            self.batches
+                .record(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -522,7 +521,7 @@ mod tests {
             b.record(i as f64);
         }
         assert_eq!(b.batch_count(), 9); // last 5 observations pending
-        // Batch means are 4.5, 14.5, ..., 84.5, averaging 44.5.
+                                        // Batch means are 4.5, 14.5, ..., 84.5, averaging 44.5.
         assert!((b.mean() - 44.5).abs() < 1e-12);
         assert!(b.ci95_half_width() > 0.0);
     }

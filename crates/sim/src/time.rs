@@ -162,7 +162,11 @@ mod tests {
     fn ordering_is_total() {
         assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
         assert!(Duration::from_secs(0.1) < Duration::from_secs(0.2));
-        let mut v = [SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        let mut v = [
+            SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
     }

@@ -310,10 +310,7 @@ mod tests {
         }
         for (i, &c) in counts.iter().enumerate() {
             let p = c as f64 / n as f64;
-            assert!(
-                (p - 1.0 / 9.0).abs() < 0.01,
-                "source {i} probability {p}"
-            );
+            assert!((p - 1.0 / 9.0).abs() < 0.01, "source {i} probability {p}");
         }
     }
 
@@ -407,12 +404,14 @@ mod tests {
         };
         let mut rng = SimRng::seed_from(14);
         let mut bursty = BurstyWorkload::with_mean_rate(20.0, 1.9, 120.0, 180.0, 9, &mut rng);
-        let bursty_times: Vec<f64> =
-            (0..100_000).map(|_| bursty.next_request().arrival.as_secs()).collect();
+        let bursty_times: Vec<f64> = (0..100_000)
+            .map(|_| bursty.next_request().arrival.as_secs())
+            .collect();
         let mut rng2 = SimRng::seed_from(14);
         let mut poisson = PoissonWorkload::new(20.0, 180.0, 9, &mut rng2);
-        let poisson_times: Vec<f64> =
-            (0..100_000).map(|_| poisson.next_request().arrival.as_secs()).collect();
+        let poisson_times: Vec<f64> = (0..100_000)
+            .map(|_| poisson.next_request().arrival.as_secs())
+            .collect();
         let d_bursty = count_dispersion(&bursty_times);
         let d_poisson = count_dispersion(&poisson_times);
         assert!(

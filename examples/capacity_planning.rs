@@ -12,11 +12,7 @@ use anycast::analysis::planning::sustainable_rate;
 use anycast::prelude::*;
 
 /// Largest λ with predicted AP ≥ `target` (the library's bisection).
-fn max_rate_for_target(
-    topo: &Topology,
-    spec_at: impl Fn(f64) -> ScenarioSpec,
-    target: f64,
-) -> f64 {
+fn max_rate_for_target(topo: &Topology, spec_at: impl Fn(f64) -> ScenarioSpec, target: f64) -> f64 {
     sustainable_rate(
         topo,
         spec_at,
@@ -45,11 +41,7 @@ fn main() {
     // Invert: what rate keeps AP at three nines of the target levels?
     println!();
     for target in [0.99, 0.95, 0.90] {
-        let max_rate = max_rate_for_target(
-            &topo,
-            ScenarioSpec::paper_defaults,
-            target,
-        );
+        let max_rate = max_rate_for_target(&topo, ScenarioSpec::paper_defaults, target);
         println!("max sustainable rate for AP >= {target:.2}: {max_rate:.2} flows/s");
     }
 
@@ -77,8 +69,14 @@ fn main() {
     );
     println!("capacity at AP >= 0.95:");
     println!("  paper setup (20% partition, K = 5):   {base:.1} flows/s");
-    println!("  40% partition, K = 5:                 {double_partition:.1} flows/s ({:.2}x)", double_partition / base);
-    println!("  20% partition, K = 10 (even routers): {bigger_group:.1} flows/s ({:.2}x)", bigger_group / base);
+    println!(
+        "  40% partition, K = 5:                 {double_partition:.1} flows/s ({:.2}x)",
+        double_partition / base
+    );
+    println!(
+        "  20% partition, K = 10 (even routers): {bigger_group:.1} flows/s ({:.2}x)",
+        bigger_group / base
+    );
 
     // Show which links the model says saturate first at the base capacity.
     println!();

@@ -32,9 +32,16 @@ fn main() {
     let link_capacity = Bandwidth::from_mbps(100);
 
     let source = NodeId::new(13);
-    println!("source {source}, delay budget {:.0} ms, sustained rate {}", delay_budget * 1e3, spec.sustained_rate);
+    println!(
+        "source {source}, delay budget {:.0} ms, sustained rate {}",
+        delay_budget * 1e3,
+        spec.sustained_rate
+    );
     println!();
-    println!("{:<10} {:>6} {:>14} {:>16}", "member", "hops", "required bw", "achieved delay");
+    println!(
+        "{:<10} {:>6} {:>14} {:>16}",
+        "member", "hops", "required bw", "achieved delay"
+    );
 
     // The delay→bandwidth mapping per candidate member.
     let mut demands = Vec::new();
@@ -53,7 +60,11 @@ fn main() {
                 demands.push(Some(bw));
             }
             Err(e) => {
-                println!("{:<10} {:>6} infeasible: {e}", member.to_string(), path.hops());
+                println!(
+                    "{:<10} {:>6} infeasible: {e}",
+                    member.to_string(),
+                    path.hops()
+                );
                 demands.push(None);
             }
         }

@@ -37,14 +37,23 @@ fn main() {
     let demand = Bandwidth::from_kbps(64);
     let mirror_names: Vec<String> = group.members().iter().map(|m| m.to_string()).collect();
     println!("client at {client}, mirrors at {}", mirror_names.join(", "));
-    println!("initial weights: {:?}\n", rounded(&controller.current_weights(routes.routes_from(client), &links)));
+    println!(
+        "initial weights: {:?}\n",
+        rounded(&controller.current_weights(routes.routes_from(client), &links))
+    );
 
     // Phase 1: a burst of downloads on an idle network. Each download
     // holds its reservation (sessions pile up, as in a busy hour).
     let mut sessions = Vec::new();
     let mut admitted = 0;
     for _ in 0..100 {
-        let outcome = controller.admit(routes.routes_from(client), &mut links, &mut rsvp, demand, &mut rng);
+        let outcome = controller.admit(
+            routes.routes_from(client),
+            &mut links,
+            &mut rsvp,
+            demand,
+            &mut rng,
+        );
         if let Some(flow) = outcome.admitted {
             admitted += 1;
             sessions.push(flow.session);
@@ -61,14 +70,24 @@ fn main() {
     let bottleneck = *dead_route.links().last().expect("nearest member is remote");
     let avail = links.available(bottleneck);
     if !avail.is_zero() {
-        links.reserve(bottleneck, avail).expect("saturating a live link");
+        links
+            .reserve(bottleneck, avail)
+            .expect("saturating a live link");
     }
-    println!("\nsaturated {bottleneck}, the access link of mirror {nearest_node} (member #{nearest})");
+    println!(
+        "\nsaturated {bottleneck}, the access link of mirror {nearest_node} (member #{nearest})"
+    );
 
     let mut admitted2 = 0;
     let mut to_nearest = 0;
     for _ in 0..200 {
-        let outcome = controller.admit(routes.routes_from(client), &mut links, &mut rsvp, demand, &mut rng);
+        let outcome = controller.admit(
+            routes.routes_from(client),
+            &mut links,
+            &mut rsvp,
+            demand,
+            &mut rng,
+        );
         if let Some(flow) = outcome.admitted {
             admitted2 += 1;
             if flow.member_index == nearest {
@@ -97,7 +116,11 @@ fn main() {
     }
     println!("\nall downloads finished; residual reserved bandwidth on client-side routes:");
     for (i, path) in routes.routes_from(client).iter().enumerate() {
-        println!("  to member #{i} ({} hops): bottleneck {}", path.hops(), links.min_available_on(path));
+        println!(
+            "  to member #{i} ({} hops): bottleneck {}",
+            path.hops(),
+            links.min_available_on(path)
+        );
     }
 }
 

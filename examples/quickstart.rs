@@ -14,9 +14,16 @@ fn main() {
     // routers {0, 4, 8, 12, 16} and sources at the odd routers.
     let topo = topologies::mci();
 
-    println!("MCI backbone: {} nodes, {} links", topo.node_count(), topo.link_count());
+    println!(
+        "MCI backbone: {} nodes, {} links",
+        topo.node_count(),
+        topo.link_count()
+    );
     println!();
-    println!("{:<12} {:>10} {:>12} {:>12} {:>12}", "system", "AP", "mean tries", "msgs/req", "active flows");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "system", "AP", "mean tries", "msgs/req", "active flows"
+    );
 
     // Evaluate the three DAC variants and both baselines at a moderate
     // arrival rate (25 flows/s, each 64 kb/s for 180 s on average).
@@ -34,7 +41,11 @@ fn main() {
         let m = run_experiment(&topo, &config);
         println!(
             "{:<12} {:>10.4} {:>12.4} {:>12.2} {:>12.0}",
-            m.label, m.admission_probability, m.mean_tries, m.messages_per_request, m.mean_active_flows
+            m.label,
+            m.admission_probability,
+            m.mean_tries,
+            m.messages_per_request,
+            m.mean_active_flows
         );
     }
 

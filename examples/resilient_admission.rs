@@ -42,15 +42,17 @@ fn main() {
     let victim_member = routes.nearest_member(source);
     let victim_link = routes.routes_from(source)[victim_member].links()[0];
 
-    println!(
-        "source {source}; failing {victim_link} on the route to member #{victim_member}\n"
-    );
+    println!("source {source}; failing {victim_link} on the route to member #{victim_member}\n");
     println!(
         "{:<10} {:>14} {:>14} {:>12}",
         "policy", "AP before", "AP after", "avg tries after"
     );
 
-    for spec in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+    for spec in [
+        PolicySpec::Ed,
+        PolicySpec::wd_dh_default(),
+        PolicySpec::WdDb,
+    ] {
         let mut lab = Lab::new(&topo);
         let mut controller = AdmissionController::new(
             spec.build().expect("valid policy"),
@@ -82,8 +84,13 @@ fn main() {
     let avail = lab.links.available(victim_link);
     lab.links.reserve(victim_link, avail).expect("link is live");
     let after = run_sp_batch(&mut lab, &sp, &routes, source, demand, batch);
-    println!("{:<10} {:>14.3} {:>14.3} {:>12}", "SP", before, after, "1.000");
-    println!("\nSP collapses to zero; the randomized DAC policies keep admitting on surviving routes.");
+    println!(
+        "{:<10} {:>14.3} {:>14.3} {:>12}",
+        "SP", before, after, "1.000"
+    );
+    println!(
+        "\nSP collapses to zero; the randomized DAC policies keep admitting on surviving routes."
+    );
 }
 
 /// Admits a batch and immediately releases, returning (AP, mean tries).
@@ -126,7 +133,12 @@ fn run_sp_batch(
 ) -> f64 {
     let mut admitted = 0usize;
     for _ in 0..n {
-        let out = sp.admit(routes.routes_from(source), &mut lab.links, &mut lab.rsvp, demand);
+        let out = sp.admit(
+            routes.routes_from(source),
+            &mut lab.links,
+            &mut lab.rsvp,
+            demand,
+        );
         if let Some(flow) = out.admitted {
             admitted += 1;
             lab.rsvp

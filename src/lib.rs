@@ -18,6 +18,7 @@
 //! | [`sim`] | `anycast-sim` | event engine, RNG, workload, statistics |
 //! | [`rsvp`] | `anycast-rsvp` | PATH/RESV reservation walks, message ledger |
 //! | [`dac`] | `anycast-dac` | the DAC procedure, policies, baselines, experiments |
+//! | [`chaos`] | `anycast-chaos` | fault plans, deterministic fault timelines, outage ledger |
 //! | [`analysis`] | `anycast-analysis` | Erlang-B, UAA, fixed point, AP prediction |
 //!
 //! # Quickstart
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use anycast_analysis as analysis;
+pub use anycast_chaos as chaos;
 pub use anycast_dac as dac;
 pub use anycast_net as net;
 pub use anycast_rsvp as rsvp;
@@ -52,6 +54,7 @@ pub mod prelude {
         build_paper_scenario, build_scenario, AnalyzedSystem, ScenarioSpec,
     };
     pub use anycast_analysis::{erlang_b, predict_ap, uaa_blocking, BlockingModel};
+    pub use anycast_chaos::{FaultAction, FaultPlan};
     pub use anycast_dac::baselines::{GlobalDynamicSystem, ShortestPathSystem};
     pub use anycast_dac::experiment::{
         run_experiment, ArrivalProcess, DemandClass, ExperimentConfig, GroupSpec, Metrics,

@@ -65,7 +65,12 @@ fn table2_sp_agreement() {
 #[test]
 fn published_table_values_reproduced() {
     let topo = topologies::mci();
-    let table1 = [(5.0, 1.0), (20.0, 0.833933), (35.0, 0.584068), (50.0, 0.435654)];
+    let table1 = [
+        (5.0, 1.0),
+        (20.0, 0.833933),
+        (35.0, 0.584068),
+        (50.0, 0.435654),
+    ];
     for (lambda, paper) in table1 {
         let got = predict_ap(
             &build_paper_scenario(&topo, lambda, AnalyzedSystem::Ed1),
@@ -77,7 +82,12 @@ fn published_table_values_reproduced() {
             "Table 1 λ={lambda}: got {got}, paper {paper}"
         );
     }
-    let table2 = [(5.0, 1.0), (20.0, 0.771044), (35.0, 0.444341), (50.0, 0.311417)];
+    let table2 = [
+        (5.0, 1.0),
+        (20.0, 0.771044),
+        (35.0, 0.444341),
+        (50.0, 0.311417),
+    ];
     for (lambda, paper) in table2 {
         let got = predict_ap(
             &build_paper_scenario(&topo, lambda, AnalyzedSystem::Sp),

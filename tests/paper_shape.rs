@@ -26,7 +26,11 @@ fn ap_increases_with_r() {
         let r1 = ap(40.0, SystemSpec::dac(policy, 1));
         let r2 = ap(40.0, SystemSpec::dac(policy, 2));
         let r5 = ap(40.0, SystemSpec::dac(policy, 5));
-        assert!(r2 > r1, "{}: R=2 ({r2}) must beat R=1 ({r1})", policy.name());
+        assert!(
+            r2 > r1,
+            "{}: R=2 ({r2}) must beat R=1 ({r1})",
+            policy.name()
+        );
         assert!(
             r5 >= r2 - 0.01,
             "{}: R=5 ({r5}) must not fall below R=2 ({r2})",
@@ -54,8 +58,8 @@ fn retrial_gains_saturate() {
 /// §5.2.1 observation 3: systems with lower AP are more sensitive to R.
 #[test]
 fn weaker_systems_gain_more_from_retrials() {
-    let ed_gain = ap(40.0, SystemSpec::dac(PolicySpec::Ed, 2))
-        - ap(40.0, SystemSpec::dac(PolicySpec::Ed, 1));
+    let ed_gain =
+        ap(40.0, SystemSpec::dac(PolicySpec::Ed, 2)) - ap(40.0, SystemSpec::dac(PolicySpec::Ed, 1));
     let wddb_gain = ap(40.0, SystemSpec::dac(PolicySpec::WdDb, 2))
         - ap(40.0, SystemSpec::dac(PolicySpec::WdDb, 1));
     assert!(
@@ -71,7 +75,11 @@ fn gdi_best_sp_worst() {
     let lambda = 35.0;
     let gdi = ap(lambda, SystemSpec::GlobalDynamic);
     let sp = ap(lambda, SystemSpec::ShortestPath);
-    for policy in [PolicySpec::Ed, PolicySpec::wd_dh_default(), PolicySpec::WdDb] {
+    for policy in [
+        PolicySpec::Ed,
+        PolicySpec::wd_dh_default(),
+        PolicySpec::WdDb,
+    ] {
         let dac = ap(lambda, SystemSpec::dac(policy, 2));
         assert!(
             gdi >= dac - 0.01,
@@ -140,7 +148,10 @@ fn ap_monotone_in_lambda() {
         );
         prev = v;
     }
-    assert!(prev < 0.7, "λ=50 must show substantial blocking, got {prev}");
+    assert!(
+        prev < 0.7,
+        "λ=50 must show substantial blocking, got {prev}"
+    );
 }
 
 /// Signaling overhead: messages per request grow with the retry level

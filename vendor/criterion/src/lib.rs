@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock timing harness: each benchmark is warmed up briefly,
+//! then timed over a fixed number of batches, and the median per-iteration
+//! time is printed. No statistics engine, no HTML reports, no CLI parsing
+//! (arguments such as `--bench` are accepted and ignored).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; the stub treats every variant
+/// the same (one setup per measured batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: batch size chosen by criterion.
+    SmallInput,
+    /// Large routine input: fewer iterations per batch.
+    LargeInput,
+    /// Each batch runs exactly one iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 10,
+            sample_count: 15,
+        }
+    }
+
+    /// Times `routine`, called repeatedly with no per-iteration setup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Brief warmup, also used to size the measurement batches so one
+        // sample lasts at least ~1 ms for fast routines.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed();
+        if once < Duration::from_micros(100) {
+            self.iters_per_sample = 1000;
+        } else if once > Duration::from_millis(50) {
+            self.iters_per_sample = 1;
+            self.sample_count = 5;
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        self.sample_count = 5;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    println!("bench {full_name:<50} median {:>12.3?}", b.median());
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs one stand-alone benchmark.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id.as_ref(), f);
+        self
+    }
+}
+
+/// Declares a benchmark suite: a function that runs each registered
+/// benchmark function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each suite in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut counter = 0u64;
+        c.bench_function("count", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut total = 0usize;
+        group.bench_function(String::from("owned-name"), |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| total += v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` with the crossbeam 0.8 calling convention
+//! (the spawn closure receives a `&Scope` argument, and `scope` returns a
+//! `Result` carrying any worker panic) implemented on `std::thread::scope`,
+//! which did not exist when crossbeam's scoped threads were designed.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread support. `crossbeam::scope` is re-exported at the crate
+/// root, matching the real crate's facade.
+pub mod thread {
+    /// The error half of [`scope`]'s result: the payload of the first
+    /// panicking worker.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// worker (crossbeam lets workers spawn siblings; the workspace only
+    /// ever ignores the argument, but the signature is preserved).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The worker receives the scope
+        /// handle, mirroring crossbeam's `Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All workers are joined before `scope`
+    /// returns; if any worker panicked, the first panic payload is
+    /// returned as `Err` instead of propagating.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        super::catch_unwind(super::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .expect("no worker panics");
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace marks its data types `Serialize`/`Deserialize` to keep
+//! them serialization-ready, but performs no in-tree serialization (no
+//! serde_json, no wire format anywhere). Since the build environment has
+//! no crates.io access, this stub supplies the two trait names with
+//! blanket implementations and re-exports the no-op derives, so both the
+//! trait bounds and the `#[derive(...)]` attributes on workspace types
+//! compile unchanged.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type: the workspace only ever uses it in
+/// derives and bounds, never to drive an actual serializer.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The lifetime parameter mirrors the real trait so existing bounds like
+/// `for<'de> T: Deserialize<'de>` keep compiling.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(feature = "derive")]
+    fn derives_expand_and_traits_hold() {
+        #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+        struct Point {
+            x: u32,
+        }
+        fn assert_serialize<T: crate::Serialize>(_: &T) {}
+        let p = Point { x: 3 };
+        assert_serialize(&p);
+        assert_eq!(p, Point { x: 3 });
+    }
+}

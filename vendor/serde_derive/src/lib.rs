@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! they stay serialization-ready, but nothing in-tree performs actual
+//! serialization (there is no serde_json and no wire format). With no
+//! crates.io access, the derives expand to nothing: the marker traits in
+//! the vendored `serde` have blanket implementations, so `T: Serialize`
+//! bounds still hold for every derived type.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`. Accepts (and ignores) `#[serde(...)]`
+/// attributes so annotated types keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`. Accepts (and ignores) `#[serde(...)]`
+/// attributes so annotated types keep compiling.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
