@@ -15,4 +15,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> bench smoke (parallel sweep must match serial; writes BENCH_pr2.json)"
+# bench_pr2 runs every workload at --jobs 1 and --jobs N and asserts the
+# results are bit-identical, so this doubles as the determinism gate.
+cargo run --release --offline -p anycast-bench --bin bench_pr2 -- --smoke --jobs 2
+
 echo "CI OK"

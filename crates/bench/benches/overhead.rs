@@ -117,7 +117,7 @@ fn bench_admission_per_system(c: &mut Criterion) {
         let mut links =
             LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
         let mut rsvp = ReservationEngine::new();
-        let gdi = GlobalDynamicSystem::new();
+        let mut gdi = GlobalDynamicSystem::new();
         b.iter(|| {
             let out = gdi.admit(&topo, &agroup, source, &mut links, &mut rsvp, demand);
             if let Some(f) = out.admitted {

@@ -43,7 +43,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: fixed vs adaptive retrial control (WD/D+H)");
     println!();
     let mut headers = vec!["lambda".to_string()];

@@ -28,7 +28,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: WD/D+H admission probability vs alpha (R = 2)");
     println!();
     let mut headers = vec!["lambda".to_string()];

@@ -33,7 +33,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: <WD/D+H,2> under bursty (MMPP-2) arrivals at equal mean rate");
     println!();
     let mut headers = vec!["lambda".to_string(), "Poisson".to_string()];

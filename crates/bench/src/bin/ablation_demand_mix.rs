@@ -59,7 +59,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: <WD/D+H,2> under heterogeneous demands (equal mean 64 kb/s)");
     println!();
     let mut headers = vec!["lambda".to_string()];

@@ -30,7 +30,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: <WD/D+H,2> admission probability vs group size K");
     println!();
     let mut headers = vec!["lambda".to_string()];

@@ -26,7 +26,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: WD/D+H weight-update interpretation (alpha = 0.5, R = 2)");
     println!();
     let mut table = Table::new(vec![

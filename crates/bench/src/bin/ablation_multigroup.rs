@@ -47,7 +47,7 @@ fn main() {
                 .with_measure_secs(settings.measure_secs),
         );
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: <WD/D+H,2> with one K=5 group vs three services sharing the partition");
     println!();
     let mut table = Table::new(vec![

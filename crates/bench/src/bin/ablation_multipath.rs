@@ -28,7 +28,7 @@ fn main() {
             );
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Ablation: single-path vs multipath DAC (WD/D+H, R = 2) vs GDI");
     println!();
     let mut headers = vec!["lambda".to_string()];

@@ -1,0 +1,251 @@
+//! PR 2 performance snapshot: wall-clock of the figure sweeps, serial vs
+//! parallel, written to `BENCH_pr2.json`.
+//!
+//! Each workload is one figure-shaped `run_grid` (Figure 6 comparison,
+//! Figure 7 retrials, the fault ablation). Every grid is run twice —
+//! `--jobs 1` and `--jobs N` — the outputs are asserted **bit-identical**,
+//! and both timings land in the JSON together with requests/sec so later
+//! PRs can track the perf trajectory.
+//!
+//! `--smoke` shrinks the grids for CI; `--quick`/`--full` follow the usual
+//! run-length profiles. The JSON schema is stable:
+//! `{jobs, available_parallelism, profile, workloads: [{name, grid_cells,
+//! replications, offered_requests, serial_secs, parallel_secs, speedup,
+//! serial_requests_per_sec, parallel_requests_per_sec}]}`.
+
+use anycast_bench::figures::{comparison_systems, ABLATION_MTTR_SECS};
+use anycast_bench::json::JsonValue;
+use anycast_bench::{default_jobs, run_grid, ReplicatedMetrics};
+use anycast_chaos::FaultPlan;
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Topology};
+use std::time::Instant;
+
+/// One figure-shaped grid to time.
+struct Workload {
+    name: &'static str,
+    configs: Vec<ExperimentConfig>,
+}
+
+/// Run lengths and grid sizes for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    seeds: Vec<u64>,
+    lambdas: Vec<f64>,
+    mtbfs: Vec<f64>,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            seeds: vec![101, 202],
+            lambdas: vec![10.0, 30.0, 50.0],
+            mtbfs: vec![f64::INFINITY, 500.0],
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            seeds: vec![101],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+            mtbfs: vec![f64::INFINITY, 1_000.0, 250.0],
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            seeds: vec![101, 202, 303],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+            mtbfs: vec![f64::INFINITY, 1_000.0, 250.0],
+        }
+    }
+
+    fn base(&self, lambda: f64, system: SystemSpec) -> ExperimentConfig {
+        ExperimentConfig::paper_defaults(lambda, system)
+            .with_warmup_secs(self.warmup_secs)
+            .with_measure_secs(self.measure_secs)
+    }
+
+    fn workloads(&self) -> Vec<Workload> {
+        let mut fig6 = Vec::new();
+        for &lambda in &self.lambdas {
+            for &system in &comparison_systems() {
+                fig6.push(self.base(lambda, system));
+            }
+        }
+        let dac_systems = [
+            SystemSpec::dac(PolicySpec::Ed, 2),
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            SystemSpec::dac(PolicySpec::WdDb, 2),
+        ];
+        let mut fig7 = Vec::new();
+        for &lambda in &self.lambdas {
+            for &system in &dac_systems {
+                fig7.push(self.base(lambda, system));
+            }
+        }
+        let fault_systems = [
+            SystemSpec::ShortestPath,
+            SystemSpec::GlobalDynamic,
+            SystemSpec::dac(PolicySpec::Ed, 2),
+        ];
+        let mut faults = Vec::new();
+        for &mtbf in &self.mtbfs {
+            for &system in &fault_systems {
+                let mut cfg = self.base(30.0, system);
+                if mtbf.is_finite() {
+                    cfg = cfg
+                        .with_faults(FaultPlan::none().with_link_model(mtbf, ABLATION_MTTR_SECS));
+                }
+                faults.push(cfg);
+            }
+        }
+        vec![
+            Workload {
+                name: "fig6_ap_comparison",
+                configs: fig6,
+            },
+            Workload {
+                name: "fig7_avg_retrials",
+                configs: fig7,
+            },
+            Workload {
+                name: "ablation_faults",
+                configs: faults,
+            },
+        ]
+    }
+}
+
+fn offered_requests(results: &[ReplicatedMetrics]) -> u64 {
+    results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.offered)
+        .sum()
+}
+
+fn timed_grid(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+    jobs: usize,
+) -> (Vec<ReplicatedMetrics>, f64) {
+    let start = Instant::now();
+    let results = run_grid(topo, configs, seeds, jobs);
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr2: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr2: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr2: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr2 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times the figure sweeps serial (--jobs 1) vs parallel (--jobs N),");
+                println!("  asserts the results are bit-identical, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr2: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr2: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+    let mut entries = Vec::new();
+    for workload in profile.workloads() {
+        let (serial, serial_secs) = timed_grid(&topo, &workload.configs, &profile.seeds, 1);
+        let (parallel, parallel_secs) = timed_grid(&topo, &workload.configs, &profile.seeds, jobs);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                a.runs, b.runs,
+                "{}: parallel run diverged from serial",
+                workload.name
+            );
+        }
+        let offered = offered_requests(&serial);
+        let speedup = serial_secs / parallel_secs;
+        println!(
+            "  {:<20} cells={:<3} reqs={:<8} serial={:.2}s parallel={:.2}s speedup={:.2}x",
+            workload.name,
+            workload.configs.len(),
+            offered,
+            serial_secs,
+            parallel_secs,
+            speedup
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(workload.name.into())),
+            ("grid_cells", JsonValue::Num(workload.configs.len() as f64)),
+            ("replications", JsonValue::Num(profile.seeds.len() as f64)),
+            ("offered_requests", JsonValue::Num(offered as f64)),
+            ("serial_secs", JsonValue::Num(serial_secs)),
+            ("parallel_secs", JsonValue::Num(parallel_secs)),
+            ("speedup", JsonValue::Num(speedup)),
+            (
+                "serial_requests_per_sec",
+                JsonValue::Num(offered as f64 / serial_secs),
+            ),
+            (
+                "parallel_requests_per_sec",
+                JsonValue::Num(offered as f64 / parallel_secs),
+            ),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr2_parallel_sweep_engine".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr2: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

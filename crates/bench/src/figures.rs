@@ -29,7 +29,7 @@ pub fn sensitivity_figure(title: &str, policy: PolicySpec, settings: &RunSetting
             configs.push(base_config(lambda, SystemSpec::dac(policy, r), settings));
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!(
         "{title}: admission probability of <{},R> vs arrival rate",
         policy.name()
@@ -69,7 +69,7 @@ pub fn run_comparison(topo: &Topology, settings: &RunSettings) -> Vec<Vec<Replic
             configs.push(base_config(lambda, system, settings));
         }
     }
-    let flat = run_grid(topo, &configs, settings.active_seeds());
+    let flat = run_grid(topo, &configs, settings.active_seeds(), settings.jobs);
     flat.chunks(systems.len()).map(|c| c.to_vec()).collect()
 }
 
@@ -133,7 +133,7 @@ pub fn retrials_figure(settings: &RunSettings) {
             configs.push(base_config(lambda, system, settings));
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Figure 7: average number of tries per request (R = 2)");
     println!();
     let mut headers = vec!["lambda".to_string()];
@@ -188,7 +188,7 @@ pub fn analysis_table(title: &str, system: AnalyzedSystem, settings: &RunSetting
         .iter()
         .map(|&l| base_config(l, sim_system, settings))
         .collect();
-    let sims = run_grid(&topo, &configs, settings.active_seeds());
+    let sims = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("{title}");
     println!();
     let mut headers = vec!["Method".to_string()];
@@ -234,7 +234,7 @@ pub fn comparison_on(
             );
         }
     }
-    let results = run_grid(topo, &configs, settings.active_seeds());
+    let results = run_grid(topo, &configs, settings.active_seeds(), settings.jobs);
     println!("{name}: admission probability");
     let mut headers = vec!["lambda".to_string()];
     headers.extend(systems.iter().map(|s| s.label()));
@@ -289,7 +289,7 @@ pub fn faults_ablation(settings: &RunSettings) {
             configs.push(cfg);
         }
     }
-    let results = run_grid(&topo, &configs, settings.active_seeds());
+    let results = run_grid(&topo, &configs, settings.active_seeds(), settings.jobs);
     println!("Fault ablation: admission probability vs link failure rate (lambda = {LAMBDA:.0})");
     println!();
     let mut headers = vec!["link MTBF".to_string(), "avail".to_string()];

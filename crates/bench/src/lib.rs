@@ -18,19 +18,25 @@
 //! | `ablation_faults` | AP and availability under rising link-failure rates |
 //!
 //! All binaries accept `--quick` (or `ANYCAST_QUICK=1`) for a shortened
-//! smoke-test configuration, and print deterministic output for fixed
-//! seeds. Figure binaries additionally drop a machine-readable copy of
-//! their series into `results/<binary>.json` (see [`json`]).
+//! smoke-test configuration, and `--jobs N` to select the sweep worker
+//! count; output is deterministic for fixed seeds **and for every `--jobs`
+//! value** — sweeps fan `(config, seed)` jobs across a scoped-thread
+//! [`parallel_map`] pool whose reassembled results are bit-for-bit
+//! identical to a serial run. Figure binaries additionally drop a
+//! machine-readable copy of their series into `results/<binary>.json`
+//! (see [`json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod json;
+mod pool;
 mod settings;
 mod sweep;
 mod table;
 
+pub use pool::{default_jobs, parallel_map};
 pub use settings::{parse_args, RunSettings};
 pub use sweep::{mean_and_stderr, run_grid, run_replicated, ReplicatedMetrics};
 pub use table::Table;

@@ -1,10 +1,14 @@
 //! Run-length settings shared by every experiment binary.
 
-/// How long and how often to simulate.
+use crate::pool::default_jobs;
+
+/// How long and how often to simulate — and on how many worker threads.
 ///
 /// The *full* profile reproduces §5.1 run lengths (1800 s warm-up, 3600 s
 /// measured, 3 independent replications); the *quick* profile shrinks that
-/// by roughly an order of magnitude for smoke tests and CI.
+/// by roughly an order of magnitude for smoke tests and CI. `jobs` only
+/// changes wall-clock, never results: sweeps are bit-for-bit identical
+/// for every worker count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSettings {
     /// Warm-up seconds discarded from statistics.
@@ -15,6 +19,8 @@ pub struct RunSettings {
     pub seeds: [u64; 3],
     /// Number of seeds actually used (quick mode uses 1).
     pub replications: usize,
+    /// Worker threads for sweeps (default: available parallelism).
+    pub jobs: usize,
 }
 
 impl RunSettings {
@@ -25,6 +31,7 @@ impl RunSettings {
             measure_secs: 3_600.0,
             seeds: [101, 202, 303],
             replications: 3,
+            jobs: default_jobs(),
         }
     }
 
@@ -35,6 +42,7 @@ impl RunSettings {
             measure_secs: 600.0,
             seeds: [101, 202, 303],
             replications: 1,
+            jobs: default_jobs(),
         }
     }
 
@@ -45,7 +53,9 @@ impl RunSettings {
 }
 
 /// Parses the common CLI contract of the experiment binaries:
-/// `--quick` (or env `ANYCAST_QUICK=1`) selects [`RunSettings::quick`].
+/// `--quick` (or env `ANYCAST_QUICK=1`) selects [`RunSettings::quick`],
+/// and `--jobs N` sets the sweep worker count (default: available
+/// parallelism; results are identical for every value).
 ///
 /// Unknown arguments abort with a usage message so typos never silently
 /// run a multi-minute sweep with default settings.
@@ -53,14 +63,25 @@ pub fn parse_args(binary: &str) -> RunSettings {
     let mut quick = std::env::var("ANYCAST_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
-    for arg in std::env::args().skip(1) {
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--jobs" | "-j" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("{binary}: --jobs needs a value (try --help)");
+                    std::process::exit(2);
+                });
+                jobs = parse_jobs(binary, &value);
+            }
             "--help" | "-h" => {
-                println!("usage: {binary} [--quick|--full]");
-                println!("  --quick  shortened runs (also via ANYCAST_QUICK=1)");
-                println!("  --full   paper-faithful run lengths (default)");
+                println!("usage: {binary} [--quick|--full] [--jobs N]");
+                println!("  --quick   shortened runs (also via ANYCAST_QUICK=1)");
+                println!("  --full    paper-faithful run lengths (default)");
+                println!("  --jobs N  sweep worker threads (default: available cores;");
+                println!("            results are bit-identical for every N)");
                 std::process::exit(0);
             }
             other => {
@@ -69,10 +90,23 @@ pub fn parse_args(binary: &str) -> RunSettings {
             }
         }
     }
-    if quick {
+    let mut settings = if quick {
         RunSettings::quick()
     } else {
         RunSettings::full()
+    };
+    settings.jobs = jobs;
+    settings
+}
+
+/// Parses a `--jobs` value, aborting with a usage error on garbage or zero.
+pub(crate) fn parse_jobs(binary: &str, value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{binary}: --jobs wants a positive integer, got `{value}`");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -89,5 +123,17 @@ mod tests {
         assert_eq!(full.active_seeds().len(), 3);
         assert_eq!(quick.active_seeds().len(), 1);
         assert_eq!(quick.active_seeds(), &[101]);
+    }
+
+    #[test]
+    fn default_jobs_is_wired_in() {
+        assert!(RunSettings::full().jobs >= 1);
+        assert!(RunSettings::quick().jobs >= 1);
+    }
+
+    #[test]
+    fn jobs_values_parse() {
+        assert_eq!(parse_jobs("test", "4"), 4);
+        assert_eq!(parse_jobs("test", "1"), 1);
     }
 }

@@ -1,8 +1,14 @@
 //! Parallel sweep execution with replication averaging.
+//!
+//! Sweeps fan the flattened `(configuration, seed)` job list across the
+//! [`pool`](crate::parallel_map) worker threads. Every job is a pure
+//! function of its `(config, seed)` pair, and results are reassembled in
+//! input order, so a sweep's output is **bit-for-bit identical** for every
+//! `jobs` value — parallelism changes only the wall-clock.
 
+use crate::pool::parallel_map;
 use anycast_dac::experiment::{run_experiment, ExperimentConfig, Metrics};
 use anycast_net::Topology;
-use parking_lot::Mutex;
 
 /// Metrics averaged over independent replications of one configuration.
 #[derive(Debug, Clone)]
@@ -21,6 +27,8 @@ pub struct ReplicatedMetrics {
     pub mean_retrials: f64,
     /// Mean signaling messages per request.
     pub messages_per_request: f64,
+    /// Mean time-average network utilization across replications.
+    pub mean_network_utilization: f64,
     /// The individual replication results.
     pub runs: Vec<Metrics>,
 }
@@ -41,7 +49,7 @@ pub fn mean_and_stderr(values: &[f64]) -> (f64, f64) {
     (mean, (var / n).sqrt())
 }
 
-/// Runs `config` once per seed and averages the replications.
+/// Runs `config` once per seed (serially) and averages the replications.
 pub fn run_replicated(
     topo: &Topology,
     config: &ExperimentConfig,
@@ -61,6 +69,7 @@ fn summarize(runs: Vec<Metrics>) -> ReplicatedMetrics {
     let tries: Vec<f64> = runs.iter().map(|m| m.mean_tries).collect();
     let retrials: Vec<f64> = runs.iter().map(|m| m.mean_retrials).collect();
     let msgs: Vec<f64> = runs.iter().map(|m| m.messages_per_request).collect();
+    let utils: Vec<f64> = runs.iter().map(|m| m.mean_network_utilization).collect();
     ReplicatedMetrics {
         label: runs[0].label.clone(),
         lambda: runs[0].lambda,
@@ -69,56 +78,42 @@ fn summarize(runs: Vec<Metrics>) -> ReplicatedMetrics {
         mean_tries: mean_and_stderr(&tries).0,
         mean_retrials: mean_and_stderr(&retrials).0,
         messages_per_request: mean_and_stderr(&msgs).0,
+        mean_network_utilization: mean_and_stderr(&utils).0,
         runs,
     }
 }
 
-/// Runs a grid of configurations in parallel (one crossbeam thread per
-/// hardware thread) and returns results in input order.
+/// Runs a grid of configurations on `jobs` worker threads and returns
+/// results in input order.
 ///
 /// Each grid cell is replicated over `seeds` and averaged. Work is
-/// distributed by atomic work-stealing over the flattened
-/// `(config, seed)` job list, so heavily loaded cells (high λ) do not
-/// serialise the sweep.
+/// distributed over the flattened `(config, seed)` job list by
+/// atomic-cursor stealing, so heavily loaded cells (high λ) do not
+/// serialise the sweep. Every job runs `run_experiment` — a pure function
+/// of `(topo, config, seed)` — and results are reassembled in input order,
+/// so the returned vector is bit-for-bit identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or `jobs == 0`.
 pub fn run_grid(
     topo: &Topology,
     configs: &[ExperimentConfig],
     seeds: &[u64],
+    jobs: usize,
 ) -> Vec<ReplicatedMetrics> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let jobs: Vec<(usize, u64)> = configs
+    let cells: Vec<(usize, u64)> = configs
         .iter()
         .enumerate()
         .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
         .collect();
-    let results: Mutex<Vec<Vec<Metrics>>> =
-        Mutex::new(vec![Vec::with_capacity(seeds.len()); configs.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(cfg_idx, seed)) = jobs.get(j) else {
-                    break;
-                };
-                let metrics = run_experiment(topo, &configs[cfg_idx].clone().with_seed(seed));
-                results.lock()[cfg_idx].push(metrics);
-            });
-        }
-    })
-    .expect("sweep workers do not panic");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|mut runs| {
-            // Deterministic order regardless of thread scheduling.
-            runs.sort_by_key(|m| m.seed);
-            summarize(runs)
-        })
+    let metrics = parallel_map(jobs, &cells, |_, &(cfg_idx, seed)| {
+        run_experiment(topo, &configs[cfg_idx].clone().with_seed(seed))
+    });
+    metrics
+        .chunks(seeds.len())
+        .map(|runs| summarize(runs.to_vec()))
         .collect()
 }
 
@@ -160,12 +155,26 @@ mod tests {
     fn grid_matches_sequential() {
         let topo = topologies::mci();
         let configs = vec![tiny(10.0), tiny(30.0)];
-        let grid = run_grid(&topo, &configs, &[7, 8]);
+        let grid = run_grid(&topo, &configs, &[7, 8], 4);
         for (cfg, rep) in configs.iter().zip(&grid) {
             let seq = run_replicated(&topo, cfg, &[7, 8]);
             assert_eq!(rep.runs, seq.runs, "parallel and sequential runs agree");
         }
         assert_eq!(grid[0].lambda, 10.0);
         assert_eq!(grid[1].lambda, 30.0);
+    }
+
+    #[test]
+    fn grid_is_identical_for_every_job_count() {
+        let topo = topologies::mci();
+        let configs = vec![tiny(10.0), tiny(25.0), tiny(40.0)];
+        let serial = run_grid(&topo, &configs, &[3, 4], 1);
+        for jobs in [2, 8] {
+            let par = run_grid(&topo, &configs, &[3, 4], jobs);
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.runs, b.runs, "jobs={jobs}");
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@ fn tiny() -> RunSettings {
         measure_secs: 60.0,
         seeds: [1, 2, 3],
         replications: 2,
+        jobs: 2,
     }
 }
 
@@ -87,7 +88,7 @@ fn grid_results_keep_config_order() {
                 .with_measure_secs(60.0)
         })
         .collect();
-    let results = run_grid(&topo, &configs, &[9]);
+    let results = run_grid(&topo, &configs, &[9], 2);
     assert_eq!(results.len(), 3);
     assert_eq!(results[0].lambda, 50.0);
     assert_eq!(results[1].lambda, 5.0);

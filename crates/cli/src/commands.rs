@@ -4,8 +4,10 @@ use crate::args::{parse_id_list, parse_range, Args};
 use crate::spec::{parse_system, parse_topology};
 use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
 use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_bench::{default_jobs, run_grid};
 use anycast_dac::experiment::{run_experiment, ArrivalProcess, ExperimentConfig};
 use anycast_net::{metrics, LinkId, NodeId, Topology};
+use anycast_sim::SimRng;
 
 /// Prints usage for a command (or the overview for anything else).
 pub fn print_help(command: &str) {
@@ -26,6 +28,11 @@ pub fn print_help(command: &str) {
              \x20 --sources IDS                  comma-separated source routers (default: odd\n\
              \x20                                routers on mci, all non-members elsewhere)\n\
              \x20 --seed N                       PRNG seed (default 1)\n\
+             \x20 --reps N                       independent replications; seeds are RNG\n\
+             \x20                                substreams of --seed (default 1)\n\
+             \x20 --jobs N                       worker threads for replications/sweep points\n\
+             \x20                                (default: available cores; results are\n\
+             \x20                                bit-identical for every N)\n\
              \x20 --warmup SECS                  warm-up period (default 1800)\n\
              \x20 --measure SECS                 measured period (default 3600)\n\
              \x20 --burstiness B                 MMPP-2 burstiness in [1,2) (default: Poisson)\n\
@@ -37,7 +44,9 @@ pub fn print_help(command: &str) {
              \n\
              Runs a λ sweep and prints one row per rate. Takes the same\n\
              options as `simulate`, with --lambdas replacing --lambda;\n\
-             --no-header omits the column header for scripting."
+             --no-header omits the column header for scripting.\n\
+             Sweep points run on --jobs worker threads (default: available\n\
+             cores); output is bit-identical for every --jobs value."
         ),
         "predict" => println!(
             "usage: anycast predict --lambda RATE [options]\n\
@@ -180,14 +189,60 @@ fn print_metrics(m: &anycast_dac::experiment::Metrics) {
     }
 }
 
+/// Parses the shared `--reps`/`--jobs` pair and derives the replication
+/// seed list: one run per substream of the base seed, so the set of seeds
+/// is a pure function of `(--seed, --reps)` and never of scheduling.
+///
+/// `--reps 1` (the default) runs the base seed itself, so single runs are
+/// byte-identical to the pre-`--reps` CLI.
+fn replication_plan(args: &mut Args, base_seed: u64) -> Result<(Vec<u64>, usize), String> {
+    let reps: usize = args.get_or("reps", 1)?;
+    if reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    let jobs: usize = args.get_or("jobs", default_jobs())?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    let seeds = if reps == 1 {
+        vec![base_seed]
+    } else {
+        (0..reps as u64)
+            .map(|i| SimRng::substream_seed(base_seed, i))
+            .collect()
+    };
+    Ok((seeds, jobs))
+}
+
 /// `anycast simulate`.
 pub fn simulate(raw: Vec<String>) -> Result<(), String> {
     let mut args = Args::parse(raw, &[])?;
     let lambda: f64 = args.require("lambda")?;
     let (topo, config) = common_config(&mut args, lambda)?;
+    let (seeds, jobs) = replication_plan(&mut args, config.seed)?;
     args.finish()?;
-    let m = run_experiment(&topo, &config);
-    print_metrics(&m);
+    if seeds.len() == 1 {
+        let m = run_experiment(&topo, &config);
+        print_metrics(&m);
+        return Ok(());
+    }
+    let rep = run_grid(&topo, std::slice::from_ref(&config), &seeds, jobs)
+        .pop()
+        .expect("one config in, one result out");
+    println!("system                {}", rep.label);
+    println!("lambda                {:.3} flows/s", rep.lambda);
+    println!(
+        "replications          {} (substreams of seed {})",
+        seeds.len(),
+        config.seed
+    );
+    println!(
+        "admission probability {:.6} ± {:.6} (stderr across reps)",
+        rep.admission_probability, rep.ap_stderr
+    );
+    println!("mean tries/request    {:.4}", rep.mean_tries);
+    println!("messages/request      {:.2}", rep.messages_per_request);
+    println!("network utilization   {:.4}", rep.mean_network_utilization);
     Ok(())
 }
 
@@ -204,6 +259,7 @@ pub fn sweep(raw: Vec<String>) -> Result<(), String> {
         return Err("sweeps take --lambdas, not --lambda".to_string());
     }
     let (topo, base) = common_config(&mut args, lambdas[0])?;
+    let (seeds, jobs) = replication_plan(&mut args, base.seed)?;
     args.finish()?;
     if !no_header {
         println!(
@@ -211,10 +267,16 @@ pub fn sweep(raw: Vec<String>) -> Result<(), String> {
             "lambda", "AP", "tries", "msgs/req", "util"
         );
     }
-    for &lambda in &lambdas {
-        let mut config = base.clone();
-        config.lambda = lambda;
-        let m = run_experiment(&topo, &config);
+    let configs: Vec<ExperimentConfig> = lambdas
+        .iter()
+        .map(|&lambda| {
+            let mut config = base.clone();
+            config.lambda = lambda;
+            config
+        })
+        .collect();
+    let results = run_grid(&topo, &configs, &seeds, jobs);
+    for (lambda, m) in lambdas.iter().zip(&results) {
         println!(
             "{:>8.2} {:>10.6} {:>8.4} {:>9.2} {:>7.4}",
             lambda,
@@ -442,6 +504,65 @@ mod tests {
         .unwrap();
         assert!(sweep(strs(&["--lambdas", "3", "--lambda", "4"])).is_err());
         assert!(sweep(strs(&[])).is_err());
+    }
+
+    #[test]
+    fn simulate_replications_and_jobs() {
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--reps",
+            "2",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(simulate(strs(&["--lambda", "3", "--reps", "0"])).is_err());
+        assert!(simulate(strs(&["--lambda", "3", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn sweep_accepts_jobs_and_reps() {
+        sweep(strs(&[
+            "--lambdas",
+            "3:6:3",
+            "--system",
+            "sp",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--reps",
+            "2",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn replication_seeds_are_substreams() {
+        let mut args = Args::parse(strs(&["--reps", "3", "--jobs", "2"]), &[]).unwrap();
+        let (seeds, jobs) = replication_plan(&mut args, 42).unwrap();
+        assert_eq!(jobs, 2);
+        assert_eq!(
+            seeds,
+            vec![
+                SimRng::substream_seed(42, 0),
+                SimRng::substream_seed(42, 1),
+                SimRng::substream_seed(42, 2)
+            ]
+        );
+        // The default keeps the base seed itself for exact compatibility.
+        let mut args = Args::parse(strs(&[]), &[]).unwrap();
+        let (seeds, _) = replication_plan(&mut args, 42).unwrap();
+        assert_eq!(seeds, vec![42]);
     }
 
     #[test]

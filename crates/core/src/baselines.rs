@@ -1,7 +1,7 @@
 //! The two baseline systems of §5.1: SP and GDI.
 
 use crate::{AdmissionOutcome, AdmittedFlow};
-use anycast_net::routing::filtered_shortest_path;
+use anycast_net::routing::{filtered_shortest_path_with, RoutingScratch};
 use anycast_net::{AnycastGroup, Bandwidth, LinkStateTable, NodeId, Path, Topology};
 use anycast_rsvp::ReservationEngine;
 
@@ -75,13 +75,20 @@ impl ShortestPathSystem {
 ///
 /// The paper calls this system "ideal, but ... not realistic": it exists
 /// to upper-bound what any destination-selection algorithm could achieve.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GlobalDynamicSystem;
+///
+/// The system owns a [`RoutingScratch`] so the per-member residual-network
+/// searches (one per group member per admission request — the hottest loop
+/// in every sweep) reuse their BFS buffers instead of reallocating them;
+/// `admit` therefore takes `&mut self`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalDynamicSystem {
+    scratch: RoutingScratch,
+}
 
 impl GlobalDynamicSystem {
     /// Creates the oracle baseline.
     pub fn new() -> Self {
-        GlobalDynamicSystem
+        GlobalDynamicSystem::default()
     }
 
     /// Attempts to admit one flow with full knowledge of the residual
@@ -92,7 +99,7 @@ impl GlobalDynamicSystem {
     /// rejects only when no member is reachable — the information-theoretic
     /// optimum for single-path admission.
     pub fn admit(
-        &self,
+        &mut self,
         topo: &Topology,
         group: &AnycastGroup,
         source: NodeId,
@@ -102,7 +109,9 @@ impl GlobalDynamicSystem {
     ) -> AdmissionOutcome {
         let mut best: Option<(usize, Path)> = None;
         for (idx, &member) in group.members().iter().enumerate() {
-            if let Some(path) = filtered_shortest_path(topo, links, source, member, demand) {
+            if let Some(path) =
+                filtered_shortest_path_with(&mut self.scratch, topo, links, source, member, demand)
+            {
                 let better = match &best {
                     Some((_, current)) => path.hops() < current.hops(),
                     None => true,

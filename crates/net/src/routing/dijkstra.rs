@@ -1,8 +1,9 @@
 //! Weighted shortest paths (Dijkstra) with deterministic tie-breaking.
 
+use super::scratch::OrderedCost;
+use super::RoutingScratch;
 use crate::{LinkId, NodeId, Path, Topology};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Finds the minimum-cost path from `src` to `dst` where each link's cost is
 /// given by `cost(link)`.
@@ -13,11 +14,36 @@ use std::collections::BinaryHeap;
 ///
 /// Returns `None` when `dst` is unreachable.
 ///
+/// Allocates fresh search state per call; callers on a hot loop should hold
+/// a [`RoutingScratch`] and use [`dijkstra_path_with`] instead.
+///
 /// # Panics
 ///
 /// Panics if `src` is not a node of `topo`, or if `cost` returns a negative
 /// or non-finite value.
-pub fn dijkstra_path<F>(topo: &Topology, src: NodeId, dst: NodeId, mut cost: F) -> Option<Path>
+pub fn dijkstra_path<F>(topo: &Topology, src: NodeId, dst: NodeId, cost: F) -> Option<Path>
+where
+    F: FnMut(LinkId) -> f64,
+{
+    dijkstra_path_with(&mut RoutingScratch::new(), topo, src, dst, cost)
+}
+
+/// [`dijkstra_path`] reusing the caller's [`RoutingScratch`].
+///
+/// Identical results; no per-call allocation once the scratch has grown to
+/// the topology's size.
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `topo`, or if `cost` returns a negative
+/// or non-finite value.
+pub fn dijkstra_path_with<F>(
+    scratch: &mut RoutingScratch,
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    mut cost: F,
+) -> Option<Path>
 where
     F: FnMut(LinkId) -> f64,
 {
@@ -25,24 +51,20 @@ where
     if !topo.contains_node(dst) {
         return None;
     }
-    let n = topo.node_count();
-    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    let mut done = vec![false; n];
+    scratch.begin(topo.node_count());
     // Reverse((OrderedCost, node)) min-heap; f64 wrapped via total_cmp key.
-    let mut heap: BinaryHeap<Reverse<(OrderedCost, NodeId)>> = BinaryHeap::new();
-    dist[src.index()] = 0.0;
-    heap.push(Reverse((OrderedCost(0.0), src)));
-    while let Some(Reverse((OrderedCost(du), u))) = heap.pop() {
-        if done[u.index()] {
+    scratch.set_distance(src, 0.0, None);
+    scratch.heap.push(Reverse((OrderedCost(0.0), src)));
+    while let Some(Reverse((OrderedCost(du), u))) = scratch.heap.pop() {
+        if scratch.is_done(u) {
             continue;
         }
-        done[u.index()] = true;
+        scratch.mark_done(u);
         if u == dst {
             break;
         }
         for &(v, link) in topo.neighbors(u) {
-            if done[v.index()] {
+            if scratch.is_done(v) {
                 continue;
             }
             let c = cost(link);
@@ -51,46 +73,17 @@ where
                 "link cost must be finite and non-negative, got {c} for {link}"
             );
             let alt = du + c;
-            if alt < dist[v.index()] {
-                dist[v.index()] = alt;
-                parent[v.index()] = Some((u, link));
-                heap.push(Reverse((OrderedCost(alt), v)));
+            if alt < scratch.distance(v) {
+                scratch.set_distance(v, alt, Some((u, link)));
+                scratch.heap.push(Reverse((OrderedCost(alt), v)));
             }
         }
     }
-    if dist[dst.index()].is_infinite() {
+    if scratch.distance(dst).is_infinite() {
         return None;
     }
-    let mut nodes = vec![dst];
-    let mut links = Vec::new();
-    let mut cur = dst;
-    while cur != src {
-        let (prev, link) = parent[cur.index()]?;
-        nodes.push(prev);
-        links.push(link);
-        cur = prev;
-    }
-    nodes.reverse();
-    links.reverse();
+    let (nodes, links) = scratch.extract(src, dst);
     Some(Path::new(topo, nodes, links).expect("dijkstra produces consistent paths"))
-}
-
-/// Total-order wrapper over finite `f64` costs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderedCost(f64);
-
-impl Eq for OrderedCost {}
-
-impl PartialOrd for OrderedCost {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedCost {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
 }
 
 #[cfg(test)]

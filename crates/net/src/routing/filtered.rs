@@ -1,7 +1,7 @@
 //! Shortest paths over the residual network — the GDI search primitive.
 
+use super::RoutingScratch;
 use crate::{Bandwidth, LinkStateTable, NodeId, Path, Topology};
-use std::collections::VecDeque;
 
 /// Finds the shortest path from `src` to `dst` using only links whose
 /// available bandwidth is at least `demand`.
@@ -15,10 +15,33 @@ use std::collections::VecDeque;
 /// Returns `None` when no feasible path exists. The trivial path is returned
 /// when `src == dst`.
 ///
+/// Allocates fresh search state per call; callers on a hot loop should hold
+/// a [`RoutingScratch`] and use [`filtered_shortest_path_with`] instead.
+///
 /// # Panics
 ///
 /// Panics if `src` is not a node of `topo`.
 pub fn filtered_shortest_path(
+    topo: &Topology,
+    links: &LinkStateTable,
+    src: NodeId,
+    dst: NodeId,
+    demand: Bandwidth,
+) -> Option<Path> {
+    filtered_shortest_path_with(&mut RoutingScratch::new(), topo, links, src, dst, demand)
+}
+
+/// [`filtered_shortest_path`] reusing the caller's [`RoutingScratch`].
+///
+/// Identical results; no per-call allocation once the scratch has grown to
+/// the topology's size. This is the variant `GlobalDynamicSystem::admit`
+/// drives once per group member per request.
+///
+/// # Panics
+///
+/// Panics if `src` is not a node of `topo`.
+pub fn filtered_shortest_path_with(
+    scratch: &mut RoutingScratch,
     topo: &Topology,
     links: &LinkStateTable,
     src: NodeId,
@@ -32,36 +55,22 @@ pub fn filtered_shortest_path(
     if src == dst {
         return Some(Path::trivial(src));
     }
-    let n = topo.node_count();
-    let mut parent = vec![None; n];
-    let mut seen = vec![false; n];
-    seen[src.index()] = true;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
+    scratch.begin(topo.node_count());
+    scratch.mark_seen(src, None);
+    scratch.queue.push_back(src);
+    while let Some(u) = scratch.queue.pop_front() {
         for &(v, link) in topo.neighbors(u) {
-            if seen[v.index()] || links.available(link) < demand {
+            if scratch.is_seen(v) || links.available(link) < demand {
                 continue;
             }
-            seen[v.index()] = true;
-            parent[v.index()] = Some((u, link));
+            scratch.mark_seen(v, Some((u, link)));
             if v == dst {
-                let mut nodes = vec![dst];
-                let mut plinks = Vec::new();
-                let mut cur = dst;
-                while cur != src {
-                    let (prev, l) = parent[cur.index()].expect("reached nodes have parents");
-                    nodes.push(prev);
-                    plinks.push(l);
-                    cur = prev;
-                }
-                nodes.reverse();
-                plinks.reverse();
+                let (nodes, plinks) = scratch.extract(src, dst);
                 return Some(
                     Path::new(topo, nodes, plinks).expect("BFS produces consistent paths"),
                 );
             }
-            queue.push_back(v);
+            scratch.queue.push_back(v);
         }
     }
     None

@@ -100,11 +100,19 @@ impl TimeWeighted {
     ///
     /// # Panics
     ///
-    /// Panics if `t` precedes the previous update.
+    /// In debug builds, panics if `t` precedes the previous update. In
+    /// release builds the backwards segment is saturated to zero width —
+    /// the integral is never corrupted by a negative `dt` — and the clock
+    /// stays at its high-water mark.
     pub fn update(&mut self, t: SimTime, value: f64) {
-        let dt = t.since(self.last_time).as_secs();
+        debug_assert!(
+            t >= self.last_time,
+            "TimeWeighted::update at {t} precedes previous update at {}",
+            self.last_time
+        );
+        let dt = (t.as_secs() - self.last_time.as_secs()).max(0.0);
         self.integral += self.last_value * dt;
-        self.last_time = t;
+        self.last_time = self.last_time.max(t);
         self.last_value = value;
     }
 
@@ -112,13 +120,19 @@ impl TimeWeighted {
     ///
     /// # Panics
     ///
-    /// Panics if `t` precedes the previous update.
+    /// In debug builds, panics if `t` precedes the previous update; in
+    /// release builds the out-of-order tail contributes zero width.
     pub fn average_until(&self, t: SimTime) -> f64 {
-        let span = t.since(self.start_time).as_secs();
-        if span == 0.0 {
+        debug_assert!(
+            t >= self.last_time,
+            "TimeWeighted::average_until at {t} precedes previous update at {}",
+            self.last_time
+        );
+        let span = t.as_secs() - self.start_time.as_secs();
+        if span <= 0.0 {
             return self.last_value;
         }
-        let tail = t.since(self.last_time).as_secs();
+        let tail = (t.as_secs() - self.last_time.as_secs()).max(0.0);
         (self.integral + self.last_value * tail) / span
     }
 
@@ -209,14 +223,24 @@ impl AdmissionStats {
         }
     }
 
-    /// Normal-approximation 95% half-width for the admission probability
-    /// (binomial proportion).
+    /// 95% half-width for the admission probability via the Wilson score
+    /// interval (binomial proportion).
+    ///
+    /// The normal (Wald) approximation `1.96·√(p(1−p)/n)` collapses to a
+    /// zero-width interval whenever the estimate is exactly 0 or 1 — which
+    /// every low-load point hits — overstating certainty. Wilson keeps
+    /// honest positive width there: at `p̂ = 1` the half-width is
+    /// `z²/(2n) / (1 + z²/n)`, shrinking like `1/n` but never zero while
+    /// `n` is finite.
     pub fn ap_ci95_half_width(&self) -> f64 {
         if self.offered == 0 {
             return 0.0;
         }
+        let n = self.offered as f64;
         let p = self.admission_probability();
-        1.96 * (p * (1.0 - p) / self.offered as f64).sqrt()
+        let z = 1.96;
+        let z2 = z * z;
+        z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n)
     }
 
     /// Mean number of destinations tried per request (Figure 7's metric).
@@ -225,12 +249,42 @@ impl AdmissionStats {
     }
 
     /// Mean number of *re*-trials per request: tries beyond the first.
+    ///
+    /// Computed directly from the tries histogram (`Σ (t−1)·count(t)` over
+    /// `t ≥ 1`) rather than by clamping `mean_tries − 1` at zero — a clamp
+    /// would silently mask a tries-accounting bug (a request recorded with
+    /// zero tries) instead of surfacing it. Debug builds cross-check the
+    /// histogram against the running [`mean_tries`](Self::mean_tries)
+    /// accumulator.
     pub fn mean_retrials(&self) -> f64 {
-        if self.tries.count() == 0 {
-            0.0
-        } else {
-            (self.tries.mean() - 1.0).max(0.0)
+        let total = self.tries_hist.total();
+        if total == 0 {
+            return 0.0;
         }
+        debug_assert_eq!(
+            total,
+            self.tries.count(),
+            "tries histogram and running-mean accumulator disagree on count"
+        );
+        debug_assert!(
+            (self.tries_hist.mean() - self.tries.mean()).abs() <= 1e-9,
+            "tries histogram mean {} drifted from running mean {}",
+            self.tries_hist.mean(),
+            self.tries.mean()
+        );
+        let excess: u64 = self
+            .tries_hist
+            .buckets()
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| (t as u64).saturating_sub(1) * c)
+            .sum();
+        debug_assert!(
+            self.tries_hist.count(0) == 0,
+            "a request was recorded with zero tries; mean_retrials would \
+             diverge from mean_tries - 1"
+        );
+        excess as f64 / total as f64
     }
 
     /// Mean tries among admitted requests only.
@@ -448,6 +502,40 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "precedes previous update")]
+    fn time_weighted_backwards_update_panics_in_debug() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.update(SimTime::from_secs(10.0), 2.0);
+        tw.update(SimTime::from_secs(5.0), 3.0); // regression: was a silent negative dt
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "precedes previous update")]
+    fn time_weighted_backwards_average_panics_in_debug() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.update(SimTime::from_secs(10.0), 2.0);
+        let _ = tw.average_until(SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn time_weighted_backwards_update_saturates_in_release() {
+        let mut a = TimeWeighted::new(SimTime::ZERO, 1.0);
+        let mut b = TimeWeighted::new(SimTime::ZERO, 1.0);
+        a.update(SimTime::from_secs(10.0), 2.0);
+        b.update(SimTime::from_secs(10.0), 2.0);
+        // The backwards stamp must contribute a zero-width segment, not a
+        // negative dt, and must not rewind the clock.
+        b.update(SimTime::from_secs(5.0), 2.0);
+        assert_eq!(
+            a.average_until(SimTime::from_secs(20.0)),
+            b.average_until(SimTime::from_secs(20.0))
+        );
+    }
+
+    #[test]
     fn admission_stats_warmup_excluded() {
         let mut s = AdmissionStats::new(SimTime::from_secs(100.0));
         s.record(SimTime::from_secs(50.0), false, 2); // warm-up
@@ -472,6 +560,53 @@ mod tests {
         assert_eq!(s.admission_probability(), 1.0);
         assert_eq!(s.ap_ci95_half_width(), 0.0);
         assert_eq!(s.mean_retrials(), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_has_width_at_extreme_proportions() {
+        // Regression: the Wald interval reported zero width at AP = 1 (or
+        // 0), claiming perfect certainty at every low-load sweep point.
+        let mut all = AdmissionStats::new(SimTime::ZERO);
+        let mut none = AdmissionStats::new(SimTime::ZERO);
+        for i in 0..100 {
+            let t = SimTime::from_secs(i as f64);
+            all.record(t, true, 1);
+            none.record(t, false, 1);
+        }
+        assert_eq!(all.admission_probability(), 1.0);
+        assert!(all.ap_ci95_half_width() > 0.0, "p = 1 must keep width");
+        assert!(none.ap_ci95_half_width() > 0.0, "p = 0 must keep width");
+        // Wilson at p = 1: z²/(2n) / (1 + z²/n).
+        let z2 = 1.96f64 * 1.96;
+        let expected = (z2 / 200.0) / (1.0 + z2 / 100.0);
+        assert!((all.ap_ci95_half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_width_shrinks_with_sample_size() {
+        let stats_at = |n: u64| {
+            let mut s = AdmissionStats::new(SimTime::ZERO);
+            for i in 0..n {
+                s.record(SimTime::from_secs(i as f64), i % 2 == 0, 1);
+            }
+            s.ap_ci95_half_width()
+        };
+        let w100 = stats_at(100);
+        let w10000 = stats_at(10_000);
+        assert!(w100 > w10000);
+        // At p = 1/2 Wilson and Wald agree to O(1/n); sanity-check scale.
+        assert!((w10000 - 1.96 * (0.25f64 / 10_000.0).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_retrials_comes_from_histogram() {
+        let mut s = AdmissionStats::new(SimTime::ZERO);
+        for (tries, admitted) in [(1, true), (3, true), (2, false), (5, false)] {
+            s.record(SimTime::from_secs(1.0), admitted, tries);
+        }
+        // Retrials: 0 + 2 + 1 + 4 = 7 over 4 requests.
+        assert!((s.mean_retrials() - 7.0 / 4.0).abs() < 1e-12);
+        assert!((s.mean_retrials() - (s.mean_tries() - 1.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -213,7 +213,7 @@ fn gdi_is_immune_to_single_link_failure() {
         .first()
         .unwrap();
     links.fail_link(victim).unwrap();
-    let gdi = GlobalDynamicSystem::new();
+    let mut gdi = GlobalDynamicSystem::new();
     for _ in 0..200 {
         let out = gdi.admit(
             &topo,
