@@ -15,9 +15,21 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "==> bench smoke (parallel sweep must match serial; writes BENCH_pr2.json)"
+echo "==> bench smoke (parallel sweep must match serial)"
 # bench_pr2 runs every workload at --jobs 1 and --jobs N and asserts the
 # results are bit-identical, so this doubles as the determinism gate.
-cargo run --release --offline -p anycast-bench --bin bench_pr2 -- --smoke --jobs 2
+# --out keeps the checked-in BENCH_pr2.json snapshot untouched.
+cargo run --release --offline -p anycast-bench --bin bench_pr2 -- --smoke --jobs 2 --out /tmp/BENCH_pr2_ci.json
+
+echo "==> telemetry smoke (bench_pr3: off/null/ring must be bit-identical)"
+cargo run --release --offline -p anycast-bench --bin bench_pr3 -- --smoke --jobs 2 --out /tmp/BENCH_pr3_ci.json
+
+echo "==> trace smoke (exported JSONL must parse and contain a rejection)"
+trace_dir=$(mktemp -d)
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    trace saturated --lambda 50 --r 2 --warmup 10 --measure 60 \
+    --out "$trace_dir" --check
+grep -q '"kind":"rejection"' "$trace_dir"/trace_saturated_seed1.jsonl
+rm -rf "$trace_dir"
 
 echo "CI OK"

@@ -75,6 +75,27 @@ pub fn predict_ap(scenario: &TrafficScenario, model: BlockingModel) -> ApPredict
     predict_ap_with(scenario, model, FixedPointOptions::default())
 }
 
+/// Solves a batch of independent fixed points across `jobs` worker
+/// threads, returning predictions in input order.
+///
+/// Each case is a pure function of its `(scenario, model)` pair, so the
+/// output is **bit-identical for every `jobs` value** — the same guarantee
+/// the simulation sweeps make. The analysis-vs-simulation tables fan their
+/// per-λ × per-model cells through this instead of a serial loop.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or on any invalid scenario (see
+/// [`predict_ap_with`]).
+pub fn predict_ap_batch(
+    jobs: usize,
+    cases: &[(TrafficScenario, BlockingModel)],
+) -> Vec<ApPrediction> {
+    anycast_sim::pool::parallel_map(jobs, cases, |_, (scenario, model)| {
+        predict_ap(scenario, *model)
+    })
+}
+
 /// Runs the reduced-load fixed point (eqs. 19–22) on a traffic scenario
 /// and evaluates eq. (15).
 ///
@@ -440,5 +461,34 @@ mod tests {
         );
         assert!((fast.admission_probability - slow.admission_probability).abs() < 1e-8);
         assert!(fast.iterations <= slow.iterations);
+    }
+
+    #[test]
+    fn batch_matches_serial_bit_for_bit_for_any_jobs() {
+        let scenario = |load: f64| TrafficScenario {
+            routes: vec![
+                RouteLoad {
+                    links: vec![0, 1],
+                    offered_erlangs: load,
+                },
+                RouteLoad {
+                    links: vec![1],
+                    offered_erlangs: load / 2.0,
+                },
+            ],
+            capacities: vec![312, 200],
+        };
+        let cases: Vec<(TrafficScenario, BlockingModel)> = [10.0, 120.0, 250.0, 400.0]
+            .iter()
+            .flat_map(|&load| {
+                [BlockingModel::ErlangB, BlockingModel::Uaa]
+                    .into_iter()
+                    .map(move |m| (scenario(load), m))
+            })
+            .collect();
+        let serial: Vec<ApPrediction> = cases.iter().map(|(s, m)| predict_ap(s, *m)).collect();
+        for jobs in [1, 2, 5] {
+            assert_eq!(predict_ap_batch(jobs, &cases), serial, "jobs={jobs}");
+        }
     }
 }

@@ -42,7 +42,7 @@ mod uaa;
 
 pub use erlang::erlang_b;
 pub use fixed_point::{
-    predict_ap, predict_ap_with, ApPrediction, BlockingModel, FixedPointOptions,
+    predict_ap, predict_ap_batch, predict_ap_with, ApPrediction, BlockingModel, FixedPointOptions,
 };
 pub use special::{erf, erfc, erfcx};
 pub use uaa::uaa_blocking;

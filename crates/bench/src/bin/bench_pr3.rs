@@ -1,0 +1,229 @@
+//! PR 3 performance snapshot: telemetry overhead on the Figure 6 sweep,
+//! written to `BENCH_pr3.json`.
+//!
+//! The same figure-shaped grid is timed three times — telemetry **off**
+//! (the pre-telemetry `run_grid` hot path), **null** (hooks compiled in
+//! but disabled through a `NullRecorder`), and **ring** (full event
+//! capture plus the periodic link sampler) — each serial and parallel.
+//! All six runs are asserted **bit-identical** on their metrics, so the
+//! numbers measure recording cost alone, never behavioural drift. The
+//! `off` vs `null` pair is the zero-overhead claim in wall-clock form;
+//! `ring` bounds the cost of turning tracing on.
+//!
+//! `--smoke` shrinks the grid for CI; `--quick`/`--full` follow the usual
+//! run-length profiles. The JSON schema matches `BENCH_pr2.json`:
+//! `{bench, profile, jobs, available_parallelism, workloads: [{name,
+//! grid_cells, replications, offered_requests, serial_secs,
+//! parallel_secs, speedup, serial_requests_per_sec,
+//! parallel_requests_per_sec}]}`.
+
+use anycast_bench::figures::comparison_systems;
+use anycast_bench::json::JsonValue;
+use anycast_bench::{default_jobs, run_grid_traced, ReplicatedMetrics};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_net::{topologies, Topology};
+use anycast_telemetry::{TelemetryMode, DEFAULT_RING_CAPACITY};
+use std::time::Instant;
+
+/// Link-sampler cadence for the ring workload, in simulated seconds.
+const RING_SAMPLE_SECS: f64 = 60.0;
+
+/// Run lengths and grid sizes for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    seeds: Vec<u64>,
+    lambdas: Vec<f64>,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            seeds: vec![101, 202],
+            lambdas: vec![10.0, 30.0, 50.0],
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            seeds: vec![101],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            seeds: vec![101, 202, 303],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn base(&self, lambda: f64, system: SystemSpec) -> ExperimentConfig {
+        ExperimentConfig::paper_defaults(lambda, system)
+            .with_warmup_secs(self.warmup_secs)
+            .with_measure_secs(self.measure_secs)
+    }
+
+    /// The Figure 6 comparison grid: every system at every λ.
+    fn fig6(&self) -> Vec<ExperimentConfig> {
+        let mut configs = Vec::new();
+        for &lambda in &self.lambdas {
+            for &system in &comparison_systems() {
+                configs.push(self.base(lambda, system));
+            }
+        }
+        configs
+    }
+}
+
+fn offered_requests(results: &[ReplicatedMetrics]) -> u64 {
+    results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.offered)
+        .sum()
+}
+
+fn timed_grid(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+    jobs: usize,
+    mode: TelemetryMode,
+) -> (Vec<ReplicatedMetrics>, f64) {
+    let start = Instant::now();
+    let (results, _cells) = run_grid_traced(topo, configs, seeds, jobs, mode);
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr3: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr3: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr3: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr3 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times the Figure 6 sweep with telemetry off / null / ring,");
+                println!("  asserts all modes produce bit-identical metrics, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr3: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr3: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+    let configs = profile.fig6();
+    let modes = [
+        ("fig6_telemetry_off", TelemetryMode::Off),
+        ("fig6_telemetry_null", TelemetryMode::Null),
+        (
+            "fig6_telemetry_ring",
+            TelemetryMode::Ring {
+                sample_interval_secs: Some(RING_SAMPLE_SECS),
+                capacity: DEFAULT_RING_CAPACITY,
+            },
+        ),
+    ];
+    let mut entries = Vec::new();
+    let mut reference: Option<Vec<ReplicatedMetrics>> = None;
+    for (name, mode) in modes {
+        let (serial, serial_secs) = timed_grid(&topo, &configs, &profile.seeds, 1, mode);
+        let (parallel, parallel_secs) = timed_grid(&topo, &configs, &profile.seeds, jobs, mode);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.runs, b.runs, "{name}: parallel run diverged from serial");
+        }
+        match &reference {
+            None => reference = Some(serial.clone()),
+            Some(base) => {
+                for (a, b) in base.iter().zip(&serial) {
+                    assert_eq!(
+                        a.runs, b.runs,
+                        "{name}: recording telemetry perturbed the simulation"
+                    );
+                }
+            }
+        }
+        let offered = offered_requests(&serial);
+        let speedup = serial_secs / parallel_secs;
+        println!(
+            "  {:<20} cells={:<3} reqs={:<8} serial={:.2}s parallel={:.2}s speedup={:.2}x",
+            name,
+            configs.len(),
+            offered,
+            serial_secs,
+            parallel_secs,
+            speedup
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(name.into())),
+            ("grid_cells", JsonValue::Num(configs.len() as f64)),
+            ("replications", JsonValue::Num(profile.seeds.len() as f64)),
+            ("offered_requests", JsonValue::Num(offered as f64)),
+            ("serial_secs", JsonValue::Num(serial_secs)),
+            ("parallel_secs", JsonValue::Num(parallel_secs)),
+            ("speedup", JsonValue::Num(speedup)),
+            (
+                "serial_requests_per_sec",
+                JsonValue::Num(offered as f64 / serial_secs),
+            ),
+            (
+                "parallel_requests_per_sec",
+                JsonValue::Num(offered as f64 / parallel_secs),
+            ),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr3_telemetry".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr3: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,7 +6,7 @@ use crate::{
     TABLE_LAMBDAS,
 };
 use anycast_analysis::scenario::{build_paper_scenario, AnalyzedSystem};
-use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_analysis::{predict_ap_batch, BlockingModel};
 use anycast_chaos::FaultPlan;
 use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
 use anycast_dac::policy::PolicySpec;
@@ -194,13 +194,22 @@ pub fn analysis_table(title: &str, system: AnalyzedSystem, settings: &RunSetting
     let mut headers = vec!["Method".to_string()];
     headers.extend(TABLE_LAMBDAS.iter().map(|l| format!("lambda={l:.1}")));
     let mut table = Table::new(headers);
-    for (name, model) in [
+    let models = [
         ("Mathematical Analysis (Erlang-B)", BlockingModel::ErlangB),
         ("Mathematical Analysis (UAA)", BlockingModel::Uaa),
-    ] {
-        let mut row = vec![name.to_string()];
+    ];
+    // All model × λ fixed points are independent: fan them through the
+    // same worker pool as the simulation grid, in row-major order.
+    let mut cases = Vec::with_capacity(models.len() * TABLE_LAMBDAS.len());
+    for &(_, model) in &models {
         for &lambda in &TABLE_LAMBDAS {
-            let p = predict_ap(&build_paper_scenario(&topo, lambda, system), model);
+            cases.push((build_paper_scenario(&topo, lambda, system), model));
+        }
+    }
+    let predictions = predict_ap_batch(settings.jobs, &cases);
+    for (row_idx, (name, _)) in models.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for p in &predictions[row_idx * TABLE_LAMBDAS.len()..(row_idx + 1) * TABLE_LAMBDAS.len()] {
             row.push(format!("{:.6}", p.admission_probability));
         }
         table.row(row);

@@ -1,195 +1,7 @@
-//! Minimal JSON emission for machine-readable figure output.
+//! JSON emission for machine-readable figure output.
 //!
-//! The vendored `serde` is an API stub without real serialization, so the
-//! experiment binaries build their JSON explicitly through [`JsonValue`]
-//! — which also keeps the emitted schema an intentional, reviewed
-//! artifact rather than a mirror of internal struct layout.
+//! The implementation moved to [`anycast_telemetry::json`] so the
+//! telemetry exporters and the figure binaries share one emitter; this
+//! module re-exports it under the historical `anycast_bench::json` path.
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null` (also what non-finite numbers render as).
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number (rendered via Rust's shortest-round-trip formatting).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<JsonValue>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Convenience: an object from key/value pairs.
-    pub fn obj<I>(pairs: I) -> Self
-    where
-        I: IntoIterator<Item = (&'static str, JsonValue)>,
-    {
-        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Convenience: an array of numbers.
-    pub fn nums<I>(values: I) -> Self
-    where
-        I: IntoIterator<Item = f64>,
-    {
-        JsonValue::Arr(values.into_iter().map(JsonValue::Num).collect())
-    }
-
-    /// Convenience: an array of strings.
-    pub fn strs<I, S>(values: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: Into<String>,
-    {
-        JsonValue::Arr(
-            values
-                .into_iter()
-                .map(|s| JsonValue::Str(s.into()))
-                .collect(),
-        )
-    }
-
-    /// Renders the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Num(x) => {
-                if x.is_finite() {
-                    // Keep integers integral so downstream tools reading
-                    // e.g. seeds or counts never see a float artifact.
-                    if x.fract() == 0.0 && x.abs() < 9_007_199_254_740_992.0 {
-                        let _ = write!(out, "{}", *x as i64);
-                    } else {
-                        let _ = write!(out, "{x}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            JsonValue::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            JsonValue::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            JsonValue::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    JsonValue::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Writes `value` to `results/<name>.json` (relative to the working
-/// directory, creating `results/` if needed) and returns the path.
-///
-/// # Errors
-///
-/// Propagates filesystem errors.
-pub fn write_results(name: &str, value: &JsonValue) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, value.render() + "\n")?;
-    Ok(path)
-}
-
-/// Emits to `results/` and notes where on stderr — stderr so that
-/// redirecting a binary's stdout into `results/<name>.txt` captures the
-/// tables alone — warning instead of failing when the directory is not
-/// writable (figure output must still appear).
-pub fn emit_results(name: &str, value: &JsonValue) {
-    match write_results(name, value) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write results/{name}.json: {e}"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_scalars_and_escapes() {
-        assert_eq!(JsonValue::Null.render(), "null");
-        assert_eq!(JsonValue::Bool(true).render(), "true");
-        assert_eq!(JsonValue::Num(2.5).render(), "2.5");
-        assert_eq!(JsonValue::Num(42.0).render(), "42");
-        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
-        assert_eq!(
-            JsonValue::Str("a\"b\\c\nd".into()).render(),
-            r#""a\"b\\c\nd""#
-        );
-    }
-
-    #[test]
-    fn renders_nested_structures() {
-        let v = JsonValue::obj([
-            ("name", JsonValue::Str("fig6".into())),
-            ("lambdas", JsonValue::nums([5.0, 10.0])),
-            (
-                "series",
-                JsonValue::Arr(vec![JsonValue::obj([
-                    ("label", JsonValue::Str("<ED,2>".into())),
-                    ("ap", JsonValue::nums([0.99, 0.95])),
-                ])]),
-            ),
-        ]);
-        assert_eq!(
-            v.render(),
-            r#"{"name":"fig6","lambdas":[5,10],"series":[{"label":"<ED,2>","ap":[0.99,0.95]}]}"#
-        );
-    }
-
-    #[test]
-    fn write_results_round_trips() {
-        let v = JsonValue::nums([1.0, 2.0]);
-        let path = write_results("json_unit_test", &v).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::remove_file(&path).ok();
-        assert_eq!(text, "[1,2]\n");
-    }
-}
+pub use anycast_telemetry::json::{emit_results, parse, write_results, JsonValue};

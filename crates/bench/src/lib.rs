@@ -31,14 +31,15 @@
 
 pub mod figures;
 pub mod json;
-mod pool;
 mod settings;
 mod sweep;
 mod table;
 
-pub use pool::{default_jobs, parallel_map};
+pub use anycast_sim::pool::{default_jobs, parallel_map};
 pub use settings::{parse_args, RunSettings};
-pub use sweep::{mean_and_stderr, run_grid, run_replicated, ReplicatedMetrics};
+pub use sweep::{
+    mean_and_stderr, run_grid, run_grid_traced, run_replicated, ReplicatedMetrics, TracedCell,
+};
 pub use table::Table;
 
 /// The arrival-rate grid of the paper's figures (flows/second).

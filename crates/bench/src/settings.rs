@@ -1,6 +1,6 @@
 //! Run-length settings shared by every experiment binary.
 
-use crate::pool::default_jobs;
+use anycast_sim::pool::default_jobs;
 
 /// How long and how often to simulate — and on how many worker threads.
 ///

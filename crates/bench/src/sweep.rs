@@ -6,9 +6,10 @@
 //! input order, so a sweep's output is **bit-for-bit identical** for every
 //! `jobs` value — parallelism changes only the wall-clock.
 
-use crate::pool::parallel_map;
-use anycast_dac::experiment::{run_experiment, ExperimentConfig, Metrics};
+use anycast_dac::experiment::{run_experiment, run_experiment_traced, ExperimentConfig, Metrics};
 use anycast_net::Topology;
+use anycast_sim::pool::parallel_map;
+use anycast_telemetry::{NullRecorder, RingRecorder, TelemetryMode, TimedEvent};
 
 /// Metrics averaged over independent replications of one configuration.
 #[derive(Debug, Clone)]
@@ -117,6 +118,84 @@ pub fn run_grid(
         .collect()
 }
 
+/// One `(config, seed)` grid cell's run result together with the
+/// telemetry events it produced.
+///
+/// Cells are keyed by `config_index` (position in the `configs` slice
+/// handed to [`run_grid_traced`]) and the replication `seed`, so consumers
+/// can reassociate events with their scenario regardless of how the sweep
+/// was scheduled across worker threads.
+#[derive(Debug, Clone)]
+pub struct TracedCell {
+    /// Index into the `configs` slice this cell ran.
+    pub config_index: usize,
+    /// Substream seed of this replication.
+    pub seed: u64,
+    /// The run's end-of-run metrics.
+    pub metrics: Metrics,
+    /// The telemetry events the run emitted (empty for
+    /// [`TelemetryMode::Off`] and [`TelemetryMode::Null`]).
+    pub events: Vec<TimedEvent>,
+}
+
+/// [`run_grid`] with a telemetry recorder attached to every cell.
+///
+/// Returns the same replication-averaged summaries as [`run_grid`] plus
+/// one [`TracedCell`] per `(config, seed)` pair, **in input order**
+/// (config-major, then seed). Each cell owns its recorder, and every
+/// event stream is a pure function of `(topo, config, seed)`, so both
+/// return values are bit-for-bit identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or `jobs == 0`.
+pub fn run_grid_traced(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+    jobs: usize,
+    mode: TelemetryMode,
+) -> (Vec<ReplicatedMetrics>, Vec<TracedCell>) {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let cells: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let traced: Vec<TracedCell> = parallel_map(jobs, &cells, |_, &(cfg_idx, seed)| {
+        let config = configs[cfg_idx].clone().with_seed(seed);
+        let (metrics, events) = match mode {
+            TelemetryMode::Off => (run_experiment(topo, &config), Vec::new()),
+            TelemetryMode::Null => {
+                let mut rec = NullRecorder;
+                (run_experiment_traced(topo, &config, &mut rec), Vec::new())
+            }
+            TelemetryMode::Ring {
+                sample_interval_secs,
+                capacity,
+            } => {
+                let mut rec = RingRecorder::with_capacity(seed, capacity);
+                if let Some(secs) = sample_interval_secs {
+                    rec = rec.with_sample_interval(secs);
+                }
+                let metrics = run_experiment_traced(topo, &config, &mut rec);
+                (metrics, rec.events())
+            }
+        };
+        TracedCell {
+            config_index: cfg_idx,
+            seed,
+            metrics,
+            events,
+        }
+    });
+    let summaries = traced
+        .chunks(seeds.len())
+        .map(|cells| summarize(cells.iter().map(|c| c.metrics.clone()).collect()))
+        .collect();
+    (summaries, traced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +241,29 @@ mod tests {
         }
         assert_eq!(grid[0].lambda, 10.0);
         assert_eq!(grid[1].lambda, 30.0);
+    }
+
+    #[test]
+    fn traced_grid_matches_plain_grid_in_every_mode() {
+        let topo = topologies::mci();
+        let configs = vec![tiny(15.0)];
+        let plain = run_grid(&topo, &configs, &[5], 1);
+        for mode in [
+            TelemetryMode::Off,
+            TelemetryMode::Null,
+            TelemetryMode::ring(),
+        ] {
+            let (summary, cells) = run_grid_traced(&topo, &configs, &[5], 1, mode);
+            assert_eq!(summary[0].runs, plain[0].runs, "mode {mode:?}");
+            assert_eq!(cells.len(), 1);
+            assert_eq!(cells[0].config_index, 0);
+            assert_eq!(cells[0].seed, 5);
+            assert_eq!(cells[0].metrics, plain[0].runs[0], "mode {mode:?}");
+            match mode {
+                TelemetryMode::Ring { .. } => assert!(!cells[0].events.is_empty()),
+                _ => assert!(cells[0].events.is_empty()),
+            }
+        }
     }
 
     #[test]

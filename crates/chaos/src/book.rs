@@ -2,6 +2,7 @@
 //! and soft-state metrics.
 
 use anycast_net::{LinkId, NodeId};
+use anycast_telemetry::{MetricKey, MetricsRegistry};
 use std::collections::HashMap;
 
 /// A thing that can be down: one link or one router.
@@ -19,18 +20,25 @@ pub enum FaultEntity {
 /// reports state transitions and the book turns them into durations and
 /// counts. Double-failing an already-down entity or restoring a healthy
 /// one is ignored, so idempotent scripted plans stay well-defined.
+///
+/// All counts live in a telemetry [`MetricsRegistry`] rather than bespoke
+/// fields, so the same numbers the end-of-run `Metrics` report are also
+/// exportable as labelled metrics (see [`FaultBook::registry`]).
 #[derive(Debug, Clone, Default)]
 pub struct FaultBook {
     down_since: HashMap<FaultEntity, f64>,
-    completed_outages: u64,
-    total_repair_secs: f64,
-    /// Live flows torn down because a fault removed their path.
-    pub flows_killed: u64,
-    /// Reservations orphaned by a lost teardown message.
-    pub orphans_created: u64,
-    /// Orphaned reservations reclaimed by soft-state expiry.
-    pub orphans_reclaimed: u64,
+    registry: MetricsRegistry,
 }
+
+fn counter(name: &str) -> MetricKey {
+    MetricKey::plain(name)
+}
+
+const OUTAGES_COMPLETED: &str = "chaos_outages_completed_total";
+const REPAIR_SECS: &str = "chaos_repair_secs_total";
+const FLOWS_KILLED: &str = "chaos_flows_killed_total";
+const ORPHANS_CREATED: &str = "chaos_orphans_created_total";
+const ORPHANS_RECLAIMED: &str = "chaos_orphans_reclaimed_total";
 
 impl FaultBook {
     /// An empty ledger.
@@ -48,14 +56,44 @@ impl FaultBook {
     /// (ignored if it was not down).
     pub fn record_up(&mut self, entity: FaultEntity, now: f64) {
         if let Some(start) = self.down_since.remove(&entity) {
-            self.completed_outages += 1;
-            self.total_repair_secs += now - start;
+            self.registry.inc(counter(OUTAGES_COMPLETED), 1.0);
+            self.registry.inc(counter(REPAIR_SECS), now - start);
         }
+    }
+
+    /// Records a live flow torn down because a fault removed its path.
+    pub fn note_flow_killed(&mut self) {
+        self.registry.inc(counter(FLOWS_KILLED), 1.0);
+    }
+
+    /// Records a reservation orphaned by a lost teardown message.
+    pub fn note_orphan_created(&mut self) {
+        self.registry.inc(counter(ORPHANS_CREATED), 1.0);
+    }
+
+    /// Records an orphaned reservation reclaimed by soft-state expiry.
+    pub fn note_orphan_reclaimed(&mut self) {
+        self.registry.inc(counter(ORPHANS_RECLAIMED), 1.0);
+    }
+
+    /// Live flows torn down because a fault removed their path.
+    pub fn flows_killed(&self) -> u64 {
+        self.registry.counter(&counter(FLOWS_KILLED)) as u64
+    }
+
+    /// Reservations orphaned by a lost teardown message.
+    pub fn orphans_created(&self) -> u64 {
+        self.registry.counter(&counter(ORPHANS_CREATED)) as u64
+    }
+
+    /// Orphaned reservations reclaimed by soft-state expiry.
+    pub fn orphans_reclaimed(&self) -> u64 {
+        self.registry.counter(&counter(ORPHANS_RECLAIMED)) as u64
     }
 
     /// Outages that completed (failure followed by repair).
     pub fn completed_outages(&self) -> u64 {
-        self.completed_outages
+        self.registry.counter(&counter(OUTAGES_COMPLETED)) as u64
     }
 
     /// Entities still down.
@@ -65,11 +103,18 @@ impl FaultBook {
 
     /// Mean repair time over completed outages (0 when none completed).
     pub fn mean_recovery_secs(&self) -> f64 {
-        if self.completed_outages == 0 {
+        let completed = self.registry.counter(&counter(OUTAGES_COMPLETED));
+        if completed == 0.0 {
             0.0
         } else {
-            self.total_repair_secs / self.completed_outages as f64
+            self.registry.counter(&counter(REPAIR_SECS)) / completed
         }
+    }
+
+    /// The underlying metrics registry (counters named `chaos_*`), for
+    /// export alongside the run's other telemetry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 }
 
@@ -112,5 +157,26 @@ mod tests {
         assert_eq!(b.completed_outages(), 0);
         assert_eq!(b.mean_recovery_secs(), 0.0);
         assert_eq!(b.open_outages(), 0);
+        assert_eq!(b.flows_killed(), 0);
+        assert_eq!(b.orphans_created(), 0);
+        assert_eq!(b.orphans_reclaimed(), 0);
+        assert!(b.registry().is_empty());
+    }
+
+    #[test]
+    fn soft_state_counts_flow_through_registry() {
+        let mut b = FaultBook::new();
+        b.note_flow_killed();
+        b.note_orphan_created();
+        b.note_orphan_created();
+        b.note_orphan_reclaimed();
+        assert_eq!(b.flows_killed(), 1);
+        assert_eq!(b.orphans_created(), 2);
+        assert_eq!(b.orphans_reclaimed(), 1);
+        assert_eq!(
+            b.registry()
+                .counter(&MetricKey::plain("chaos_orphans_created_total")),
+            2.0
+        );
     }
 }

@@ -4,10 +4,15 @@ use crate::args::{parse_id_list, parse_range, Args};
 use crate::spec::{parse_system, parse_topology};
 use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
 use anycast_analysis::{predict_ap, BlockingModel};
-use anycast_bench::{default_jobs, run_grid};
+use anycast_bench::{default_jobs, run_grid, run_grid_traced, TracedCell};
 use anycast_dac::experiment::{run_experiment, ArrivalProcess, ExperimentConfig};
 use anycast_net::{metrics, LinkId, NodeId, Topology};
 use anycast_sim::SimRng;
+use anycast_telemetry::export::{to_csv, to_jsonl};
+use anycast_telemetry::{
+    json, registry_from_events, Event as TelemetryEvent, MetricsRegistry, SkipReason,
+    TelemetryMode, DEFAULT_RING_CAPACITY,
+};
 
 /// Prints usage for a command (or the overview for anything else).
 pub fn print_help(command: &str) {
@@ -37,7 +42,9 @@ pub fn print_help(command: &str) {
              \x20 --measure SECS                 measured period (default 3600)\n\
              \x20 --burstiness B                 MMPP-2 burstiness in [1,2) (default: Poisson)\n\
              \x20 --faults FILE                  fault-plan spec (TOML subset; see\n\
-             \x20                                anycast-chaos::spec for the grammar)"
+             \x20                                anycast-chaos::spec for the grammar)\n\
+             \x20 --telemetry                    attach the ring recorder and print an\n\
+             \x20                                event summary (results are unchanged)"
         ),
         "sweep" => println!(
             "usage: anycast sweep --lambdas START:END:STEP [simulate options]\n\
@@ -46,7 +53,34 @@ pub fn print_help(command: &str) {
              options as `simulate`, with --lambdas replacing --lambda;\n\
              --no-header omits the column header for scripting.\n\
              Sweep points run on --jobs worker threads (default: available\n\
-             cores); output is bit-identical for every --jobs value."
+             cores); output is bit-identical for every --jobs value.\n\
+             --telemetry attaches the ring recorder and appends an event\n\
+             summary (results are unchanged)."
+        ),
+        "trace" => println!(
+            "usage: anycast trace [SCENARIO] [simulate options] [options]\n\
+             \n\
+             Runs a scenario with structured tracing on and exports every\n\
+             event (arrivals, probes, retrials, setups, teardowns,\n\
+             rejections with full decision traces, link samples, faults)\n\
+             for offline analysis. Results are bit-identical to the same\n\
+             run without tracing.\n\
+             \n\
+             scenarios:\n\
+             \x20 paper       λ=35, WD/D+H — the paper's Figure 6 operating point\n\
+             \x20 saturated   λ=50, ED — overload, dense rejection traces (default)\n\
+             \x20 light       λ=5, WD/D+H — low load, mostly clean admissions\n\
+             \n\
+             options (plus all `simulate` options):\n\
+             \x20 --out DIR                      output directory (default traces)\n\
+             \x20 --format jsonl|csv|both        export format (default jsonl)\n\
+             \x20 --sample SECS                  link-state sampling interval (default 60)\n\
+             \x20 --events N                     ring capacity in events (default 2^20)\n\
+             \x20 --check                        re-parse every exported JSONL line\n\
+             \n\
+             Writes trace_<scenario>_seed<seed>.jsonl (one JSON object per\n\
+             line) per replication plus metrics.json (the labelled metrics\n\
+             registry), and prints the first rejection's decision trace."
         ),
         "predict" => println!(
             "usage: anycast predict --lambda RATE [options]\n\
@@ -71,6 +105,7 @@ pub fn print_help(command: &str) {
              commands:\n\
              \x20 simulate   run one closed-loop simulation\n\
              \x20 sweep      run a λ sweep of simulations\n\
+             \x20 trace      run a scenario with structured tracing and export events\n\
              \x20 predict    analytical admission probability (Appendix A)\n\
              \x20 topo       topology structure report\n\
              \x20 help       this overview\n\
@@ -80,13 +115,21 @@ pub fn print_help(command: &str) {
     }
 }
 
-/// Builds the topology and experiment configuration shared by `simulate`
-/// and `sweep` from the common option set.
-fn common_config(args: &mut Args, lambda: f64) -> Result<(Topology, ExperimentConfig), String> {
+/// Builds the topology and experiment configuration shared by `simulate`,
+/// `sweep` and `trace` from the common option set. `default_system` is
+/// the system used when `--system` is absent (commands differ: trace
+/// presets pick their own).
+fn common_config(
+    args: &mut Args,
+    lambda: f64,
+    default_system: &str,
+) -> Result<(Topology, ExperimentConfig), String> {
     if !(lambda.is_finite() && lambda > 0.0) {
         return Err(format!("arrival rate must be positive, got {lambda}"));
     }
-    let system_name = args.get_str("system").unwrap_or_else(|| "wddh".into());
+    let system_name = args
+        .get_str("system")
+        .unwrap_or_else(|| default_system.into());
     let r: u32 = args.get_or("r", 2)?;
     let alpha: f64 = args.get_or("alpha", 0.5)?;
     let multipath: usize = args.get_or("multipath", 1)?;
@@ -214,13 +257,63 @@ fn replication_plan(args: &mut Args, base_seed: u64) -> Result<(Vec<u64>, usize)
     Ok((seeds, jobs))
 }
 
+fn print_replicated(rep: &anycast_bench::ReplicatedMetrics, reps: usize, base_seed: u64) {
+    println!("system                {}", rep.label);
+    println!("lambda                {:.3} flows/s", rep.lambda);
+    println!("replications          {reps} (substreams of seed {base_seed})");
+    println!(
+        "admission probability {:.6} ± {:.6} (stderr across reps)",
+        rep.admission_probability, rep.ap_stderr
+    );
+    println!("mean tries/request    {:.4}", rep.mean_tries);
+    println!("messages/request      {:.2}", rep.messages_per_request);
+    println!("network utilization   {:.4}", rep.mean_network_utilization);
+}
+
+/// One-line recap of what a ring recorder captured across the run's cells.
+fn print_telemetry_summary(cells: &[TracedCell]) {
+    let total: usize = cells.iter().map(|c| c.events.len()).sum();
+    let mut setups = 0usize;
+    let mut rejections = 0usize;
+    for cell in cells {
+        for ev in &cell.events {
+            match ev.event.kind() {
+                "setup" => setups += 1,
+                "rejection" => rejections += 1,
+                _ => {}
+            }
+        }
+    }
+    println!(
+        "telemetry             {total} events captured ({setups} setups, {rejections} rejections)"
+    );
+}
+
 /// `anycast simulate`.
 pub fn simulate(raw: Vec<String>) -> Result<(), String> {
-    let mut args = Args::parse(raw, &[])?;
+    let mut args = Args::parse(raw, &["telemetry"])?;
+    let telemetry = args.switch("telemetry");
     let lambda: f64 = args.require("lambda")?;
-    let (topo, config) = common_config(&mut args, lambda)?;
+    let (topo, config) = common_config(&mut args, lambda, "wddh")?;
     let (seeds, jobs) = replication_plan(&mut args, config.seed)?;
     args.finish()?;
+    if telemetry {
+        let (mut summaries, cells) = run_grid_traced(
+            &topo,
+            std::slice::from_ref(&config),
+            &seeds,
+            jobs,
+            TelemetryMode::ring(),
+        );
+        let rep = summaries.pop().expect("one config in, one result out");
+        if seeds.len() == 1 {
+            print_metrics(&cells[0].metrics);
+        } else {
+            print_replicated(&rep, seeds.len(), config.seed);
+        }
+        print_telemetry_summary(&cells);
+        return Ok(());
+    }
     if seeds.len() == 1 {
         let m = run_experiment(&topo, &config);
         print_metrics(&m);
@@ -229,27 +322,15 @@ pub fn simulate(raw: Vec<String>) -> Result<(), String> {
     let rep = run_grid(&topo, std::slice::from_ref(&config), &seeds, jobs)
         .pop()
         .expect("one config in, one result out");
-    println!("system                {}", rep.label);
-    println!("lambda                {:.3} flows/s", rep.lambda);
-    println!(
-        "replications          {} (substreams of seed {})",
-        seeds.len(),
-        config.seed
-    );
-    println!(
-        "admission probability {:.6} ± {:.6} (stderr across reps)",
-        rep.admission_probability, rep.ap_stderr
-    );
-    println!("mean tries/request    {:.4}", rep.mean_tries);
-    println!("messages/request      {:.2}", rep.messages_per_request);
-    println!("network utilization   {:.4}", rep.mean_network_utilization);
+    print_replicated(&rep, seeds.len(), config.seed);
     Ok(())
 }
 
 /// `anycast sweep`.
 pub fn sweep(raw: Vec<String>) -> Result<(), String> {
-    let mut args = Args::parse(raw, &["no-header"])?;
+    let mut args = Args::parse(raw, &["no-header", "telemetry"])?;
     let no_header = args.switch("no-header");
+    let telemetry = args.switch("telemetry");
     let lambdas = parse_range(
         &args
             .get_str("lambdas")
@@ -258,7 +339,7 @@ pub fn sweep(raw: Vec<String>) -> Result<(), String> {
     if args.get_str("lambda").is_some() {
         return Err("sweeps take --lambdas, not --lambda".to_string());
     }
-    let (topo, base) = common_config(&mut args, lambdas[0])?;
+    let (topo, base) = common_config(&mut args, lambdas[0], "wddh")?;
     let (seeds, jobs) = replication_plan(&mut args, base.seed)?;
     args.finish()?;
     if !no_header {
@@ -275,7 +356,13 @@ pub fn sweep(raw: Vec<String>) -> Result<(), String> {
             config
         })
         .collect();
-    let results = run_grid(&topo, &configs, &seeds, jobs);
+    let (results, cells) = if telemetry {
+        let (results, cells) =
+            run_grid_traced(&topo, &configs, &seeds, jobs, TelemetryMode::ring());
+        (results, Some(cells))
+    } else {
+        (run_grid(&topo, &configs, &seeds, jobs), None)
+    };
     for (lambda, m) in lambdas.iter().zip(&results) {
         println!(
             "{:>8.2} {:>10.6} {:>8.4} {:>9.2} {:>7.4}",
@@ -285,6 +372,157 @@ pub fn sweep(raw: Vec<String>) -> Result<(), String> {
             m.messages_per_request,
             m.mean_network_utilization
         );
+    }
+    if let Some(cells) = cells {
+        print_telemetry_summary(&cells);
+    }
+    Ok(())
+}
+
+/// `anycast trace`: run a preset (or customised) scenario with the ring
+/// recorder attached and export the event stream for offline analysis.
+pub fn trace(raw: Vec<String>) -> Result<(), String> {
+    // The optional scenario preset is the one positional argument in the
+    // CLI; peel it off before the flag parser (which rejects positionals).
+    let mut raw = raw;
+    let scenario = if raw.first().is_some_and(|a| !a.starts_with("--")) {
+        raw.remove(0)
+    } else {
+        "saturated".to_string()
+    };
+    let (preset_lambda, preset_system) = match scenario.as_str() {
+        // The paper's Figure 6 operating point, default multi-destination
+        // policy.
+        "paper" => (35.0, "wddh"),
+        // Overload: plenty of rejections, so decision traces are dense.
+        "saturated" => (50.0, "ed"),
+        // Low load: mostly clean admissions and departures.
+        "light" => (5.0, "wddh"),
+        other => {
+            return Err(format!(
+                "unknown trace scenario `{other}` (expected paper, saturated or light)"
+            ))
+        }
+    };
+    let mut args = Args::parse(raw, &["check"])?;
+    let check = args.switch("check");
+    let lambda: f64 = args.get_or("lambda", preset_lambda)?;
+    let (topo, config) = common_config(&mut args, lambda, preset_system)?;
+    let (seeds, jobs) = replication_plan(&mut args, config.seed)?;
+    let out_dir = args.get_str("out").unwrap_or_else(|| "traces".into());
+    let sample: f64 = args.get_or("sample", 60.0)?;
+    if !(sample.is_finite() && sample > 0.0) {
+        return Err(format!("--sample must be positive seconds, got {sample}"));
+    }
+    let format = args.get_str("format").unwrap_or_else(|| "jsonl".into());
+    let (want_jsonl, want_csv) = match format.as_str() {
+        "jsonl" => (true, false),
+        "csv" => (false, true),
+        "both" => (true, true),
+        other => {
+            return Err(format!(
+                "--format must be jsonl, csv or both, got `{other}`"
+            ))
+        }
+    };
+    let capacity: usize = args.get_or("events", DEFAULT_RING_CAPACITY)?;
+    if capacity == 0 {
+        return Err("--events must be at least 1".to_string());
+    }
+    args.finish()?;
+
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create output directory `{out_dir}`: {e}"))?;
+    let mode = TelemetryMode::Ring {
+        sample_interval_secs: Some(sample),
+        capacity,
+    };
+    let (_, cells) = run_grid_traced(&topo, std::slice::from_ref(&config), &seeds, jobs, mode);
+
+    let label = config.system.label();
+    let mut registry = MetricsRegistry::new();
+    let mut written: Vec<String> = Vec::new();
+    let mut first_rejection: Option<(u64, f64, TelemetryEvent)> = None;
+    for cell in &cells {
+        registry.merge(&registry_from_events(&label, &cell.events));
+        if first_rejection.is_none() {
+            first_rejection = cell
+                .events
+                .iter()
+                .find(|e| matches!(e.event, TelemetryEvent::Rejection { .. }))
+                .map(|e| (cell.seed, e.time_secs, e.event.clone()));
+        }
+        let stem = format!("{out_dir}/trace_{scenario}_seed{}", cell.seed);
+        if want_jsonl {
+            let path = format!("{stem}.jsonl");
+            let text = to_jsonl(cell.seed, &cell.events);
+            if check {
+                for (i, line) in text.lines().enumerate() {
+                    json::parse(line)
+                        .map_err(|e| format!("{path}: line {} is not valid JSON: {e}", i + 1))?;
+                }
+            }
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            written.push(path);
+        }
+        if want_csv {
+            let path = format!("{stem}.csv");
+            std::fs::write(&path, to_csv(cell.seed, &cell.events))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            written.push(path);
+        }
+    }
+    let metrics_path = format!("{out_dir}/metrics.json");
+    std::fs::write(&metrics_path, registry.to_json().render() + "\n")
+        .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+    written.push(metrics_path);
+
+    println!("scenario              {scenario}");
+    println!("system                {label}");
+    println!("lambda                {lambda:.3} flows/s");
+    println!("runs                  {}", cells.len());
+    print_telemetry_summary(&cells);
+    for path in &written {
+        println!("wrote                 {path}");
+    }
+    match first_rejection {
+        None => println!("no rejections in this trace (try `saturated` or a higher --lambda)"),
+        Some((
+            seed,
+            t,
+            TelemetryEvent::Rejection {
+                request,
+                tries,
+                trace,
+            },
+        )) => {
+            println!(
+                "first rejection       request {request} (seed {seed}, t={t:.2}s, {tries} tries)"
+            );
+            let weights: Vec<String> = trace.weights.iter().map(|w| format!("{w:.4}")).collect();
+            println!("  weights             [{}]", weights.join(", "));
+            for step in &trace.steps {
+                match step.skip {
+                    SkipReason::LinkBlocked {
+                        link,
+                        hop_index,
+                        available_bps,
+                    } => println!(
+                        "  member {} (w={:.4})  link_blocked at {link} hop {hop_index}, {available_bps} bps free",
+                        step.member_index, step.weight
+                    ),
+                    SkipReason::NoFeasiblePath => println!(
+                        "  member {} (w={:.4})  no_feasible_path",
+                        step.member_index, step.weight
+                    ),
+                    SkipReason::NotSelected => println!(
+                        "  member {} (w={:.4})  not_selected",
+                        step.member_index, step.weight
+                    ),
+                }
+            }
+        }
+        Some(_) => unreachable!("first_rejection only holds Rejection events"),
     }
     Ok(())
 }
@@ -409,7 +647,7 @@ mod tests {
     #[test]
     fn common_config_defaults_to_paper_setup() {
         let mut args = Args::parse(strs(&[]), &[]).unwrap();
-        let (topo, config) = common_config(&mut args, 20.0).unwrap();
+        let (topo, config) = common_config(&mut args, 20.0, "wddh").unwrap();
         assert_eq!(topo.node_count(), 19);
         assert_eq!(config.lambda, 20.0);
         assert_eq!(config.system.label(), "<WD/D+H,2>");
@@ -420,7 +658,7 @@ mod tests {
     #[test]
     fn non_mci_default_sources_are_non_members() {
         let mut args = Args::parse(strs(&["--topology", "ring:6", "--group", "0,3"]), &[]).unwrap();
-        let (_, config) = common_config(&mut args, 5.0).unwrap();
+        let (_, config) = common_config(&mut args, 5.0, "wddh").unwrap();
         let sources: Vec<u32> = config.sources.iter().map(|n| n.raw()).collect();
         assert_eq!(sources, vec![1, 2, 4, 5]);
     }
@@ -434,11 +672,11 @@ mod tests {
             (vec!["--r", "0"], "--r"),
         ] {
             let mut args = Args::parse(strs(&flags), &[]).unwrap();
-            let err = common_config(&mut args, 10.0).unwrap_err();
+            let err = common_config(&mut args, 10.0, "wddh").unwrap_err();
             assert!(err.contains(needle), "{flags:?}: {err}");
         }
         let mut args = Args::parse(strs(&[]), &[]).unwrap();
-        assert!(common_config(&mut args, -1.0).is_err());
+        assert!(common_config(&mut args, -1.0, "wddh").is_err());
     }
 
     #[test]
@@ -589,5 +827,74 @@ mod tests {
     #[test]
     fn unknown_flags_rejected_per_command() {
         assert!(simulate(strs(&["--lambda", "3", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn simulate_and_sweep_accept_telemetry_switch() {
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--telemetry",
+        ]))
+        .unwrap();
+        sweep(strs(&[
+            "--lambdas",
+            "3",
+            "--system",
+            "sp",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--telemetry",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_writes_parseable_jsonl_with_rejections() {
+        let dir = std::env::temp_dir().join("anycast_cli_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        trace(strs(&[
+            "saturated",
+            "--warmup",
+            "10",
+            "--measure",
+            "60",
+            "--out",
+            dir.to_str().unwrap(),
+            "--format",
+            "both",
+            "--check",
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(dir.join("trace_saturated_seed1.jsonl")).unwrap();
+        assert!(
+            jsonl.lines().any(|l| l.contains("\"kind\":\"rejection\"")),
+            "saturated trace must contain at least one rejection"
+        );
+        for line in jsonl.lines() {
+            json::parse(line).unwrap();
+        }
+        let csv = std::fs::read_to_string(dir.join("trace_saturated_seed1.csv")).unwrap();
+        assert!(csv.starts_with("t,seed,kind"));
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        let parsed = json::parse(&metrics).unwrap();
+        assert!(parsed.render().contains("rejections_total"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_validates_its_flags() {
+        assert!(trace(strs(&["bogus"])).is_err());
+        assert!(trace(strs(&["--format", "xml"])).is_err());
+        assert!(trace(strs(&["--sample", "-5"])).is_err());
+        assert!(trace(strs(&["--events", "0"])).is_err());
     }
 }

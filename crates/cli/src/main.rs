@@ -3,6 +3,7 @@
 //! ```text
 //! anycast simulate --lambda 25 --system wddh --r 2        # one simulation
 //! anycast sweep --lambdas 5:50:5 --system ed --r 2        # a λ sweep
+//! anycast trace saturated --out traces                    # export event traces
 //! anycast predict --lambda 35 --system ed1                # Appendix-A analysis
 //! anycast topo --topology grid:5x4                        # structure report
 //! ```
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "simulate" => commands::simulate(rest),
         "sweep" => commands::sweep(rest),
+        "trace" => commands::trace(rest),
         "predict" => commands::predict(rest),
         "topo" => commands::topo(rest),
         "help" | "--help" | "-h" => {

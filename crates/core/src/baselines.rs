@@ -4,6 +4,7 @@ use crate::{AdmissionOutcome, AdmittedFlow};
 use anycast_net::routing::{filtered_shortest_path_with, RoutingScratch};
 use anycast_net::{AnycastGroup, Bandwidth, LinkStateTable, NodeId, Path, Topology};
 use anycast_rsvp::ReservationEngine;
+use anycast_telemetry::{NullRecorder, ProbeResult, RequestTracer, SkipReason};
 
 /// The Shortest-Path (SP) baseline: "the admission control procedure will
 /// always pick the destination which has the shortest distance from the
@@ -44,20 +45,57 @@ impl ShortestPathSystem {
         rsvp: &mut ReservationEngine,
         demand: Bandwidth,
     ) -> AdmissionOutcome {
+        let mut null = NullRecorder;
+        let mut tracer = RequestTracer::new(&mut null, 0.0, 0);
+        self.admit_traced(routes, links, rsvp, demand, &mut tracer)
+    }
+
+    /// [`admit`](Self::admit) with a telemetry tracer. SP has no weights;
+    /// the single candidate is traced with weight 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` does not contain the nearest member's route.
+    pub fn admit_traced(
+        &self,
+        routes: &[Path],
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        demand: Bandwidth,
+        tracer: &mut RequestTracer<'_>,
+    ) -> AdmissionOutcome {
         let route = &routes[self.nearest_member];
         match rsvp.probe_and_reserve(links, route, demand) {
-            Ok(outcome) => AdmissionOutcome {
-                admitted: Some(AdmittedFlow {
-                    session: outcome.session,
-                    member_index: self.nearest_member,
-                    route_bandwidth: outcome.route_bandwidth,
-                }),
-                tries: 1,
-            },
-            Err(_) => AdmissionOutcome {
-                admitted: None,
-                tries: 1,
-            },
+            Ok(outcome) => {
+                tracer.note_weights(&[1.0]);
+                tracer.note_probe(self.nearest_member, 1.0, ProbeResult::Admitted);
+                tracer.finish_admitted(outcome.session, self.nearest_member, route.hops(), 1);
+                AdmissionOutcome {
+                    admitted: Some(AdmittedFlow {
+                        session: outcome.session,
+                        member_index: self.nearest_member,
+                        route_bandwidth: outcome.route_bandwidth,
+                    }),
+                    tries: 1,
+                }
+            }
+            Err(e) => {
+                tracer.note_weights(&[1.0]);
+                tracer.note_probe(
+                    self.nearest_member,
+                    1.0,
+                    ProbeResult::Skipped(SkipReason::LinkBlocked {
+                        link: e.failed_link,
+                        hop_index: e.hop_index,
+                        available_bps: e.available.bps(),
+                    }),
+                );
+                tracer.finish_rejected(1);
+                AdmissionOutcome {
+                    admitted: None,
+                    tries: 1,
+                }
+            }
         }
     }
 }
@@ -107,11 +145,38 @@ impl GlobalDynamicSystem {
         rsvp: &mut ReservationEngine,
         demand: Bandwidth,
     ) -> AdmissionOutcome {
+        let mut null = NullRecorder;
+        let mut tracer = RequestTracer::new(&mut null, 0.0, 0);
+        self.admit_traced(topo, group, source, links, rsvp, demand, &mut tracer)
+    }
+
+    /// [`admit`](Self::admit) with a telemetry tracer. GDI has no weight
+    /// vector (candidates are traced with weight 0.0); the trace instead
+    /// records, for every member, whether a feasible path existed
+    /// (`no_feasible_path`) and which feasible members lost the
+    /// shortest-path tie-break (`not_selected`). Per-member bookkeeping is
+    /// gated on [`RequestTracer::is_armed`], so disabled runs skip it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_traced(
+        &mut self,
+        topo: &Topology,
+        group: &AnycastGroup,
+        source: NodeId,
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        demand: Bandwidth,
+        tracer: &mut RequestTracer<'_>,
+    ) -> AdmissionOutcome {
         let mut best: Option<(usize, Path)> = None;
+        // (member_index, feasible) per candidate; only kept when tracing.
+        let mut considered: Vec<(usize, bool)> = Vec::new();
         for (idx, &member) in group.members().iter().enumerate() {
-            if let Some(path) =
-                filtered_shortest_path_with(&mut self.scratch, topo, links, source, member, demand)
-            {
+            let found =
+                filtered_shortest_path_with(&mut self.scratch, topo, links, source, member, demand);
+            if tracer.is_armed() {
+                considered.push((idx, found.is_some()));
+            }
+            if let Some(path) = found {
                 let better = match &best {
                     Some((_, current)) => path.hops() < current.hops(),
                     None => true,
@@ -121,11 +186,27 @@ impl GlobalDynamicSystem {
                 }
             }
         }
+        if tracer.is_armed() {
+            let chosen = best.as_ref().map(|(idx, _)| *idx);
+            for (idx, feasible) in considered {
+                if Some(idx) == chosen {
+                    continue; // reported below as the admitted probe
+                }
+                let skip = if feasible {
+                    SkipReason::NotSelected
+                } else {
+                    SkipReason::NoFeasiblePath
+                };
+                tracer.note_skip(idx, 0.0, skip);
+            }
+        }
         match best {
             Some((member_index, path)) => {
                 let outcome = rsvp
                     .probe_and_reserve(links, &path, demand)
                     .expect("filtered search returned a feasible path");
+                tracer.note_probe(member_index, 0.0, ProbeResult::Admitted);
+                tracer.finish_admitted(outcome.session, member_index, path.hops(), 1);
                 AdmissionOutcome {
                     admitted: Some(AdmittedFlow {
                         session: outcome.session,
@@ -135,10 +216,13 @@ impl GlobalDynamicSystem {
                     tries: 1,
                 }
             }
-            None => AdmissionOutcome {
-                admitted: None,
-                tries: 1,
-            },
+            None => {
+                tracer.finish_rejected(1);
+                AdmissionOutcome {
+                    admitted: None,
+                    tries: 1,
+                }
+            }
         }
     }
 }

@@ -5,6 +5,7 @@ use crate::{HistoryTable, RetrialPolicy};
 use anycast_net::{Bandwidth, LinkStateTable, Path};
 use anycast_rsvp::{ReservationEngine, SessionId};
 use anycast_sim::SimRng;
+use anycast_telemetry::{NullRecorder, ProbeResult, RequestTracer, SkipReason};
 
 /// A flow that passed admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,30 @@ impl AdmissionController {
         demand: Bandwidth,
         rng: &mut SimRng,
     ) -> AdmissionOutcome {
+        let mut null = NullRecorder;
+        let mut tracer = RequestTracer::new(&mut null, 0.0, 0);
+        self.admit_traced(routes, links, rsvp, demand, rng, &mut tracer)
+    }
+
+    /// [`admit`](Self::admit) with a telemetry tracer: identical decisions
+    /// and RNG consumption, plus a per-request decision trace (weight
+    /// vector, probe outcomes, retrial decisions) when the tracer is
+    /// armed. With a disarmed tracer every hook is a no-op, which is what
+    /// keeps telemetry-off runs bit-identical — guarded by the
+    /// zero-overhead test in `tests/telemetry_guard.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` does not match the construction-time group size.
+    pub fn admit_traced(
+        &mut self,
+        routes: &[Path],
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        demand: Bandwidth,
+        rng: &mut SimRng,
+        tracer: &mut RequestTracer<'_>,
+    ) -> AdmissionOutcome {
         assert_eq!(
             routes.len(),
             self.distances.len(),
@@ -143,6 +168,7 @@ impl AdmissionController {
             };
             let weights = self.policy.assign(&ctx);
             debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            tracer.note_weights(&weights);
             let pick = match rng.choose_weighted_masked(&weights, &untried) {
                 Some(i) => i,
                 None => {
@@ -161,6 +187,8 @@ impl AdmissionController {
             match rsvp.probe_and_reserve(links, &routes[pick], demand) {
                 Ok(outcome) => {
                     self.history.record_success(pick);
+                    tracer.note_probe(pick, weights[pick], ProbeResult::Admitted);
+                    tracer.finish_admitted(outcome.session, pick, routes[pick].hops(), tries);
                     return AdmissionOutcome {
                         admitted: Some(AdmittedFlow {
                             session: outcome.session,
@@ -170,9 +198,18 @@ impl AdmissionController {
                         tries,
                     };
                 }
-                Err(_) => {
+                Err(e) => {
                     self.history.record_failure(pick);
                     untried[pick] = false;
+                    tracer.note_probe(
+                        pick,
+                        weights[pick],
+                        ProbeResult::Skipped(SkipReason::LinkBlocked {
+                            link: e.failed_link,
+                            hop_index: e.hop_index,
+                            available_bps: e.available.bps(),
+                        }),
+                    );
                 }
             }
             // Step 1.4: retrial control.
@@ -188,8 +225,10 @@ impl AdmissionController {
             if !self.retrial.keep_going(tries, remaining_weight) {
                 break;
             }
+            tracer.note_retrial(tries, remaining_weight);
         }
         // Step 2: the flow is rejected.
+        tracer.finish_rejected(tries);
         AdmissionOutcome {
             admitted: None,
             tries,

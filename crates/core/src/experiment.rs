@@ -20,6 +20,9 @@ use anycast_rsvp::{MessageLedger, RefreshTracker, ReservationEngine, SessionId};
 use anycast_sim::stats::{AdmissionStats, TimeWeighted};
 use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
 use anycast_sim::{Engine, SimRng, SimTime};
+use anycast_telemetry::{
+    Event as TelemetryEvent, FaultKind, NullRecorder, Recorder, RequestTracer, TeardownReason,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -380,6 +383,10 @@ enum Event {
     /// Periodic soft-state refresh: live sources re-arm their sessions;
     /// orphans miss the refresh and eventually expire.
     RefreshSweep,
+    /// Periodic telemetry link-state sample. Only ever scheduled when the
+    /// recorder asks for it, and touches no RNG stream and no simulation
+    /// state, so enabling the sampler cannot change the metrics.
+    TelemetrySample,
     WarmupEnd,
 }
 
@@ -421,6 +428,30 @@ enum SystemState {
 /// policy parameter, a disconnected topology, or a fault plan whose
 /// scripted actions reference unknown links or nodes).
 pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
+    run_experiment_traced(topo, config, &mut NullRecorder)
+}
+
+/// [`run_experiment`] with a telemetry [`Recorder`] capturing the run's
+/// structured event stream: arrivals, per-request decision traces (probes,
+/// retrials, rejections with weight vectors and skip reasons), reservation
+/// lifecycle, chaos faults, and — when the recorder requests it — periodic
+/// link-state samples.
+///
+/// The metrics returned are **bit-identical** to [`run_experiment`]'s for
+/// any recorder: every hook is read-only with respect to simulation state
+/// and consumes no randomness, and the sampler event is only scheduled
+/// when [`Recorder::link_sample_interval`] asks for it. With a
+/// [`NullRecorder`] the hooks reduce to a disabled-branch check, which is
+/// the zero-overhead guarantee the guard tests assert.
+///
+/// # Panics
+///
+/// As [`run_experiment`].
+pub fn run_experiment_traced(
+    topo: &Topology,
+    config: &ExperimentConfig,
+    recorder: &mut dyn Recorder,
+) -> Metrics {
     assert!(
         config.measure_secs > 0.0 && config.warmup_secs >= 0.0,
         "durations must be positive"
@@ -586,8 +617,24 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
     let mut availability: Option<TimeWeighted> = None;
     let refresh_interval = anycast_sim::Duration::from_secs(refresh.refresh_interval_secs);
 
+    // --- Telemetry state ---------------------------------------------
+    // `rec_on` is hoisted so disabled runs pay one branch per hook and
+    // never construct an event. The sampler is only scheduled when the
+    // recorder asks for it; its handler is read-only and consumes no
+    // randomness, so it cannot perturb the metrics.
+    let rec_on = recorder.enabled();
+    let sample_interval = recorder.link_sample_interval();
+    let mut next_request_id: u64 = 0;
+
     let mut engine: Engine<Event> = Engine::new();
     engine.schedule_at(warmup_end, Event::WarmupEnd);
+    if let Some(interval_secs) = sample_interval {
+        assert!(
+            interval_secs.is_finite() && interval_secs > 0.0,
+            "link sample interval must be positive"
+        );
+        engine.schedule_at(SimTime::from_secs(interval_secs), Event::TelemetrySample);
+    }
     let fault_members: Vec<NodeId> = groups
         .iter()
         .flat_map(|g| g.members().iter().copied())
@@ -629,16 +676,31 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
             let source = config.sources[source_index];
             let group = &groups[group_index];
             let routes = &route_tables[group_index];
+            let request_id = next_request_id;
+            next_request_id += 1;
+            if rec_on {
+                recorder.record(
+                    now.as_secs(),
+                    TelemetryEvent::RequestArrival {
+                        request: request_id,
+                        source,
+                        group: group_index,
+                        demand_bps: demand.bps(),
+                    },
+                );
+            }
+            let mut tracer = RequestTracer::new(&mut *recorder, now.as_secs(), request_id);
             let outcome: AdmissionOutcome = match &mut systems[group_index] {
-                SystemState::Dac(controllers) => controllers[source_index].admit(
+                SystemState::Dac(controllers) => controllers[source_index].admit_traced(
                     routes.routes_from(source),
                     &mut links,
                     &mut rsvp,
                     demand,
                     &mut selection_rng,
+                    &mut tracer,
                 ),
                 SystemState::DacMulti(table, controllers) => {
-                    controllers[source_index]
+                    let out = controllers[source_index]
                         .admit(
                             table.routes_from(source),
                             &mut links,
@@ -646,18 +708,37 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                             demand,
                             &mut selection_rng,
                         )
-                        .outcome
+                        .outcome;
+                    // The multipath controller is not internally traced;
+                    // emit lifecycle summaries (hops unknown → 0, empty
+                    // decision trace) so the stream still closes every
+                    // request.
+                    match &out.admitted {
+                        Some(flow) => {
+                            tracer.finish_admitted(flow.session, flow.member_index, 0, out.tries)
+                        }
+                        None => tracer.finish_rejected(out.tries),
+                    }
+                    out
                 }
-                SystemState::Sp(per_source) => per_source[source_index].admit(
+                SystemState::Sp(per_source) => per_source[source_index].admit_traced(
                     routes.routes_from(source),
                     &mut links,
                     &mut rsvp,
                     demand,
+                    &mut tracer,
                 ),
-                SystemState::Gdi(gdi) => {
-                    gdi.admit(topo, group, source, &mut links, &mut rsvp, demand)
-                }
+                SystemState::Gdi(gdi) => gdi.admit_traced(
+                    topo,
+                    group,
+                    source,
+                    &mut links,
+                    &mut rsvp,
+                    demand,
+                    &mut tracer,
+                ),
             };
+            drop(tracer);
             stats.record(now, outcome.is_admitted(), outcome.tries);
             group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
             if now >= warmup_end {
@@ -704,7 +785,7 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 // PATH_TEAR lost: the reservation holds its bandwidth
                 // until soft state expires it.
                 orphaned.insert(session);
-                book.orphans_created += 1;
+                book.note_orphan_created();
             } else if control.teardown_delay_secs > 0.0 {
                 let delay = fault_rng.exp_duration(control.teardown_delay_secs);
                 eng.schedule_in(now, delay, Event::Teardown(session));
@@ -712,6 +793,15 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 rsvp.teardown(&mut links, session)
                     .expect("departing flows hold live sessions");
                 tracker.forget(session);
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::ReservationTeardown {
+                            session,
+                            reason: TeardownReason::Departure,
+                        },
+                    );
+                }
                 if let Some(tw) = active.as_mut() {
                     tw.update(now, rsvp.active_sessions() as f64);
                 }
@@ -727,6 +817,15 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 rsvp.teardown(&mut links, session)
                     .expect("delayed teardowns target live sessions");
                 tracker.forget(session);
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::ReservationTeardown {
+                            session,
+                            reason: TeardownReason::Delayed,
+                        },
+                    );
+                }
                 if let Some(tw) = active.as_mut() {
                     tw.update(now, rsvp.active_sessions() as f64);
                 }
@@ -743,6 +842,14 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                         .fail_link(link)
                         .expect("fault plan references known links");
                     book.record_down(FaultEntity::Link(link), t);
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::FaultFired {
+                                entity: FaultKind::Link(link),
+                            },
+                        );
+                    }
                     rsvp.sessions_using_link(link)
                 }
                 FaultAction::RestoreLink(link) => {
@@ -750,6 +857,14 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                         .restore_link(link)
                         .expect("fault plan references known links");
                     book.record_up(FaultEntity::Link(link), t);
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::FaultHealed {
+                                entity: FaultKind::Link(link),
+                            },
+                        );
+                    }
                     Vec::new()
                 }
                 FaultAction::CrashNode(node) => {
@@ -757,6 +872,14 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                         .fail_node(node)
                         .expect("fault plan references known nodes");
                     book.record_down(FaultEntity::Node(node), t);
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::FaultFired {
+                                entity: FaultKind::Node(node),
+                            },
+                        );
+                    }
                     rsvp.sessions_through_node(node)
                 }
                 FaultAction::RestoreNode(node) => {
@@ -764,6 +887,14 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                         .restore_node(node)
                         .expect("fault plan references known nodes");
                     book.record_up(FaultEntity::Node(node), t);
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::FaultHealed {
+                                entity: FaultKind::Node(node),
+                            },
+                        );
+                    }
                     Vec::new()
                 }
             };
@@ -771,16 +902,25 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 rsvp.teardown(&mut links, session)
                     .expect("fault victims hold live reservations");
                 tracker.forget(session);
+                if rec_on {
+                    recorder.record(
+                        t,
+                        TelemetryEvent::ReservationTeardown {
+                            session,
+                            reason: TeardownReason::FaultKilled,
+                        },
+                    );
+                }
                 if orphaned.remove(&session) {
                     // The fault returned an orphan's bandwidth before soft
                     // state got to it.
-                    book.orphans_reclaimed += 1;
+                    book.note_orphan_reclaimed();
                 } else {
                     // A Departure or delayed Teardown event is still
                     // pending for this session and must become a no-op.
                     killed.insert(session);
                     if live_flows.contains(&session) {
-                        book.flows_killed += 1;
+                        book.note_flow_killed();
                     }
                 }
             }
@@ -812,7 +952,16 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                     rsvp.teardown(&mut links, session)
                         .expect("expired sessions hold reservations");
                     orphaned.remove(&session);
-                    book.orphans_reclaimed += 1;
+                    book.note_orphan_reclaimed();
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::ReservationTeardown {
+                                session,
+                                reason: TeardownReason::SoftStateExpired,
+                            },
+                        );
+                    }
                 }
                 if let Some(tw) = active.as_mut() {
                     tw.update(now, rsvp.active_sessions() as f64);
@@ -822,6 +971,30 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
                 }
             }
             eng.schedule_in(now, refresh_interval, Event::RefreshSweep);
+        }
+        Event::TelemetrySample => {
+            // Read-only periodic probe of the link-state table: consumes
+            // no randomness and mutates nothing, so scheduling it (or
+            // not) leaves the simulated system bit-identical.
+            for (link, snap) in links.iter() {
+                recorder.record(
+                    now.as_secs(),
+                    TelemetryEvent::LinkSample {
+                        link,
+                        reserved_bps: snap.reserved.bps(),
+                        capacity_bps: snap.capacity.bps(),
+                        flows: snap.flows,
+                        failed: snap.failed,
+                    },
+                );
+            }
+            if let Some(interval_secs) = sample_interval {
+                eng.schedule_in(
+                    now,
+                    anycast_sim::Duration::from_secs(interval_secs),
+                    Event::TelemetrySample,
+                );
+            }
         }
         Event::WarmupEnd => {
             rsvp.reset_ledger();
@@ -838,7 +1011,16 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
         rsvp.teardown(&mut links, session)
             .expect("expired sessions hold reservations");
         orphaned.remove(&session);
-        book.orphans_reclaimed += 1;
+        book.note_orphan_reclaimed();
+        if rec_on {
+            recorder.record(
+                horizon.as_secs(),
+                TelemetryEvent::ReservationTeardown {
+                    session,
+                    reason: TeardownReason::SoftStateExpired,
+                },
+            );
+        }
     }
     // Audit the bandwidth ledger: every reserved bit must be attributable
     // to a surviving session (live flows, pending teardowns, and orphans
@@ -906,11 +1088,11 @@ pub fn run_experiment(topo: &Topology, config: &ExperimentConfig) -> Metrics {
             .as_ref()
             .map(|tw| tw.average_until(horizon))
             .unwrap_or(1.0),
-        flows_killed_by_failure: book.flows_killed,
+        flows_killed_by_failure: book.flows_killed(),
         outages: book.completed_outages(),
         mean_recovery_secs: book.mean_recovery_secs(),
-        orphaned_reservations: book.orphans_created,
-        orphans_reclaimed: book.orphans_reclaimed,
+        orphaned_reservations: book.orphans_created(),
+        orphans_reclaimed: book.orphans_reclaimed(),
         leaked_bandwidth_bps,
     }
 }

@@ -14,7 +14,10 @@
 //! * [`stats`] — counters, Welford mean/variance, confidence intervals,
 //!   time-weighted averages and an admission-probability estimator with
 //!   warm-up truncation;
-//! * [`workload`] — the Poisson anycast-request generator of §5.1.
+//! * [`workload`] — the Poisson anycast-request generator of §5.1;
+//! * [`pool`] — a scoped-thread `parallel_map` whose output is bit-identical
+//!   for any worker count, shared by the sweep engine and the analysis
+//!   fixed-point batch solver.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 mod engine;
 mod event;
+pub mod pool;
 mod random;
 pub mod stats;
 mod time;

@@ -18,6 +18,7 @@
 //! | [`sim`] | `anycast-sim` | event engine, RNG, workload, statistics |
 //! | [`rsvp`] | `anycast-rsvp` | PATH/RESV reservation walks, message ledger |
 //! | [`dac`] | `anycast-dac` | the DAC procedure, policies, baselines, experiments |
+//! | [`telemetry`] | `anycast-telemetry` | structured events, recorders, exporters, metrics registry |
 //! | [`chaos`] | `anycast-chaos` | fault plans, deterministic fault timelines, outage ledger |
 //! | [`analysis`] | `anycast-analysis` | Erlang-B, UAA, fixed point, AP prediction |
 //!
@@ -47,6 +48,7 @@ pub use anycast_dac as dac;
 pub use anycast_net as net;
 pub use anycast_rsvp as rsvp;
 pub use anycast_sim as sim;
+pub use anycast_telemetry as telemetry;
 
 /// The most commonly used items, re-exported flat for examples and tests.
 pub mod prelude {
@@ -57,8 +59,8 @@ pub mod prelude {
     pub use anycast_chaos::{FaultAction, FaultPlan};
     pub use anycast_dac::baselines::{GlobalDynamicSystem, ShortestPathSystem};
     pub use anycast_dac::experiment::{
-        run_experiment, ArrivalProcess, DemandClass, ExperimentConfig, GroupSpec, Metrics,
-        SystemSpec,
+        run_experiment, run_experiment_traced, ArrivalProcess, DemandClass, ExperimentConfig,
+        GroupSpec, Metrics, SystemSpec,
     };
     pub use anycast_dac::multipath::{MultipathController, MultipathRouteTable};
     pub use anycast_dac::policy::{HistoryMode, PolicySpec};
@@ -70,6 +72,9 @@ pub mod prelude {
     };
     pub use anycast_rsvp::{MessageKind, ReservationEngine};
     pub use anycast_sim::{SimRng, SimTime};
+    pub use anycast_telemetry::{
+        registry_from_events, Event, NullRecorder, Recorder, RingRecorder, TelemetryMode,
+    };
 }
 
 #[cfg(test)]
