@@ -24,6 +24,28 @@ cargo run --release --offline -p anycast-bench --bin bench_pr2 -- --smoke --jobs
 echo "==> telemetry smoke (bench_pr3: off/null/ring must be bit-identical)"
 cargo run --release --offline -p anycast-bench --bin bench_pr3 -- --smoke --jobs 2 --out /tmp/BENCH_pr3_ci.json
 
+echo "==> two-phase smoke (bench_pr4: degenerate two-phase must match atomic)"
+cargo run --release --offline -p anycast-bench --bin bench_pr4 -- --smoke --jobs 2 --out /tmp/BENCH_pr4_ci.json
+
+echo "==> two-phase leak smoke (lossy signalling must leak zero held bandwidth)"
+# 5% loss on every signalling message kind plus real per-hop latency:
+# timeouts, hold expiry and retransmission all fire, and the run must
+# still end with every pending hold released.
+plan=$(mktemp)
+cat > "$plan" <<'EOF'
+[signaling]
+path_loss_probability = 0.05
+resv_loss_probability = 0.05
+resv_err_loss_probability = 0.05
+extra_delay_secs = 0.02
+EOF
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 40 --r 2 --warmup 10 --measure 60 \
+    --signaling-delay 0.02 --setup-timeout 0.5 --faults "$plan" \
+    | tee /tmp/two_phase_smoke.txt
+grep -q 'leaked holds          0 bps' /tmp/two_phase_smoke.txt
+rm -f "$plan" /tmp/two_phase_smoke.txt
+
 echo "==> trace smoke (exported JSONL must parse and contain a rejection)"
 trace_dir=$(mktemp -d)
 cargo run --release --offline -p anycast-cli --bin anycast -- \

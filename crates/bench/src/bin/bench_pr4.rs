@@ -1,0 +1,284 @@
+//! PR 4 performance snapshot: the cost of latency-aware two-phase
+//! signalling, written to `BENCH_pr4.json`.
+//!
+//! Four workloads over the same λ grid:
+//!
+//! * **atomic** — the baseline instantaneous-reservation engine.
+//! * **two_phase_degenerate** — two-phase mode with zero per-hop delay
+//!   and no signalling faults. Asserted **bit-identical** to atomic, so
+//!   its timing measures the express-path dispatch overhead alone.
+//! * **two_phase_delayed** — 20 ms per hop: every setup is a real
+//!   PATH/RESV exchange through the event queue with pending holds, so
+//!   this row prices the event-driven engine and shows how stale state
+//!   moves admission.
+//! * **two_phase_lossy** — delayed plus 2% per-crossing message loss:
+//!   timeouts, hold expiry and bounded-backoff retransmission all fire.
+//!
+//! Every workload runs serial and parallel and asserts the two are
+//! bit-identical. `--smoke` shrinks the grid for CI; `--quick`/`--full`
+//! follow the usual run-length profiles. The JSON schema extends
+//! `BENCH_pr2.json`'s with per-workload `mean_ap` and
+//! `mean_setup_latency_secs`.
+
+use anycast_bench::json::JsonValue;
+use anycast_bench::{default_jobs, run_grid, ReplicatedMetrics};
+use anycast_chaos::{FaultPlan, MessageFault, SignalingFaults};
+use anycast_dac::experiment::{ExperimentConfig, SignalingMode, SystemSpec, TwoPhaseConfig};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Topology};
+use std::time::Instant;
+
+/// Per-hop signalling latency for the delayed/lossy workloads, seconds.
+const PER_HOP_DELAY_SECS: f64 = 0.02;
+/// Source-side setup timer for the delayed/lossy workloads, seconds.
+const SETUP_TIMEOUT_SECS: f64 = 1.0;
+/// Per-crossing loss probability for the lossy workload.
+const LOSS_PROBABILITY: f64 = 0.02;
+
+/// Run lengths and grid sizes for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    seeds: Vec<u64>,
+    lambdas: Vec<f64>,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            seeds: vec![101, 202],
+            lambdas: vec![10.0, 30.0, 50.0],
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            seeds: vec![101],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            seeds: vec![101, 202, 303],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn grid(&self, signaling: SignalingMode, faults: Option<FaultPlan>) -> Vec<ExperimentConfig> {
+        self.lambdas
+            .iter()
+            .map(|&lambda| {
+                let mut config = ExperimentConfig::paper_defaults(
+                    lambda,
+                    SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+                )
+                .with_warmup_secs(self.warmup_secs)
+                .with_measure_secs(self.measure_secs)
+                .with_signaling(signaling);
+                if let Some(plan) = faults.clone() {
+                    config = config.with_faults(plan);
+                }
+                config
+            })
+            .collect()
+    }
+}
+
+fn offered_requests(results: &[ReplicatedMetrics]) -> u64 {
+    results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.offered)
+        .sum()
+}
+
+fn mean_ap(results: &[ReplicatedMetrics]) -> f64 {
+    let runs: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.admission_probability)
+        .collect();
+    runs.iter().sum::<f64>() / runs.len() as f64
+}
+
+fn mean_setup_latency(results: &[ReplicatedMetrics]) -> f64 {
+    let runs: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.mean_setup_latency_secs)
+        .collect();
+    runs.iter().sum::<f64>() / runs.len() as f64
+}
+
+fn timed_grid(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+    jobs: usize,
+) -> (Vec<ReplicatedMetrics>, f64) {
+    let start = Instant::now();
+    let results = run_grid(topo, configs, seeds, jobs);
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr4: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr4: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr4: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr4 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times atomic vs degenerate/delayed/lossy two-phase signalling,");
+                println!("  asserts degenerate == atomic bit-for-bit, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr4: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr4: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+    let delayed = TwoPhaseConfig {
+        per_hop_delay_secs: PER_HOP_DELAY_SECS,
+        setup_timeout_secs: SETUP_TIMEOUT_SECS,
+        ..TwoPhaseConfig::default()
+    };
+    let lossy_faults = FaultPlan::none().with_signaling(SignalingFaults {
+        path: MessageFault {
+            loss_probability: LOSS_PROBABILITY,
+            extra_delay_secs: 0.0,
+        },
+        resv: MessageFault {
+            loss_probability: LOSS_PROBABILITY,
+            extra_delay_secs: 0.0,
+        },
+        resv_err: MessageFault {
+            loss_probability: LOSS_PROBABILITY,
+            extra_delay_secs: 0.0,
+        },
+    });
+    let workloads = [
+        ("atomic", profile.grid(SignalingMode::Atomic, None)),
+        (
+            "two_phase_degenerate",
+            profile.grid(SignalingMode::TwoPhase(TwoPhaseConfig::default()), None),
+        ),
+        (
+            "two_phase_delayed",
+            profile.grid(SignalingMode::TwoPhase(delayed), None),
+        ),
+        (
+            "two_phase_lossy",
+            profile.grid(SignalingMode::TwoPhase(delayed), Some(lossy_faults)),
+        ),
+    ];
+    let mut entries = Vec::new();
+    let mut atomic_runs: Option<Vec<ReplicatedMetrics>> = None;
+    for (name, configs) in workloads {
+        let (serial, serial_secs) = timed_grid(&topo, &configs, &profile.seeds, 1);
+        let (parallel, parallel_secs) = timed_grid(&topo, &configs, &profile.seeds, jobs);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.runs, b.runs, "{name}: parallel run diverged from serial");
+        }
+        match (name, &atomic_runs) {
+            ("atomic", _) => atomic_runs = Some(serial.clone()),
+            ("two_phase_degenerate", Some(base)) => {
+                for (a, b) in base.iter().zip(&serial) {
+                    assert_eq!(
+                        a.runs, b.runs,
+                        "degenerate two-phase diverged from the atomic engine"
+                    );
+                }
+            }
+            _ => {}
+        }
+        let offered = offered_requests(&serial);
+        let ap = mean_ap(&serial);
+        let latency = mean_setup_latency(&serial);
+        let speedup = serial_secs / parallel_secs;
+        println!(
+            "  {:<22} cells={:<3} reqs={:<8} AP={:.4} setup={:.3}s serial={:.2}s parallel={:.2}s speedup={:.2}x",
+            name,
+            configs.len(),
+            offered,
+            ap,
+            latency,
+            serial_secs,
+            parallel_secs,
+            speedup
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(name.into())),
+            ("grid_cells", JsonValue::Num(configs.len() as f64)),
+            ("replications", JsonValue::Num(profile.seeds.len() as f64)),
+            ("offered_requests", JsonValue::Num(offered as f64)),
+            ("mean_ap", JsonValue::Num(ap)),
+            ("mean_setup_latency_secs", JsonValue::Num(latency)),
+            ("serial_secs", JsonValue::Num(serial_secs)),
+            ("parallel_secs", JsonValue::Num(parallel_secs)),
+            ("speedup", JsonValue::Num(speedup)),
+            (
+                "serial_requests_per_sec",
+                JsonValue::Num(offered as f64 / serial_secs),
+            ),
+            (
+                "parallel_requests_per_sec",
+                JsonValue::Num(offered as f64 / parallel_secs),
+            ),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr4_two_phase".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr4: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

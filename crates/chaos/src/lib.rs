@@ -29,5 +29,8 @@ pub mod spec;
 mod timeline;
 
 pub use book::{FaultBook, FaultEntity};
-pub use plan::{ControlFaultModel, FaultAction, FaultPlan, ScriptedFault, StochasticFaultModel};
+pub use plan::{
+    ControlFaultModel, FaultAction, FaultPlan, MessageFault, ScriptedFault, SignalingFaults,
+    StochasticFaultModel,
+};
 pub use timeline::{build_timeline, FaultTimeline};

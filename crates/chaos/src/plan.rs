@@ -99,6 +99,83 @@ impl Default for ControlFaultModel {
     }
 }
 
+/// Loss and delay knobs for one signaling message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageFault {
+    /// Probability that one *hop crossing* of the message is lost.
+    pub loss_probability: f64,
+    /// Mean of an exponential extra delay added to each (non-lost) hop
+    /// crossing, on top of the configured per-hop signaling delay.
+    pub extra_delay_secs: f64,
+}
+
+impl MessageFault {
+    /// No perturbation at all.
+    pub fn none() -> Self {
+        MessageFault {
+            loss_probability: 0.0,
+            extra_delay_secs: 0.0,
+        }
+    }
+
+    /// Whether this fault never perturbs anything.
+    pub fn is_inert(&self) -> bool {
+        self.loss_probability == 0.0 && self.extra_delay_secs == 0.0
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a loss probability outside `[0, 1]` or a negative /
+    /// non-finite delay mean.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_probability),
+            "loss probability {} not in [0,1]",
+            self.loss_probability
+        );
+        assert!(
+            self.extra_delay_secs.is_finite() && self.extra_delay_secs >= 0.0,
+            "extra delay mean {} must be non-negative",
+            self.extra_delay_secs
+        );
+    }
+}
+
+impl Default for MessageFault {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Per-kind faults for the two-phase setup signaling (PATH / RESV /
+/// RESV_ERR). Only meaningful when the experiment runs the two-phase
+/// engine — the atomic engine exchanges no individual messages to lose.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SignalingFaults {
+    /// Faults on PATH hop crossings (forward, hold-placing direction).
+    pub path: MessageFault,
+    /// Faults on RESV hop crossings (backward, confirming direction). A
+    /// lost RESV strands the setup's holds until their timers expire.
+    pub resv: MessageFault,
+    /// Faults on RESV_ERR hop crossings (backward, refusal direction). A
+    /// lost RESV_ERR leaves the source waiting for its setup timeout.
+    pub resv_err: MessageFault,
+}
+
+impl SignalingFaults {
+    /// No signaling faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether no message kind is ever perturbed.
+    pub fn is_inert(&self) -> bool {
+        self.path.is_inert() && self.resv.is_inert() && self.resv_err.is_inert()
+    }
+}
+
 /// One hand-scripted fault at an absolute simulated time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScriptedFault {
@@ -123,6 +200,8 @@ pub struct FaultPlan {
     pub member_model: Option<StochasticFaultModel>,
     /// RSVP control-plane loss and delay.
     pub control: ControlFaultModel,
+    /// Two-phase setup signaling faults (per message kind).
+    pub signaling: SignalingFaults,
     /// Soft-state refresh lifecycle governing how fast orphaned
     /// reservations are reclaimed.
     pub refresh: RefreshConfig,
@@ -139,6 +218,7 @@ impl FaultPlan {
             link_model: None,
             member_model: None,
             control: ControlFaultModel::none(),
+            signaling: SignalingFaults::none(),
             refresh: RefreshConfig::rsvp_default(),
             script: Vec::new(),
         }
@@ -149,6 +229,7 @@ impl FaultPlan {
         self.link_model.is_none()
             && self.member_model.is_none()
             && self.control.is_inert()
+            && self.signaling.is_inert()
             && self.script.is_empty()
     }
 
@@ -189,6 +270,20 @@ impl FaultPlan {
             "teardown delay mean {mean_secs} must be non-negative"
         );
         self.control.teardown_delay_secs = mean_secs;
+        self
+    }
+
+    /// Replaces the two-phase signaling fault knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any per-kind knob is out of range (see
+    /// [`MessageFault::validate`]).
+    pub fn with_signaling(mut self, signaling: SignalingFaults) -> Self {
+        signaling.path.validate();
+        signaling.resv.validate();
+        signaling.resv_err.validate();
+        self.signaling = signaling;
         self
     }
 
@@ -251,6 +346,15 @@ mod tests {
         assert!(!FaultPlan::none().with_teardown_loss(0.1).is_inert());
         assert!(!FaultPlan::none().with_teardown_delay(5.0).is_inert());
         assert!(!FaultPlan::none()
+            .with_signaling(SignalingFaults {
+                resv: MessageFault {
+                    loss_probability: 0.2,
+                    extra_delay_secs: 0.0,
+                },
+                ..SignalingFaults::none()
+            })
+            .is_inert());
+        assert!(!FaultPlan::none()
             .with_scripted(10.0, FaultAction::FailLink(LinkId::new(0)))
             .is_inert());
     }
@@ -279,5 +383,17 @@ mod tests {
     #[should_panic(expected = "not in [0,1]")]
     fn bad_loss_probability_rejected() {
         let _ = FaultPlan::none().with_teardown_loss(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn bad_signaling_delay_rejected() {
+        let _ = FaultPlan::none().with_signaling(SignalingFaults {
+            path: MessageFault {
+                loss_probability: 0.0,
+                extra_delay_secs: -1.0,
+            },
+            ..SignalingFaults::none()
+        });
     }
 }

@@ -16,6 +16,12 @@
 //! teardown_loss_probability = 0.05
 //! teardown_delay_secs = 0.5
 //!
+//! [signaling]                   # two-phase setup message faults
+//! path_loss_probability = 0.02  # per hop crossing
+//! resv_loss_probability = 0.02
+//! resv_err_loss_probability = 0.02
+//! extra_delay_secs = 0.05       # exp. mean, applied to every kind
+//!
 //! [refresh]                     # soft-state lifecycle
 //! interval_secs = 30.0
 //! missed_limit = 3
@@ -26,7 +32,7 @@
 //! id = 7                        #   crash_node | restore_node
 //! ```
 
-use crate::plan::{ControlFaultModel, FaultAction, FaultPlan, ScriptedFault};
+use crate::plan::{ControlFaultModel, FaultAction, FaultPlan, ScriptedFault, SignalingFaults};
 use anycast_net::{LinkId, NodeId};
 use anycast_rsvp::RefreshConfig;
 
@@ -37,6 +43,7 @@ enum Section {
     Links,
     Members,
     Control,
+    Signaling,
     Refresh,
     Script,
 }
@@ -138,6 +145,7 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
     let mut members = ModelBuilder::default();
     let mut refresh = RefreshConfig::rsvp_default();
     let mut control = ControlFaultModel::none();
+    let mut signaling = SignalingFaults::none();
     let mut current_script: Option<ScriptEntry> = None;
     let mut scripts: Vec<ScriptEntry> = Vec::new();
 
@@ -170,11 +178,12 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
                 "[links]" => Section::Links,
                 "[members]" => Section::Members,
                 "[control]" => Section::Control,
+                "[signaling]" => Section::Signaling,
                 "[refresh]" => Section::Refresh,
                 other => {
                     return Err(format!(
                         "line {lineno}: unknown section `{other}` (expected [links], \
-                         [members], [control], [refresh] or [[script]])"
+                         [members], [control], [signaling], [refresh] or [[script]])"
                     ))
                 }
             };
@@ -189,7 +198,7 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
             Section::Top => {
                 return Err(format!(
                     "line {lineno}: `{key}` outside any section (start with [links], \
-                     [members], [control], [refresh] or [[script]])"
+                     [members], [control], [signaling], [refresh] or [[script]])"
                 ))
             }
             Section::Links | Section::Members => {
@@ -232,6 +241,37 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
                     return Err(format!(
                         "line {lineno}: unknown key `{other}` (expected \
                          teardown_loss_probability or teardown_delay_secs)"
+                    ))
+                }
+            },
+            Section::Signaling => match key {
+                "path_loss_probability" | "resv_loss_probability" | "resv_err_loss_probability" => {
+                    let p = parse_f64(key, value, lineno)?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("line {lineno}: {key} {p} not in [0, 1]"));
+                    }
+                    match key {
+                        "path_loss_probability" => signaling.path.loss_probability = p,
+                        "resv_loss_probability" => signaling.resv.loss_probability = p,
+                        _ => signaling.resv_err.loss_probability = p,
+                    }
+                }
+                "extra_delay_secs" => {
+                    let d = parse_f64(key, value, lineno)?;
+                    if !d.is_finite() || d < 0.0 {
+                        return Err(format!(
+                            "line {lineno}: extra_delay_secs must be non-negative, got {d}"
+                        ));
+                    }
+                    signaling.path.extra_delay_secs = d;
+                    signaling.resv.extra_delay_secs = d;
+                    signaling.resv_err.extra_delay_secs = d;
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` (expected \
+                         path_loss_probability, resv_loss_probability, \
+                         resv_err_loss_probability or extra_delay_secs)"
                     ))
                 }
             },
@@ -290,6 +330,7 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, String> {
         plan = plan.with_member_model(mtbf, mttr);
     }
     plan.control = control;
+    plan.signaling = signaling;
     plan.refresh = refresh;
     for entry in scripts {
         let fault = entry.finish()?;
@@ -367,6 +408,27 @@ id = 4
             FaultAction::CrashNode(NodeId::new(4))
         );
         assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn signaling_section_parses() {
+        let text = r#"
+[signaling]
+path_loss_probability = 0.02
+resv_loss_probability = 0.05
+resv_err_loss_probability = 0.1
+extra_delay_secs = 0.25
+"#;
+        let plan = parse_fault_plan(text).unwrap();
+        assert_eq!(plan.signaling.path.loss_probability, 0.02);
+        assert_eq!(plan.signaling.resv.loss_probability, 0.05);
+        assert_eq!(plan.signaling.resv_err.loss_probability, 0.1);
+        assert_eq!(plan.signaling.path.extra_delay_secs, 0.25);
+        assert_eq!(plan.signaling.resv.extra_delay_secs, 0.25);
+        assert!(!plan.is_inert());
+        assert!(parse_fault_plan("[signaling]\npath_loss_probability = 1.5\n").is_err());
+        assert!(parse_fault_plan("[signaling]\nextra_delay_secs = -1\n").is_err());
+        assert!(parse_fault_plan("[signaling]\nbogus = 1\n").is_err());
     }
 
     #[test]

@@ -5,13 +5,17 @@ use crate::spec::{parse_system, parse_topology};
 use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
 use anycast_analysis::{predict_ap, BlockingModel};
 use anycast_bench::{default_jobs, run_grid, run_grid_traced, TracedCell};
-use anycast_dac::experiment::{run_experiment, ArrivalProcess, ExperimentConfig};
+use anycast_dac::experiment::{
+    run_experiment, run_experiment_traced, ArrivalProcess, ExperimentConfig, SignalingMode,
+    SystemSpec, TwoPhaseConfig,
+};
+use anycast_dac::BackoffPolicy;
 use anycast_net::{metrics, LinkId, NodeId, Topology};
 use anycast_sim::SimRng;
 use anycast_telemetry::export::{to_csv, to_jsonl};
 use anycast_telemetry::{
     json, registry_from_events, Event as TelemetryEvent, MetricsRegistry, SkipReason,
-    TelemetryMode, DEFAULT_RING_CAPACITY,
+    StreamRecorder, TelemetryMode, DEFAULT_RING_CAPACITY,
 };
 
 /// Prints usage for a command (or the overview for anything else).
@@ -44,7 +48,17 @@ pub fn print_help(command: &str) {
              \x20 --faults FILE                  fault-plan spec (TOML subset; see\n\
              \x20                                anycast-chaos::spec for the grammar)\n\
              \x20 --telemetry                    attach the ring recorder and print an\n\
-             \x20                                event summary (results are unchanged)"
+             \x20                                event summary (results are unchanged)\n\
+             \x20 --signaling-delay SECS         per-hop signalling latency; switches the\n\
+             \x20                                DAC engine to two-phase PATH/RESV setup\n\
+             \x20                                with pending holds (0 = atomic-identical)\n\
+             \x20 --setup-timeout SECS           source-side setup timer before a timed-out\n\
+             \x20                                attempt is retransmitted or failed\n\
+             \x20                                (default 1.0; `inf` disables)\n\
+             \x20 --backoff R:BASE:MULT:CAP      bounded exponential retransmit backoff:\n\
+             \x20                                R retransmits, BASE·MULT^n capped at CAP\n\
+             \x20                                seconds (default 3:0.1:2:2; optional\n\
+             \x20                                fifth :JITTER field in [0,1))"
         ),
         "sweep" => println!(
             "usage: anycast sweep --lambdas START:END:STEP [simulate options]\n\
@@ -77,6 +91,9 @@ pub fn print_help(command: &str) {
              \x20 --sample SECS                  link-state sampling interval (default 60)\n\
              \x20 --events N                     ring capacity in events (default 2^20)\n\
              \x20 --check                        re-parse every exported JSONL line\n\
+             \x20 --stream PATH                  stream events to PATH as JSONL while the\n\
+             \x20                                run executes (constant memory; single\n\
+             \x20                                replication; bypasses --out/--format)\n\
              \n\
              Writes trace_<scenario>_seed<seed>.jsonl (one JSON object per\n\
              line) per replication plus metrics.json (the labelled metrics\n\
@@ -189,6 +206,51 @@ fn common_config(
             anycast_chaos::spec::parse_fault_plan(&text).map_err(|e| format!("`{path}`: {e}"))?;
         config = config.with_faults(plan);
     }
+    // Two-phase signalling: any of the three flags switches the engine
+    // from atomic to latency-aware two-phase mode.
+    let signaling_delay = args.get_str("signaling-delay");
+    let setup_timeout = args.get_str("setup-timeout");
+    let backoff = args.get_str("backoff");
+    if signaling_delay.is_some() || setup_timeout.is_some() || backoff.is_some() {
+        if !matches!(config.system, SystemSpec::Dac { .. }) {
+            return Err(format!(
+                "two-phase signalling flags require a DAC system \
+                 (--system ed|wddh|wddb without --multipath), got {}",
+                config.system.label()
+            ));
+        }
+        let mut tp = TwoPhaseConfig::default();
+        if let Some(raw) = signaling_delay {
+            let delay: f64 = raw
+                .parse()
+                .map_err(|e| format!("--signaling-delay: cannot parse `{raw}`: {e}"))?;
+            if !(delay.is_finite() && delay >= 0.0) {
+                return Err(format!(
+                    "--signaling-delay must be non-negative seconds, got {raw}"
+                ));
+            }
+            tp.per_hop_delay_secs = delay;
+        }
+        if let Some(raw) = setup_timeout {
+            let timeout = if raw == "inf" {
+                f64::INFINITY
+            } else {
+                raw.parse()
+                    .map_err(|e| format!("--setup-timeout: cannot parse `{raw}`: {e}"))?
+            };
+            // NaN parses; the comparison must also reject it.
+            if timeout.is_nan() || timeout <= 0.0 {
+                return Err(format!(
+                    "--setup-timeout must be positive seconds (or `inf`), got {raw}"
+                ));
+            }
+            tp.setup_timeout_secs = timeout;
+        }
+        if let Some(raw) = backoff {
+            tp.backoff = parse_backoff(&raw)?;
+        }
+        config = config.with_signaling(SignalingMode::TwoPhase(tp));
+    }
     // Validate placement early with a clear message.
     for n in config.group_members.iter().chain(&config.sources) {
         if !topo.contains_node(*n) {
@@ -199,6 +261,52 @@ fn common_config(
         }
     }
     Ok((topo, config))
+}
+
+/// Parses `--backoff RETRANSMITS:BASE:MULT:CAP[:JITTER]` into a
+/// [`BackoffPolicy`]. Omitted jitter keeps the default fraction.
+fn parse_backoff(raw: &str) -> Result<BackoffPolicy, String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if !(parts.len() == 4 || parts.len() == 5) {
+        return Err(format!(
+            "--backoff `{raw}` must be RETRANSMITS:BASE:MULT:CAP[:JITTER]"
+        ));
+    }
+    let mut policy = BackoffPolicy {
+        max_retransmits: parts[0]
+            .parse()
+            .map_err(|e| format!("--backoff retransmits `{}`: {e}", parts[0]))?,
+        base_secs: parts[1]
+            .parse()
+            .map_err(|e| format!("--backoff base `{}`: {e}", parts[1]))?,
+        multiplier: parts[2]
+            .parse()
+            .map_err(|e| format!("--backoff multiplier `{}`: {e}", parts[2]))?,
+        max_backoff_secs: parts[3]
+            .parse()
+            .map_err(|e| format!("--backoff cap `{}`: {e}", parts[3]))?,
+        ..BackoffPolicy::default()
+    };
+    if let Some(jitter) = parts.get(4) {
+        policy.jitter_frac = jitter
+            .parse()
+            .map_err(|e| format!("--backoff jitter `{jitter}`: {e}"))?;
+    }
+    let valid = policy.base_secs.is_finite()
+        && policy.base_secs >= 0.0
+        && policy.multiplier.is_finite()
+        && policy.multiplier >= 1.0
+        && policy.max_backoff_secs.is_finite()
+        && policy.max_backoff_secs >= 0.0
+        && policy.jitter_frac.is_finite()
+        && (0.0..1.0).contains(&policy.jitter_frac);
+    if !valid {
+        return Err(format!(
+            "--backoff `{raw}`: base and cap must be non-negative, \
+             multiplier at least 1, jitter in [0, 1)"
+        ));
+    }
+    Ok(policy)
 }
 
 fn print_metrics(m: &anycast_dac::experiment::Metrics) {
@@ -225,6 +333,17 @@ fn print_metrics(m: &anycast_dac::experiment::Metrics) {
             m.orphaned_reservations, m.orphans_reclaimed
         );
         println!("leaked bandwidth      {} bps", m.leaked_bandwidth_bps);
+    }
+    if m.holds_placed > 0 || m.setups_completed > 0 {
+        println!("setups completed      {}", m.setups_completed);
+        println!("mean setup latency    {:.4} s", m.mean_setup_latency_secs);
+        println!(
+            "holds placed          {} ({} expired)",
+            m.holds_placed, m.holds_expired
+        );
+        println!("retransmits           {}", m.retransmits);
+        println!("signaling msgs lost   {}", m.signaling_messages_lost);
+        println!("leaked holds          {} bps", m.leaked_hold_bps);
     }
     for (g, shares) in m.member_share.iter().enumerate() {
         let pretty: Vec<String> = shares.iter().map(|s| format!("{s:.3}")).collect();
@@ -429,7 +548,29 @@ pub fn trace(raw: Vec<String>) -> Result<(), String> {
     if capacity == 0 {
         return Err("--events must be at least 1".to_string());
     }
+    let stream_path = args.get_str("stream");
     args.finish()?;
+
+    if let Some(path) = stream_path {
+        // Constant-memory export: events go straight to the JSONL file as
+        // they happen instead of through the in-memory ring, so the run
+        // length is bounded by disk, not by --events.
+        if seeds.len() != 1 {
+            return Err("--stream exports a single replication; drop --reps".to_string());
+        }
+        let mut rec = StreamRecorder::create_default(std::path::Path::new(&path), seeds[0])
+            .map_err(|e| format!("cannot create stream file `{path}`: {e}"))?
+            .with_sample_interval(sample);
+        let m = run_experiment_traced(&topo, &config, &mut rec);
+        let lines = rec
+            .finish()
+            .map_err(|e| format!("stream writer for `{path}`: {e}"))?;
+        println!("scenario              {scenario}");
+        print_metrics(&m);
+        println!("streamed              {lines} events");
+        println!("wrote                 {path}");
+        return Ok(());
+    }
 
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create output directory `{out_dir}`: {e}"))?;
@@ -888,6 +1029,120 @@ mod tests {
         let parsed = json::parse(&metrics).unwrap();
         assert!(parsed.render().contains("rejections_total"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_accepts_two_phase_flags() {
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "10",
+            "--measure",
+            "30",
+            "--signaling-delay",
+            "0.02",
+            "--setup-timeout",
+            "0.5",
+            "--backoff",
+            "2:0.1:2:1",
+        ]))
+        .unwrap();
+        // `inf` disables the setup timer entirely.
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "ed",
+            "--warmup",
+            "10",
+            "--measure",
+            "20",
+            "--setup-timeout",
+            "inf",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn two_phase_flags_validate() {
+        let err = simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "sp",
+            "--signaling-delay",
+            "0.1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("DAC system"), "{err}");
+        for (flag, value) in [
+            ("--signaling-delay", "-1"),
+            ("--setup-timeout", "0"),
+            ("--backoff", "3:0.1:2"),
+            ("--backoff", "3:0.1:0.5:2"),
+            ("--backoff", "x:0.1:2:2"),
+        ] {
+            let err = simulate(strs(&["--lambda", "3", flag, value])).unwrap_err();
+            assert!(
+                err.contains(flag.trim_start_matches('-')),
+                "{flag} {value}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_backoff_round_trips() {
+        let p = parse_backoff("4:0.5:3:10").unwrap();
+        assert_eq!(p.max_retransmits, 4);
+        assert_eq!(p.base_secs, 0.5);
+        assert_eq!(p.multiplier, 3.0);
+        assert_eq!(p.max_backoff_secs, 10.0);
+        assert_eq!(p.jitter_frac, BackoffPolicy::default().jitter_frac);
+        let p = parse_backoff("1:0.1:2:2:0").unwrap();
+        assert_eq!(p.jitter_frac, 0.0);
+        assert!(parse_backoff("1:2").is_err());
+        assert!(parse_backoff("1:0.1:2:2:1.5").is_err());
+    }
+
+    #[test]
+    fn trace_streams_parseable_jsonl() {
+        let path = std::env::temp_dir().join("anycast_cli_stream_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        trace(strs(&[
+            "light",
+            "--warmup",
+            "10",
+            "--measure",
+            "40",
+            "--signaling-delay",
+            "0.02",
+            "--stream",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            json::parse(line).unwrap();
+        }
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\":\"hold_placed\"")),
+            "delayed two-phase trace must contain hold telemetry"
+        );
+        std::fs::remove_file(&path).ok();
+        // --stream is single-replication only.
+        let err = trace(strs(&[
+            "light",
+            "--reps",
+            "2",
+            "--stream",
+            "/tmp/anycast_never_written.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
     }
 
     #[test]

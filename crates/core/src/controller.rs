@@ -3,7 +3,7 @@
 use crate::policy::{SelectionContext, WeightAssigner};
 use crate::{HistoryTable, RetrialPolicy};
 use anycast_net::{Bandwidth, LinkStateTable, Path};
-use anycast_rsvp::{ReservationEngine, SessionId};
+use anycast_rsvp::{ProbeError, ReservationEngine, ReservationOutcome, SessionId, SetupTable};
 use anycast_sim::SimRng;
 use anycast_telemetry::{NullRecorder, ProbeResult, RequestTracer, SkipReason};
 
@@ -100,13 +100,73 @@ impl AdmissionController {
     /// Computes the policy's current selection weights without performing
     /// an admission (used by examples and diagnostics).
     pub fn current_weights(&mut self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
+        self.selection_weights(routes, links)
+    }
+
+    /// Step 1.1 of Figure 1: the policy's selection weights against the
+    /// current link state. Exposed so a latency-aware driver can run the
+    /// selection/retrial loop asynchronously (one weight computation per
+    /// attempt, exactly as [`admit_traced`](Self::admit_traced) does).
+    pub fn selection_weights(&mut self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
         let bw_info = self.route_bandwidth_info(routes, links);
         let ctx = SelectionContext {
             distances: &self.distances,
             history: self.history.entries(),
             route_bandwidth_bps: &bw_info,
         };
-        self.policy.assign(&ctx)
+        let weights = self.policy.assign(&ctx);
+        debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        weights
+    }
+
+    /// Draws the next destination among the `untried` members, weighted by
+    /// `weights`; when every untried member carries zero weight the policy
+    /// considers them hopeless, so the draw falls back to uniform over the
+    /// untried to keep behaviour total. `None` when the group is
+    /// exhausted. RNG consumption is identical to the draw inside
+    /// [`admit_traced`](Self::admit_traced).
+    pub fn pick_destination(weights: &[f64], untried: &[bool], rng: &mut SimRng) -> Option<usize> {
+        match rng.choose_weighted_masked(weights, untried) {
+            Some(i) => Some(i),
+            None => {
+                let remaining: Vec<usize> = (0..untried.len()).filter(|&i| untried[i]).collect();
+                match remaining.len() {
+                    0 => None,
+                    n => Some(remaining[rng.below(n)]),
+                }
+            }
+        }
+    }
+
+    /// Records an admission at `member` in the local history (step 1.3).
+    pub fn note_success(&mut self, member: usize) {
+        self.history.record_success(member);
+    }
+
+    /// Records a failed probe at `member` in the local history.
+    pub fn note_failure(&mut self, member: usize) {
+        self.history.record_failure(member);
+    }
+
+    /// Step 1.4, the retrial decision: whether to keep trying after
+    /// `tries` probes, given the weight vector of the iteration that just
+    /// failed. Returns the remaining untried weight when another try is
+    /// allowed, `None` when the request must be rejected.
+    pub fn retrial_weight(&self, tries: u32, weights: &[f64], untried: &[bool]) -> Option<f64> {
+        if untried.iter().all(|&u| !u) {
+            return None; // no alternative destination left
+        }
+        let remaining_weight: f64 = weights
+            .iter()
+            .zip(untried)
+            .filter(|(_, &u)| u)
+            .map(|(&w, _)| w)
+            .sum();
+        if self.retrial.keep_going(tries, remaining_weight) {
+            Some(remaining_weight)
+        } else {
+            None
+        }
     }
 
     /// Runs the DAC procedure of Figure 1 for one flow request.
@@ -150,6 +210,70 @@ impl AdmissionController {
         rng: &mut SimRng,
         tracer: &mut RequestTracer<'_>,
     ) -> AdmissionOutcome {
+        self.admit_with(
+            routes,
+            links,
+            rsvp,
+            demand,
+            rng,
+            tracer,
+            |links, rsvp, route, bw| rsvp.probe_and_reserve(links, route, bw),
+        )
+    }
+
+    /// [`admit_traced`](Self::admit_traced) with the reservation performed
+    /// as a synchronous two-phase exchange through `setups` (per-hop holds
+    /// placed and committed in one instant). This is the degenerate
+    /// zero-delay mode of the latency-aware engine: decisions, RNG
+    /// consumption and the message ledger are bit-identical to the atomic
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` does not match the construction-time group size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_two_phase_express(
+        &mut self,
+        routes: &[Path],
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        setups: &mut SetupTable,
+        demand: Bandwidth,
+        now: f64,
+        rng: &mut SimRng,
+        tracer: &mut RequestTracer<'_>,
+    ) -> AdmissionOutcome {
+        self.admit_with(
+            routes,
+            links,
+            rsvp,
+            demand,
+            rng,
+            tracer,
+            |links, rsvp, route, bw| setups.run_express(rsvp, links, route, bw, now),
+        )
+    }
+
+    /// The REPEAT loop of Figure 1 with the reservation step abstracted:
+    /// `reserve` either probes atomically or runs a synchronous two-phase
+    /// exchange. Monomorphized per caller, so the atomic path costs
+    /// nothing for the generality.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_with(
+        &mut self,
+        routes: &[Path],
+        links: &mut LinkStateTable,
+        rsvp: &mut ReservationEngine,
+        demand: Bandwidth,
+        rng: &mut SimRng,
+        tracer: &mut RequestTracer<'_>,
+        mut reserve: impl FnMut(
+            &mut LinkStateTable,
+            &mut ReservationEngine,
+            &Path,
+            Bandwidth,
+        ) -> Result<ReservationOutcome, ProbeError>,
+    ) -> AdmissionOutcome {
         assert_eq!(
             routes.len(),
             self.distances.len(),
@@ -160,33 +284,17 @@ impl AdmissionController {
         let mut tries = 0u32;
         loop {
             // Step 1.1: destination selection.
-            let bw_info = self.route_bandwidth_info(routes, links);
-            let ctx = SelectionContext {
-                distances: &self.distances,
-                history: self.history.entries(),
-                route_bandwidth_bps: &bw_info,
-            };
-            let weights = self.policy.assign(&ctx);
-            debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            let weights = self.selection_weights(routes, links);
             tracer.note_weights(&weights);
-            let pick = match rng.choose_weighted_masked(&weights, &untried) {
+            let pick = match Self::pick_destination(&weights, &untried, rng) {
                 Some(i) => i,
-                None => {
-                    // Every untried member carries zero weight (the policy
-                    // considers them hopeless); fall back to a uniform draw
-                    // over the untried so behaviour stays total.
-                    let remaining: Vec<usize> = (0..k).filter(|&i| untried[i]).collect();
-                    match remaining.len() {
-                        0 => break, // group exhausted
-                        n => remaining[rng.below(n)],
-                    }
-                }
+                None => break, // group exhausted
             };
             // Steps 1.2–1.3: resource reservation.
             tries += 1;
-            match rsvp.probe_and_reserve(links, &routes[pick], demand) {
+            match reserve(links, rsvp, &routes[pick], demand) {
                 Ok(outcome) => {
-                    self.history.record_success(pick);
+                    self.note_success(pick);
                     tracer.note_probe(pick, weights[pick], ProbeResult::Admitted);
                     tracer.finish_admitted(outcome.session, pick, routes[pick].hops(), tries);
                     return AdmissionOutcome {
@@ -199,7 +307,7 @@ impl AdmissionController {
                     };
                 }
                 Err(e) => {
-                    self.history.record_failure(pick);
+                    self.note_failure(pick);
                     untried[pick] = false;
                     tracer.note_probe(
                         pick,
@@ -213,19 +321,10 @@ impl AdmissionController {
                 }
             }
             // Step 1.4: retrial control.
-            if untried.iter().all(|&u| !u) {
-                break; // no alternative destination left
+            match self.retrial_weight(tries, &weights, &untried) {
+                Some(remaining_weight) => tracer.note_retrial(tries, remaining_weight),
+                None => break,
             }
-            let remaining_weight: f64 = weights
-                .iter()
-                .zip(&untried)
-                .filter(|(_, &u)| u)
-                .map(|(&w, _)| w)
-                .sum();
-            if !self.retrial.keep_going(tries, remaining_weight) {
-                break;
-            }
-            tracer.note_retrial(tries, remaining_weight);
         }
         // Step 2: the flow is rejected.
         tracer.finish_rejected(tries);
@@ -492,6 +591,56 @@ mod tests {
         assert_eq!(c.history().clean_count(), 2);
         assert_eq!(c.retrial(), RetrialPolicy::FixedLimit(2));
         assert_eq!(c.policy_name(), "WD/D+H");
+    }
+
+    #[test]
+    fn express_admission_matches_atomic_bit_for_bit() {
+        // Drive two identical universes through a churn of admissions and
+        // teardowns: one through the atomic probe, one through the
+        // synchronous two-phase exchange. Outcomes, message ledgers, link
+        // state and history must stay equal throughout.
+        let (topo, routes, dists) = fixture();
+        let mut links_a = LinkStateTable::from_topology(&topo);
+        let mut links_e = LinkStateTable::from_topology(&topo);
+        let mut rsvp_a = ReservationEngine::new();
+        let mut rsvp_e = ReservationEngine::new();
+        let mut setups = anycast_rsvp::SetupTable::default();
+        let mut ca = controller(Box::new(WdDb), 2, dists.clone());
+        let mut ce = controller(Box::new(WdDb), 2, dists);
+        let mut rng_a = SimRng::seed_from(42);
+        let mut rng_e = SimRng::seed_from(42);
+        let mut live_a = Vec::new();
+        let mut live_e = Vec::new();
+        for step in 0..60u64 {
+            let demand = Bandwidth::from_kbps(48);
+            let a = ca.admit(&routes, &mut links_a, &mut rsvp_a, demand, &mut rng_a);
+            let mut null = NullRecorder;
+            let mut tracer = RequestTracer::new(&mut null, 0.0, step);
+            let e = ce.admit_two_phase_express(
+                &routes,
+                &mut links_e,
+                &mut rsvp_e,
+                &mut setups,
+                demand,
+                step as f64,
+                &mut rng_e,
+                &mut tracer,
+            );
+            assert_eq!(a, e, "step {step}");
+            if let Some(f) = a.admitted {
+                live_a.push(f.session);
+                live_e.push(e.admitted.unwrap().session);
+            }
+            // Periodically tear down the oldest flow in both universes.
+            if step % 3 == 2 && !live_a.is_empty() {
+                rsvp_a.teardown(&mut links_a, live_a.remove(0)).unwrap();
+                rsvp_e.teardown(&mut links_e, live_e.remove(0)).unwrap();
+            }
+            assert_eq!(rsvp_a.ledger(), rsvp_e.ledger(), "step {step}");
+        }
+        assert!(links_a.iter().zip(links_e.iter()).all(|(x, y)| x == y));
+        assert_eq!(links_e.total_pending(), Bandwidth::ZERO);
+        assert!(setups.in_flight() == 0, "express leaves no live setups");
     }
 
     #[test]

@@ -8,23 +8,30 @@
 //! exponential lifetimes, one five-member anycast group, 64 kb/s demands
 //! against the 20% anycast partition of 100 Mb/s links.
 
+use crate::backoff::BackoffPolicy;
 use crate::baselines::{GlobalDynamicSystem, ShortestPathSystem};
 use crate::multipath::{MultipathController, MultipathRouteTable};
 use crate::policy::PolicySpec;
 use crate::{AdmissionController, AdmissionOutcome, RetrialPolicy};
-use anycast_chaos::{build_timeline, FaultAction, FaultBook, FaultEntity, FaultPlan};
+use anycast_chaos::{
+    build_timeline, FaultAction, FaultBook, FaultEntity, FaultPlan, MessageFault, SignalingFaults,
+};
 use anycast_net::{
     topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, RouteTable, Topology,
 };
-use anycast_rsvp::{MessageLedger, RefreshTracker, ReservationEngine, SessionId};
+use anycast_rsvp::{
+    MessageKind, MessageLedger, PathStep, RefreshTracker, ReservationEngine, SessionId, SetupId,
+    SetupTable,
+};
 use anycast_sim::stats::{AdmissionStats, TimeWeighted};
 use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
-use anycast_sim::{Engine, SimRng, SimTime};
+use anycast_sim::{Engine, SimRng, SimTime, TimerWheel};
 use anycast_telemetry::{
-    Event as TelemetryEvent, FaultKind, NullRecorder, Recorder, RequestTracer, TeardownReason,
+    DecisionStep, DecisionTrace, Event as TelemetryEvent, FaultKind, NullRecorder, ProbeResult,
+    Recorder, RequestTracer, SkipReason, TeardownReason,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Which admission system the experiment evaluates — the paper's
 /// `<A, R>` tuples plus the two baselines.
@@ -135,6 +142,69 @@ pub struct DemandClass {
     pub weight: f64,
 }
 
+/// Parameters of the latency-aware two-phase signalling engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoPhaseConfig {
+    /// Propagation + processing delay per link crossing, in seconds.
+    /// Zero with an inert `[signaling]` fault section degenerates to the
+    /// atomic exchange bit-for-bit.
+    pub per_hop_delay_secs: f64,
+    /// How long the source waits for the RESV before abandoning the
+    /// attempt and consulting the backoff policy. Unconfirmed per-hop
+    /// holds expire on the same clock. `f64::INFINITY` disables both
+    /// timers (setups then only fail via an explicit RESV_ERR).
+    pub setup_timeout_secs: f64,
+    /// Retransmission schedule for timed-out setups toward the same
+    /// destination, applied before a §4.5 retrial is spent.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for TwoPhaseConfig {
+    /// 0 delay, 1 s setup timeout, default backoff.
+    fn default() -> Self {
+        TwoPhaseConfig {
+            per_hop_delay_secs: 0.0,
+            setup_timeout_secs: 1.0,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+impl TwoPhaseConfig {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-hop delay is negative or non-finite, or the
+    /// setup timeout is not positive (infinity is allowed).
+    pub fn validate(&self) {
+        assert!(
+            self.per_hop_delay_secs.is_finite() && self.per_hop_delay_secs >= 0.0,
+            "per-hop signalling delay must be finite and non-negative, got {}",
+            self.per_hop_delay_secs
+        );
+        assert!(
+            self.setup_timeout_secs > 0.0 && !self.setup_timeout_secs.is_nan(),
+            "setup timeout must be positive (infinity allowed), got {}",
+            self.setup_timeout_secs
+        );
+        self.backoff.validate();
+    }
+}
+
+/// How the §4.4 reservation exchange is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SignalingMode {
+    /// The paper's model: the PATH/RESV exchange completes in one
+    /// instant, so admission state is never stale.
+    Atomic,
+    /// Latency-aware two-phase signalling: PATH messages propagate hop by
+    /// hop placing pending holds, a RESV confirms them, unconfirmed holds
+    /// expire at the setup timeout, and timed-out setups are retransmitted
+    /// under bounded backoff. Only valid for [`SystemSpec::Dac`].
+    TwoPhase(TwoPhaseConfig),
+}
+
 /// Full description of one simulation run.
 ///
 /// [`ExperimentConfig::paper_defaults`] reproduces §5.1; the `with_*`
@@ -175,6 +245,10 @@ pub struct ExperimentConfig {
     /// Fault-injection plan (extension; the paper's analysis is
     /// fault-free, which [`FaultPlan::none`] reproduces exactly).
     pub faults: FaultPlan,
+    /// How the reservation exchange is signalled (extension; the paper's
+    /// exchange is atomic, which [`SignalingMode::Atomic`] reproduces
+    /// exactly).
+    pub signaling: SignalingMode,
 }
 
 impl ExperimentConfig {
@@ -199,6 +273,7 @@ impl ExperimentConfig {
             system,
             arrivals: ArrivalProcess::Poisson,
             faults: FaultPlan::none(),
+            signaling: SignalingMode::Atomic,
         }
     }
 
@@ -253,6 +328,12 @@ impl ExperimentConfig {
     /// Installs a fault-injection plan (extension beyond the paper).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replaces the signalling mode (extension beyond the paper).
+    pub fn with_signaling(mut self, signaling: SignalingMode) -> Self {
+        self.signaling = signaling;
         self
     }
 
@@ -364,6 +445,26 @@ pub struct Metrics {
     /// surviving session, in bit/s per link-hop. Always 0 unless the
     /// bookkeeping leaks.
     pub leaked_bandwidth_bps: u64,
+    /// Pending holds placed by two-phase PATH crossings, whole run.
+    /// Zero under atomic signalling and in the degenerate zero-delay
+    /// two-phase mode (whose exchange is instantaneous).
+    pub holds_placed: u64,
+    /// Unconfirmed holds returned by their expiry timers, whole run.
+    pub holds_expired: u64,
+    /// Two-phase setups whose RESV reached the source, whole run.
+    pub setups_completed: u64,
+    /// Timed-out setups retransmitted under the backoff policy, whole run.
+    pub retransmits: u64,
+    /// Signalling messages dropped by the `[signaling]` fault model,
+    /// whole run.
+    pub signaling_messages_lost: u64,
+    /// Mean setup latency (first PATH send of the successful attempt to
+    /// the RESV arriving at the source) over completions after warm-up.
+    pub mean_setup_latency_secs: f64,
+    /// Held (uncommitted) bandwidth still pending after the horizon
+    /// drain, in bit/s per link-hop. Always 0 unless hold accounting
+    /// leaks — the leak-freedom invariant.
+    pub leaked_hold_bps: u64,
 }
 
 /// Internal event alphabet of the closed-loop simulation.
@@ -388,6 +489,50 @@ enum Event {
     /// state, so enabling the sampler cannot change the metrics.
     TelemetrySample,
     WarmupEnd,
+    /// Two-phase: a PATH message starts crossing link `hop` of its route.
+    PathHop {
+        req: u64,
+        setup: SetupId,
+        hop: usize,
+    },
+    /// Two-phase: a RESV message starts crossing link `hop` back toward
+    /// the source.
+    ResvHop {
+        req: u64,
+        setup: SetupId,
+        hop: usize,
+    },
+    /// Two-phase: a RESV_ERR message starts crossing link `hop` back
+    /// toward the source, releasing the hold there.
+    ResvErrHop {
+        req: u64,
+        setup: SetupId,
+        hop: usize,
+    },
+    /// Two-phase: the RESV arrived at the source; commit the holds.
+    SetupComplete {
+        req: u64,
+        setup: SetupId,
+    },
+    /// Two-phase: the RESV_ERR arrived at the source; the destination
+    /// refused the attempt.
+    SetupRefused {
+        req: u64,
+        setup: SetupId,
+    },
+    /// Two-phase: the source's setup timer fired before an answer came.
+    SetupTimeout {
+        req: u64,
+        setup: SetupId,
+    },
+    /// Two-phase: the backoff delay elapsed; retransmit toward the same
+    /// destination.
+    RetrySetup(u64),
+    /// Two-phase: wake-up for the hold-expiry timer wheel.
+    HoldTick,
+    /// Wake-up for the soft-state timer wheel: reclaim reservations whose
+    /// refresh deadline passed, at the exact deadline.
+    SoftTick,
 }
 
 /// Arrival-stream dispatch without a trait object (both variants are
@@ -412,6 +557,77 @@ enum SystemState {
     DacMulti(Box<MultipathRouteTable>, Vec<MultipathController>),
     Sp(Vec<ShortestPathSystem>),
     Gdi(GlobalDynamicSystem),
+}
+
+/// One request whose admission is in flight under event-driven two-phase
+/// signalling: the controller's REPEAT-loop state, frozen between
+/// messages.
+struct PendingAdmission {
+    source_index: usize,
+    group_index: usize,
+    demand: Bandwidth,
+    holding_secs: f64,
+    /// Destinations probed so far (≥ 1 once the first attempt starts).
+    tries: u32,
+    untried: Vec<bool>,
+    /// Retransmissions already spent on the current destination.
+    attempts_this_dest: u32,
+    /// The destination currently being attempted.
+    pick: usize,
+    /// `pick`'s selection weight when it was drawn (for telemetry).
+    pick_weight: f64,
+    /// The weight vector of the current attempt — the §4.5 retrial
+    /// decision uses the weights of the iteration that failed, exactly as
+    /// the synchronous loop does.
+    current_weights: Vec<f64>,
+    /// The first draw's weight vector (a rejection's decision trace).
+    weights_first: Vec<f64>,
+    /// Every probed-and-failed destination, in order.
+    steps: Vec<DecisionStep>,
+    /// The live setup attempt; `None` between a timeout and its
+    /// retransmission (stale answers for abandoned setups are dropped).
+    setup: Option<SetupId>,
+}
+
+/// Runtime state of the event-driven two-phase signalling engine.
+struct TwoPhaseState {
+    cfg: TwoPhaseConfig,
+    /// Degenerate mode: zero per-hop delay and an inert `[signaling]`
+    /// fault section. The exchange runs synchronously at arrival and is
+    /// bit-identical to the atomic engine (no timers, no events, no
+    /// signalling telemetry).
+    express: bool,
+    sig: SignalingFaults,
+    table: SetupTable,
+    /// Request owning each setup, kept until the setup's state is reaped
+    /// (in-flight messages for dead setups still need attribution).
+    setup_req: HashMap<SetupId, u64>,
+    pending: HashMap<u64, PendingAdmission>,
+    holds: TimerWheel<(SetupId, usize)>,
+    backoff_rng: SimRng,
+    holds_placed: u64,
+    holds_expired: u64,
+    setups_completed: u64,
+    retransmits: u64,
+    msgs_lost: u64,
+    latency_sum: f64,
+    latency_count: u64,
+}
+
+/// One message crossing under the `[signaling]` fault model: `None` means
+/// the message was dropped; `Some(d)` the crossing takes `d` seconds.
+/// Draw order (loss first, then extra delay) is part of the determinism
+/// contract, and each draw is guarded so an inert fault model consumes no
+/// randomness at all.
+fn transit(fault: &MessageFault, per_hop_secs: f64, rng: &mut SimRng) -> Option<f64> {
+    if fault.loss_probability > 0.0 && rng.uniform() < fault.loss_probability {
+        return None;
+    }
+    let mut d = per_hop_secs;
+    if fault.extra_delay_secs > 0.0 {
+        d += rng.exp_duration(fault.extra_delay_secs).as_secs();
+    }
+    Some(d)
 }
 
 /// Runs one closed-loop simulation and returns its metrics.
@@ -478,6 +694,18 @@ pub fn run_experiment_traced(
         control.teardown_delay_secs.is_finite() && control.teardown_delay_secs >= 0.0,
         "teardown delay mean must be non-negative"
     );
+    let two_phase_cfg = match config.signaling {
+        SignalingMode::Atomic => None,
+        SignalingMode::TwoPhase(cfg) => {
+            cfg.validate();
+            assert!(
+                matches!(config.system, SystemSpec::Dac { .. }),
+                "two-phase signalling requires the DAC system, got {}",
+                config.system.label()
+            );
+            Some(cfg)
+        }
+    };
     let group_specs = config.effective_groups();
     let mut groups = Vec::with_capacity(group_specs.len());
     let mut route_tables = Vec::with_capacity(group_specs.len());
@@ -571,6 +799,27 @@ pub fn run_experiment_traced(
     // selection, demand or group streams: a run under FaultPlan::none()
     // is bit-identical to one that predates fault injection.
     let mut fault_rng = master_rng.fork();
+    // Forked after the fault stream (and only ever drawn from by backoff
+    // jitter) so enabling two-phase signalling perturbs no earlier
+    // stream.
+    let backoff_rng = master_rng.fork();
+    let mut two_phase: Option<TwoPhaseState> = two_phase_cfg.map(|cfg| TwoPhaseState {
+        cfg,
+        express: cfg.per_hop_delay_secs == 0.0 && config.faults.signaling.is_inert(),
+        sig: config.faults.signaling,
+        table: SetupTable::new(),
+        setup_req: HashMap::new(),
+        pending: HashMap::new(),
+        holds: TimerWheel::new(),
+        backoff_rng,
+        holds_placed: 0,
+        holds_expired: 0,
+        setups_completed: 0,
+        retransmits: 0,
+        msgs_lost: 0,
+        latency_sum: 0.0,
+        latency_count: 0,
+    });
     let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
     let draw_group = move |rng: &mut SimRng| -> usize {
         if group_shares.len() == 1 {
@@ -610,6 +859,13 @@ pub fn run_experiment_traced(
     // tracker runs even in fault-free experiments, so reservation
     // lifecycle behaviour never depends on whether faults are possible.
     let mut tracker = RefreshTracker::new(refresh);
+    // Exact-deadline soft-state expiry: every register/refresh arms this
+    // wheel at the session's deadline; a SoftTick event reclaims expired
+    // orphans the moment their lifetime ends, instead of waiting for the
+    // next sweep to poll. Fault-free runs pop nothing (live sessions are
+    // refreshed well before their deadlines), so the wheel cannot perturb
+    // them.
+    let mut soft_wheel: TimerWheel<SessionId> = TimerWheel::new();
     let mut live_flows: HashSet<SessionId> = HashSet::new();
     let mut orphaned: HashSet<SessionId> = HashSet::new();
     let mut killed: HashSet<SessionId> = HashSet::new();
@@ -666,293 +922,622 @@ pub fn run_experiment_traced(
         },
     );
 
-    engine.run_until(horizon, |eng, now, event| match event {
-        Event::Arrival {
-            source_index,
-            group_index,
-            holding_secs,
-            demand,
-        } => {
-            let source = config.sources[source_index];
-            let group = &groups[group_index];
-            let routes = &route_tables[group_index];
-            let request_id = next_request_id;
-            next_request_id += 1;
-            if rec_on {
-                recorder.record(
-                    now.as_secs(),
-                    TelemetryEvent::RequestArrival {
-                        request: request_id,
-                        source,
-                        group: group_index,
-                        demand_bps: demand.bps(),
-                    },
+    engine.run_until(horizon, |eng, now, event| {
+        // Local macros instead of closures: the bookkeeping below needs
+        // simultaneous mutable access to many captured bindings (stats,
+        // telemetry, the two-phase tables, the engine itself), which no
+        // single helper closure could borrow at once.
+        macro_rules! tw_note {
+            () => {{
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
+                }
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+            }};
+        }
+        // Register a session with the soft-state tracker and arm its
+        // exact-deadline expiry timer.
+        macro_rules! soft_track {
+            ($session:expr) => {{
+                let s = $session;
+                tracker.register(s, now.as_secs());
+                let deadline = tracker.deadline(s).expect("session was just registered");
+                soft_wheel.arm(s, deadline);
+                if let Some(tick) = soft_wheel.tick_needed() {
+                    eng.schedule_at(SimTime::from_secs(tick), Event::SoftTick);
+                }
+            }};
+        }
+        macro_rules! soft_forget {
+            ($session:expr) => {{
+                let s = $session;
+                tracker.forget(s);
+                soft_wheel.cancel(&s);
+            }};
+        }
+        // Finish an event-mode two-phase admission: credit the
+        // destination, record stats/telemetry, start the flow's lifecycle.
+        macro_rules! admit_complete {
+            ($req:expr, $session:expr, $hops:expr, $started_secs:expr) => {{
+                let req = $req;
+                let session = $session;
+                let p = two_phase
+                    .as_mut()
+                    .expect("two-phase arms only run in two-phase mode")
+                    .pending
+                    .remove(&req)
+                    .expect("completing setups belong to a pending admission");
+                match &mut systems[p.group_index] {
+                    SystemState::Dac(controllers) => {
+                        controllers[p.source_index].note_success(p.pick)
+                    }
+                    _ => unreachable!("two-phase signalling is DAC-only"),
+                }
+                let latency = now.as_secs() - $started_secs;
+                {
+                    let tp = two_phase.as_mut().expect("checked above");
+                    tp.setups_completed += 1;
+                    if now >= warmup_end {
+                        tp.latency_sum += latency;
+                        tp.latency_count += 1;
+                    }
+                }
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::DestinationProbe {
+                            request: req,
+                            member_index: p.pick,
+                            weight: p.pick_weight,
+                            result: ProbeResult::Admitted,
+                        },
+                    );
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::ReservationSetup {
+                            request: req,
+                            session,
+                            member_index: p.pick,
+                            hops: $hops,
+                            tries: p.tries,
+                        },
+                    );
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::SetupCompleted {
+                            request: req,
+                            session,
+                            latency_secs: latency,
+                        },
+                    );
+                }
+                stats.record(now, true, p.tries);
+                group_stats[p.group_index].record(now, true, p.tries);
+                if now >= warmup_end {
+                    member_counts[p.group_index][p.pick] += 1;
+                }
+                live_flows.insert(session);
+                soft_track!(session);
+                eng.schedule_in(
+                    now,
+                    anycast_sim::Duration::from_secs(p.holding_secs),
+                    Event::Departure(session),
                 );
-            }
-            let mut tracer = RequestTracer::new(&mut *recorder, now.as_secs(), request_id);
-            let outcome: AdmissionOutcome = match &mut systems[group_index] {
-                SystemState::Dac(controllers) => controllers[source_index].admit_traced(
-                    routes.routes_from(source),
-                    &mut links,
-                    &mut rsvp,
-                    demand,
-                    &mut selection_rng,
-                    &mut tracer,
-                ),
-                SystemState::DacMulti(table, controllers) => {
-                    let out = controllers[source_index]
-                        .admit(
-                            table.routes_from(source),
+                tw_note!();
+            }};
+        }
+        // Launch (or relaunch) the setup toward the pending admission's
+        // currently picked destination.
+        macro_rules! start_attempt {
+            ($req:expr) => {{
+                let req = $req;
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                let (gi, si, pick, demand) = {
+                    let p = tp
+                        .pending
+                        .get(&req)
+                        .expect("attempt needs a pending admission");
+                    (p.group_index, p.source_index, p.pick, p.demand)
+                };
+                let route = route_tables[gi].routes_from(config.sources[si])[pick].clone();
+                if route.hops() == 0 {
+                    // The member is local: zero links to signal over, so the
+                    // setup completes on the spot — same as the atomic engine.
+                    let out = tp
+                        .table
+                        .run_express(&mut rsvp, &mut links, &route, demand, now.as_secs())
+                        .expect("zero-hop routes always admit");
+                    admit_complete!(req, out.session, 0, now.as_secs());
+                } else {
+                    let setup = tp.table.begin(route, demand, now.as_secs());
+                    tp.setup_req.insert(setup, req);
+                    tp.pending.get_mut(&req).expect("still pending").setup = Some(setup);
+                    if tp.cfg.setup_timeout_secs.is_finite() {
+                        eng.schedule_in(
+                            now,
+                            anycast_sim::Duration::from_secs(tp.cfg.setup_timeout_secs),
+                            Event::SetupTimeout { req, setup },
+                        );
+                    }
+                    eng.schedule_at(now, Event::PathHop { req, setup, hop: 0 });
+                }
+            }};
+        }
+        // A setup attempt failed (refusal or timeout): charge the
+        // destination, then either retry another member (§4.5) or reject.
+        macro_rules! resolve_failed_attempt {
+            ($req:expr, $skip:expr) => {{
+                let req = $req;
+                let skip = $skip;
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                let (gi, si, pick, pick_weight, tries) = {
+                    let p = tp
+                        .pending
+                        .get_mut(&req)
+                        .expect("failed attempts belong to a pending admission");
+                    p.setup = None;
+                    p.untried[p.pick] = false;
+                    p.steps.push(DecisionStep {
+                        member_index: p.pick,
+                        weight: p.pick_weight,
+                        skip,
+                    });
+                    (
+                        p.group_index,
+                        p.source_index,
+                        p.pick,
+                        p.pick_weight,
+                        p.tries,
+                    )
+                };
+                let controllers = match &mut systems[gi] {
+                    SystemState::Dac(controllers) => controllers,
+                    _ => unreachable!("two-phase signalling is DAC-only"),
+                };
+                controllers[si].note_failure(pick);
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::DestinationProbe {
+                            request: req,
+                            member_index: pick,
+                            weight: pick_weight,
+                            result: ProbeResult::Skipped(skip),
+                        },
+                    );
+                }
+                // The §4.5 decision looks at the weights the failed pick was
+                // drawn from; a retrial then re-reads link state for fresh
+                // weights, exactly like the atomic controller.
+                let decision = {
+                    let p = tp.pending.get(&req).expect("still pending");
+                    controllers[si].retrial_weight(tries, &p.current_weights, &p.untried)
+                };
+                match decision {
+                    Some(remaining_weight) => {
+                        if rec_on {
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::Retrial {
+                                    request: req,
+                                    tries_so_far: tries,
+                                    remaining_weight,
+                                },
+                            );
+                        }
+                        let weights = controllers[si].selection_weights(
+                            route_tables[gi].routes_from(config.sources[si]),
+                            &links,
+                        );
+                        let p = tp.pending.get_mut(&req).expect("still pending");
+                        let next_pick = AdmissionController::pick_destination(
+                            &weights,
+                            &p.untried,
+                            &mut selection_rng,
+                        )
+                        .expect("a granted retrial implies an untried member");
+                        p.tries += 1;
+                        p.attempts_this_dest = 0;
+                        p.pick = next_pick;
+                        p.pick_weight = weights[next_pick];
+                        p.current_weights = weights;
+                        start_attempt!(req);
+                    }
+                    None => {
+                        let p = tp.pending.remove(&req).expect("still pending");
+                        stats.record(now, false, p.tries);
+                        group_stats[p.group_index].record(now, false, p.tries);
+                        if rec_on {
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::Rejection {
+                                    request: req,
+                                    tries: p.tries,
+                                    trace: DecisionTrace {
+                                        weights: p.weights_first,
+                                        steps: p.steps,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                }
+            }};
+        }
+        match event {
+            Event::Arrival {
+                source_index,
+                group_index,
+                holding_secs,
+                demand,
+            } => {
+                let source = config.sources[source_index];
+                let group = &groups[group_index];
+                let routes = &route_tables[group_index];
+                let request_id = next_request_id;
+                next_request_id += 1;
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::RequestArrival {
+                            request: request_id,
+                            source,
+                            group: group_index,
+                            demand_bps: demand.bps(),
+                        },
+                    );
+                }
+                let async_two_phase = matches!(
+                    (&systems[group_index], two_phase.as_ref()),
+                    (SystemState::Dac(_), Some(tp)) if !tp.express
+                );
+                if async_two_phase {
+                    // Event-driven two-phase signalling: pick a destination
+                    // now (same RNG draw order as the atomic controller) and
+                    // launch the PATH; admission resolves when the exchange
+                    // does.
+                    let controllers = match &mut systems[group_index] {
+                        SystemState::Dac(controllers) => controllers,
+                        _ => unreachable!("checked above"),
+                    };
+                    let weights = controllers[source_index]
+                        .selection_weights(routes.routes_from(source), &links);
+                    let untried = vec![true; weights.len()];
+                    let pick = AdmissionController::pick_destination(
+                        &weights,
+                        &untried,
+                        &mut selection_rng,
+                    )
+                    .expect("anycast groups are non-empty");
+                    let tp = two_phase.as_mut().expect("checked above");
+                    tp.pending.insert(
+                        request_id,
+                        PendingAdmission {
+                            source_index,
+                            group_index,
+                            demand,
+                            holding_secs,
+                            tries: 1,
+                            untried,
+                            attempts_this_dest: 0,
+                            pick,
+                            pick_weight: weights[pick],
+                            weights_first: weights.clone(),
+                            current_weights: weights,
+                            steps: Vec::new(),
+                            setup: None,
+                        },
+                    );
+                    start_attempt!(request_id);
+                } else {
+                    let mut tracer = RequestTracer::new(&mut *recorder, now.as_secs(), request_id);
+                    let outcome: AdmissionOutcome = match &mut systems[group_index] {
+                        SystemState::Dac(controllers) => match two_phase.as_mut() {
+                            // Degenerate two-phase (zero delay, inert faults):
+                            // synchronous per-hop walk, bit-identical to atomic.
+                            Some(tp) => controllers[source_index].admit_two_phase_express(
+                                routes.routes_from(source),
+                                &mut links,
+                                &mut rsvp,
+                                &mut tp.table,
+                                demand,
+                                now.as_secs(),
+                                &mut selection_rng,
+                                &mut tracer,
+                            ),
+                            None => controllers[source_index].admit_traced(
+                                routes.routes_from(source),
+                                &mut links,
+                                &mut rsvp,
+                                demand,
+                                &mut selection_rng,
+                                &mut tracer,
+                            ),
+                        },
+                        SystemState::DacMulti(table, controllers) => {
+                            let out = controllers[source_index]
+                                .admit(
+                                    table.routes_from(source),
+                                    &mut links,
+                                    &mut rsvp,
+                                    demand,
+                                    &mut selection_rng,
+                                )
+                                .outcome;
+                            // The multipath controller is not internally traced;
+                            // emit lifecycle summaries (hops unknown → 0, empty
+                            // decision trace) so the stream still closes every
+                            // request.
+                            match &out.admitted {
+                                Some(flow) => tracer.finish_admitted(
+                                    flow.session,
+                                    flow.member_index,
+                                    0,
+                                    out.tries,
+                                ),
+                                None => tracer.finish_rejected(out.tries),
+                            }
+                            out
+                        }
+                        SystemState::Sp(per_source) => per_source[source_index].admit_traced(
+                            routes.routes_from(source),
                             &mut links,
                             &mut rsvp,
                             demand,
-                            &mut selection_rng,
-                        )
-                        .outcome;
-                    // The multipath controller is not internally traced;
-                    // emit lifecycle summaries (hops unknown → 0, empty
-                    // decision trace) so the stream still closes every
-                    // request.
-                    match &out.admitted {
-                        Some(flow) => {
-                            tracer.finish_admitted(flow.session, flow.member_index, 0, out.tries)
+                            &mut tracer,
+                        ),
+                        SystemState::Gdi(gdi) => gdi.admit_traced(
+                            topo,
+                            group,
+                            source,
+                            &mut links,
+                            &mut rsvp,
+                            demand,
+                            &mut tracer,
+                        ),
+                    };
+                    drop(tracer);
+                    stats.record(now, outcome.is_admitted(), outcome.tries);
+                    group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
+                    if now >= warmup_end {
+                        if let Some(flow) = &outcome.admitted {
+                            member_counts[group_index][flow.member_index] += 1;
                         }
-                        None => tracer.finish_rejected(out.tries),
                     }
-                    out
+                    if let Some(flow) = outcome.admitted {
+                        live_flows.insert(flow.session);
+                        soft_track!(flow.session);
+                        eng.schedule_in(
+                            now,
+                            anycast_sim::Duration::from_secs(holding_secs),
+                            Event::Departure(flow.session),
+                        );
+                    }
                 }
-                SystemState::Sp(per_source) => per_source[source_index].admit_traced(
-                    routes.routes_from(source),
-                    &mut links,
-                    &mut rsvp,
-                    demand,
-                    &mut tracer,
-                ),
-                SystemState::Gdi(gdi) => gdi.admit_traced(
-                    topo,
-                    group,
-                    source,
-                    &mut links,
-                    &mut rsvp,
-                    demand,
-                    &mut tracer,
-                ),
-            };
-            drop(tracer);
-            stats.record(now, outcome.is_admitted(), outcome.tries);
-            group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
-            if now >= warmup_end {
-                if let Some(flow) = &outcome.admitted {
-                    member_counts[group_index][flow.member_index] += 1;
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
                 }
-            }
-            if let Some(flow) = outcome.admitted {
-                live_flows.insert(flow.session);
-                tracker.register(flow.session, now.as_secs());
-                eng.schedule_in(
-                    now,
-                    anycast_sim::Duration::from_secs(holding_secs),
-                    Event::Departure(flow.session),
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+                let next = workload.next_request();
+                let next_demand = draw_demand(&mut demand_rng);
+                let next_group = draw_group(&mut group_rng);
+                eng.schedule_at(
+                    next.arrival,
+                    Event::Arrival {
+                        source_index: next.source_index,
+                        group_index: next_group,
+                        holding_secs: next.holding.as_secs(),
+                        demand: next_demand,
+                    },
                 );
             }
-            if let Some(tw) = active.as_mut() {
-                tw.update(now, rsvp.active_sessions() as f64);
-            }
-            if let Some(tw) = reserved_bw.as_mut() {
-                tw.update(now, links.total_reserved().bps() as f64);
-            }
-            let next = workload.next_request();
-            let next_demand = draw_demand(&mut demand_rng);
-            let next_group = draw_group(&mut group_rng);
-            eng.schedule_at(
-                next.arrival,
-                Event::Arrival {
-                    source_index: next.source_index,
-                    group_index: next_group,
-                    holding_secs: next.holding.as_secs(),
-                    demand: next_demand,
-                },
-            );
-        }
-        Event::Departure(session) => {
-            live_flows.remove(&session);
-            if killed.remove(&session) {
-                // The reservation already died with a fault; the flow's
-                // endpoints have nothing left to tear down.
-            } else if control.teardown_loss_probability > 0.0
-                && fault_rng.uniform() < control.teardown_loss_probability
-            {
-                // PATH_TEAR lost: the reservation holds its bandwidth
-                // until soft state expires it.
-                orphaned.insert(session);
-                book.note_orphan_created();
-            } else if control.teardown_delay_secs > 0.0 {
-                let delay = fault_rng.exp_duration(control.teardown_delay_secs);
-                eng.schedule_in(now, delay, Event::Teardown(session));
-            } else {
-                rsvp.teardown(&mut links, session)
-                    .expect("departing flows hold live sessions");
-                tracker.forget(session);
-                if rec_on {
-                    recorder.record(
-                        now.as_secs(),
-                        TelemetryEvent::ReservationTeardown {
-                            session,
-                            reason: TeardownReason::Departure,
-                        },
-                    );
-                }
-                if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
-                }
-                if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
-                }
-            }
-        }
-        Event::Teardown(session) => {
-            if killed.remove(&session) {
-                // A fault beat the delayed teardown to the reservation.
-            } else {
-                rsvp.teardown(&mut links, session)
-                    .expect("delayed teardowns target live sessions");
-                tracker.forget(session);
-                if rec_on {
-                    recorder.record(
-                        now.as_secs(),
-                        TelemetryEvent::ReservationTeardown {
-                            session,
-                            reason: TeardownReason::Delayed,
-                        },
-                    );
-                }
-                if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
-                }
-                if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
-                }
-            }
-        }
-        Event::Fault(action) => {
-            let t = now.as_secs();
-            let victims: Vec<SessionId> = match action {
-                FaultAction::FailLink(link) => {
-                    links
-                        .fail_link(link)
-                        .expect("fault plan references known links");
-                    book.record_down(FaultEntity::Link(link), t);
-                    if rec_on {
-                        recorder.record(
-                            t,
-                            TelemetryEvent::FaultFired {
-                                entity: FaultKind::Link(link),
-                            },
-                        );
-                    }
-                    rsvp.sessions_using_link(link)
-                }
-                FaultAction::RestoreLink(link) => {
-                    links
-                        .restore_link(link)
-                        .expect("fault plan references known links");
-                    book.record_up(FaultEntity::Link(link), t);
-                    if rec_on {
-                        recorder.record(
-                            t,
-                            TelemetryEvent::FaultHealed {
-                                entity: FaultKind::Link(link),
-                            },
-                        );
-                    }
-                    Vec::new()
-                }
-                FaultAction::CrashNode(node) => {
-                    links
-                        .fail_node(node)
-                        .expect("fault plan references known nodes");
-                    book.record_down(FaultEntity::Node(node), t);
-                    if rec_on {
-                        recorder.record(
-                            t,
-                            TelemetryEvent::FaultFired {
-                                entity: FaultKind::Node(node),
-                            },
-                        );
-                    }
-                    rsvp.sessions_through_node(node)
-                }
-                FaultAction::RestoreNode(node) => {
-                    links
-                        .restore_node(node)
-                        .expect("fault plan references known nodes");
-                    book.record_up(FaultEntity::Node(node), t);
-                    if rec_on {
-                        recorder.record(
-                            t,
-                            TelemetryEvent::FaultHealed {
-                                entity: FaultKind::Node(node),
-                            },
-                        );
-                    }
-                    Vec::new()
-                }
-            };
-            for session in victims {
-                rsvp.teardown(&mut links, session)
-                    .expect("fault victims hold live reservations");
-                tracker.forget(session);
-                if rec_on {
-                    recorder.record(
-                        t,
-                        TelemetryEvent::ReservationTeardown {
-                            session,
-                            reason: TeardownReason::FaultKilled,
-                        },
-                    );
-                }
-                if orphaned.remove(&session) {
-                    // The fault returned an orphan's bandwidth before soft
-                    // state got to it.
-                    book.note_orphan_reclaimed();
+            Event::Departure(session) => {
+                live_flows.remove(&session);
+                if killed.remove(&session) {
+                    // The reservation already died with a fault; the flow's
+                    // endpoints have nothing left to tear down.
+                } else if control.teardown_loss_probability > 0.0
+                    && fault_rng.uniform() < control.teardown_loss_probability
+                {
+                    // PATH_TEAR lost: the reservation holds its bandwidth
+                    // until soft state expires it.
+                    orphaned.insert(session);
+                    book.note_orphan_created();
+                } else if control.teardown_delay_secs > 0.0 {
+                    let delay = fault_rng.exp_duration(control.teardown_delay_secs);
+                    eng.schedule_in(now, delay, Event::Teardown(session));
                 } else {
-                    // A Departure or delayed Teardown event is still
-                    // pending for this session and must become a no-op.
-                    killed.insert(session);
-                    if live_flows.contains(&session) {
-                        book.note_flow_killed();
+                    rsvp.teardown(&mut links, session)
+                        .expect("departing flows hold live sessions");
+                    soft_forget!(session);
+                    if rec_on {
+                        recorder.record(
+                            now.as_secs(),
+                            TelemetryEvent::ReservationTeardown {
+                                session,
+                                reason: TeardownReason::Departure,
+                            },
+                        );
+                    }
+                    if let Some(tw) = active.as_mut() {
+                        tw.update(now, rsvp.active_sessions() as f64);
+                    }
+                    if let Some(tw) = reserved_bw.as_mut() {
+                        tw.update(now, links.total_reserved().bps() as f64);
                     }
                 }
             }
-            if let Some(tw) = availability.as_mut() {
-                tw.update(now, links.operational_fraction());
-            }
-            if let Some(tw) = active.as_mut() {
-                tw.update(now, rsvp.active_sessions() as f64);
-            }
-            if let Some(tw) = reserved_bw.as_mut() {
-                tw.update(now, links.total_reserved().bps() as f64);
-            }
-        }
-        Event::RefreshSweep => {
-            let t = now.as_secs();
-            for session in rsvp.session_ids_sorted() {
-                if !orphaned.contains(&session) {
-                    // The flow's source (or, post-departure, its pending
-                    // delayed teardown) still exists and keeps the state
-                    // alive.
-                    tracker
-                        .refresh(session, t)
-                        .expect("live sessions are tracked");
+            Event::Teardown(session) => {
+                if killed.remove(&session) {
+                    // A fault beat the delayed teardown to the reservation.
+                } else {
+                    rsvp.teardown(&mut links, session)
+                        .expect("delayed teardowns target live sessions");
+                    soft_forget!(session);
+                    if rec_on {
+                        recorder.record(
+                            now.as_secs(),
+                            TelemetryEvent::ReservationTeardown {
+                                session,
+                                reason: TeardownReason::Delayed,
+                            },
+                        );
+                    }
+                    if let Some(tw) = active.as_mut() {
+                        tw.update(now, rsvp.active_sessions() as f64);
+                    }
+                    if let Some(tw) = reserved_bw.as_mut() {
+                        tw.update(now, links.total_reserved().bps() as f64);
+                    }
                 }
             }
-            let expired = tracker.collect_expired(t);
-            if !expired.is_empty() {
-                for session in expired {
+            Event::Fault(action) => {
+                let t = now.as_secs();
+                let victims: Vec<SessionId> = match action {
+                    FaultAction::FailLink(link) => {
+                        links
+                            .fail_link(link)
+                            .expect("fault plan references known links");
+                        book.record_down(FaultEntity::Link(link), t);
+                        if rec_on {
+                            recorder.record(
+                                t,
+                                TelemetryEvent::FaultFired {
+                                    entity: FaultKind::Link(link),
+                                },
+                            );
+                        }
+                        rsvp.sessions_using_link(link)
+                    }
+                    FaultAction::RestoreLink(link) => {
+                        links
+                            .restore_link(link)
+                            .expect("fault plan references known links");
+                        book.record_up(FaultEntity::Link(link), t);
+                        if rec_on {
+                            recorder.record(
+                                t,
+                                TelemetryEvent::FaultHealed {
+                                    entity: FaultKind::Link(link),
+                                },
+                            );
+                        }
+                        Vec::new()
+                    }
+                    FaultAction::CrashNode(node) => {
+                        links
+                            .fail_node(node)
+                            .expect("fault plan references known nodes");
+                        book.record_down(FaultEntity::Node(node), t);
+                        if rec_on {
+                            recorder.record(
+                                t,
+                                TelemetryEvent::FaultFired {
+                                    entity: FaultKind::Node(node),
+                                },
+                            );
+                        }
+                        rsvp.sessions_through_node(node)
+                    }
+                    FaultAction::RestoreNode(node) => {
+                        links
+                            .restore_node(node)
+                            .expect("fault plan references known nodes");
+                        book.record_up(FaultEntity::Node(node), t);
+                        if rec_on {
+                            recorder.record(
+                                t,
+                                TelemetryEvent::FaultHealed {
+                                    entity: FaultKind::Node(node),
+                                },
+                            );
+                        }
+                        Vec::new()
+                    }
+                };
+                for session in victims {
+                    rsvp.teardown(&mut links, session)
+                        .expect("fault victims hold live reservations");
+                    soft_forget!(session);
+                    if rec_on {
+                        recorder.record(
+                            t,
+                            TelemetryEvent::ReservationTeardown {
+                                session,
+                                reason: TeardownReason::FaultKilled,
+                            },
+                        );
+                    }
+                    if orphaned.remove(&session) {
+                        // The fault returned an orphan's bandwidth before soft
+                        // state got to it.
+                        book.note_orphan_reclaimed();
+                    } else {
+                        // A Departure or delayed Teardown event is still
+                        // pending for this session and must become a no-op.
+                        killed.insert(session);
+                        if live_flows.contains(&session) {
+                            book.note_flow_killed();
+                        }
+                    }
+                }
+                if let Some(tw) = availability.as_mut() {
+                    tw.update(now, links.operational_fraction());
+                }
+                if let Some(tw) = active.as_mut() {
+                    tw.update(now, rsvp.active_sessions() as f64);
+                }
+                if let Some(tw) = reserved_bw.as_mut() {
+                    tw.update(now, links.total_reserved().bps() as f64);
+                }
+            }
+            Event::RefreshSweep => {
+                let t = now.as_secs();
+                for session in rsvp.session_ids_sorted() {
+                    if !orphaned.contains(&session) {
+                        // The flow's source (or, post-departure, its pending
+                        // delayed teardown) still exists and keeps the state
+                        // alive. Re-arm the expiry wheel at the pushed-out
+                        // deadline; orphans keep their stale one and expire
+                        // on it via SoftTick.
+                        tracker
+                            .refresh(session, t)
+                            .expect("live sessions are tracked");
+                        let deadline = tracker.deadline(session).expect("just refreshed");
+                        soft_wheel.arm(session, deadline);
+                    }
+                }
+                if let Some(tick) = soft_wheel.tick_needed() {
+                    eng.schedule_at(SimTime::from_secs(tick), Event::SoftTick);
+                }
+                eng.schedule_in(now, refresh_interval, Event::RefreshSweep);
+            }
+            Event::SoftTick => {
+                // Exact-deadline soft-state expiry: reclaim precisely the
+                // orphans whose lifetime just ended. Live sessions popping
+                // here are stale wheel entries (their refresh re-armed a
+                // later deadline) and are skipped untouched; the handler
+                // consumes no randomness, so in fault-free runs it is inert.
+                let t = now.as_secs();
+                let mut reclaimed_any = false;
+                for session in soft_wheel.pop_due(t) {
+                    if !orphaned.contains(&session) {
+                        continue;
+                    }
+                    match tracker.deadline(session) {
+                        Some(deadline) if deadline <= t => {}
+                        _ => continue,
+                    }
+                    tracker.forget(session);
                     rsvp.teardown(&mut links, session)
                         .expect("expired sessions hold reservations");
                     orphaned.remove(&session);
                     book.note_orphan_reclaimed();
+                    reclaimed_any = true;
                     if rec_on {
                         recorder.record(
                             t,
@@ -963,65 +1548,398 @@ pub fn run_experiment_traced(
                         );
                     }
                 }
-                if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
+                if reclaimed_any {
+                    tw_note!();
                 }
-                if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
+                if let Some(tick) = soft_wheel.tick_needed() {
+                    eng.schedule_at(SimTime::from_secs(tick), Event::SoftTick);
                 }
             }
-            eng.schedule_in(now, refresh_interval, Event::RefreshSweep);
-        }
-        Event::TelemetrySample => {
-            // Read-only periodic probe of the link-state table: consumes
-            // no randomness and mutates nothing, so scheduling it (or
-            // not) leaves the simulated system bit-identical.
-            for (link, snap) in links.iter() {
-                recorder.record(
-                    now.as_secs(),
-                    TelemetryEvent::LinkSample {
+            Event::TelemetrySample => {
+                // Read-only periodic probe of the link-state table: consumes
+                // no randomness and mutates nothing, so scheduling it (or
+                // not) leaves the simulated system bit-identical.
+                for (link, snap) in links.iter() {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::LinkSample {
+                            link,
+                            reserved_bps: snap.reserved.bps(),
+                            capacity_bps: snap.capacity.bps(),
+                            flows: snap.flows,
+                            failed: snap.failed,
+                        },
+                    );
+                }
+                if let Some(interval_secs) = sample_interval {
+                    eng.schedule_in(
+                        now,
+                        anycast_sim::Duration::from_secs(interval_secs),
+                        Event::TelemetrySample,
+                    );
+                }
+            }
+            Event::WarmupEnd => {
+                rsvp.reset_ledger();
+                active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
+                reserved_bw = Some(TimeWeighted::new(now, links.total_reserved().bps() as f64));
+                availability = Some(TimeWeighted::new(now, links.operational_fraction()));
+            }
+            Event::PathHop { req, setup, hop } => {
+                let tp = two_phase
+                    .as_mut()
+                    .expect("signalling events only fire in two-phase mode");
+                if !tp.table.contains(setup) {
+                    // The setup was reaped while this message was in flight
+                    // (e.g. its last hold expired); the message dies with it.
+                    return;
+                }
+                let bw_bps = tp.table.bandwidth(setup).expect("tabled setup").bps();
+                match tp
+                    .table
+                    .path_step(&mut rsvp, &mut links, setup, hop)
+                    .expect("contains() checked above")
+                {
+                    PathStep::Held {
                         link,
-                        reserved_bps: snap.reserved.bps(),
-                        capacity_bps: snap.capacity.bps(),
-                        flows: snap.flows,
-                        failed: snap.failed,
-                    },
-                );
+                        reached_destination,
+                    } => {
+                        tp.holds_placed += 1;
+                        if rec_on {
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::MsgSent {
+                                    request: req,
+                                    message: MessageKind::Path,
+                                    link,
+                                },
+                            );
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::HoldPlaced {
+                                    request: req,
+                                    link,
+                                    bw_bps,
+                                },
+                            );
+                        }
+                        if tp.cfg.setup_timeout_secs.is_finite() {
+                            tp.holds
+                                .arm((setup, hop), now.as_secs() + tp.cfg.setup_timeout_secs);
+                            if let Some(tick) = tp.holds.tick_needed() {
+                                eng.schedule_at(SimTime::from_secs(tick), Event::HoldTick);
+                            }
+                        }
+                        match transit(&tp.sig.path, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                            Some(delay) => {
+                                let next = if reached_destination {
+                                    // The destination answers: its RESV first
+                                    // re-crosses this same link on the way back.
+                                    Event::ResvHop { req, setup, hop }
+                                } else {
+                                    Event::PathHop {
+                                        req,
+                                        setup,
+                                        hop: hop + 1,
+                                    }
+                                };
+                                eng.schedule_in(now, anycast_sim::Duration::from_secs(delay), next);
+                            }
+                            None => {
+                                tp.msgs_lost += 1;
+                                if rec_on {
+                                    recorder.record(
+                                        now.as_secs(),
+                                        TelemetryEvent::MsgLost {
+                                            request: req,
+                                            message: MessageKind::Path,
+                                            link,
+                                        },
+                                    );
+                                }
+                                // The hold just placed (and the ones upstream)
+                                // linger until their expiry timers fire.
+                            }
+                        }
+                    }
+                    PathStep::Blocked(err) => {
+                        if rec_on {
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::MsgSent {
+                                    request: req,
+                                    message: MessageKind::Path,
+                                    link: err.failed_link,
+                                },
+                            );
+                        }
+                        // The router at the bottleneck answers on the spot: the
+                        // RESV_ERR's first crossing (back over this same link)
+                        // starts now.
+                        eng.schedule_at(now, Event::ResvErrHop { req, setup, hop });
+                    }
+                }
             }
-            if let Some(interval_secs) = sample_interval {
-                eng.schedule_in(
-                    now,
-                    anycast_sim::Duration::from_secs(interval_secs),
-                    Event::TelemetrySample,
-                );
+            Event::ResvHop { req, setup, hop } => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                if !tp.table.resv_step(&mut rsvp, setup) {
+                    return;
+                }
+                let link = tp.table.link_at(setup, hop).expect("route covers this hop");
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::MsgSent {
+                            request: req,
+                            message: MessageKind::Resv,
+                            link,
+                        },
+                    );
+                }
+                match transit(&tp.sig.resv, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                    Some(delay) => {
+                        let next = if hop == 0 {
+                            Event::SetupComplete { req, setup }
+                        } else {
+                            Event::ResvHop {
+                                req,
+                                setup,
+                                hop: hop - 1,
+                            }
+                        };
+                        eng.schedule_in(now, anycast_sim::Duration::from_secs(delay), next);
+                    }
+                    None => {
+                        tp.msgs_lost += 1;
+                        if rec_on {
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::MsgLost {
+                                    request: req,
+                                    message: MessageKind::Resv,
+                                    link,
+                                },
+                            );
+                        }
+                        // Nothing is committed yet; the unconfirmed holds
+                        // expire on their own timers and the source times out.
+                    }
+                }
             }
-        }
-        Event::WarmupEnd => {
-            rsvp.reset_ledger();
-            active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
-            reserved_bw = Some(TimeWeighted::new(now, links.total_reserved().bps() as f64));
-            availability = Some(TimeWeighted::new(now, links.operational_fraction()));
+            Event::ResvErrHop { req, setup, hop } => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                if !tp.table.contains(setup) {
+                    return;
+                }
+                let link = tp.table.link_at(setup, hop).expect("route covers this hop");
+                let released = tp
+                    .table
+                    .resv_err_step(&mut rsvp, &mut links, setup, hop)
+                    .expect("contains() checked above");
+                if released.is_some() {
+                    // The error released this hop's hold before its timer fired.
+                    tp.holds.cancel(&(setup, hop));
+                }
+                if rec_on {
+                    recorder.record(
+                        now.as_secs(),
+                        TelemetryEvent::MsgSent {
+                            request: req,
+                            message: MessageKind::ResvErr,
+                            link,
+                        },
+                    );
+                }
+                let lost =
+                    match transit(&tp.sig.resv_err, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                        Some(delay) => {
+                            let next = if hop == 0 {
+                                Event::SetupRefused { req, setup }
+                            } else {
+                                Event::ResvErrHop {
+                                    req,
+                                    setup,
+                                    hop: hop - 1,
+                                }
+                            };
+                            eng.schedule_in(now, anycast_sim::Duration::from_secs(delay), next);
+                            false
+                        }
+                        None => true,
+                    };
+                if lost {
+                    tp.msgs_lost += 1;
+                    if rec_on {
+                        recorder.record(
+                            now.as_secs(),
+                            TelemetryEvent::MsgLost {
+                                request: req,
+                                message: MessageKind::ResvErr,
+                                link,
+                            },
+                        );
+                    }
+                    // Upstream holds stay until expiry; the source times out.
+                }
+                if !tp.table.contains(setup) {
+                    tp.setup_req.remove(&setup);
+                }
+            }
+            Event::SetupComplete { req, setup } => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                if tp.pending.get(&req).is_none_or(|p| p.setup != Some(setup)) {
+                    // The source already moved on (timeout fired first); the
+                    // dead setup's holds expire on their own timers.
+                    return;
+                }
+                let hops = tp.table.hops(setup).expect("pending setups stay tabled");
+                let started = tp
+                    .table
+                    .started_at(setup)
+                    .expect("pending setups stay tabled");
+                match tp.table.complete(&mut rsvp, &mut links, setup) {
+                    Some(outcome) => {
+                        for h in 0..hops {
+                            tp.holds.cancel(&(setup, h));
+                        }
+                        tp.setup_req.remove(&setup);
+                        admit_complete!(req, outcome.session, hops, started);
+                    }
+                    None => {
+                        // A hold expired while the RESV was in flight (the
+                        // timeout is shorter than the round trip): survivors
+                        // were just released, and the source's setup timer
+                        // will resolve this attempt as failed.
+                        for h in 0..hops {
+                            tp.holds.cancel(&(setup, h));
+                        }
+                        if !tp.table.contains(setup) {
+                            tp.setup_req.remove(&setup);
+                        }
+                    }
+                }
+            }
+            Event::SetupRefused { req, setup } => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                if tp.pending.get(&req).is_none_or(|p| p.setup != Some(setup)) {
+                    return;
+                }
+                let err = tp
+                    .table
+                    .blocked_error(setup)
+                    .expect("refused setups recorded their bottleneck");
+                tp.table.abandon(setup);
+                if !tp.table.contains(setup) {
+                    tp.setup_req.remove(&setup);
+                }
+                let skip = SkipReason::LinkBlocked {
+                    link: err.failed_link,
+                    hop_index: err.hop_index,
+                    available_bps: err.available.bps(),
+                };
+                resolve_failed_attempt!(req, skip);
+            }
+            Event::SetupTimeout { req, setup } => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                if tp.pending.get(&req).is_none_or(|p| p.setup != Some(setup)) {
+                    // Stale timer: the attempt already resolved (and possibly
+                    // a newer setup took its place).
+                    return;
+                }
+                // Give up on this exchange. Remote holds are NOT released here
+                // — the source cannot reach them; they expire on their timers.
+                let blocked = tp.table.blocked_error(setup);
+                tp.table.abandon(setup);
+                if !tp.table.contains(setup) {
+                    tp.setup_req.remove(&setup);
+                }
+                let attempts = tp
+                    .pending
+                    .get(&req)
+                    .expect("checked above")
+                    .attempts_this_dest;
+                if attempts < tp.cfg.backoff.max_retransmits {
+                    let delay = tp.cfg.backoff.delay_for(attempts, &mut tp.backoff_rng);
+                    tp.retransmits += 1;
+                    {
+                        let p = tp.pending.get_mut(&req).expect("checked above");
+                        p.attempts_this_dest += 1;
+                        p.setup = None;
+                    }
+                    eng.schedule_in(
+                        now,
+                        anycast_sim::Duration::from_secs(delay),
+                        Event::RetrySetup(req),
+                    );
+                } else {
+                    // Retransmissions exhausted: the destination counts as
+                    // failed and the §4.5 retrial policy takes over.
+                    let skip = match blocked {
+                        Some(err) => SkipReason::LinkBlocked {
+                            link: err.failed_link,
+                            hop_index: err.hop_index,
+                            available_bps: err.available.bps(),
+                        },
+                        None => SkipReason::NoFeasiblePath,
+                    };
+                    resolve_failed_attempt!(req, skip);
+                }
+            }
+            Event::RetrySetup(req) => {
+                if two_phase
+                    .as_ref()
+                    .is_some_and(|tp| tp.pending.contains_key(&req))
+                {
+                    start_attempt!(req);
+                }
+            }
+            Event::HoldTick => {
+                let tp = two_phase.as_mut().expect("two-phase mode");
+                for (setup, hop) in tp.holds.pop_due(now.as_secs()) {
+                    let bw_bps = tp.table.bandwidth(setup).map(|b| b.bps());
+                    if let Some(link) = tp.table.expire_hold(&mut links, setup, hop) {
+                        tp.holds_expired += 1;
+                        if rec_on {
+                            let owner = tp
+                                .setup_req
+                                .get(&setup)
+                                .copied()
+                                .expect("tabled setups keep their owner mapping");
+                            recorder.record(
+                                now.as_secs(),
+                                TelemetryEvent::HoldExpired {
+                                    request: owner,
+                                    link,
+                                    bw_bps: bw_bps.expect("state existed at expiry"),
+                                },
+                            );
+                        }
+                        if !tp.table.contains(setup) {
+                            tp.setup_req.remove(&setup);
+                        }
+                    }
+                }
+                if let Some(tick) = tp.holds.tick_needed() {
+                    eng.schedule_at(SimTime::from_secs(tick), Event::HoldTick);
+                }
+            }
         }
     });
 
-    // Close the books at the horizon: one final soft-state sweep so
-    // orphans whose lifetime ended inside the run are reclaimed even when
-    // the next periodic sweep would have fallen beyond it.
-    for session in tracker.collect_expired(horizon.as_secs()) {
-        rsvp.teardown(&mut links, session)
-            .expect("expired sessions hold reservations");
-        orphaned.remove(&session);
-        book.note_orphan_reclaimed();
-        if rec_on {
-            recorder.record(
-                horizon.as_secs(),
-                TelemetryEvent::ReservationTeardown {
-                    session,
-                    reason: TeardownReason::SoftStateExpired,
-                },
-            );
+    // Orphans expire exactly at their soft-state deadline via SoftTick
+    // events inside the run, so no closing sweep is needed: anything the
+    // tracker still holds at the horizon is genuinely within lifetime.
+    //
+    // Drain in-flight two-phase setups: their exchanges never resolved
+    // (censored, like any open request at the horizon) and their holds go
+    // back. Every held bit must belong to a tabled setup — whatever
+    // `total_pending` still shows afterwards leaked.
+    let leaked_hold_bps = {
+        if let Some(tp) = two_phase.as_mut() {
+            let _ = tp.table.drain(&mut links);
         }
-    }
+        links.total_pending().bps()
+    };
     // Audit the bandwidth ledger: every reserved bit must be attributable
     // to a surviving session (live flows, pending teardowns, and orphans
     // still inside their soft-state lifetime).
@@ -1094,6 +2012,19 @@ pub fn run_experiment_traced(
         orphaned_reservations: book.orphans_created(),
         orphans_reclaimed: book.orphans_reclaimed(),
         leaked_bandwidth_bps,
+        holds_placed: two_phase.as_ref().map_or(0, |tp| tp.holds_placed),
+        holds_expired: two_phase.as_ref().map_or(0, |tp| tp.holds_expired),
+        setups_completed: two_phase.as_ref().map_or(0, |tp| tp.setups_completed),
+        retransmits: two_phase.as_ref().map_or(0, |tp| tp.retransmits),
+        signaling_messages_lost: two_phase.as_ref().map_or(0, |tp| tp.msgs_lost),
+        mean_setup_latency_secs: two_phase.as_ref().map_or(0.0, |tp| {
+            if tp.latency_count == 0 {
+                0.0
+            } else {
+                tp.latency_sum / tp.latency_count as f64
+            }
+        }),
+        leaked_hold_bps,
     }
 }
 
@@ -1466,6 +2397,110 @@ mod tests {
         // fault-free share while the outage lasts.
         assert!(m.member_share[0][0] < clean.member_share[0][0]);
         assert_eq!(m.leaked_bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn degenerate_two_phase_is_bit_identical_to_atomic() {
+        // Zero per-hop delay + an inert `[signaling]` fault section must
+        // reproduce the atomic engine exactly: same metrics, same message
+        // ledger, same member shares — the express path is the proof that
+        // the two-phase machinery only changes behaviour when latency or
+        // loss actually exists.
+        let topo = topologies::mci();
+        for policy in [
+            PolicySpec::Ed,
+            PolicySpec::WdDb,
+            PolicySpec::wd_dh_default(),
+        ] {
+            let base = quick(30.0, SystemSpec::dac(policy, 2));
+            let atomic = run_experiment(&topo, &base);
+            let degenerate = base
+                .clone()
+                .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig::default()));
+            assert_eq!(
+                atomic,
+                run_experiment(&topo, &degenerate),
+                "degenerate two-phase must be bit-identical to atomic for {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delayed_two_phase_admits_and_replays_deterministically() {
+        let topo = topologies::mci();
+        let cfg = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_signaling(
+            SignalingMode::TwoPhase(TwoPhaseConfig {
+                per_hop_delay_secs: 0.05,
+                ..TwoPhaseConfig::default()
+            }),
+        );
+        let a = run_experiment(&topo, &cfg);
+        let b = run_experiment(&topo, &cfg);
+        assert_eq!(a, b, "delayed signalling must replay bit-identically");
+        assert!(a.admitted > 0);
+        assert!(a.setups_completed > 0);
+        assert!(a.holds_placed > 0);
+        assert_eq!(a.signaling_messages_lost, 0, "no faults were configured");
+        assert!(
+            a.mean_setup_latency_secs >= 2.0 * 0.05,
+            "a completed setup takes at least one round trip over one hop, got {}",
+            a.mean_setup_latency_secs
+        );
+        assert_eq!(a.leaked_hold_bps, 0);
+        assert_eq!(a.leaked_bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn lossy_signalling_retransmits_expires_holds_and_leaks_nothing() {
+        let topo = topologies::mci();
+        let sig = SignalingFaults {
+            path: MessageFault {
+                loss_probability: 0.05,
+                extra_delay_secs: 0.02,
+            },
+            resv: MessageFault {
+                loss_probability: 0.05,
+                extra_delay_secs: 0.0,
+            },
+            resv_err: MessageFault {
+                loss_probability: 0.05,
+                extra_delay_secs: 0.0,
+            },
+        };
+        let cfg = quick(25.0, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_faults(FaultPlan::none().with_signaling(sig))
+            .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig {
+                per_hop_delay_secs: 0.02,
+                setup_timeout_secs: 0.5,
+                ..TwoPhaseConfig::default()
+            }));
+        let m = run_experiment(&topo, &cfg);
+        assert!(m.signaling_messages_lost > 0, "5% loss must drop messages");
+        assert!(m.retransmits > 0, "timed-out setups must be retransmitted");
+        assert!(
+            m.holds_expired > 0,
+            "abandoned setups leave holds to expire"
+        );
+        assert!(m.admitted > 0, "most setups still complete");
+        assert_eq!(
+            m.leaked_hold_bps, 0,
+            "every hold must be confirmed, errored, expired, or drained"
+        );
+        assert_eq!(m.leaked_bandwidth_bps, 0);
+        assert_eq!(
+            m,
+            run_experiment(&topo, &cfg),
+            "lossy signalling must replay bit-identically"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two-phase signalling requires the DAC system")]
+    fn two_phase_rejects_non_dac_systems() {
+        let topo = topologies::mci();
+        let cfg = quick(5.0, SystemSpec::ShortestPath)
+            .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig::default()));
+        run_experiment(&topo, &cfg);
     }
 
     #[test]

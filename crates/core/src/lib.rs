@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod baselines;
 mod controller;
 mod error;
@@ -48,6 +49,7 @@ pub mod qos;
 mod retrial;
 mod weights;
 
+pub use backoff::BackoffPolicy;
 pub use controller::{AdmissionController, AdmissionOutcome, AdmittedFlow};
 pub use error::DacError;
 pub use history::HistoryTable;

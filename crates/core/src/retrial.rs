@@ -36,11 +36,17 @@ impl RetrialPolicy {
     /// Decides whether another destination should be tried after `tries`
     /// attempts, when the not-yet-tried destinations hold
     /// `remaining_weight` of the current selection distribution.
+    ///
+    /// A NaN `remaining_weight` (a degenerate weight vector upstream) is
+    /// treated as *unknown*, not hopeless: the adaptive early-stop only
+    /// fires on evidence the remainder is worthless, so NaN falls back to
+    /// the plain counter. (NaN fails every `>=` comparison, so the naive
+    /// check would silently forfeit the remaining retrials.)
     pub fn keep_going(&self, tries: u32, remaining_weight: f64) -> bool {
         match self {
             RetrialPolicy::FixedLimit(r) => tries < *r,
             RetrialPolicy::Adaptive { max, min_weight } => {
-                tries < *max && remaining_weight >= *min_weight
+                tries < *max && (remaining_weight.is_nan() || remaining_weight >= *min_weight)
             }
         }
     }
@@ -85,6 +91,19 @@ mod tests {
         assert!(!p.keep_going(1, 0.01));
         assert!(!p.keep_going(5, 0.5));
         assert_eq!(p.max_tries(), 5);
+    }
+
+    #[test]
+    fn adaptive_nan_weight_falls_back_to_the_counter() {
+        // Regression: NaN fails `>=`, so the old check read NaN as
+        // "hopeless" and silently stopped retrying after the first failure.
+        let p = RetrialPolicy::Adaptive {
+            max: 5,
+            min_weight: 0.05,
+        };
+        assert!(p.keep_going(1, f64::NAN));
+        assert!(p.keep_going(4, f64::NAN));
+        assert!(!p.keep_going(5, f64::NAN), "hard cap still binds");
     }
 
     #[test]

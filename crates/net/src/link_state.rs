@@ -13,6 +13,14 @@ pub struct LinkSnapshot {
     pub reserved: Bandwidth,
     /// Number of flows currently holding a reservation across this link.
     pub flows: u32,
+    /// Bandwidth held by in-flight two-phase setups (PATH walks that have
+    /// crossed this link but whose RESV has not confirmed yet). Holds count
+    /// against availability so concurrent setups race honestly, but are not
+    /// confirmed reservations: an unconfirmed hold expires and returns its
+    /// bandwidth.
+    pub held: Bandwidth,
+    /// Number of pending holds on this link.
+    pub holds: u32,
     /// `true` while the link is administratively or physically down
     /// (fault-injection extension; the paper assumes a fault-free network).
     pub failed: bool,
@@ -20,12 +28,16 @@ pub struct LinkSnapshot {
 
 impl LinkSnapshot {
     /// Remaining capacity — the paper's available bandwidth `AB_l`.
-    /// A failed link has no available bandwidth.
+    /// A failed link has no available bandwidth. Pending holds count as
+    /// taken: a concurrent setup must not double-book bandwidth another
+    /// setup has already claimed mid-signalling.
     pub fn available(&self) -> Bandwidth {
         if self.failed {
             Bandwidth::ZERO
         } else {
-            self.capacity.saturating_sub(self.reserved)
+            self.capacity
+                .saturating_sub(self.reserved)
+                .saturating_sub(self.held)
         }
     }
 
@@ -95,6 +107,8 @@ impl LinkStateTable {
                     capacity: base.scaled(fraction),
                     reserved: Bandwidth::ZERO,
                     flows: 0,
+                    held: Bandwidth::ZERO,
+                    holds: 0,
                     failed: false,
                 }
             })
@@ -193,6 +207,95 @@ impl LinkStateTable {
         state.reserved -= bw;
         state.flows -= 1;
         Ok(())
+    }
+
+    /// Places a pending hold of `bw` on a link (a two-phase PATH message
+    /// claiming bandwidth it has not confirmed yet).
+    ///
+    /// Holds reduce [`available`](Self::available) exactly like confirmed
+    /// reservations, so overlapping setups contend for the same capacity,
+    /// but they live in a separate ledger column: an unconfirmed hold is
+    /// released (timeout, RESV_ERR) or committed (RESV) — never leaked.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InsufficientBandwidth`] if less than `bw` is available;
+    /// [`NetError::UnknownLink`] if the link is out of range.
+    pub fn place_hold(&mut self, link: LinkId, bw: Bandwidth) -> Result<(), NetError> {
+        let state = self
+            .states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        let available = state.available();
+        if bw > available {
+            return Err(NetError::InsufficientBandwidth {
+                link,
+                demanded: bw,
+                available,
+            });
+        }
+        state.held += bw;
+        state.holds += 1;
+        Ok(())
+    }
+
+    /// Releases a pending hold without confirming it (setup timed out or a
+    /// RESV_ERR retraced the route).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ReleaseUnderflow`] if `bw` exceeds the held amount;
+    /// [`NetError::UnknownLink`] if the link is out of range.
+    pub fn release_hold(&mut self, link: LinkId, bw: Bandwidth) -> Result<(), NetError> {
+        let state = self
+            .states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        if bw > state.held || state.holds == 0 {
+            return Err(NetError::ReleaseUnderflow {
+                link,
+                released: bw,
+                reserved: state.held,
+            });
+        }
+        state.held -= bw;
+        state.holds -= 1;
+        Ok(())
+    }
+
+    /// Confirms a pending hold, converting it into a reserved flow (the
+    /// RESV leg of the two-phase exchange). The bandwidth moves from the
+    /// hold column to the reservation column atomically — availability is
+    /// unchanged by the commit itself.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ReleaseUnderflow`] if `bw` exceeds the held amount;
+    /// [`NetError::UnknownLink`] if the link is out of range.
+    pub fn commit_hold(&mut self, link: LinkId, bw: Bandwidth) -> Result<(), NetError> {
+        let state = self
+            .states
+            .get_mut(link.index())
+            .ok_or(NetError::UnknownLink(link))?;
+        if bw > state.held || state.holds == 0 {
+            return Err(NetError::ReleaseUnderflow {
+                link,
+                released: bw,
+                reserved: state.held,
+            });
+        }
+        state.held -= bw;
+        state.holds -= 1;
+        state.reserved += bw;
+        state.flows += 1;
+        Ok(())
+    }
+
+    /// Total bandwidth held by pending (unconfirmed) setups across all
+    /// links. Zero whenever no two-phase signalling is in flight — the
+    /// end-of-run leak-freedom invariant checks exactly this.
+    pub fn total_pending(&self) -> Bandwidth {
+        self.states.iter().map(|s| s.held).sum()
     }
 
     /// Checks whether `bw` is available on every link of `path` without
@@ -406,6 +509,8 @@ impl LinkStateTable {
         for s in &mut self.states {
             s.reserved = Bandwidth::ZERO;
             s.flows = 0;
+            s.held = Bandwidth::ZERO;
+            s.holds = 0;
             s.failed = false;
         }
         self.link_failed.fill(false);
@@ -564,9 +669,99 @@ mod tests {
             capacity: Bandwidth::ZERO,
             reserved: Bandwidth::ZERO,
             flows: 0,
+            held: Bandwidth::ZERO,
+            holds: 0,
             failed: false,
         };
         assert_eq!(snap.utilization(), 0.0);
+    }
+
+    #[test]
+    fn holds_reduce_availability_and_release_restores_it() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let l = LinkId::new(0);
+        table.place_hold(l, Bandwidth::from_mbps(30)).unwrap();
+        assert_eq!(table.available(l), Bandwidth::from_mbps(70));
+        assert_eq!(table.total_pending(), Bandwidth::from_mbps(30));
+        let snap = table.snapshot(l).unwrap();
+        assert_eq!(snap.holds, 1);
+        assert_eq!(snap.reserved, Bandwidth::ZERO);
+        table.release_hold(l, Bandwidth::from_mbps(30)).unwrap();
+        assert_eq!(table.available(l), Bandwidth::from_mbps(100));
+        assert_eq!(table.total_pending(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn concurrent_holds_race_for_the_same_capacity() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let l = LinkId::new(1);
+        table.place_hold(l, Bandwidth::from_mbps(60)).unwrap();
+        // A second in-flight setup sees the held bandwidth as taken.
+        let err = table.place_hold(l, Bandwidth::from_mbps(60)).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InsufficientBandwidth { available, .. }
+                if available == Bandwidth::from_mbps(40)
+        ));
+        // A plain reservation is blocked by the hold too.
+        assert!(table.reserve(l, Bandwidth::from_mbps(50)).is_err());
+    }
+
+    #[test]
+    fn commit_hold_converts_to_reservation_without_changing_availability() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        let l = LinkId::new(2);
+        table.place_hold(l, Bandwidth::from_mbps(25)).unwrap();
+        let before = table.available(l);
+        table.commit_hold(l, Bandwidth::from_mbps(25)).unwrap();
+        assert_eq!(table.available(l), before);
+        let snap = table.snapshot(l).unwrap();
+        assert_eq!(snap.reserved, Bandwidth::from_mbps(25));
+        assert_eq!(snap.flows, 1);
+        assert_eq!(snap.held, Bandwidth::ZERO);
+        assert_eq!(snap.holds, 0);
+        assert_eq!(table.total_pending(), Bandwidth::ZERO);
+        // The committed flow releases like any other reservation.
+        table.release(l, Bandwidth::from_mbps(25)).unwrap();
+        assert_eq!(table.available(l), Bandwidth::from_mbps(100));
+    }
+
+    #[test]
+    fn hold_underflow_and_unknown_link_detected() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert!(matches!(
+            table.release_hold(LinkId::new(0), Bandwidth::from_bps(1)),
+            Err(NetError::ReleaseUnderflow { .. })
+        ));
+        assert!(matches!(
+            table.commit_hold(LinkId::new(0), Bandwidth::from_bps(1)),
+            Err(NetError::ReleaseUnderflow { .. })
+        ));
+        assert!(matches!(
+            table.place_hold(LinkId::new(50), Bandwidth::ZERO),
+            Err(NetError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn failed_link_rejects_holds_and_reset_clears_them() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_link(LinkId::new(0)).unwrap();
+        assert!(table
+            .place_hold(LinkId::new(0), Bandwidth::from_bps(1))
+            .is_err());
+        table.restore_link(LinkId::new(0)).unwrap();
+        table
+            .place_hold(LinkId::new(0), Bandwidth::from_mbps(5))
+            .unwrap();
+        table.reset();
+        assert_eq!(table.total_pending(), Bandwidth::ZERO);
+        assert_eq!(table.snapshot(LinkId::new(0)).unwrap().holds, 0);
     }
 
     #[test]

@@ -224,6 +224,22 @@ impl ReservationEngine {
         &self.ledger
     }
 
+    /// Mutable ledger access for the two-phase machinery, which counts
+    /// messages one crossing at a time instead of one walk at a time.
+    pub(crate) fn ledger_mut(&mut self) -> &mut MessageLedger {
+        &mut self.ledger
+    }
+
+    /// Installs a session whose per-link bandwidth was already committed
+    /// hop by hop (two-phase RESV commit). The link ledger is untouched —
+    /// the caller moved each hop's pending hold into the reserved column.
+    pub(crate) fn install_committed(&mut self, route: Path, bw: Bandwidth) -> SessionId {
+        let session = SessionId::new(self.next_id);
+        self.next_id += 1;
+        self.active.insert(session, Reservation::new(route, bw));
+        session
+    }
+
     /// Resets the message tally (sessions are unaffected).
     pub fn reset_ledger(&mut self) {
         self.ledger.reset();

@@ -43,8 +43,10 @@ mod engine;
 mod message;
 mod session;
 mod soft_state;
+mod two_phase;
 
 pub use engine::{ProbeError, ReservationEngine, ReservationOutcome, TeardownError};
 pub use message::{MessageKind, MessageLedger};
 pub use session::{Reservation, SessionId};
 pub use soft_state::{RefreshConfig, RefreshTracker};
+pub use two_phase::{PathStep, SetupId, SetupTable};

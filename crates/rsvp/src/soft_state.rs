@@ -133,6 +133,13 @@ impl RefreshTracker {
         expired
     }
 
+    /// The deadline currently recorded for `session`, if tracked. Lets a
+    /// timer-driven caller arm exactly one expiry timer per session
+    /// instead of polling [`collect_expired`](Self::collect_expired).
+    pub fn deadline(&self, session: SessionId) -> Option<f64> {
+        self.deadlines.get(&session).copied()
+    }
+
     /// The next deadline across all sessions, for scheduling a sweep.
     pub fn next_deadline(&self) -> Option<f64> {
         self.deadlines

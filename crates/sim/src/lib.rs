@@ -11,6 +11,8 @@
 //!   and a driver loop;
 //! * [`SimRng`] — a seeded PRNG with exponential, uniform and weighted
 //!   categorical sampling (including without-replacement);
+//! * [`TimerWheel`] — keyed, cancellable deadlines (setup timeouts,
+//!   soft-state expiry) popped deterministically off the event queue;
 //! * [`stats`] — counters, Welford mean/variance, confidence intervals,
 //!   time-weighted averages and an admission-probability estimator with
 //!   warm-up truncation;
@@ -49,9 +51,11 @@ pub mod pool;
 mod random;
 pub mod stats;
 mod time;
+mod timer;
 pub mod workload;
 
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use random::SimRng;
 pub use time::{Duration, SimTime};
+pub use timer::TimerWheel;

@@ -9,7 +9,7 @@
 //! exportable without holding the simulation alive.
 
 use anycast_net::{LinkId, NodeId};
-use anycast_rsvp::SessionId;
+use anycast_rsvp::{MessageKind, SessionId};
 
 /// An [`Event`] stamped with the simulated time it occurred at.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,57 @@ pub enum Event {
     FaultHealed {
         /// The recovered entity.
         entity: FaultKind,
+    },
+    /// `kind: "msg_sent"` — a two-phase signaling message started one hop
+    /// crossing.
+    MsgSent {
+        /// The request whose setup the message belongs to.
+        request: u64,
+        /// Message kind (PATH / RESV / RESV_ERR).
+        message: MessageKind,
+        /// The link being crossed.
+        link: LinkId,
+    },
+    /// `kind: "msg_lost"` — a chaos fault dropped the message on that
+    /// crossing.
+    MsgLost {
+        /// The request whose setup the message belongs to.
+        request: u64,
+        /// Message kind (PATH / RESV / RESV_ERR).
+        message: MessageKind,
+        /// The link the message was lost on.
+        link: LinkId,
+    },
+    /// `kind: "hold_placed"` — a PATH crossing placed a pending hold on a
+    /// link (bandwidth claimed but not yet confirmed).
+    HoldPlaced {
+        /// The request whose setup placed the hold.
+        request: u64,
+        /// The link holding the bandwidth.
+        link: LinkId,
+        /// Held bandwidth in bits per second.
+        bw_bps: u64,
+    },
+    /// `kind: "hold_expired"` — an unconfirmed hold hit its setup timeout
+    /// and returned its bandwidth.
+    HoldExpired {
+        /// The request whose setup had placed the hold.
+        request: u64,
+        /// The link releasing the bandwidth.
+        link: LinkId,
+        /// Released bandwidth in bits per second.
+        bw_bps: u64,
+    },
+    /// `kind: "setup_completed"` — a two-phase setup's RESV reached the
+    /// source and every hold was committed into a reservation.
+    SetupCompleted {
+        /// The admitted request.
+        request: u64,
+        /// The installed session.
+        session: SessionId,
+        /// Wall-clock of the setup in simulated seconds, from the first
+        /// PATH send of the attempt to the RESV arriving at the source.
+        latency_secs: f64,
     },
 }
 
@@ -228,6 +279,11 @@ impl Event {
             Event::LinkSample { .. } => "link_sample",
             Event::FaultFired { .. } => "fault_fired",
             Event::FaultHealed { .. } => "fault_healed",
+            Event::MsgSent { .. } => "msg_sent",
+            Event::MsgLost { .. } => "msg_lost",
+            Event::HoldPlaced { .. } => "hold_placed",
+            Event::HoldExpired { .. } => "hold_expired",
+            Event::SetupCompleted { .. } => "setup_completed",
         }
     }
 }
@@ -255,6 +311,24 @@ mod tests {
         assert_eq!(
             TeardownReason::SoftStateExpired.label(),
             "soft_state_expired"
+        );
+        assert_eq!(
+            Event::MsgLost {
+                request: 1,
+                message: MessageKind::Resv,
+                link: LinkId::new(2)
+            }
+            .kind(),
+            "msg_lost"
+        );
+        assert_eq!(
+            Event::SetupCompleted {
+                request: 1,
+                session: SessionId::for_tests(0),
+                latency_secs: 0.5
+            }
+            .kind(),
+            "setup_completed"
         );
         assert_eq!(
             SkipReason::LinkBlocked {

@@ -8,7 +8,18 @@
 
 use crate::event::{Event, FaultKind, ProbeResult, SkipReason, TimedEvent};
 use crate::json::JsonValue;
+use anycast_rsvp::MessageKind;
 use std::fmt::Write as _;
+
+/// Stable lowercase label for a signaling message kind.
+fn msg_label(kind: MessageKind) -> &'static str {
+    match kind {
+        MessageKind::Path => "path",
+        MessageKind::Resv => "resv",
+        MessageKind::ResvErr => "resv_err",
+        MessageKind::PathTear => "path_tear",
+    }
+}
 
 fn skip_json(skip: &SkipReason) -> JsonValue {
     match skip {
@@ -161,6 +172,43 @@ pub fn event_json(seed: u64, timed: &TimedEvent) -> JsonValue {
         Event::FaultFired { entity } | Event::FaultHealed { entity } => {
             fields.push(("entity".into(), fault_json(entity)));
         }
+        Event::MsgSent {
+            request,
+            message,
+            link,
+        }
+        | Event::MsgLost {
+            request,
+            message,
+            link,
+        } => {
+            fields.push(("request".into(), JsonValue::Num(*request as f64)));
+            fields.push(("message".into(), JsonValue::Str(msg_label(*message).into())));
+            fields.push(("link".into(), JsonValue::Num(link.index() as f64)));
+        }
+        Event::HoldPlaced {
+            request,
+            link,
+            bw_bps,
+        }
+        | Event::HoldExpired {
+            request,
+            link,
+            bw_bps,
+        } => {
+            fields.push(("request".into(), JsonValue::Num(*request as f64)));
+            fields.push(("link".into(), JsonValue::Num(link.index() as f64)));
+            fields.push(("bw_bps".into(), JsonValue::Num(*bw_bps as f64)));
+        }
+        Event::SetupCompleted {
+            request,
+            session,
+            latency_secs,
+        } => {
+            fields.push(("request".into(), JsonValue::Num(*request as f64)));
+            fields.push(("session".into(), JsonValue::Num(session.raw() as f64)));
+            fields.push(("latency_secs".into(), JsonValue::Num(*latency_secs)));
+        }
     }
     JsonValue::Obj(fields)
 }
@@ -308,6 +356,52 @@ pub fn to_csv(seed: u64, events: &[TimedEvent]) -> String {
                 };
                 (None, None, None, link, None, fault_detail(entity))
             }
+            Event::MsgSent {
+                request,
+                message,
+                link,
+            }
+            | Event::MsgLost {
+                request,
+                message,
+                link,
+            } => (
+                Some(*request),
+                None,
+                None,
+                Some(link.index()),
+                None,
+                format!("message={}", msg_label(*message)),
+            ),
+            Event::HoldPlaced {
+                request,
+                link,
+                bw_bps,
+            }
+            | Event::HoldExpired {
+                request,
+                link,
+                bw_bps,
+            } => (
+                Some(*request),
+                None,
+                None,
+                Some(link.index()),
+                Some(*bw_bps as f64),
+                String::new(),
+            ),
+            Event::SetupCompleted {
+                request,
+                session,
+                latency_secs,
+            } => (
+                Some(*request),
+                Some(session.raw()),
+                None,
+                None,
+                Some(*latency_secs),
+                String::new(),
+            ),
         };
         let num = |v: Option<f64>| match v {
             Some(x) if x.fract() == 0.0 && x.abs() < 9.0e15 => format!("{}", x as i64),
@@ -425,6 +519,73 @@ mod tests {
         assert_eq!(lines[1], "0.5,5,arrival,0,,,,64000,source=3;group=0");
         assert_eq!(lines[2], "0.5,5,probe,0,,1,,0.75,skipped:link_blocked");
         assert_eq!(lines[4], "2,5,teardown,,4,,,,soft_state_expired");
+    }
+
+    #[test]
+    fn signaling_events_export_on_both_formats() {
+        let events = vec![
+            TimedEvent {
+                time_secs: 1.0,
+                event: Event::MsgSent {
+                    request: 7,
+                    message: MessageKind::Path,
+                    link: LinkId::new(3),
+                },
+            },
+            TimedEvent {
+                time_secs: 1.2,
+                event: Event::MsgLost {
+                    request: 7,
+                    message: MessageKind::Resv,
+                    link: LinkId::new(5),
+                },
+            },
+            TimedEvent {
+                time_secs: 1.0,
+                event: Event::HoldPlaced {
+                    request: 7,
+                    link: LinkId::new(3),
+                    bw_bps: 64_000,
+                },
+            },
+            TimedEvent {
+                time_secs: 2.0,
+                event: Event::HoldExpired {
+                    request: 7,
+                    link: LinkId::new(3),
+                    bw_bps: 64_000,
+                },
+            },
+            TimedEvent {
+                time_secs: 1.5,
+                event: Event::SetupCompleted {
+                    request: 8,
+                    session: SessionId::for_tests(2),
+                    latency_secs: 0.25,
+                },
+            },
+        ];
+        let jsonl = to_jsonl(9, &events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains(r#""kind":"msg_sent""#));
+        assert!(lines[0].contains(r#""message":"path""#));
+        assert!(lines[1].contains(r#""kind":"msg_lost""#));
+        assert!(lines[1].contains(r#""message":"resv""#));
+        assert!(lines[2].contains(r#""kind":"hold_placed""#));
+        assert!(lines[2].contains(r#""bw_bps":64000"#));
+        assert!(lines[3].contains(r#""kind":"hold_expired""#));
+        assert!(lines[4].contains(r#""kind":"setup_completed""#));
+        assert!(lines[4].contains(r#""latency_secs":0.25"#));
+        for line in &lines {
+            crate::json::parse(line).expect("every line must parse");
+        }
+        let csv = to_csv(9, &events);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows[1], "1,9,msg_sent,7,,,3,,message=path");
+        assert_eq!(rows[2], "1.2,9,msg_lost,7,,,5,,message=resv");
+        assert_eq!(rows[3], "1,9,hold_placed,7,,,3,64000,");
+        assert_eq!(rows[4], "2,9,hold_expired,7,,,3,64000,");
+        assert_eq!(rows[5], "1.5,9,setup_completed,8,2,,,0.25,");
     }
 
     #[test]

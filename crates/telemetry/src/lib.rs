@@ -12,6 +12,9 @@
 //!   predictable branch per hook.
 //! * [`RingRecorder`] — a bounded per-run buffer (no locks: one recorder
 //!   per `(config, seed)` cell) with wraparound and a dropped-event count.
+//! * [`StreamRecorder`] — streams each event as one JSON line through a
+//!   bounded channel to a writer thread, with backpressure instead of
+//!   drops; for runs whose event volume outgrows any ring.
 //! * [`RequestTracer`] — accumulates one request's weight vector and
 //!   skipped candidates, closing with a `ReservationSetup` or a
 //!   `Rejection` that carries the full [`DecisionTrace`].
@@ -41,6 +44,14 @@
 //! | `rejection` | `request`, `tries`, `trace` (see below) |
 //! | `link_sample` | `link`, `reserved_bps`, `capacity_bps`, `flows`, `failed`, `utilization` |
 //! | `fault_fired` / `fault_healed` | `entity` (`{type: link\|node, id}`) |
+//! | `msg_sent` / `msg_lost` | `request`, `message` (`path`\|`resv`\|`resv_err`\|`path_tear`), `link` |
+//! | `hold_placed` / `hold_expired` | `request`, `link`, `bw_bps` |
+//! | `setup_completed` | `request`, `session`, `latency_secs` |
+//!
+//! The `msg_*`, `hold_*` and `setup_completed` kinds are emitted only by
+//! the two-phase signalling engine (`--signaling-delay` et al.); the
+//! atomic engine performs its exchange in one instant and has no
+//! per-message moments to report.
 //!
 //! A `rejection.trace` is `{weights: [f64; group_size], steps: [{member,
 //! weight, skip}]}` — `weights` is the policy's weight vector when the
@@ -62,6 +73,7 @@ pub mod export;
 pub mod json;
 pub mod recorder;
 pub mod registry;
+pub mod stream;
 pub mod tracer;
 
 pub use event::{
@@ -70,4 +82,5 @@ pub use event::{
 };
 pub use recorder::{NullRecorder, Recorder, RingRecorder, TelemetryMode, DEFAULT_RING_CAPACITY};
 pub use registry::{registry_from_events, MetricKey, MetricsRegistry};
+pub use stream::{StreamRecorder, DEFAULT_STREAM_CAPACITY};
 pub use tracer::RequestTracer;

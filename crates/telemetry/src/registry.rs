@@ -248,6 +248,25 @@ pub fn registry_from_events(policy: &str, events: &[crate::event::TimedEvent]) -
             Event::Retrial { .. } => {
                 reg.inc(key("retrials_total", &[]), 1.0);
             }
+            Event::MsgLost { message, .. } => {
+                reg.inc(
+                    key("messages_lost_total", &[("message", message.to_string())]),
+                    1.0,
+                );
+            }
+            Event::HoldExpired { .. } => {
+                reg.inc(key("holds_expired_total", &[]), 1.0);
+            }
+            Event::SetupCompleted { latency_secs, .. } => {
+                // Millisecond buckets keep sub-second latencies dense.
+                reg.observe(
+                    key("setup_latency_ms", &[]),
+                    (latency_secs * 1000.0).round().clamp(0.0, u32::MAX as f64) as u32,
+                );
+            }
+            // Per-crossing sends and placements are already visible in
+            // events_total by kind; no dedicated counter needed.
+            Event::MsgSent { .. } | Event::HoldPlaced { .. } => {}
         }
     }
     reg

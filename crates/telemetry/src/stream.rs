@@ -1,0 +1,241 @@
+//! Streaming JSONL export: a bounded channel into a writer thread.
+//!
+//! The [`RingRecorder`](crate::RingRecorder) holds a run's events in
+//! memory and exports them at the end — fine for paper-scale runs, but a
+//! long soak with message-level telemetry (five extra event kinds per
+//! setup) outgrows any ring. A [`StreamRecorder`] instead renders each
+//! event to one JSON line on a dedicated writer thread, fed through a
+//! *bounded* channel: when the writer falls behind, [`record`] blocks
+//! (backpressure) rather than dropping events or growing without bound.
+//!
+//! Determinism is unaffected: the simulation thread hands events over in
+//! recording order and the writer preserves it, so the streamed file is
+//! byte-identical to `to_jsonl` over the same run's full event sequence.
+//!
+//! [`record`]: Recorder::record
+
+use crate::event::{Event, TimedEvent};
+use crate::export::event_json;
+use crate::recorder::Recorder;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// Default channel capacity (events in flight between simulation and
+/// writer) — large enough to ride out short I/O stalls, small enough to
+/// bound memory at a few MB.
+pub const DEFAULT_STREAM_CAPACITY: usize = 8192;
+
+/// A [`Recorder`] that streams events to a JSONL file as they happen.
+#[derive(Debug)]
+pub struct StreamRecorder {
+    seed: u64,
+    tx: Option<SyncSender<TimedEvent>>,
+    writer: Option<JoinHandle<io::Result<u64>>>,
+    sample_every_secs: Option<f64>,
+    recorded: u64,
+}
+
+impl StreamRecorder {
+    /// Creates the output file at `path` and spawns the writer thread,
+    /// with a channel holding at most `capacity` in-flight events.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn create(path: &Path, seed: u64, capacity: usize) -> io::Result<Self> {
+        assert!(capacity > 0, "stream recorder needs a positive capacity");
+        let file = File::create(path)?;
+        let (tx, rx) = sync_channel::<TimedEvent>(capacity);
+        let writer = std::thread::spawn(move || -> io::Result<u64> {
+            let mut out = BufWriter::new(file);
+            let mut written = 0u64;
+            while let Ok(timed) = rx.recv() {
+                out.write_all(event_json(seed, &timed).render().as_bytes())?;
+                out.write_all(b"\n")?;
+                written += 1;
+            }
+            out.flush()?;
+            Ok(written)
+        });
+        Ok(StreamRecorder {
+            seed,
+            tx: Some(tx),
+            writer: Some(writer),
+            sample_every_secs: None,
+            recorded: 0,
+        })
+    }
+
+    /// Creates a stream with the default channel capacity.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create_default(path: &Path, seed: u64) -> io::Result<Self> {
+        Self::create(path, seed, DEFAULT_STREAM_CAPACITY)
+    }
+
+    /// Enables the periodic link-state sampler at `secs` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not positive and finite.
+    pub fn with_sample_interval(mut self, secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "sample interval must be positive and finite, got {secs}"
+        );
+        self.sample_every_secs = Some(secs);
+        self
+    }
+
+    /// The substream seed stamped on every exported line.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Events handed to the writer so far.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Closes the channel, joins the writer and returns the number of
+    /// lines written (equal to [`recorded`](Self::recorded) unless the
+    /// writer hit an I/O error mid-run).
+    ///
+    /// # Errors
+    ///
+    /// The writer thread's first I/O error, if any.
+    pub fn finish(mut self) -> io::Result<u64> {
+        drop(self.tx.take());
+        match self.writer.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("stream writer thread panicked"))),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Recorder for StreamRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, time_secs: f64, event: Event) {
+        self.recorded += 1;
+        if let Some(tx) = &self.tx {
+            // Blocks when the channel is full — backpressure, not loss. A
+            // send error means the writer died on an I/O error; keep
+            // simulating and surface the error at finish().
+            if tx.send(TimedEvent { time_secs, event }).is_err() {
+                self.tx = None;
+            }
+        }
+    }
+
+    fn link_sample_interval(&self) -> Option<f64> {
+        self.sample_every_secs
+    }
+}
+
+impl Drop for StreamRecorder {
+    /// Best-effort flush when the recorder is dropped without
+    /// [`finish`](Self::finish): closes the channel and joins the writer,
+    /// discarding its result.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_jsonl;
+    use anycast_net::LinkId;
+
+    fn sample(i: u64) -> Event {
+        Event::LinkSample {
+            link: LinkId::new(i as u32),
+            reserved_bps: i,
+            capacity_bps: 100,
+            flows: 0,
+            failed: false,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anycast-telemetry-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn streams_byte_identical_to_batch_export() {
+        let path = temp_path("stream.jsonl");
+        let events: Vec<TimedEvent> = (0..100)
+            .map(|i| TimedEvent {
+                time_secs: i as f64,
+                event: sample(i),
+            })
+            .collect();
+        let mut rec = StreamRecorder::create(&path, 42, 8).unwrap();
+        assert!(rec.enabled());
+        for ev in &events {
+            rec.record(ev.time_secs, ev.event.clone());
+        }
+        assert_eq!(rec.recorded(), 100);
+        assert_eq!(rec.finish().unwrap(), 100);
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, to_jsonl(42, &events));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_channel_applies_backpressure_without_loss() {
+        let path = temp_path("backpressure.jsonl");
+        let mut rec = StreamRecorder::create(&path, 7, 1).unwrap();
+        for i in 0..500 {
+            rec.record(i as f64, sample(i));
+        }
+        assert_eq!(rec.finish().unwrap(), 500);
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed.lines().count(), 500);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_without_finish_still_flushes() {
+        let path = temp_path("dropped.jsonl");
+        {
+            let mut rec = StreamRecorder::create(&path, 1, 4).unwrap();
+            rec.record(0.0, sample(0));
+        }
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed.lines().count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sample_interval_builder() {
+        let path = temp_path("interval.jsonl");
+        let rec = StreamRecorder::create(&path, 1, 4)
+            .unwrap()
+            .with_sample_interval(30.0);
+        assert_eq!(rec.link_sample_interval(), Some(30.0));
+        assert_eq!(rec.seed(), 1);
+        drop(rec);
+        std::fs::remove_file(&path).ok();
+    }
+}
