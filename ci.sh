@@ -27,6 +27,25 @@ cargo run --release --offline -p anycast-bench --bin bench_pr3 -- --smoke --jobs
 echo "==> two-phase smoke (bench_pr4: degenerate two-phase must match atomic)"
 cargo run --release --offline -p anycast-bench --bin bench_pr4 -- --smoke --jobs 2 --out /tmp/BENCH_pr4_ci.json
 
+echo "==> batched admission smoke (bench_pr5: batched must match sequential)"
+cargo run --release --offline -p anycast-bench --bin bench_pr5 -- --smoke --jobs 2 --out /tmp/BENCH_pr5_ci.json
+
+echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
+! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
+    /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json
+
+echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 45 --system gdi --warmup 20 --measure 80 \
+    > /tmp/seq_metrics.txt
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 45 --system gdi --warmup 20 --measure 80 --batch \
+    > /tmp/batch_metrics.txt
+diff /tmp/seq_metrics.txt /tmp/batch_metrics.txt
+echo "==> NaN gate (no printed metric may be NaN or infinite)"
+! grep -qiE 'nan|inf' /tmp/seq_metrics.txt
+rm -f /tmp/seq_metrics.txt /tmp/batch_metrics.txt
+
 echo "==> two-phase leak smoke (lossy signalling must leak zero held bandwidth)"
 # 5% loss on every signalling message kind plus real per-hop latency:
 # timeouts, hold expiry and retransmission all fire, and the run must

@@ -1,0 +1,232 @@
+//! PR 5 performance snapshot: batched same-quantum admission vs the
+//! one-at-a-time path, written to `BENCH_pr5.json`.
+//!
+//! Two systems, each as a sequential/batched workload pair over the same
+//! Figure-6-style λ grid:
+//!
+//! * **wddh** — `<WD/D+H,2>`, the paper's default multi-destination
+//!   policy; batching routes its weight computation through the flat
+//!   scratch-buffer path.
+//! * **gdi** — the global-knowledge baseline, whose exhaustive residual
+//!   search is the hot spot batching memoises within a quantum.
+//!
+//! Every batched workload is asserted **bit-identical** to its sequential
+//! twin (the tentpole equivalence), and every workload runs serial and
+//! parallel and asserts those bit-identical too. `--smoke` shrinks the
+//! grid for CI; `--quick`/`--full` follow the usual run-length profiles.
+//! The JSON schema extends `BENCH_pr2.json`'s with per-workload `mean_ap`.
+
+use anycast_bench::json::JsonValue;
+use anycast_bench::{default_jobs, run_grid, ReplicatedMetrics};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Topology};
+use std::time::Instant;
+
+/// Run lengths and grid sizes for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    seeds: Vec<u64>,
+    lambdas: Vec<f64>,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            seeds: vec![101, 202],
+            lambdas: vec![10.0, 30.0, 50.0],
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            seeds: vec![101],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            seeds: vec![101, 202, 303],
+            lambdas: vec![5.0, 20.0, 35.0, 50.0],
+        }
+    }
+
+    fn grid(&self, system: &SystemSpec, batch: bool) -> Vec<ExperimentConfig> {
+        self.lambdas
+            .iter()
+            .map(|&lambda| {
+                ExperimentConfig::paper_defaults(lambda, *system)
+                    .with_warmup_secs(self.warmup_secs)
+                    .with_measure_secs(self.measure_secs)
+                    .with_batching(batch)
+            })
+            .collect()
+    }
+}
+
+fn offered_requests(results: &[ReplicatedMetrics]) -> u64 {
+    results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.offered)
+        .sum()
+}
+
+fn mean_ap(results: &[ReplicatedMetrics]) -> f64 {
+    let runs: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .map(|m| m.admission_probability)
+        .collect();
+    runs.iter().sum::<f64>() / runs.len() as f64
+}
+
+fn timed_grid(
+    topo: &Topology,
+    configs: &[ExperimentConfig],
+    seeds: &[u64],
+    jobs: usize,
+) -> (Vec<ReplicatedMetrics>, f64) {
+    let start = Instant::now();
+    let results = run_grid(topo, configs, seeds, jobs);
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr5: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr5: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr5: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr5 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times batched same-quantum admission against the sequential path,");
+                println!("  asserts batched == sequential bit-for-bit, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr5: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr5: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+    let systems = [
+        ("wddh", SystemSpec::dac(PolicySpec::wd_dh_default(), 2)),
+        ("gdi", SystemSpec::GlobalDynamic),
+    ];
+    let mut entries = Vec::new();
+    for (system_name, system) in systems {
+        let mut sequential_runs: Option<Vec<ReplicatedMetrics>> = None;
+        for batch in [false, true] {
+            let name = format!(
+                "{system_name}_{}",
+                if batch { "batched" } else { "sequential" }
+            );
+            let configs = profile.grid(&system, batch);
+            let (serial, serial_secs) = timed_grid(&topo, &configs, &profile.seeds, 1);
+            let (parallel, parallel_secs) = timed_grid(&topo, &configs, &profile.seeds, jobs);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.runs, b.runs, "{name}: parallel run diverged from serial");
+            }
+            // The tentpole gate: the batched grid replays the sequential
+            // grid bit-for-bit, every cell, every replication.
+            match (&sequential_runs, batch) {
+                (None, false) => sequential_runs = Some(serial.clone()),
+                (Some(base), true) => {
+                    for (a, b) in base.iter().zip(&serial) {
+                        assert_eq!(
+                            a.runs, b.runs,
+                            "{system_name}: batched admission diverged from sequential"
+                        );
+                    }
+                }
+                _ => unreachable!("sequential always runs first"),
+            }
+            let offered = offered_requests(&serial);
+            let ap = mean_ap(&serial);
+            let speedup = serial_secs / parallel_secs;
+            println!(
+                "  {:<17} cells={:<3} reqs={:<8} AP={:.4} serial={:.2}s parallel={:.2}s speedup={:.2}x",
+                name,
+                configs.len(),
+                offered,
+                ap,
+                serial_secs,
+                parallel_secs,
+                speedup
+            );
+            entries.push(JsonValue::obj([
+                ("name", JsonValue::Str(name)),
+                ("grid_cells", JsonValue::Num(configs.len() as f64)),
+                ("replications", JsonValue::Num(profile.seeds.len() as f64)),
+                ("offered_requests", JsonValue::Num(offered as f64)),
+                ("mean_ap", JsonValue::Num(ap)),
+                ("serial_secs", JsonValue::Num(serial_secs)),
+                ("parallel_secs", JsonValue::Num(parallel_secs)),
+                ("speedup", JsonValue::Num(speedup)),
+                (
+                    "serial_requests_per_sec",
+                    JsonValue::Num(offered as f64 / serial_secs),
+                ),
+                (
+                    "parallel_requests_per_sec",
+                    JsonValue::Num(offered as f64 / parallel_secs),
+                ),
+            ]));
+        }
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr5_batched_admission".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr5: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Sweep-layer guarantee for batched same-quantum admission: a batched
+//! grid is **bit-for-bit identical** to its sequential twin for every
+//! `--jobs` value — metrics, replications, and the full telemetry event
+//! stream of every cell.
+
+use anycast_bench::figures::comparison_systems;
+use anycast_bench::{run_grid, run_grid_traced};
+use anycast_chaos::FaultPlan;
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_net::topologies;
+use anycast_sim::SimRng;
+use anycast_telemetry::TelemetryMode;
+
+fn short(lambda: f64, system: SystemSpec, batch: bool) -> ExperimentConfig {
+    ExperimentConfig::paper_defaults(lambda, system)
+        .with_warmup_secs(30.0)
+        .with_measure_secs(90.0)
+        .with_batching(batch)
+}
+
+/// All five systems of Figures 6/7 at saturating load: the batched grid
+/// reproduces the sequential grid exactly, for jobs ∈ {1, 2, 4}.
+#[test]
+fn batched_grid_matches_sequential_for_every_jobs() {
+    let topo = topologies::mci();
+    let sequential: Vec<ExperimentConfig> = comparison_systems()
+        .into_iter()
+        .map(|system| short(40.0, system, false))
+        .collect();
+    let batched: Vec<ExperimentConfig> = comparison_systems()
+        .into_iter()
+        .map(|system| short(40.0, system, true))
+        .collect();
+    let seeds = [SimRng::substream_seed(5, 0), SimRng::substream_seed(5, 1)];
+    let baseline = run_grid(&topo, &sequential, &seeds, 1);
+    for jobs in [1, 2, 4] {
+        let under_test = run_grid(&topo, &batched, &seeds, jobs);
+        assert_eq!(baseline.len(), under_test.len());
+        for (a, b) in baseline.iter().zip(&under_test) {
+            assert_eq!(
+                a.runs, b.runs,
+                "{}: batched jobs={jobs} diverged from sequential jobs=1",
+                a.label
+            );
+        }
+    }
+}
+
+/// Batching commutes with chaos at the sweep layer too.
+#[test]
+fn batched_grid_matches_sequential_under_faults() {
+    let topo = topologies::mci();
+    let plan = FaultPlan::none()
+        .with_link_model(300.0, 60.0)
+        .with_teardown_loss(0.1)
+        .with_teardown_delay(2.0);
+    let systems = comparison_systems();
+    let sequential: Vec<ExperimentConfig> = systems
+        .iter()
+        .map(|s| short(25.0, *s, false).with_faults(plan.clone()))
+        .collect();
+    let batched: Vec<ExperimentConfig> = systems
+        .iter()
+        .map(|s| short(25.0, *s, true).with_faults(plan.clone()))
+        .collect();
+    let seeds = [SimRng::substream_seed(7, 0)];
+    let a = run_grid(&topo, &sequential, &seeds, 2);
+    let b = run_grid(&topo, &batched, &seeds, 2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.runs, y.runs, "{}: batched chaos grid diverged", x.label);
+    }
+}
+
+/// Stream-level equality through the traced sweep: every cell's telemetry
+/// events — timestamps included — are identical, so the batched path is
+/// indistinguishable to any downstream consumer of the event stream.
+#[test]
+fn batched_traced_grid_streams_are_identical() {
+    let topo = topologies::mci();
+    let systems = [
+        SystemSpec::GlobalDynamic,
+        comparison_systems()[1], // <WD/D+H,2>
+    ];
+    let sequential: Vec<ExperimentConfig> =
+        systems.iter().map(|s| short(40.0, *s, false)).collect();
+    let batched: Vec<ExperimentConfig> = systems.iter().map(|s| short(40.0, *s, true)).collect();
+    let seeds = [SimRng::substream_seed(3, 0)];
+    let (seq_metrics, seq_cells) =
+        run_grid_traced(&topo, &sequential, &seeds, 2, TelemetryMode::ring());
+    let (bat_metrics, bat_cells) =
+        run_grid_traced(&topo, &batched, &seeds, 2, TelemetryMode::ring());
+    for (a, b) in seq_metrics.iter().zip(&bat_metrics) {
+        assert_eq!(a.runs, b.runs, "{}: traced batched grid diverged", a.label);
+    }
+    assert_eq!(seq_cells.len(), bat_cells.len());
+    for (a, b) in seq_cells.iter().zip(&bat_cells) {
+        assert_eq!(a.config_index, b.config_index);
+        assert_eq!(a.seed, b.seed);
+        assert!(!a.events.is_empty(), "traced cells must capture events");
+        assert_eq!(
+            a.events, b.events,
+            "cell {} seed {}: batched telemetry stream diverged",
+            a.config_index, a.seed
+        );
+    }
+}

@@ -49,6 +49,10 @@ pub fn print_help(command: &str) {
              \x20                                anycast-chaos::spec for the grammar)\n\
              \x20 --telemetry                    attach the ring recorder and print an\n\
              \x20                                event summary (results are unchanged)\n\
+             \x20 --batch                        batched same-quantum admission: drain\n\
+             \x20                                arrivals sharing the event-queue quantum\n\
+             \x20                                and evaluate them against one link-state\n\
+             \x20                                snapshot (results are bit-identical)\n\
              \x20 --signaling-delay SECS         per-hop signalling latency; switches the\n\
              \x20                                DAC engine to two-phase PATH/RESV setup\n\
              \x20                                with pending holds (0 = atomic-identical)\n\
@@ -186,6 +190,9 @@ fn common_config(
         if config.sources.is_empty() {
             return Err("every node is a group member; no sources remain".to_string());
         }
+    }
+    if args.switch("batch") {
+        config = config.with_batching(true);
     }
     if let Some(b) = args.get_str("burstiness") {
         let burstiness: f64 = b
@@ -410,7 +417,7 @@ fn print_telemetry_summary(cells: &[TracedCell]) {
 
 /// `anycast simulate`.
 pub fn simulate(raw: Vec<String>) -> Result<(), String> {
-    let mut args = Args::parse(raw, &["telemetry"])?;
+    let mut args = Args::parse(raw, &["telemetry", "batch"])?;
     let telemetry = args.switch("telemetry");
     let lambda: f64 = args.require("lambda")?;
     let (topo, config) = common_config(&mut args, lambda, "wddh")?;
@@ -447,7 +454,7 @@ pub fn simulate(raw: Vec<String>) -> Result<(), String> {
 
 /// `anycast sweep`.
 pub fn sweep(raw: Vec<String>) -> Result<(), String> {
-    let mut args = Args::parse(raw, &["no-header", "telemetry"])?;
+    let mut args = Args::parse(raw, &["no-header", "telemetry", "batch"])?;
     let no_header = args.switch("no-header");
     let telemetry = args.switch("telemetry");
     let lambdas = parse_range(
@@ -523,7 +530,7 @@ pub fn trace(raw: Vec<String>) -> Result<(), String> {
             ))
         }
     };
-    let mut args = Args::parse(raw, &["check"])?;
+    let mut args = Args::parse(raw, &["check", "batch"])?;
     let check = args.switch("check");
     let lambda: f64 = args.get_or("lambda", preset_lambda)?;
     let (topo, config) = common_config(&mut args, lambda, preset_system)?;
@@ -1105,6 +1112,48 @@ mod tests {
         assert_eq!(p.jitter_frac, 0.0);
         assert!(parse_backoff("1:2").is_err());
         assert!(parse_backoff("1:0.1:2:2:1.5").is_err());
+    }
+
+    #[test]
+    fn parse_backoff_rejects_non_finite_fields() {
+        // `inf`/`nan` parse as valid f64s, so the finiteness guard (not
+        // the parser) must reject them — in every numeric position.
+        for raw in [
+            "3:inf:2:2",
+            "3:nan:2:2",
+            "3:0.1:inf:2",
+            "3:0.1:2:inf",
+            "3:0.1:2:2:nan",
+        ] {
+            let err = parse_backoff(raw).unwrap_err();
+            assert!(
+                err.contains("must be non-negative"),
+                "`{raw}` must hit the finiteness guard, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_switch_enables_batched_admission() {
+        let mut args = Args::parse(strs(&["--batch"]), &["batch"]).unwrap();
+        let (_, config) = common_config(&mut args, 20.0, "wddh").unwrap();
+        assert!(config.batch, "--batch must toggle batched admission");
+        let mut args = Args::parse(strs(&[]), &["batch"]).unwrap();
+        let (_, config) = common_config(&mut args, 20.0, "wddh").unwrap();
+        assert!(!config.batch, "batching defaults to off");
+        // End-to-end through the real command parser.
+        simulate(strs(&[
+            "--lambda",
+            "3",
+            "--system",
+            "gdi",
+            "--warmup",
+            "20",
+            "--measure",
+            "40",
+            "--batch",
+        ]))
+        .unwrap();
     }
 
     #[test]

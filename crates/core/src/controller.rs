@@ -55,6 +55,15 @@ pub struct AdmissionController {
     retrial: RetrialPolicy,
     history: HistoryTable,
     distances: Vec<u32>,
+    /// Flat member-indexed cache of route bottleneck bandwidths `B_i` in
+    /// bits/s — the `route_bandwidth_bps` slice handed to the policy.
+    /// Empty unless the policy needs bandwidth information.
+    bw_cache: Vec<f64>,
+    /// `links.version()` at which `bw_cache[i]` was last recomputed.
+    bw_epoch: Vec<u64>,
+    /// `links.version()` at which the whole cache was last validated;
+    /// `None` before the first computation.
+    bw_version: Option<u64>,
 }
 
 impl AdmissionController {
@@ -79,6 +88,9 @@ impl AdmissionController {
             retrial,
             history,
             distances,
+            bw_cache: Vec::new(),
+            bw_epoch: Vec::new(),
+            bw_version: None,
         }
     }
 
@@ -108,11 +120,11 @@ impl AdmissionController {
     /// selection/retrial loop asynchronously (one weight computation per
     /// attempt, exactly as [`admit_traced`](Self::admit_traced) does).
     pub fn selection_weights(&mut self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
-        let bw_info = self.route_bandwidth_info(routes, links);
+        self.refresh_route_bandwidth(routes, links);
         let ctx = SelectionContext {
             distances: &self.distances,
             history: self.history.entries(),
-            route_bandwidth_bps: &bw_info,
+            route_bandwidth_bps: &self.bw_cache,
         };
         let weights = self.policy.assign(&ctx);
         debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
@@ -339,23 +351,48 @@ impl AdmissionController {
         self.history.reset();
     }
 
-    fn route_bandwidth_info(&self, routes: &[Path], links: &LinkStateTable) -> Vec<f64> {
+    /// Brings `bw_cache` up to date with the ledger, recomputing only the
+    /// members whose routes were actually touched since their last
+    /// computation (per-link stamps from [`LinkStateTable::stamp`]).
+    ///
+    /// The cache is exact, not approximate: a member's bottleneck can only
+    /// change when some link on its route changes, and any such change
+    /// advances that link's stamp past the epoch recorded here. The one
+    /// contract is that a controller observes a *single* ledger whose
+    /// version counter is monotone over its lifetime — the §4.2 model of
+    /// one AC-router against one link-state table, which is how every
+    /// experiment drives it. Within a request's retrial loop (and across a
+    /// same-quantum arrival batch) the whole-vector version check makes
+    /// repeat evaluations O(1).
+    fn refresh_route_bandwidth(&mut self, routes: &[Path], links: &LinkStateTable) {
         if !self.policy.needs_route_bandwidth() {
-            return Vec::new();
+            return; // bw_cache stays empty, as the policy contract expects
         }
-        routes
-            .iter()
-            .map(|r| {
-                let bw = links.min_available_on(r).bps();
-                // Trivial routes report u64::MAX; clamp to keep weights
-                // finite but overwhelmingly in favour of the local member.
-                if bw == u64::MAX {
-                    1e18
-                } else {
-                    bw as f64
+        let version = links.version();
+        if self.bw_version == Some(version) {
+            return;
+        }
+        let recompute = |cache: &mut f64, epoch: &mut u64, r: &Path| {
+            let bw = links.min_available_on(r).bps();
+            // Trivial routes report u64::MAX; clamp to keep weights
+            // finite but overwhelmingly in favour of the local member.
+            *cache = if bw == u64::MAX { 1e18 } else { bw as f64 };
+            *epoch = version;
+        };
+        if self.bw_version.is_none() {
+            self.bw_cache.resize(routes.len(), 0.0);
+            self.bw_epoch.resize(routes.len(), 0);
+            for (i, r) in routes.iter().enumerate() {
+                recompute(&mut self.bw_cache[i], &mut self.bw_epoch[i], r);
+            }
+        } else {
+            for (i, r) in routes.iter().enumerate() {
+                if links.max_stamp_on(r) > self.bw_epoch[i] {
+                    recompute(&mut self.bw_cache[i], &mut self.bw_epoch[i], r);
                 }
-            })
-            .collect()
+            }
+        }
+        self.bw_version = Some(version);
     }
 }
 
@@ -641,6 +678,42 @@ mod tests {
         assert!(links_a.iter().zip(links_e.iter()).all(|(x, y)| x == y));
         assert_eq!(links_e.total_pending(), Bandwidth::ZERO);
         assert!(setups.in_flight() == 0, "express leaves no live setups");
+    }
+
+    #[test]
+    fn route_bandwidth_cache_matches_fresh_recompute() {
+        // Churn the ledger with reservations, holds and faults; after every
+        // mutation the cached controller must see exactly the weights a
+        // cache-less (fresh) controller computes from scratch.
+        let (topo, routes, dists) = fixture();
+        let mut links = LinkStateTable::from_topology(&topo);
+        let mut cached = controller(Box::new(WdDb), 2, dists.clone());
+        let check = |cached: &mut AdmissionController, links: &LinkStateTable| {
+            let mut fresh = controller(Box::new(WdDb), 2, dists.clone());
+            assert_eq!(
+                cached.current_weights(&routes, links),
+                fresh.current_weights(&routes, links)
+            );
+        };
+        check(&mut cached, &links);
+        // Repeat without any mutation: the O(1) whole-vector hit.
+        check(&mut cached, &links);
+        let l0 = routes[0].links()[0];
+        let l1 = routes[1].links()[1];
+        links.reserve(l0, Bandwidth::from_kbps(32)).unwrap();
+        check(&mut cached, &links);
+        links.place_hold(l1, Bandwidth::from_kbps(16)).unwrap();
+        check(&mut cached, &links);
+        links.commit_hold(l1, Bandwidth::from_kbps(16)).unwrap();
+        check(&mut cached, &links);
+        links.fail_link(l0).unwrap();
+        check(&mut cached, &links);
+        links.restore_link(l0).unwrap();
+        check(&mut cached, &links);
+        links.release(l1, Bandwidth::from_kbps(16)).unwrap();
+        check(&mut cached, &links);
+        links.reset();
+        check(&mut cached, &links);
     }
 
     #[test]

@@ -249,6 +249,16 @@ pub struct ExperimentConfig {
     /// exchange is atomic, which [`SignalingMode::Atomic`] reproduces
     /// exactly).
     pub signaling: SignalingMode,
+    /// Batched same-quantum admission: drain every arrival that fires
+    /// before the next non-arrival event into one batch and commit the
+    /// members sequentially at their own timestamps. Bit-identical to
+    /// one-at-a-time admission for every seed (the equivalence tests are
+    /// the proof); it exists purely so candidate evaluation can run over
+    /// flat contiguous arrays. Ignored (admission stays one-at-a-time)
+    /// under event-driven two-phase signalling, whose exchanges interleave
+    /// with arrivals by design.
+    #[serde(default)]
+    pub batch: bool,
 }
 
 impl ExperimentConfig {
@@ -274,6 +284,7 @@ impl ExperimentConfig {
             arrivals: ArrivalProcess::Poisson,
             faults: FaultPlan::none(),
             signaling: SignalingMode::Atomic,
+            batch: false,
         }
     }
 
@@ -334,6 +345,13 @@ impl ExperimentConfig {
     /// Replaces the signalling mode (extension beyond the paper).
     pub fn with_signaling(mut self, signaling: SignalingMode) -> Self {
         self.signaling = signaling;
+        self
+    }
+
+    /// Toggles batched same-quantum admission (extension beyond the
+    /// paper; metrics are bit-identical either way).
+    pub fn with_batching(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -475,6 +493,11 @@ enum Event {
         group_index: usize,
         holding_secs: f64,
         demand: Bandwidth,
+        /// Whether this arrival carries the workload chain: a chained
+        /// arrival draws and schedules its successor(s); an unchained one
+        /// was pre-drawn by a flushed batch and admits as a singleton.
+        /// Always `true` when batching is off.
+        chain: bool,
     },
     Departure(SessionId),
     /// A delayed PATH_TEAR finally landing (control-plane delay model).
@@ -533,6 +556,18 @@ enum Event {
     /// Wake-up for the soft-state timer wheel: reclaim reservations whose
     /// refresh deadline passed, at the exact deadline.
     SoftTick,
+}
+
+/// One pre-drawn arrival waiting in the same-quantum batch: everything the
+/// commit loop needs to admit it at its own timestamp. Kept flat and
+/// `Copy` so the batch lives in one contiguous scratch buffer.
+#[derive(Clone, Copy)]
+struct ArrivalSlot {
+    at: SimTime,
+    source_index: usize,
+    group_index: usize,
+    holding_secs: f64,
+    demand: Bandwidth,
 }
 
 /// Arrival-stream dispatch without a trait object (both variants are
@@ -919,30 +954,50 @@ pub fn run_experiment_traced(
             group_index: first_group,
             holding_secs: first.holding.as_secs(),
             demand: first_demand,
+            chain: true,
         },
     );
+
+    // --- Batched same-quantum admission -------------------------------
+    // Under event-driven two-phase signalling an admission spans many
+    // events, so arrivals cannot be pre-drained past it; batching silently
+    // degrades to the sequential path there. The express (degenerate)
+    // two-phase mode is synchronous and batches fine.
+    let async_mode = matches!(config.system, SystemSpec::Dac { .. })
+        && two_phase.as_ref().is_some_and(|tp| !tp.express);
+    let batching = config.batch && !async_mode;
+    // The GDI residual-search memo is only exact when every link mutation
+    // within a batch comes through the memo's own system; with several
+    // groups sharing links, each group's system is blind to the others'
+    // reservations, so the memo is reset per member (making the batched
+    // evaluator a plain sequential search there).
+    let gdi_shared_links = group_specs.len() > 1;
+    let mut arrival_batch: Vec<ArrivalSlot> = Vec::new();
 
     engine.run_until(horizon, |eng, now, event| {
         // Local macros instead of closures: the bookkeeping below needs
         // simultaneous mutable access to many captured bindings (stats,
         // telemetry, the two-phase tables, the engine itself), which no
         // single helper closure could borrow at once.
+        // `$at` is the simulated instant the update happens at: `now` for
+        // ordinary events, a batch member's own timestamp during a batched
+        // commit loop.
         macro_rules! tw_note {
-            () => {{
+            ($at:expr) => {{
                 if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
+                    tw.update($at, rsvp.active_sessions() as f64);
                 }
                 if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
+                    tw.update($at, links.total_reserved().bps() as f64);
                 }
             }};
         }
         // Register a session with the soft-state tracker and arm its
         // exact-deadline expiry timer.
         macro_rules! soft_track {
-            ($session:expr) => {{
+            ($session:expr, $at:expr) => {{
                 let s = $session;
-                tracker.register(s, now.as_secs());
+                tracker.register(s, $at.as_secs());
                 let deadline = tracker.deadline(s).expect("session was just registered");
                 soft_wheel.arm(s, deadline);
                 if let Some(tick) = soft_wheel.tick_needed() {
@@ -1019,13 +1074,13 @@ pub fn run_experiment_traced(
                     member_counts[p.group_index][p.pick] += 1;
                 }
                 live_flows.insert(session);
-                soft_track!(session);
+                soft_track!(session, now);
                 eng.schedule_in(
                     now,
                     anycast_sim::Duration::from_secs(p.holding_secs),
                     Event::Departure(session),
                 );
-                tw_note!();
+                tw_note!(now);
             }};
         }
         // Launch (or relaunch) the setup toward the pending admission's
@@ -1166,13 +1221,18 @@ pub fn run_experiment_traced(
                 }
             }};
         }
-        match event {
-            Event::Arrival {
-                source_index,
-                group_index,
-                holding_secs,
-                demand,
-            } => {
+        // The complete admission of one arrival, committed at `$at`: `now`
+        // on the sequential path, the member's own timestamp inside a
+        // batched commit loop (stats, telemetry, the departure timer and
+        // the time-weighted accumulators all see the member's true arrival
+        // instant, which is what makes batching bit-identical).
+        macro_rules! process_arrival {
+            ($at:expr, $source_index:expr, $group_index:expr, $holding_secs:expr, $demand:expr) => {{
+                let at = $at;
+                let source_index = $source_index;
+                let group_index = $group_index;
+                let holding_secs = $holding_secs;
+                let demand = $demand;
                 let source = config.sources[source_index];
                 let group = &groups[group_index];
                 let routes = &route_tables[group_index];
@@ -1180,7 +1240,7 @@ pub fn run_experiment_traced(
                 next_request_id += 1;
                 if rec_on {
                     recorder.record(
-                        now.as_secs(),
+                        at.as_secs(),
                         TelemetryEvent::RequestArrival {
                             request: request_id,
                             source,
@@ -1197,7 +1257,7 @@ pub fn run_experiment_traced(
                     // Event-driven two-phase signalling: pick a destination
                     // now (same RNG draw order as the atomic controller) and
                     // launch the PATH; admission resolves when the exchange
-                    // does.
+                    // does. Batching is always off here, so `at == now`.
                     let controllers = match &mut systems[group_index] {
                         SystemState::Dac(controllers) => controllers,
                         _ => unreachable!("checked above"),
@@ -1232,7 +1292,7 @@ pub fn run_experiment_traced(
                     );
                     start_attempt!(request_id);
                 } else {
-                    let mut tracer = RequestTracer::new(&mut *recorder, now.as_secs(), request_id);
+                    let mut tracer = RequestTracer::new(&mut *recorder, at.as_secs(), request_id);
                     let outcome: AdmissionOutcome = match &mut systems[group_index] {
                         SystemState::Dac(controllers) => match two_phase.as_mut() {
                             // Degenerate two-phase (zero delay, inert faults):
@@ -1243,7 +1303,7 @@ pub fn run_experiment_traced(
                                 &mut rsvp,
                                 &mut tp.table,
                                 demand,
-                                now.as_secs(),
+                                at.as_secs(),
                                 &mut selection_rng,
                                 &mut tracer,
                             ),
@@ -1288,52 +1348,179 @@ pub fn run_experiment_traced(
                             demand,
                             &mut tracer,
                         ),
-                        SystemState::Gdi(gdi) => gdi.admit_traced(
-                            topo,
-                            group,
-                            source,
-                            &mut links,
-                            &mut rsvp,
-                            demand,
-                            &mut tracer,
-                        ),
+                        SystemState::Gdi(gdi) => {
+                            if batching {
+                                // Multiple groups admit interleaved through
+                                // separate GDI instances, so each other's
+                                // reservations would invisibly stale the
+                                // memo; reset it per member there.
+                                if gdi_shared_links {
+                                    gdi.begin_batch();
+                                }
+                                gdi.admit_batched_traced(
+                                    topo,
+                                    group,
+                                    source,
+                                    &mut links,
+                                    &mut rsvp,
+                                    demand,
+                                    &mut tracer,
+                                )
+                            } else {
+                                gdi.admit_traced(
+                                    topo,
+                                    group,
+                                    source,
+                                    &mut links,
+                                    &mut rsvp,
+                                    demand,
+                                    &mut tracer,
+                                )
+                            }
+                        }
                     };
                     drop(tracer);
-                    stats.record(now, outcome.is_admitted(), outcome.tries);
-                    group_stats[group_index].record(now, outcome.is_admitted(), outcome.tries);
-                    if now >= warmup_end {
+                    stats.record(at, outcome.is_admitted(), outcome.tries);
+                    group_stats[group_index].record(at, outcome.is_admitted(), outcome.tries);
+                    if at >= warmup_end {
                         if let Some(flow) = &outcome.admitted {
                             member_counts[group_index][flow.member_index] += 1;
                         }
                     }
                     if let Some(flow) = outcome.admitted {
                         live_flows.insert(flow.session);
-                        soft_track!(flow.session);
+                        soft_track!(flow.session, at);
                         eng.schedule_in(
-                            now,
+                            at,
                             anycast_sim::Duration::from_secs(holding_secs),
                             Event::Departure(flow.session),
                         );
                     }
                 }
-                if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
+                tw_note!(at);
+            }};
+        }
+        match event {
+            Event::Arrival {
+                source_index,
+                group_index,
+                holding_secs,
+                demand,
+                chain,
+            } => {
+                if !batching {
+                    process_arrival!(now, source_index, group_index, holding_secs, demand);
+                    let next = workload.next_request();
+                    let next_demand = draw_demand(&mut demand_rng);
+                    let next_group = draw_group(&mut group_rng);
+                    eng.schedule_at(
+                        next.arrival,
+                        Event::Arrival {
+                            source_index: next.source_index,
+                            group_index: next_group,
+                            holding_secs: next.holding.as_secs(),
+                            demand: next_demand,
+                            chain: true,
+                        },
+                    );
+                    return;
                 }
-                if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
+                if !chain {
+                    // Pre-drawn member of a flushed batch: admit it as a
+                    // batch of one. The chain head scheduled by the flush
+                    // carries the draw-and-schedule duty, so no successor
+                    // is drawn here.
+                    if let SystemState::Gdi(gdi) = &mut systems[group_index] {
+                        gdi.begin_batch();
+                    }
+                    process_arrival!(now, source_index, group_index, holding_secs, demand);
+                    return;
                 }
-                let next = workload.next_request();
-                let next_demand = draw_demand(&mut demand_rng);
-                let next_group = draw_group(&mut group_rng);
-                eng.schedule_at(
-                    next.arrival,
-                    Event::Arrival {
-                        source_index: next.source_index,
-                        group_index: next_group,
-                        holding_secs: next.holding.as_secs(),
-                        demand: next_demand,
-                    },
-                );
+                // Drain every arrival that fires strictly before the next
+                // pending event (and inside the horizon) into one batch.
+                // Strictness matters: an arrival tying with a pending event
+                // loses the FIFO race (the event was scheduled first), so
+                // it cannot be pre-committed past that event. The drain
+                // draws only from the workload/demand/group streams, in
+                // arrival order — exactly the order the sequential path
+                // draws them — and the admission streams are untouched
+                // until the commit loop below, so every RNG stream sees
+                // the sequential draw order.
+                arrival_batch.clear();
+                arrival_batch.push(ArrivalSlot {
+                    at: now,
+                    source_index,
+                    group_index,
+                    holding_secs,
+                    demand,
+                });
+                loop {
+                    let next = workload.next_request();
+                    let next_demand = draw_demand(&mut demand_rng);
+                    let next_group = draw_group(&mut group_rng);
+                    let same_quantum = next.arrival <= horizon
+                        && eng.peek_time().is_none_or(|p| next.arrival < p);
+                    if same_quantum {
+                        arrival_batch.push(ArrivalSlot {
+                            at: next.arrival,
+                            source_index: next.source_index,
+                            group_index: next_group,
+                            holding_secs: next.holding.as_secs(),
+                            demand: next_demand,
+                        });
+                    } else {
+                        eng.schedule_at(
+                            next.arrival,
+                            Event::Arrival {
+                                source_index: next.source_index,
+                                group_index: next_group,
+                                holding_secs: next.holding.as_secs(),
+                                demand: next_demand,
+                                chain: true,
+                            },
+                        );
+                        break;
+                    }
+                }
+                // Commit sequentially in timestamp order, each member at
+                // its own instant. The batch boundary is where the GDI
+                // memo (and any future snapshot evaluator) resets.
+                for sys in systems.iter_mut() {
+                    if let SystemState::Gdi(gdi) = sys {
+                        gdi.begin_batch();
+                    }
+                }
+                for j in 0..arrival_batch.len() {
+                    let slot = arrival_batch[j];
+                    if j > 0 && eng.peek_time().is_some_and(|p| p <= slot.at) {
+                        // A commit above scheduled an event (a short-lived
+                        // flow's departure, a soft-state tick) that fires
+                        // before — or FIFO-beats — this member. Flush the
+                        // rest back onto the queue as pre-drawn singletons
+                        // so they interleave with it exactly as the
+                        // sequential path would.
+                        for s in &arrival_batch[j..] {
+                            eng.schedule_at(
+                                s.at,
+                                Event::Arrival {
+                                    source_index: s.source_index,
+                                    group_index: s.group_index,
+                                    holding_secs: s.holding_secs,
+                                    demand: s.demand,
+                                    chain: false,
+                                },
+                            );
+                        }
+                        break;
+                    }
+                    process_arrival!(
+                        slot.at,
+                        slot.source_index,
+                        slot.group_index,
+                        slot.holding_secs,
+                        slot.demand
+                    );
+                }
             }
             Event::Departure(session) => {
                 live_flows.remove(&session);
@@ -1363,12 +1550,7 @@ pub fn run_experiment_traced(
                             },
                         );
                     }
-                    if let Some(tw) = active.as_mut() {
-                        tw.update(now, rsvp.active_sessions() as f64);
-                    }
-                    if let Some(tw) = reserved_bw.as_mut() {
-                        tw.update(now, links.total_reserved().bps() as f64);
-                    }
+                    tw_note!(now);
                 }
             }
             Event::Teardown(session) => {
@@ -1387,12 +1569,7 @@ pub fn run_experiment_traced(
                             },
                         );
                     }
-                    if let Some(tw) = active.as_mut() {
-                        tw.update(now, rsvp.active_sessions() as f64);
-                    }
-                    if let Some(tw) = reserved_bw.as_mut() {
-                        tw.update(now, links.total_reserved().bps() as f64);
-                    }
+                    tw_note!(now);
                 }
             }
             Event::Fault(action) => {
@@ -1488,12 +1665,7 @@ pub fn run_experiment_traced(
                 if let Some(tw) = availability.as_mut() {
                     tw.update(now, links.operational_fraction());
                 }
-                if let Some(tw) = active.as_mut() {
-                    tw.update(now, rsvp.active_sessions() as f64);
-                }
-                if let Some(tw) = reserved_bw.as_mut() {
-                    tw.update(now, links.total_reserved().bps() as f64);
-                }
+                tw_note!(now);
             }
             Event::RefreshSweep => {
                 let t = now.as_secs();
@@ -1549,7 +1721,7 @@ pub fn run_experiment_traced(
                     }
                 }
                 if reclaimed_any {
-                    tw_note!();
+                    tw_note!(now);
                 }
                 if let Some(tick) = soft_wheel.tick_needed() {
                     eng.schedule_at(SimTime::from_secs(tick), Event::SoftTick);
@@ -2501,6 +2673,245 @@ mod tests {
         let cfg = quick(5.0, SystemSpec::ShortestPath)
             .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig::default()));
         run_experiment(&topo, &cfg);
+    }
+
+    /// Every floating-point metric a run reports, for the NaN sweep.
+    fn assert_all_finite(m: &Metrics, what: &str) {
+        let fields = [
+            ("admission_probability", m.admission_probability),
+            ("ap_ci95", m.ap_ci95),
+            ("mean_tries", m.mean_tries),
+            ("mean_retrials", m.mean_retrials),
+            ("messages_per_request", m.messages_per_request),
+            ("mean_active_flows", m.mean_active_flows),
+            ("mean_network_utilization", m.mean_network_utilization),
+            ("availability", m.availability),
+            ("mean_recovery_secs", m.mean_recovery_secs),
+            ("mean_setup_latency_secs", m.mean_setup_latency_secs),
+        ];
+        for (name, v) in fields {
+            assert!(
+                v.is_finite(),
+                "{what}: {}.{name} = {v} is not finite",
+                m.label
+            );
+        }
+        for ap in &m.per_group_ap {
+            assert!(ap.is_finite(), "{what}: {} per-group AP {ap}", m.label);
+        }
+        for shares in &m.member_share {
+            for s in shares {
+                assert!(s.is_finite(), "{what}: {} member share {s}", m.label);
+            }
+        }
+    }
+
+    /// The tentpole equivalence: batched same-quantum admission is
+    /// bit-identical to one-at-a-time admission for every system, at loads
+    /// heavy enough that batches routinely hold several arrivals.
+    #[test]
+    fn batched_is_bit_identical_to_sequential() {
+        let topo = topologies::mci();
+        for system in [
+            SystemSpec::dac(PolicySpec::Ed, 2),
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            SystemSpec::dac(PolicySpec::WdDb, 2),
+            SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2),
+            SystemSpec::ShortestPath,
+            SystemSpec::GlobalDynamic,
+        ] {
+            for lambda in [30.0, 50.0] {
+                let cfg = quick(lambda, system);
+                let sequential = run_experiment(&topo, &cfg);
+                let batched = run_experiment(&topo, &cfg.clone().with_batching(true));
+                assert_eq!(
+                    sequential, batched,
+                    "batched admission diverged for {} at λ={lambda}",
+                    sequential.label
+                );
+                assert_all_finite(&batched, "batched");
+            }
+        }
+    }
+
+    /// Batching must commute with fault injection: departures, orphans and
+    /// fault events interleave with flushed batch members exactly as they
+    /// do sequentially.
+    #[test]
+    fn batched_matches_sequential_under_chaos() {
+        let topo = topologies::mci();
+        let plan = FaultPlan::none()
+            .with_link_model(400.0, 60.0)
+            .with_member_model(600.0, 120.0)
+            .with_teardown_loss(0.1)
+            .with_teardown_delay(2.0);
+        for system in [
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            SystemSpec::GlobalDynamic,
+        ] {
+            let cfg = quick(25.0, system).with_faults(plan.clone());
+            let sequential = run_experiment(&topo, &cfg);
+            let batched = run_experiment(&topo, &cfg.clone().with_batching(true));
+            assert_eq!(
+                sequential, batched,
+                "batched admission diverged under the chaos plan for {}",
+                sequential.label
+            );
+            assert!(sequential.outages > 0, "the plan must actually fire");
+            assert_all_finite(&batched, "batched chaos");
+        }
+    }
+
+    /// Under two-phase signalling: the degenerate express mode batches for
+    /// real; delayed exchanges force the sequential path — both must be
+    /// bit-identical to the non-batched run.
+    #[test]
+    fn batched_matches_sequential_under_two_phase() {
+        let topo = topologies::mci();
+        for cfg in [
+            quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2))
+                .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig::default())),
+            quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_signaling(
+                SignalingMode::TwoPhase(TwoPhaseConfig {
+                    per_hop_delay_secs: 0.05,
+                    ..TwoPhaseConfig::default()
+                }),
+            ),
+        ] {
+            let sequential = run_experiment(&topo, &cfg);
+            let batched = run_experiment(&topo, &cfg.clone().with_batching(true));
+            assert_eq!(
+                sequential, batched,
+                "batched admission diverged under two-phase signalling"
+            );
+        }
+    }
+
+    /// Multiple groups (separate GDI instances sharing links) and a
+    /// heterogeneous demand mix — the memo-hostile cases — still replay
+    /// bit-identically when batched.
+    #[test]
+    fn batched_matches_sequential_multi_group_and_demand_mix() {
+        let topo = topologies::mci();
+        let groups = vec![
+            GroupSpec {
+                members: vec![NodeId::new(0), NodeId::new(8), NodeId::new(16)],
+                share: 2.0,
+            },
+            GroupSpec {
+                members: vec![NodeId::new(4), NodeId::new(12)],
+                share: 1.0,
+            },
+        ];
+        let mix = vec![
+            DemandClass {
+                bandwidth: Bandwidth::from_kbps(64),
+                weight: 3.0,
+            },
+            DemandClass {
+                bandwidth: Bandwidth::from_kbps(256),
+                weight: 1.0,
+            },
+        ];
+        for system in [
+            SystemSpec::GlobalDynamic,
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        ] {
+            let cfg = quick(30.0, system)
+                .with_groups(groups.clone())
+                .with_demand_mix(mix.clone());
+            let sequential = run_experiment(&topo, &cfg);
+            let batched = run_experiment(&topo, &cfg.clone().with_batching(true));
+            assert_eq!(
+                sequential, batched,
+                "batched admission diverged for {} with groups + demand mix",
+                sequential.label
+            );
+        }
+    }
+
+    /// Stronger than metric equality: the full telemetry event streams —
+    /// every arrival, probe, skip replay, retrial, rejection and
+    /// reservation lifecycle event, with timestamps — are identical, so
+    /// the batched evaluator's decision replay is exact, not just
+    /// aggregate-preserving.
+    #[test]
+    fn batched_telemetry_stream_is_identical() {
+        let topo = topologies::mci();
+        for system in [
+            SystemSpec::GlobalDynamic,
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        ] {
+            let cfg = quick(40.0, system);
+            let mut seq_ring =
+                anycast_telemetry::RingRecorder::new(cfg.seed).with_sample_interval(50.0);
+            let sequential = run_experiment_traced(&topo, &cfg, &mut seq_ring);
+            let batched_cfg = cfg.clone().with_batching(true);
+            let mut bat_ring =
+                anycast_telemetry::RingRecorder::new(cfg.seed).with_sample_interval(50.0);
+            let batched = run_experiment_traced(&topo, &batched_cfg, &mut bat_ring);
+            assert_eq!(sequential, batched);
+            assert_eq!(seq_ring.dropped(), 0, "stream must be complete");
+            assert_eq!(
+                seq_ring.events(),
+                bat_ring.events(),
+                "batched telemetry stream diverged for {}",
+                sequential.label
+            );
+            assert!(!seq_ring.is_empty());
+        }
+    }
+
+    /// A two-phase run where every PATH message is lost completes zero
+    /// setups; the mean setup latency must degrade to 0.0, not NaN
+    /// (regression test for the 0/0 guard in the metrics assembly).
+    #[test]
+    fn total_path_loss_yields_finite_zero_setup_latency() {
+        let topo = topologies::mci();
+        let sig = SignalingFaults {
+            path: MessageFault {
+                loss_probability: 1.0,
+                extra_delay_secs: 0.0,
+            },
+            resv: MessageFault::default(),
+            resv_err: MessageFault::default(),
+        };
+        let cfg = quick(5.0, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_faults(FaultPlan::none().with_signaling(sig))
+            .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig {
+                per_hop_delay_secs: 0.02,
+                setup_timeout_secs: 0.5,
+                ..TwoPhaseConfig::default()
+            }));
+        let m = run_experiment(&topo, &cfg);
+        assert_eq!(
+            m.setups_completed, 0,
+            "no PATH survives, no setup completes"
+        );
+        assert_eq!(
+            m.mean_setup_latency_secs, 0.0,
+            "zero completions must report 0.0, not 0/0"
+        );
+        assert_all_finite(&m, "total PATH loss");
+    }
+
+    /// The NaN sweep across the corners that historically divide by a
+    /// zero count: empty measurement (warm-up only traffic at trivial
+    /// load), saturated load, chaos, lossy signalling, batched.
+    #[test]
+    fn no_metric_is_ever_nan() {
+        let topo = topologies::mci();
+        let cases = [
+            quick(0.001, SystemSpec::dac(PolicySpec::Ed, 1)),
+            quick(50.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 3)),
+            quick(50.0, SystemSpec::GlobalDynamic).with_batching(true),
+            quick(25.0, SystemSpec::ShortestPath)
+                .with_faults(FaultPlan::none().with_link_model(300.0, 60.0)),
+        ];
+        for cfg in cases {
+            let m = run_experiment(&topo, &cfg);
+            assert_all_finite(&m, "NaN sweep");
+        }
     }
 
     #[test]

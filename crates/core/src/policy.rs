@@ -1,7 +1,8 @@
 //! Destination-selection policies: ED, WD/D+H and WD/D+B (§4.3).
 
 use crate::weights::{
-    bandwidth_distance_weights, distance_weights, history_adjusted_weights, uniform_weights,
+    bandwidth_distance_weights, distance_weights, distance_weights_into, history_adjusted_weights,
+    history_adjusted_weights_into, uniform_weights,
 };
 use crate::DacError;
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,11 @@ pub struct WdDh {
     mode: HistoryMode,
     history_cap: Option<u32>,
     persistent: Option<Vec<f64>>,
+    /// Flat scratch for the eq. (4) base weights, reused across selections
+    /// so the per-request hot path stays allocation-light.
+    base_scratch: Vec<f64>,
+    /// Flat scratch for the (possibly capped) effective history.
+    hist_scratch: Vec<u32>,
 }
 
 impl WdDh {
@@ -150,6 +156,8 @@ impl WdDh {
             mode,
             history_cap: None,
             persistent: None,
+            base_scratch: Vec::new(),
+            hist_scratch: Vec::new(),
         })
     }
 
@@ -187,10 +195,14 @@ impl WdDh {
         self.history_cap
     }
 
-    fn effective_history(&self, history: &[u32]) -> Vec<u32> {
+    /// Copies the (possibly capped) history into `hist_scratch`.
+    fn load_effective_history(&mut self, history: &[u32]) {
+        self.hist_scratch.clear();
         match self.history_cap {
-            None => history.to_vec(),
-            Some(cap) => history.iter().map(|&h| h.min(cap)).collect(),
+            None => self.hist_scratch.extend_from_slice(history),
+            Some(cap) => self
+                .hist_scratch
+                .extend(history.iter().map(|&h| h.min(cap))),
         }
     }
 
@@ -202,18 +214,28 @@ impl WdDh {
 
 impl WeightAssigner for WdDh {
     fn assign(&mut self, ctx: &SelectionContext<'_>) -> Vec<f64> {
-        let history = self.effective_history(ctx.history);
+        self.load_effective_history(ctx.history);
         match self.mode {
             HistoryMode::FromBase => {
-                let base = distance_weights(ctx.distances);
-                history_adjusted_weights(&base, &history, self.alpha)
+                // Flat scratch buffers: same arithmetic as the allocating
+                // path (the `_into` twins are bit-identical by contract),
+                // but the eq. (4) base vector is computed in place.
+                distance_weights_into(ctx.distances, &mut self.base_scratch);
+                let mut out = Vec::new();
+                history_adjusted_weights_into(
+                    &self.base_scratch,
+                    &self.hist_scratch,
+                    self.alpha,
+                    &mut out,
+                );
+                out
             }
             HistoryMode::Iterative => {
                 let base = self
                     .persistent
                     .take()
                     .unwrap_or_else(|| distance_weights(ctx.distances));
-                let adjusted = history_adjusted_weights(&base, &history, self.alpha);
+                let adjusted = history_adjusted_weights(&base, &self.hist_scratch, self.alpha);
                 self.persistent = Some(adjusted.clone());
                 adjusted
             }

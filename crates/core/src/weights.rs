@@ -15,8 +15,26 @@
 ///
 /// Panics if `k` is zero.
 pub fn uniform_weights(k: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    uniform_weights_into(k, &mut out);
+    out
+}
+
+/// [`uniform_weights`] writing into a caller-owned buffer.
+///
+/// The `_into` variants exist for the batched admission path: evaluating a
+/// batch of same-quantum arrivals recomputes weights once per arrival, and
+/// reusing one flat buffer per controller keeps that loop allocation-free.
+/// Each produces bit-identical results to its allocating twin — same
+/// formula, same operation order.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn uniform_weights_into(k: usize, out: &mut Vec<f64>) {
     assert!(k > 0, "cannot assign weights to an empty group");
-    vec![1.0 / k as f64; k]
+    out.clear();
+    out.resize(k, 1.0 / k as f64);
 }
 
 /// Normalises `weights` in place so they sum to one (eq. 1, eq. 10).
@@ -60,13 +78,22 @@ pub fn normalize_weights(weights: &mut [f64]) {
 ///
 /// Panics if `distances` is empty.
 pub fn distance_weights(distances: &[u32]) -> Vec<f64> {
+    let mut out = Vec::new();
+    distance_weights_into(distances, &mut out);
+    out
+}
+
+/// [`distance_weights`] writing into a caller-owned buffer (see
+/// [`uniform_weights_into`] for why the `_into` family exists).
+///
+/// # Panics
+///
+/// Panics if `distances` is empty.
+pub fn distance_weights_into(distances: &[u32], out: &mut Vec<f64>) {
     assert!(!distances.is_empty(), "need at least one distance");
-    let mut w: Vec<f64> = distances
-        .iter()
-        .map(|&d| 1.0 / f64::from(d.max(1)))
-        .collect();
-    normalize_weights(&mut w);
-    w
+    out.clear();
+    out.extend(distances.iter().map(|&d| 1.0 / f64::from(d.max(1))));
+    normalize_weights(out);
 }
 
 /// History-adjusted weights of WD/D+H (eqs. 8–10).
@@ -94,6 +121,23 @@ pub fn distance_weights(distances: &[u32]) -> Vec<f64> {
 /// Panics if the slices differ in length or are empty, if any base weight
 /// is negative/non-finite, or if `alpha` is outside `[0, 1]`.
 pub fn history_adjusted_weights(base: &[f64], history: &[u32], alpha: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    history_adjusted_weights_into(base, history, alpha, &mut out);
+    out
+}
+
+/// [`history_adjusted_weights`] writing into a caller-owned buffer (see
+/// [`uniform_weights_into`] for why the `_into` family exists).
+///
+/// # Panics
+///
+/// Same contract as [`history_adjusted_weights`].
+pub fn history_adjusted_weights_into(
+    base: &[f64],
+    history: &[u32],
+    alpha: f64,
+    out: &mut Vec<f64>,
+) {
     assert_eq!(
         base.len(),
         history.len(),
@@ -126,14 +170,14 @@ pub fn history_adjusted_weights(base: &[f64], history: &[u32], alpha: f64) -> Ve
     // Eq. (9): damp the tainted, boost the clean.
     let m = history.iter().filter(|&&h| h == 0).count();
     let bonus = if m > 0 { aw / m as f64 } else { 0.0 };
-    let mut adjusted: Vec<f64> = base
-        .iter()
-        .zip(history)
-        .map(|(&w, &h)| if h == 0 { w + bonus } else { w * damp(h) })
-        .collect();
+    out.clear();
+    out.extend(
+        base.iter()
+            .zip(history)
+            .map(|(&w, &h)| if h == 0 { w + bonus } else { w * damp(h) }),
+    );
     // Eq. (10): renormalise.
-    normalize_weights(&mut adjusted);
-    adjusted
+    normalize_weights(out);
 }
 
 /// Bandwidth/distance weights of WD/D+B: `W_i ∝ B_i / D_i` (eq. 12).
@@ -150,6 +194,22 @@ pub fn history_adjusted_weights(base: &[f64], history: &[u32], alpha: f64) -> Ve
 /// Panics if the slices differ in length or are empty, or if any bandwidth
 /// is negative or non-finite (NaN/∞).
 pub fn bandwidth_distance_weights(route_bandwidth: &[f64], distances: &[u32]) -> Vec<f64> {
+    let mut out = Vec::new();
+    bandwidth_distance_weights_into(route_bandwidth, distances, &mut out);
+    out
+}
+
+/// [`bandwidth_distance_weights`] writing into a caller-owned buffer (see
+/// [`uniform_weights_into`] for why the `_into` family exists).
+///
+/// # Panics
+///
+/// Same contract as [`bandwidth_distance_weights`].
+pub fn bandwidth_distance_weights_into(
+    route_bandwidth: &[f64],
+    distances: &[u32],
+    out: &mut Vec<f64>,
+) {
     assert_eq!(
         route_bandwidth.len(),
         distances.len(),
@@ -163,15 +223,17 @@ pub fn bandwidth_distance_weights(route_bandwidth: &[f64], distances: &[u32]) ->
         );
     }
     if route_bandwidth.iter().all(|&b| b == 0.0) {
-        return distance_weights(distances);
+        distance_weights_into(distances, out);
+        return;
     }
-    let mut w: Vec<f64> = route_bandwidth
-        .iter()
-        .zip(distances)
-        .map(|(&b, &d)| b / f64::from(d.max(1)))
-        .collect();
-    normalize_weights(&mut w);
-    w
+    out.clear();
+    out.extend(
+        route_bandwidth
+            .iter()
+            .zip(distances)
+            .map(|(&b, &d)| b / f64::from(d.max(1))),
+    );
+    normalize_weights(out);
 }
 
 #[cfg(test)]
@@ -292,6 +354,34 @@ mod tests {
         assert_distribution(&w);
         assert_eq!(w[0], 0.0);
         assert!((w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reuse_buffers() {
+        let distances = [1u32, 2, 4, 0, 7];
+        let history = [0u32, 3, 1, 0, 2];
+        let bw = [5.0, 0.0, 12.5, 3.25, 9.0];
+        // A dirty, over-long buffer must be fully overwritten.
+        let mut buf = vec![f64::NAN; 16];
+
+        uniform_weights_into(5, &mut buf);
+        assert_eq!(buf, uniform_weights(5));
+
+        distance_weights_into(&distances, &mut buf);
+        assert_eq!(buf, distance_weights(&distances));
+
+        let base = distance_weights(&distances);
+        for alpha in [0.0, 0.5, 1.0] {
+            history_adjusted_weights_into(&base, &history, alpha, &mut buf);
+            assert_eq!(buf, history_adjusted_weights(&base, &history, alpha));
+        }
+
+        bandwidth_distance_weights_into(&bw, &distances, &mut buf);
+        assert_eq!(buf, bandwidth_distance_weights(&bw, &distances));
+
+        // All-zero bandwidth takes the distance fallback inside _into too.
+        bandwidth_distance_weights_into(&[0.0; 5], &distances, &mut buf);
+        assert_eq!(buf, distance_weights(&distances));
     }
 
     #[test]

@@ -75,6 +75,16 @@ pub struct LinkStateTable {
     node_failed: Vec<bool>,
     /// Link endpoints, captured from the topology at construction.
     endpoints: Vec<(NodeId, NodeId)>,
+    /// Monotone mutation counter: bumped by every operation that can change
+    /// some link's available bandwidth. Lets callers cache derived
+    /// quantities (route bottlenecks, feasibility verdicts) and invalidate
+    /// them exactly when a relevant link moved.
+    #[serde(default)]
+    version: u64,
+    /// Per-link last-touched version (parallel to `states`): `stamps[i]` is
+    /// the `version` at which link `i`'s availability last changed.
+    #[serde(default)]
+    stamps: Vec<u64>,
 }
 
 impl LinkStateTable {
@@ -119,6 +129,8 @@ impl LinkStateTable {
             link_failed: vec![false; topo.link_count()],
             node_failed: vec![false; topo.node_count()],
             endpoints,
+            version: 0,
+            stamps: vec![0; topo.link_count()],
         }
     }
 
@@ -162,6 +174,42 @@ impl LinkStateTable {
         self.states[link.index()].capacity
     }
 
+    /// The current mutation version: strictly increases whenever any
+    /// link's availability (or fault state) changes. Equal versions imply
+    /// an identical availability picture.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The version at which `link`'s availability last changed (0 if it
+    /// was never touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn stamp(&self, link: LinkId) -> u64 {
+        self.stamps[link.index()]
+    }
+
+    /// The newest per-link stamp along `path` — a cached quantity derived
+    /// from this path's links (e.g. its bottleneck bandwidth) is still
+    /// exact iff `max_stamp_on(path)` has not advanced past the version at
+    /// which it was computed. A trivial path reports 0: nothing it depends
+    /// on can ever change.
+    pub fn max_stamp_on(&self, path: &Path) -> u64 {
+        path.links()
+            .iter()
+            .map(|l| self.stamps[l.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records that `link_index`'s availability changed.
+    fn touch(&mut self, link_index: usize) {
+        self.version += 1;
+        self.stamps[link_index] = self.version;
+    }
+
     /// Reserves `bw` on a single link.
     ///
     /// # Errors
@@ -183,6 +231,7 @@ impl LinkStateTable {
         }
         state.reserved += bw;
         state.flows += 1;
+        self.touch(link.index());
         Ok(())
     }
 
@@ -206,6 +255,7 @@ impl LinkStateTable {
         }
         state.reserved -= bw;
         state.flows -= 1;
+        self.touch(link.index());
         Ok(())
     }
 
@@ -236,6 +286,7 @@ impl LinkStateTable {
         }
         state.held += bw;
         state.holds += 1;
+        self.touch(link.index());
         Ok(())
     }
 
@@ -260,6 +311,7 @@ impl LinkStateTable {
         }
         state.held -= bw;
         state.holds -= 1;
+        self.touch(link.index());
         Ok(())
     }
 
@@ -288,6 +340,10 @@ impl LinkStateTable {
         state.holds -= 1;
         state.reserved += bw;
         state.flows += 1;
+        // Availability is unchanged by the commit itself, but the hold and
+        // reservation columns both moved; stamp conservatively so any
+        // cached per-column view invalidates too.
+        self.touch(link.index());
         Ok(())
     }
 
@@ -489,9 +545,13 @@ impl LinkStateTable {
 
     fn recompute_effective(&mut self, link_index: usize) {
         let (a, b) = self.endpoints[link_index];
-        self.states[link_index].failed = self.link_failed[link_index]
+        let failed = self.link_failed[link_index]
             || self.node_failed[a.index()]
             || self.node_failed[b.index()];
+        if self.states[link_index].failed != failed {
+            self.states[link_index].failed = failed;
+            self.touch(link_index);
+        }
     }
 
     fn recompute_incident(&mut self, node: NodeId) {
@@ -515,6 +575,10 @@ impl LinkStateTable {
         }
         self.link_failed.fill(false);
         self.node_failed.fill(false);
+        // The version stays monotone across a reset: every link's
+        // availability (potentially) changed, so stamp them all.
+        self.version += 1;
+        self.stamps.fill(self.version);
     }
 }
 
@@ -854,6 +918,82 @@ mod tests {
         table.reset();
         assert!(!table.is_node_failed(NodeId::new(2)));
         assert_eq!(table.failed_link_count(), 0);
+    }
+
+    #[test]
+    fn stamps_track_exactly_the_touched_links() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert_eq!(table.version(), 0);
+        for i in 0..3 {
+            assert_eq!(table.stamp(LinkId::new(i)), 0);
+        }
+
+        table
+            .reserve(LinkId::new(1), Bandwidth::from_kbps(64))
+            .unwrap();
+        let v1 = table.version();
+        assert!(v1 > 0);
+        assert_eq!(table.stamp(LinkId::new(1)), v1);
+        assert_eq!(table.stamp(LinkId::new(0)), 0);
+        assert_eq!(table.stamp(LinkId::new(2)), 0);
+        assert_eq!(table.max_stamp_on(&path), v1);
+
+        // A failed reservation must not advance anything.
+        assert!(table
+            .reserve(LinkId::new(1), Bandwidth::from_mbps(1000))
+            .is_err());
+        assert_eq!(table.version(), v1);
+
+        // Hold / release / commit all stamp their link.
+        table
+            .place_hold(LinkId::new(2), Bandwidth::from_mbps(1))
+            .unwrap();
+        assert!(table.stamp(LinkId::new(2)) > v1);
+        table
+            .commit_hold(LinkId::new(2), Bandwidth::from_mbps(1))
+            .unwrap();
+        table
+            .release(LinkId::new(2), Bandwidth::from_mbps(1))
+            .unwrap();
+        let v2 = table.version();
+        assert_eq!(table.stamp(LinkId::new(2)), v2);
+        assert_eq!(table.max_stamp_on(&path), v2);
+
+        // A trivial path depends on no links at all.
+        let trivial = Path::trivial(NodeId::new(0));
+        assert_eq!(table.max_stamp_on(&trivial), 0);
+    }
+
+    #[test]
+    fn fault_transitions_stamp_only_effective_changes() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table.fail_node(NodeId::new(1)).unwrap();
+        let after_node = table.version();
+        // Links 0 and 1 flipped to failed; link 2 untouched.
+        assert!(table.stamp(LinkId::new(0)) > 0);
+        assert!(table.stamp(LinkId::new(1)) > 0);
+        assert_eq!(table.stamp(LinkId::new(2)), 0);
+
+        // Failing a link that is already effectively down changes nothing.
+        table.fail_link(LinkId::new(0)).unwrap();
+        assert_eq!(table.version(), after_node);
+
+        // Restoring the node flips link 1 back up, but link 0 keeps its
+        // explicit fault — only link 1 is stamped.
+        let before_restore = (table.stamp(LinkId::new(0)), table.stamp(LinkId::new(1)));
+        table.restore_node(NodeId::new(1)).unwrap();
+        assert_eq!(table.stamp(LinkId::new(0)), before_restore.0);
+        assert!(table.stamp(LinkId::new(1)) > before_restore.1);
+
+        // Reset stamps every link and keeps the version monotone.
+        let v = table.version();
+        table.reset();
+        assert!(table.version() > v);
+        for i in 0..3 {
+            assert_eq!(table.stamp(LinkId::new(i)), table.version());
+        }
     }
 
     #[test]

@@ -563,6 +563,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_accumulators_never_produce_nan() {
+        // Regression sweep for the zero-denominator audit: every ratio
+        // accessor must stay finite on an empty accumulator (empty warm-up
+        // windows, all-faulted runs) instead of dividing by zero.
+        let s = AdmissionStats::new(SimTime::from_secs(100.0));
+        for v in [
+            s.admission_probability(),
+            s.ap_ci95_half_width(),
+            s.mean_tries(),
+            s.mean_retrials(),
+            s.mean_tries_admitted(),
+            s.mean_tries_rejected(),
+        ] {
+            assert!(v.is_finite(), "empty AdmissionStats accessor returned {v}");
+        }
+
+        // Warm-up-only traffic is discarded, so the estimator is still
+        // "empty" and must behave identically to the untouched one.
+        let mut warm = AdmissionStats::new(SimTime::from_secs(100.0));
+        warm.record(SimTime::from_secs(10.0), true, 1);
+        warm.record(SimTime::from_secs(20.0), false, 2);
+        assert_eq!(warm.offered(), 0);
+        assert_eq!(warm.admission_probability(), 1.0);
+        assert!(warm.mean_tries().is_finite());
+
+        let m = MeanVar::new();
+        for v in [
+            m.mean(),
+            m.variance(),
+            m.std_dev(),
+            m.std_err(),
+            m.ci95_half_width(),
+        ] {
+            assert!(v.is_finite(), "empty MeanVar accessor returned {v}");
+        }
+
+        let h = Histogram::new();
+        assert!(h.mean().is_finite());
+
+        let b = BatchMeans::new(8);
+        assert!(b.mean().is_finite());
+        assert!(b.ci95_half_width().is_finite());
+    }
+
+    #[test]
     fn wilson_interval_has_width_at_extreme_proportions() {
         // Regression: the Wald interval reported zero width at AP = 1 (or
         // 0), claiming perfect certainty at every low-load sweep point.
