@@ -30,9 +30,12 @@ cargo run --release --offline -p anycast-bench --bin bench_pr4 -- --smoke --jobs
 echo "==> batched admission smoke (bench_pr5: batched must match sequential)"
 cargo run --release --offline -p anycast-bench --bin bench_pr5 -- --smoke --jobs 2 --out /tmp/BENCH_pr5_ci.json
 
+echo "==> online engine smoke (bench_pr6: online submit/pump must match offline)"
+cargo run --release --offline -p anycast-bench --bin bench_pr6 -- --smoke --jobs 2 --out /tmp/BENCH_pr6_ci.json
+
 echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
 ! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
-    /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json
+    /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json
 
 echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
 cargo run --release --offline -p anycast-cli --bin anycast -- \
@@ -72,5 +75,54 @@ cargo run --release --offline -p anycast-cli --bin anycast -- \
     --out "$trace_dir" --check
 grep -q '"kind":"rejection"' "$trace_dir"/trace_saturated_seed1.jsonl
 rm -rf "$trace_dir"
+
+echo "==> record/replay gate (virtual-time replay must reproduce simulate --batch byte-for-byte)"
+arrival_trace=$(mktemp)
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    record --lambda 25 --system wddh --warmup 20 --measure 60 --seed 9 \
+    --out "$arrival_trace"
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 25 --system wddh --warmup 20 --measure 60 --seed 9 --batch \
+    > /tmp/offline_metrics.txt
+# replay prints metrics on stdout in simulate's exact format; auxiliary
+# lines go to stderr, so the two outputs must be byte-identical.
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    replay --trace "$arrival_trace" --lambda 25 --system wddh \
+    --warmup 20 --measure 60 --seed 9 --batch \
+    > /tmp/replay_metrics.txt 2>/dev/null
+diff /tmp/offline_metrics.txt /tmp/replay_metrics.txt
+rm -f "$arrival_trace" /tmp/offline_metrics.txt /tmp/replay_metrics.txt
+
+echo "==> daemon smoke (admit/stats/shutdown round-trip over a real TCP socket)"
+cargo build --release --offline -p anycast-daemon
+daemon_log=$(mktemp)
+./target/release/anycast-daemon --listen 127.0.0.1:0 --speed 50 --seed 3 \
+    > "$daemon_log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on tcp' "$daemon_log" && break
+    sleep 0.1
+done
+port=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$daemon_log")
+daemon_client=$(mktemp)
+cat > "$daemon_client" <<'EOF'
+set -eu
+port=$1
+exec 3<>/dev/tcp/127.0.0.1/"$port"
+printf '{"op":"admit","source":1,"group":0,"demand_bps":64000,"holding_secs":120}\n' >&3
+read -r line <&3
+echo "$line" | grep -q '"op":"decision"'
+echo "$line" | grep -q '"admitted":true'
+printf '{"op":"stats"}\n' >&3
+read -r line <&3
+echo "$line" | grep -q '"offered":1'
+printf '{"op":"shutdown"}\n' >&3
+read -r line <&3
+echo "$line" | grep -q '"op":"shutting_down"'
+EOF
+bash "$daemon_client" "$port"
+wait "$daemon_pid"
+grep -q 'served 1 requests' "$daemon_log"
+rm -f "$daemon_log" "$daemon_client"
 
 echo "CI OK"

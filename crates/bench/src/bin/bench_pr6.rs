@@ -1,0 +1,284 @@
+//! PR 6 performance snapshot: the online admission engine driven as a
+//! service — sustained request throughput and per-decision latency —
+//! written to `BENCH_pr6.json`.
+//!
+//! Each workload records a scenario's arrival trace, then feeds it
+//! through [`OnlineEngine`] one arrival at a time (submit → pump), the
+//! exact path the daemon's service loop takes, timing every decision
+//! from submission to drain:
+//!
+//! * **wddh** — `<WD/D+H,2>` with batched admission, the daemon default;
+//! * **gdi** — the global-knowledge baseline, the heaviest per-decision
+//!   search;
+//! * **wddh_twophase** — asynchronous two-phase signalling, where
+//!   decisions resolve across later pumps and the request-id correlation
+//!   (the wire protocol's contract) is exercised for real.
+//!
+//! Every workload asserts the **replay-equivalence gate**: the online
+//! run's metrics must be bit-identical to the offline engine's for the
+//! same config. Workloads also run under `--jobs`-way parallelism via
+//! the deterministic pool and must match the serial pass bit-for-bit.
+
+use anycast_bench::default_jobs;
+use anycast_bench::json::JsonValue;
+use anycast_dac::experiment::{
+    run_experiment, ExperimentConfig, Metrics, SignalingMode, SystemSpec, TwoPhaseConfig,
+};
+use anycast_dac::online::{record_arrivals, OnlineEngine};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Topology};
+use anycast_sim::pool::parallel_map;
+use anycast_telemetry::NullRecorder;
+use std::time::Instant;
+
+/// Run lengths and the λ grid for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    lambdas: Vec<f64>,
+    seed: u64,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            lambdas: vec![30.0],
+            seed: 101,
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            lambdas: vec![20.0, 35.0, 50.0],
+            seed: 101,
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            lambdas: vec![20.0, 35.0, 50.0],
+            seed: 101,
+        }
+    }
+}
+
+/// One (system, λ) service workload.
+struct Workload {
+    name: String,
+    config: ExperimentConfig,
+}
+
+/// What one online run produces: final metrics, wall time of the
+/// submit/pump loop, and one latency sample per decision (submission to
+/// drain, microseconds).
+struct OnlineRun {
+    metrics: Metrics,
+    arrivals: u64,
+    decisions: u64,
+    wall_secs: f64,
+    latencies_us: Vec<u64>,
+}
+
+/// Drives one workload through the online engine the way the daemon's
+/// service loop does: submit each arrival, pump, time every decision from
+/// its submission instant (request ids are the dense submission counter,
+/// so late asynchronous decisions correlate exactly).
+fn run_online(topo: &Topology, config: &ExperimentConfig) -> OnlineRun {
+    let arrivals = record_arrivals(config);
+    let mut engine = OnlineEngine::new(topo, config, NullRecorder);
+    let mut submit_times: Vec<Instant> = Vec::with_capacity(arrivals.len());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let start = Instant::now();
+    for a in &arrivals {
+        submit_times.push(Instant::now());
+        engine.submit(*a);
+        for d in engine.pump() {
+            latencies_us.push(submit_times[d.request as usize].elapsed().as_micros() as u64);
+        }
+    }
+    let (metrics, tail, _) = engine.finish();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut decisions = latencies_us.len() as u64;
+    for d in tail {
+        latencies_us.push(submit_times[d.request as usize].elapsed().as_micros() as u64);
+        decisions += 1;
+    }
+    OnlineRun {
+        metrics,
+        arrivals: arrivals.len() as u64,
+        decisions,
+        wall_secs,
+        latencies_us,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr6: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr6: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr6: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr6 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times the online admission engine on the daemon's submit/pump path,");
+                println!("  asserts online == offline bit-for-bit, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr6: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr6: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+
+    let two_phase = SignalingMode::TwoPhase(TwoPhaseConfig {
+        per_hop_delay_secs: 0.005,
+        ..TwoPhaseConfig::default()
+    });
+    let systems: [(&str, SystemSpec, Option<SignalingMode>, bool); 3] = [
+        (
+            "wddh",
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            None,
+            true,
+        ),
+        ("gdi", SystemSpec::GlobalDynamic, None, true),
+        (
+            "wddh_twophase",
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            Some(two_phase),
+            false, // batching auto-disables on asynchronous signalling
+        ),
+    ];
+    let mut workloads: Vec<Workload> = Vec::new();
+    for (system_name, system, signaling, batch) in systems {
+        for &lambda in &profile.lambdas {
+            let mut config = ExperimentConfig::paper_defaults(lambda, system)
+                .with_warmup_secs(profile.warmup_secs)
+                .with_measure_secs(profile.measure_secs)
+                .with_seed(profile.seed)
+                .with_batching(batch);
+            if let Some(mode) = signaling {
+                config = config.with_signaling(mode);
+            }
+            workloads.push(Workload {
+                name: format!("{system_name}_lambda{lambda:.0}"),
+                config,
+            });
+        }
+    }
+
+    // Serial pass: the measured run.
+    let serial: Vec<OnlineRun> = workloads
+        .iter()
+        .map(|w| run_online(&topo, &w.config))
+        .collect();
+    // Parallel pass: same workloads through the deterministic pool.
+    let parallel: Vec<OnlineRun> =
+        parallel_map(jobs, &workloads, |_, w| run_online(&topo, &w.config));
+    for ((w, a), b) in workloads.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: parallel online run diverged from serial",
+            w.name
+        );
+    }
+
+    let mut entries = Vec::new();
+    for (w, run) in workloads.iter().zip(&serial) {
+        // The replay-equivalence gate: the online engine must reproduce
+        // the offline engine bit-for-bit on the same config.
+        let offline = run_experiment(&topo, &w.config);
+        assert_eq!(
+            run.metrics, offline,
+            "{}: online run diverged from the offline engine",
+            w.name
+        );
+        let mut sorted = run.latencies_us.clone();
+        sorted.sort_unstable();
+        let p50 = percentile(&sorted, 0.50);
+        let p99 = percentile(&sorted, 0.99);
+        let req_per_sec = run.arrivals as f64 / run.wall_secs;
+        println!(
+            "  {:<22} arrivals={:<7} decisions={:<7} AP={:.4} {:>9.0} req/s p50={}us p99={}us",
+            w.name,
+            run.arrivals,
+            run.decisions,
+            run.metrics.admission_probability,
+            req_per_sec,
+            p50,
+            p99
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(w.name.clone())),
+            ("lambda", JsonValue::Num(w.config.lambda)),
+            ("arrivals", JsonValue::Num(run.arrivals as f64)),
+            ("decisions", JsonValue::Num(run.decisions as f64)),
+            ("mean_ap", JsonValue::Num(run.metrics.admission_probability)),
+            ("wall_secs", JsonValue::Num(run.wall_secs)),
+            ("requests_per_sec", JsonValue::Num(req_per_sec)),
+            ("p50_decision_latency_us", JsonValue::Num(p50 as f64)),
+            ("p99_decision_latency_us", JsonValue::Num(p99 as f64)),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr6_online_daemon".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr6: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,6 +4,9 @@
 //! anycast simulate --lambda 25 --system wddh --r 2        # one simulation
 //! anycast sweep --lambdas 5:50:5 --system ed --r 2        # a λ sweep
 //! anycast trace saturated --out traces                    # export event traces
+//! anycast record --lambda 20 --out trace.jsonl            # dump an arrival trace
+//! anycast replay --trace trace.jsonl --lambda 20          # replay it online
+//! anycast serve --listen 127.0.0.1:4730 --warmup 0        # live admission daemon
 //! anycast predict --lambda 35 --system ed1                # Appendix-A analysis
 //! anycast topo --topology grid:5x4                        # structure report
 //! ```
@@ -28,6 +31,9 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(rest),
         "sweep" => commands::sweep(rest),
         "trace" => commands::trace(rest),
+        "record" => commands::record(rest),
+        "replay" => commands::replay(rest),
+        "serve" => commands::serve(rest),
         "predict" => commands::predict(rest),
         "topo" => commands::topo(rest),
         "help" | "--help" | "-h" => {

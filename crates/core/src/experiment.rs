@@ -14,7 +14,8 @@ use crate::multipath::{MultipathController, MultipathRouteTable};
 use crate::policy::PolicySpec;
 use crate::{AdmissionController, AdmissionOutcome, RetrialPolicy};
 use anycast_chaos::{
-    build_timeline, FaultAction, FaultBook, FaultEntity, FaultPlan, MessageFault, SignalingFaults,
+    build_timeline, ControlFaultModel, FaultAction, FaultBook, FaultEntity, FaultPlan,
+    MessageFault, SignalingFaults,
 };
 use anycast_net::{
     topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, RouteTable, Topology,
@@ -31,7 +32,7 @@ use anycast_telemetry::{
     Recorder, RequestTracer, SkipReason, TeardownReason,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Which admission system the experiment evaluates — the paper's
 /// `<A, R>` tuples plus the two baselines.
@@ -487,7 +488,7 @@ pub struct Metrics {
 
 /// Internal event alphabet of the closed-loop simulation.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     Arrival {
         source_index: usize,
         group_index: usize,
@@ -561,18 +562,178 @@ enum Event {
 /// One pre-drawn arrival waiting in the same-quantum batch: everything the
 /// commit loop needs to admit it at its own timestamp. Kept flat and
 /// `Copy` so the batch lives in one contiguous scratch buffer.
-#[derive(Clone, Copy)]
-struct ArrivalSlot {
-    at: SimTime,
-    source_index: usize,
-    group_index: usize,
-    holding_secs: f64,
-    demand: Bandwidth,
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ArrivalSlot {
+    pub(crate) at: SimTime,
+    pub(crate) source_index: usize,
+    pub(crate) group_index: usize,
+    pub(crate) holding_secs: f64,
+    pub(crate) demand: Bandwidth,
+}
+
+/// Where the simulation's arrivals come from: the closed-loop workload of
+/// the offline experiment, or an externally fed queue (trace replay, the
+/// wire protocol) drained by the online engine.
+enum Feed {
+    /// Self-driving: each chain-head arrival draws its successor(s) from
+    /// the workload, exactly as the offline experiment always has.
+    Workload(WorkloadKind),
+    /// Externally fed: successors are popped from this queue instead of
+    /// drawn. When it runs dry the chain head is left unscheduled until
+    /// the next submission re-arms it.
+    External(VecDeque<ArrivalSlot>),
+}
+
+/// One finalised admission decision, captured by the online engine for
+/// its callers (wire-protocol responses, replay diffing, benchmarks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Dense per-run request counter, assigned in arrival order.
+    pub request: u64,
+    /// Simulated time the decision was made at.
+    pub at_secs: f64,
+    /// Whether the flow was admitted.
+    pub admitted: bool,
+    /// Group member the flow went to (admitted only).
+    pub member_index: Option<usize>,
+    /// Installed reservation session (admitted only).
+    pub session: Option<SessionId>,
+    /// Destinations probed before the decision.
+    pub tries: u32,
+}
+
+/// A point-in-time operational snapshot of a running (online) simulation:
+/// the metrics endpoint of the admission daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Simulated time of the snapshot.
+    pub time_secs: f64,
+    /// Requests offered so far (measured period).
+    pub offered: u64,
+    /// Requests admitted so far (measured period).
+    pub admitted: u64,
+    /// Requests rejected so far (measured period).
+    pub rejected: u64,
+    /// Currently active reservations.
+    pub active_sessions: usize,
+    /// Reserved bandwidth across all links, bit/s.
+    pub reserved_bps: u64,
+    /// Pending (uncommitted two-phase hold) bandwidth, bit/s.
+    pub pending_hold_bps: u64,
+    /// Total anycast-partition capacity across all links, bit/s.
+    pub capacity_bps: u64,
+    /// Two-phase setups currently in flight.
+    pub setups_in_flight: usize,
+    /// Links in the topology.
+    pub links: usize,
+    /// Links currently failed.
+    pub failed_links: usize,
+}
+
+fn draw_group(group_shares: &[f64], rng: &mut SimRng) -> usize {
+    if group_shares.len() == 1 {
+        0
+    } else {
+        rng.choose_weighted(group_shares)
+            .expect("group shares validated positive")
+    }
+}
+
+fn draw_demand(config: &ExperimentConfig, demand_weights: &[f64], rng: &mut SimRng) -> Bandwidth {
+    if config.demand_mix.is_empty() {
+        config.flow_bandwidth
+    } else {
+        let idx = rng
+            .choose_weighted(demand_weights)
+            .expect("demand weights validated positive");
+        config.demand_mix[idx].bandwidth
+    }
+}
+
+/// The next arrival of the stream, in the exact draw order of the
+/// pre-refactor sequential code (request, then demand, then group), or
+/// `None` when an external feed has run dry.
+fn next_feed_arrival(
+    feed: &mut Feed,
+    config: &ExperimentConfig,
+    group_shares: &[f64],
+    demand_weights: &[f64],
+    demand_rng: &mut SimRng,
+    group_rng: &mut SimRng,
+) -> Option<ArrivalSlot> {
+    match feed {
+        Feed::Workload(workload) => {
+            let next = workload.next_request();
+            let demand = draw_demand(config, demand_weights, demand_rng);
+            let group_index = draw_group(group_shares, group_rng);
+            Some(ArrivalSlot {
+                at: next.arrival,
+                source_index: next.source_index,
+                group_index,
+                holding_secs: next.holding.as_secs(),
+                demand,
+            })
+        }
+        Feed::External(queue) => queue.pop_front(),
+    }
+}
+
+/// Draws a config's complete arrival process — every arrival inside
+/// `[0, warmup + measure]` — without running any admission, in the exact
+/// order the experiment itself draws it. This is the `record` fixture
+/// generator: replaying the returned slots through an externally-fed
+/// engine is bit-identical to the workload-driven run.
+pub(crate) fn draw_arrival_trace(config: &ExperimentConfig) -> Vec<ArrivalSlot> {
+    let mut master_rng = SimRng::seed_from(config.seed);
+    let mut workload = match config.arrivals {
+        ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
+            config.lambda,
+            config.mean_holding_secs,
+            config.sources.len(),
+            &mut master_rng,
+        )),
+        ArrivalProcess::Bursty {
+            burstiness,
+            mean_sojourn_secs,
+        } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
+            config.lambda,
+            burstiness,
+            mean_sojourn_secs,
+            config.mean_holding_secs,
+            config.sources.len(),
+            &mut master_rng,
+        )),
+    };
+    // Mirror Sim::new's fork order exactly: selection is forked (and
+    // discarded here) before the demand and group streams.
+    let _selection_rng = master_rng.fork();
+    let mut demand_rng = master_rng.fork();
+    let mut group_rng = master_rng.fork();
+    let group_specs = config.effective_groups();
+    let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
+    let demand_weights: Vec<f64> = config.demand_mix.iter().map(|c| c.weight).collect();
+    let horizon = SimTime::from_secs(config.warmup_secs + config.measure_secs);
+    let mut out = Vec::new();
+    loop {
+        let next = workload.next_request();
+        let demand = draw_demand(config, &demand_weights, &mut demand_rng);
+        let group_index = draw_group(&group_shares, &mut group_rng);
+        if next.arrival > horizon {
+            return out;
+        }
+        out.push(ArrivalSlot {
+            at: next.arrival,
+            source_index: next.source_index,
+            group_index,
+            holding_secs: next.holding.as_secs(),
+            demand,
+        });
+    }
 }
 
 /// Arrival-stream dispatch without a trait object (both variants are
 /// concrete and cheap).
-enum WorkloadKind {
+pub(crate) enum WorkloadKind {
     Poisson(PoissonWorkload),
     Bursty(BurstyWorkload),
 }
@@ -703,278 +864,446 @@ pub fn run_experiment_traced(
     config: &ExperimentConfig,
     recorder: &mut dyn Recorder,
 ) -> Metrics {
-    assert!(
-        config.measure_secs > 0.0 && config.warmup_secs >= 0.0,
-        "durations must be positive"
-    );
-    assert!(!config.sources.is_empty(), "need at least one source");
-    for s in &config.sources {
-        assert!(topo.contains_node(*s), "source {s} not in topology");
-    }
-    let refresh = config.faults.refresh;
-    assert!(
-        refresh.refresh_interval_secs.is_finite() && refresh.refresh_interval_secs > 0.0,
-        "refresh interval must be positive"
-    );
-    assert!(
-        refresh.missed_refresh_limit > 0,
-        "missed-refresh limit must be at least 1"
-    );
-    let control = config.faults.control;
-    assert!(
-        (0.0..=1.0).contains(&control.teardown_loss_probability),
-        "teardown loss probability must lie in [0, 1]"
-    );
-    assert!(
-        control.teardown_delay_secs.is_finite() && control.teardown_delay_secs >= 0.0,
-        "teardown delay mean must be non-negative"
-    );
-    let two_phase_cfg = match config.signaling {
-        SignalingMode::Atomic => None,
-        SignalingMode::TwoPhase(cfg) => {
-            cfg.validate();
-            assert!(
-                matches!(config.system, SystemSpec::Dac { .. }),
-                "two-phase signalling requires the DAC system, got {}",
-                config.system.label()
-            );
-            Some(cfg)
-        }
-    };
-    let group_specs = config.effective_groups();
-    let mut groups = Vec::with_capacity(group_specs.len());
-    let mut route_tables = Vec::with_capacity(group_specs.len());
-    for (gi, spec) in group_specs.iter().enumerate() {
-        let group = AnycastGroup::new(format!("G{gi}"), spec.members.iter().copied())
-            .expect("group must be non-empty");
-        for m in group.members() {
-            assert!(topo.contains_node(*m), "member {m} not in topology");
-        }
-        route_tables.push(RouteTable::shortest_paths(topo, &group));
-        groups.push(group);
-    }
-    let mut links = LinkStateTable::with_uniform_fraction(
-        topo,
-        config.default_link_capacity,
-        config.anycast_fraction,
-    );
-    let mut rsvp = ReservationEngine::new();
+    let (mut sim, mut engine) = Sim::new(topo, config, recorder, false);
+    let horizon = sim.horizon;
+    engine.run_until(horizon, |eng, now, event| sim.handle(eng, now, event));
+    sim.finish(horizon).0
+}
 
-    let mut systems: Vec<SystemState> = groups
-        .iter()
-        .zip(&route_tables)
-        .map(|(group, routes)| match &config.system {
-            SystemSpec::Dac { policy, retrial } => SystemState::Dac(
-                config
-                    .sources
-                    .iter()
-                    .map(|&s| {
-                        AdmissionController::new(
-                            policy.build().expect("policy parameters validated"),
-                            *retrial,
-                            routes.distances(s),
-                        )
-                    })
-                    .collect(),
-            ),
-            SystemSpec::DacMultipath {
-                policy,
-                retrial,
-                paths_per_member,
-            } => {
-                let table = MultipathRouteTable::build(topo, group, *paths_per_member);
-                let controllers = config
-                    .sources
-                    .iter()
-                    .map(|&s| {
-                        MultipathController::new(
-                            policy.build().expect("policy parameters validated"),
-                            *retrial,
-                            table.distances(s),
-                        )
-                    })
-                    .collect();
-                SystemState::DacMulti(Box::new(table), controllers)
-            }
-            SystemSpec::ShortestPath => SystemState::Sp(
-                config
-                    .sources
-                    .iter()
-                    .map(|&s| ShortestPathSystem::new(routes.nearest_member(s)))
-                    .collect(),
-            ),
-            SystemSpec::GlobalDynamic => SystemState::Gdi(GlobalDynamicSystem::new()),
-        })
-        .collect();
+/// The full state of one closed-loop simulation between events: every
+/// table, RNG stream, statistic and timer the handler needs.
+///
+/// [`run_experiment_traced`] owns one for the duration of a run; the
+/// online engine ([`crate::online::OnlineEngine`]) keeps one alive across
+/// externally-submitted arrivals. Both drive the **same** [`Sim::handle`]
+/// — there is exactly one admission/event code path, which is what makes
+/// virtual-time replay bit-identical to the offline engine by
+/// construction.
+pub(crate) struct Sim<R: Recorder> {
+    config: ExperimentConfig,
+    topo: Topology,
+    groups: Vec<AnycastGroup>,
+    route_tables: Vec<RouteTable>,
+    links: LinkStateTable,
+    rsvp: ReservationEngine,
+    systems: Vec<SystemState>,
+    selection_rng: SimRng,
+    demand_rng: SimRng,
+    group_rng: SimRng,
+    fault_rng: SimRng,
+    two_phase: Option<TwoPhaseState>,
+    group_shares: Vec<f64>,
+    demand_weights: Vec<f64>,
+    warmup_end: SimTime,
+    horizon: SimTime,
+    stats: AdmissionStats,
+    group_stats: Vec<AdmissionStats>,
+    member_counts: Vec<Vec<u64>>,
+    active: Option<TimeWeighted>,
+    reserved_bw: Option<TimeWeighted>,
+    availability: Option<TimeWeighted>,
+    total_partition: f64,
+    tracker: RefreshTracker,
+    soft_wheel: TimerWheel<SessionId>,
+    live_flows: HashSet<SessionId>,
+    orphaned: HashSet<SessionId>,
+    killed: HashSet<SessionId>,
+    book: FaultBook,
+    refresh_interval: anycast_sim::Duration,
+    control: ControlFaultModel,
+    rec_on: bool,
+    sample_interval: Option<f64>,
+    next_request_id: u64,
+    batching: bool,
+    gdi_shared_links: bool,
+    arrival_batch: Vec<ArrivalSlot>,
+    feed: Feed,
+    feed_head_scheduled: bool,
+    capture_decisions: bool,
+    decisions: Vec<Decision>,
+    recorder: R,
+}
 
-    let mut master_rng = SimRng::seed_from(config.seed);
-    let mut workload = match config.arrivals {
-        ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
-            config.lambda,
-            config.mean_holding_secs,
-            config.sources.len(),
-            &mut master_rng,
-        )),
-        ArrivalProcess::Bursty {
-            burstiness,
-            mean_sojourn_secs,
-        } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
-            config.lambda,
-            burstiness,
-            mean_sojourn_secs,
-            config.mean_holding_secs,
-            config.sources.len(),
-            &mut master_rng,
-        )),
-    };
-    let mut selection_rng = master_rng.fork();
-    let mut demand_rng = master_rng.fork();
-    let mut group_rng = master_rng.fork();
-    // Forked last so the fault stream never perturbs the workload,
-    // selection, demand or group streams: a run under FaultPlan::none()
-    // is bit-identical to one that predates fault injection.
-    let mut fault_rng = master_rng.fork();
-    // Forked after the fault stream (and only ever drawn from by backoff
-    // jitter) so enabling two-phase signalling perturbs no earlier
-    // stream.
-    let backoff_rng = master_rng.fork();
-    let mut two_phase: Option<TwoPhaseState> = two_phase_cfg.map(|cfg| TwoPhaseState {
-        cfg,
-        express: cfg.per_hop_delay_secs == 0.0 && config.faults.signaling.is_inert(),
-        sig: config.faults.signaling,
-        table: SetupTable::new(),
-        setup_req: HashMap::new(),
-        pending: HashMap::new(),
-        holds: TimerWheel::new(),
-        backoff_rng,
-        holds_placed: 0,
-        holds_expired: 0,
-        setups_completed: 0,
-        retransmits: 0,
-        msgs_lost: 0,
-        latency_sum: 0.0,
-        latency_count: 0,
-    });
-    let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
-    let draw_group = move |rng: &mut SimRng| -> usize {
-        if group_shares.len() == 1 {
-            0
-        } else {
-            rng.choose_weighted(&group_shares)
-                .expect("group shares validated positive")
-        }
-    };
-    let demand_weights: Vec<f64> = config.demand_mix.iter().map(|c| c.weight).collect();
-    let draw_demand = move |rng: &mut SimRng| -> Bandwidth {
-        if config.demand_mix.is_empty() {
-            config.flow_bandwidth
-        } else {
-            let idx = rng
-                .choose_weighted(&demand_weights)
-                .expect("demand weights validated positive");
-            config.demand_mix[idx].bandwidth
-        }
-    };
-
-    let warmup_end = SimTime::from_secs(config.warmup_secs);
-    let horizon = SimTime::from_secs(config.warmup_secs + config.measure_secs);
-    let mut stats = AdmissionStats::new(warmup_end);
-    let mut group_stats: Vec<AdmissionStats> = group_specs
-        .iter()
-        .map(|_| AdmissionStats::new(warmup_end))
-        .collect();
-    let mut member_counts: Vec<Vec<u64>> = groups.iter().map(|g| vec![0u64; g.len()]).collect();
-    let mut active: Option<TimeWeighted> = None;
-    let mut reserved_bw: Option<TimeWeighted> = None;
-    let total_partition: f64 = links.iter().map(|(_, s)| s.capacity.bps() as f64).sum();
-
-    // --- Fault-injection state ---------------------------------------
-    // The timeline is expanded up front (deterministically, from its own
-    // forked stream) and scheduled as ordinary events; the soft-state
-    // tracker runs even in fault-free experiments, so reservation
-    // lifecycle behaviour never depends on whether faults are possible.
-    let mut tracker = RefreshTracker::new(refresh);
-    // Exact-deadline soft-state expiry: every register/refresh arms this
-    // wheel at the session's deadline; a SoftTick event reclaims expired
-    // orphans the moment their lifetime ends, instead of waiting for the
-    // next sweep to poll. Fault-free runs pop nothing (live sessions are
-    // refreshed well before their deadlines), so the wheel cannot perturb
-    // them.
-    let mut soft_wheel: TimerWheel<SessionId> = TimerWheel::new();
-    let mut live_flows: HashSet<SessionId> = HashSet::new();
-    let mut orphaned: HashSet<SessionId> = HashSet::new();
-    let mut killed: HashSet<SessionId> = HashSet::new();
-    let mut book = FaultBook::new();
-    let mut availability: Option<TimeWeighted> = None;
-    let refresh_interval = anycast_sim::Duration::from_secs(refresh.refresh_interval_secs);
-
-    // --- Telemetry state ---------------------------------------------
-    // `rec_on` is hoisted so disabled runs pay one branch per hook and
-    // never construct an event. The sampler is only scheduled when the
-    // recorder asks for it; its handler is read-only and consumes no
-    // randomness, so it cannot perturb the metrics.
-    let rec_on = recorder.enabled();
-    let sample_interval = recorder.link_sample_interval();
-    let mut next_request_id: u64 = 0;
-
-    let mut engine: Engine<Event> = Engine::new();
-    engine.schedule_at(warmup_end, Event::WarmupEnd);
-    if let Some(interval_secs) = sample_interval {
+impl<R: Recorder> Sim<R> {
+    /// Builds the full simulation state and its event engine, scheduling
+    /// warm-up end, the fault timeline, the refresh sweep, the optional
+    /// telemetry sampler — and, unless `external`, the first workload
+    /// arrival.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_experiment`].
+    pub(crate) fn new(
+        topo: &Topology,
+        config: &ExperimentConfig,
+        recorder: R,
+        external: bool,
+    ) -> (Self, Engine<Event>) {
         assert!(
-            interval_secs.is_finite() && interval_secs > 0.0,
-            "link sample interval must be positive"
+            config.measure_secs > 0.0 && config.warmup_secs >= 0.0,
+            "durations must be positive"
         );
-        engine.schedule_at(SimTime::from_secs(interval_secs), Event::TelemetrySample);
-    }
-    let fault_members: Vec<NodeId> = groups
-        .iter()
-        .flat_map(|g| g.members().iter().copied())
-        .collect();
-    let timeline = build_timeline(
-        &config.faults,
-        topo,
-        &fault_members,
-        config.warmup_secs + config.measure_secs,
-        &mut fault_rng,
-    );
-    for ev in timeline.events() {
-        engine.schedule_at(SimTime::from_secs(ev.at_secs), Event::Fault(ev.action));
-    }
-    engine.schedule_at(
-        SimTime::from_secs(refresh.refresh_interval_secs),
-        Event::RefreshSweep,
-    );
-    let first = workload.next_request();
-    let first_demand = draw_demand(&mut demand_rng);
-    let first_group = draw_group(&mut group_rng);
-    engine.schedule_at(
-        first.arrival,
-        Event::Arrival {
-            source_index: first.source_index,
-            group_index: first_group,
-            holding_secs: first.holding.as_secs(),
-            demand: first_demand,
-            chain: true,
-        },
-    );
+        assert!(!config.sources.is_empty(), "need at least one source");
+        for s in &config.sources {
+            assert!(topo.contains_node(*s), "source {s} not in topology");
+        }
+        let refresh = config.faults.refresh;
+        assert!(
+            refresh.refresh_interval_secs.is_finite() && refresh.refresh_interval_secs > 0.0,
+            "refresh interval must be positive"
+        );
+        assert!(
+            refresh.missed_refresh_limit > 0,
+            "missed-refresh limit must be at least 1"
+        );
+        let control = config.faults.control;
+        assert!(
+            (0.0..=1.0).contains(&control.teardown_loss_probability),
+            "teardown loss probability must lie in [0, 1]"
+        );
+        assert!(
+            control.teardown_delay_secs.is_finite() && control.teardown_delay_secs >= 0.0,
+            "teardown delay mean must be non-negative"
+        );
+        let two_phase_cfg = match config.signaling {
+            SignalingMode::Atomic => None,
+            SignalingMode::TwoPhase(cfg) => {
+                cfg.validate();
+                assert!(
+                    matches!(config.system, SystemSpec::Dac { .. }),
+                    "two-phase signalling requires the DAC system, got {}",
+                    config.system.label()
+                );
+                Some(cfg)
+            }
+        };
+        let group_specs = config.effective_groups();
+        let mut groups = Vec::with_capacity(group_specs.len());
+        let mut route_tables = Vec::with_capacity(group_specs.len());
+        for (gi, spec) in group_specs.iter().enumerate() {
+            let group = AnycastGroup::new(format!("G{gi}"), spec.members.iter().copied())
+                .expect("group must be non-empty");
+            for m in group.members() {
+                assert!(topo.contains_node(*m), "member {m} not in topology");
+            }
+            route_tables.push(RouteTable::shortest_paths(topo, &group));
+            groups.push(group);
+        }
+        let links = LinkStateTable::with_uniform_fraction(
+            topo,
+            config.default_link_capacity,
+            config.anycast_fraction,
+        );
+        let rsvp = ReservationEngine::new();
 
-    // --- Batched same-quantum admission -------------------------------
-    // Under event-driven two-phase signalling an admission spans many
-    // events, so arrivals cannot be pre-drained past it; batching silently
-    // degrades to the sequential path there. The express (degenerate)
-    // two-phase mode is synchronous and batches fine.
-    let async_mode = matches!(config.system, SystemSpec::Dac { .. })
-        && two_phase.as_ref().is_some_and(|tp| !tp.express);
-    let batching = config.batch && !async_mode;
-    // The GDI residual-search memo is only exact when every link mutation
-    // within a batch comes through the memo's own system; with several
-    // groups sharing links, each group's system is blind to the others'
-    // reservations, so the memo is reset per member (making the batched
-    // evaluator a plain sequential search there).
-    let gdi_shared_links = group_specs.len() > 1;
-    let mut arrival_batch: Vec<ArrivalSlot> = Vec::new();
+        let systems: Vec<SystemState> = groups
+            .iter()
+            .zip(&route_tables)
+            .map(|(group, routes)| match &config.system {
+                SystemSpec::Dac { policy, retrial } => SystemState::Dac(
+                    config
+                        .sources
+                        .iter()
+                        .map(|&s| {
+                            AdmissionController::new(
+                                policy.build().expect("policy parameters validated"),
+                                *retrial,
+                                routes.distances(s),
+                            )
+                        })
+                        .collect(),
+                ),
+                SystemSpec::DacMultipath {
+                    policy,
+                    retrial,
+                    paths_per_member,
+                } => {
+                    let table = MultipathRouteTable::build(topo, group, *paths_per_member);
+                    let controllers = config
+                        .sources
+                        .iter()
+                        .map(|&s| {
+                            MultipathController::new(
+                                policy.build().expect("policy parameters validated"),
+                                *retrial,
+                                table.distances(s),
+                            )
+                        })
+                        .collect();
+                    SystemState::DacMulti(Box::new(table), controllers)
+                }
+                SystemSpec::ShortestPath => SystemState::Sp(
+                    config
+                        .sources
+                        .iter()
+                        .map(|&s| ShortestPathSystem::new(routes.nearest_member(s)))
+                        .collect(),
+                ),
+                SystemSpec::GlobalDynamic => SystemState::Gdi(GlobalDynamicSystem::new()),
+            })
+            .collect();
 
-    engine.run_until(horizon, |eng, now, event| {
+        let mut master_rng = SimRng::seed_from(config.seed);
+        let workload = match config.arrivals {
+            ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
+                config.lambda,
+                config.mean_holding_secs,
+                config.sources.len(),
+                &mut master_rng,
+            )),
+            ArrivalProcess::Bursty {
+                burstiness,
+                mean_sojourn_secs,
+            } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
+                config.lambda,
+                burstiness,
+                mean_sojourn_secs,
+                config.mean_holding_secs,
+                config.sources.len(),
+                &mut master_rng,
+            )),
+        };
+        let selection_rng = master_rng.fork();
+        let mut demand_rng = master_rng.fork();
+        let mut group_rng = master_rng.fork();
+        // Forked last so the fault stream never perturbs the workload,
+        // selection, demand or group streams: a run under FaultPlan::none()
+        // is bit-identical to one that predates fault injection.
+        let mut fault_rng = master_rng.fork();
+        // Forked after the fault stream (and only ever drawn from by backoff
+        // jitter) so enabling two-phase signalling perturbs no earlier
+        // stream.
+        let backoff_rng = master_rng.fork();
+        let two_phase: Option<TwoPhaseState> = two_phase_cfg.map(|cfg| TwoPhaseState {
+            cfg,
+            express: cfg.per_hop_delay_secs == 0.0 && config.faults.signaling.is_inert(),
+            sig: config.faults.signaling,
+            table: SetupTable::new(),
+            setup_req: HashMap::new(),
+            pending: HashMap::new(),
+            holds: TimerWheel::new(),
+            backoff_rng,
+            holds_placed: 0,
+            holds_expired: 0,
+            setups_completed: 0,
+            retransmits: 0,
+            msgs_lost: 0,
+            latency_sum: 0.0,
+            latency_count: 0,
+        });
+        let group_shares: Vec<f64> = group_specs.iter().map(|g| g.share).collect();
+        let demand_weights: Vec<f64> = config.demand_mix.iter().map(|c| c.weight).collect();
+
+        let warmup_end = SimTime::from_secs(config.warmup_secs);
+        let horizon = SimTime::from_secs(config.warmup_secs + config.measure_secs);
+        let stats = AdmissionStats::new(warmup_end);
+        let group_stats: Vec<AdmissionStats> = group_specs
+            .iter()
+            .map(|_| AdmissionStats::new(warmup_end))
+            .collect();
+        let member_counts: Vec<Vec<u64>> = groups.iter().map(|g| vec![0u64; g.len()]).collect();
+        let active: Option<TimeWeighted> = None;
+        let reserved_bw: Option<TimeWeighted> = None;
+        let total_partition: f64 = links.iter().map(|(_, s)| s.capacity.bps() as f64).sum();
+
+        // --- Fault-injection state ---------------------------------------
+        // The timeline is expanded up front (deterministically, from its own
+        // forked stream) and scheduled as ordinary events; the soft-state
+        // tracker runs even in fault-free experiments, so reservation
+        // lifecycle behaviour never depends on whether faults are possible.
+        let tracker = RefreshTracker::new(refresh);
+        // Exact-deadline soft-state expiry: every register/refresh arms this
+        // wheel at the session's deadline; a SoftTick event reclaims expired
+        // orphans the moment their lifetime ends, instead of waiting for the
+        // next sweep to poll. Fault-free runs pop nothing (live sessions are
+        // refreshed well before their deadlines), so the wheel cannot perturb
+        // them.
+        let soft_wheel: TimerWheel<SessionId> = TimerWheel::new();
+        let live_flows: HashSet<SessionId> = HashSet::new();
+        let orphaned: HashSet<SessionId> = HashSet::new();
+        let killed: HashSet<SessionId> = HashSet::new();
+        let book = FaultBook::new();
+        let availability: Option<TimeWeighted> = None;
+        let refresh_interval = anycast_sim::Duration::from_secs(refresh.refresh_interval_secs);
+
+        // --- Telemetry state ---------------------------------------------
+        // `rec_on` is hoisted so disabled runs pay one branch per hook and
+        // never construct an event. The sampler is only scheduled when the
+        // recorder asks for it; its handler is read-only and consumes no
+        // randomness, so it cannot perturb the metrics.
+        let rec_on = recorder.enabled();
+        let sample_interval = recorder.link_sample_interval();
+        let next_request_id: u64 = 0;
+
+        let mut engine: Engine<Event> = Engine::new();
+        engine.schedule_at(warmup_end, Event::WarmupEnd);
+        if let Some(interval_secs) = sample_interval {
+            assert!(
+                interval_secs.is_finite() && interval_secs > 0.0,
+                "link sample interval must be positive"
+            );
+            engine.schedule_at(SimTime::from_secs(interval_secs), Event::TelemetrySample);
+        }
+        let fault_members: Vec<NodeId> = groups
+            .iter()
+            .flat_map(|g| g.members().iter().copied())
+            .collect();
+        let timeline = build_timeline(
+            &config.faults,
+            topo,
+            &fault_members,
+            config.warmup_secs + config.measure_secs,
+            &mut fault_rng,
+        );
+        for ev in timeline.events() {
+            engine.schedule_at(SimTime::from_secs(ev.at_secs), Event::Fault(ev.action));
+        }
+        engine.schedule_at(
+            SimTime::from_secs(refresh.refresh_interval_secs),
+            Event::RefreshSweep,
+        );
+        // The arrival feed. Offline runs draw the chain head from the
+        // workload now; externally-fed (online) runs start with an empty
+        // queue and schedule heads as arrivals are submitted. The workload
+        // was constructed — consuming its RNG forks — in both modes, so the
+        // selection/demand/group/fault/backoff streams are seeded identically
+        // either way; that is what makes virtual-time replay of a recorded
+        // trace bit-identical to the offline engine.
+        let mut feed = if external {
+            Feed::External(VecDeque::new())
+        } else {
+            Feed::Workload(workload)
+        };
+        let feed_head_scheduled = !external;
+        if let Feed::Workload(w) = &mut feed {
+            let first = w.next_request();
+            let first_demand = draw_demand(config, &demand_weights, &mut demand_rng);
+            let first_group = draw_group(&group_shares, &mut group_rng);
+            engine.schedule_at(
+                first.arrival,
+                Event::Arrival {
+                    source_index: first.source_index,
+                    group_index: first_group,
+                    holding_secs: first.holding.as_secs(),
+                    demand: first_demand,
+                    chain: true,
+                },
+            );
+        }
+
+        // --- Batched same-quantum admission -------------------------------
+        // Under event-driven two-phase signalling an admission spans many
+        // events, so arrivals cannot be pre-drained past it; batching silently
+        // degrades to the sequential path there. The express (degenerate)
+        // two-phase mode is synchronous and batches fine.
+        let async_mode = matches!(config.system, SystemSpec::Dac { .. })
+            && two_phase.as_ref().is_some_and(|tp| !tp.express);
+        let batching = config.batch && !async_mode;
+        // The GDI residual-search memo is only exact when every link mutation
+        // within a batch comes through the memo's own system; with several
+        // groups sharing links, each group's system is blind to the others'
+        // reservations, so the memo is reset per member (making the batched
+        // evaluator a plain sequential search there).
+        let gdi_shared_links = group_specs.len() > 1;
+        let arrival_batch: Vec<ArrivalSlot> = Vec::new();
+
+        let sim = Sim {
+            config: config.clone(),
+            topo: topo.clone(),
+            groups,
+            route_tables,
+            links,
+            rsvp,
+            systems,
+            selection_rng,
+            demand_rng,
+            group_rng,
+            fault_rng,
+            two_phase,
+            group_shares,
+            demand_weights,
+            warmup_end,
+            horizon,
+            stats,
+            group_stats,
+            member_counts,
+            active,
+            reserved_bw,
+            availability,
+            total_partition,
+            tracker,
+            soft_wheel,
+            live_flows,
+            orphaned,
+            killed,
+            book,
+            refresh_interval,
+            control,
+            rec_on,
+            sample_interval,
+            next_request_id,
+            batching,
+            gdi_shared_links,
+            arrival_batch,
+            feed,
+            feed_head_scheduled,
+            capture_decisions: false,
+            decisions: Vec::new(),
+            recorder,
+        };
+        (sim, engine)
+    }
+
+    /// Processes one event — the single admission/bookkeeping code path
+    /// shared by the offline and online engines.
+    pub(crate) fn handle(&mut self, eng: &mut Engine<Event>, now: SimTime, event: Event) {
+        let rec_on = self.rec_on;
+        let batching = self.batching;
+        let gdi_shared_links = self.gdi_shared_links;
+        let warmup_end = self.warmup_end;
+        let horizon = self.horizon;
+        let control = self.control;
+        let refresh_interval = self.refresh_interval;
+        let sample_interval = self.sample_interval;
+        let capture_decisions = self.capture_decisions;
+        // Destructure so the macros below can borrow many fields at once,
+        // exactly as the original closure captured its locals.
+        let Sim {
+            config,
+            topo,
+            groups,
+            route_tables,
+            links,
+            rsvp,
+            systems,
+            selection_rng,
+            demand_rng,
+            group_rng,
+            fault_rng,
+            two_phase,
+            group_shares,
+            demand_weights,
+            stats,
+            group_stats,
+            member_counts,
+            active,
+            reserved_bw,
+            availability,
+            tracker,
+            soft_wheel,
+            live_flows,
+            orphaned,
+            killed,
+            book,
+            next_request_id,
+            arrival_batch,
+            feed,
+            feed_head_scheduled,
+            decisions,
+            recorder,
+            ..
+        } = self;
+        let recorder: &mut dyn Recorder = recorder;
         // Local macros instead of closures: the bookkeeping below needs
         // simultaneous mutable access to many captured bindings (stats,
         // telemetry, the two-phase tables, the engine itself), which no
@@ -1070,6 +1399,16 @@ pub fn run_experiment_traced(
                 }
                 stats.record(now, true, p.tries);
                 group_stats[p.group_index].record(now, true, p.tries);
+                if capture_decisions {
+                    decisions.push(Decision {
+                        request: req,
+                        at_secs: now.as_secs(),
+                        admitted: true,
+                        member_index: Some(p.pick),
+                        session: Some(session),
+                        tries: p.tries,
+                    });
+                }
                 if now >= warmup_end {
                     member_counts[p.group_index][p.pick] += 1;
                 }
@@ -1102,7 +1441,7 @@ pub fn run_experiment_traced(
                     // setup completes on the spot — same as the atomic engine.
                     let out = tp
                         .table
-                        .run_express(&mut rsvp, &mut links, &route, demand, now.as_secs())
+                        .run_express(&mut *rsvp, &mut *links, &route, demand, now.as_secs())
                         .expect("zero-hop routes always admit");
                     admit_complete!(req, out.session, 0, now.as_secs());
                 } else {
@@ -1184,13 +1523,13 @@ pub fn run_experiment_traced(
                         }
                         let weights = controllers[si].selection_weights(
                             route_tables[gi].routes_from(config.sources[si]),
-                            &links,
+                            &*links,
                         );
                         let p = tp.pending.get_mut(&req).expect("still pending");
                         let next_pick = AdmissionController::pick_destination(
                             &weights,
                             &p.untried,
-                            &mut selection_rng,
+                            &mut *selection_rng,
                         )
                         .expect("a granted retrial implies an untried member");
                         p.tries += 1;
@@ -1204,6 +1543,16 @@ pub fn run_experiment_traced(
                         let p = tp.pending.remove(&req).expect("still pending");
                         stats.record(now, false, p.tries);
                         group_stats[p.group_index].record(now, false, p.tries);
+                        if capture_decisions {
+                            decisions.push(Decision {
+                                request: req,
+                                at_secs: now.as_secs(),
+                                admitted: false,
+                                member_index: None,
+                                session: None,
+                                tries: p.tries,
+                            });
+                        }
                         if rec_on {
                             recorder.record(
                                 now.as_secs(),
@@ -1236,8 +1585,8 @@ pub fn run_experiment_traced(
                 let source = config.sources[source_index];
                 let group = &groups[group_index];
                 let routes = &route_tables[group_index];
-                let request_id = next_request_id;
-                next_request_id += 1;
+                let request_id = *next_request_id;
+                *next_request_id += 1;
                 if rec_on {
                     recorder.record(
                         at.as_secs(),
@@ -1263,12 +1612,12 @@ pub fn run_experiment_traced(
                         _ => unreachable!("checked above"),
                     };
                     let weights = controllers[source_index]
-                        .selection_weights(routes.routes_from(source), &links);
+                        .selection_weights(routes.routes_from(source), &*links);
                     let untried = vec![true; weights.len()];
                     let pick = AdmissionController::pick_destination(
                         &weights,
                         &untried,
-                        &mut selection_rng,
+                        &mut *selection_rng,
                     )
                     .expect("anycast groups are non-empty");
                     let tp = two_phase.as_mut().expect("checked above");
@@ -1299,20 +1648,20 @@ pub fn run_experiment_traced(
                             // synchronous per-hop walk, bit-identical to atomic.
                             Some(tp) => controllers[source_index].admit_two_phase_express(
                                 routes.routes_from(source),
-                                &mut links,
-                                &mut rsvp,
+                                &mut *links,
+                                &mut *rsvp,
                                 &mut tp.table,
                                 demand,
                                 at.as_secs(),
-                                &mut selection_rng,
+                                &mut *selection_rng,
                                 &mut tracer,
                             ),
                             None => controllers[source_index].admit_traced(
                                 routes.routes_from(source),
-                                &mut links,
-                                &mut rsvp,
+                                &mut *links,
+                                &mut *rsvp,
                                 demand,
-                                &mut selection_rng,
+                                &mut *selection_rng,
                                 &mut tracer,
                             ),
                         },
@@ -1320,10 +1669,10 @@ pub fn run_experiment_traced(
                             let out = controllers[source_index]
                                 .admit(
                                     table.routes_from(source),
-                                    &mut links,
-                                    &mut rsvp,
+                                    &mut *links,
+                                    &mut *rsvp,
                                     demand,
-                                    &mut selection_rng,
+                                    &mut *selection_rng,
                                 )
                                 .outcome;
                             // The multipath controller is not internally traced;
@@ -1343,8 +1692,8 @@ pub fn run_experiment_traced(
                         }
                         SystemState::Sp(per_source) => per_source[source_index].admit_traced(
                             routes.routes_from(source),
-                            &mut links,
-                            &mut rsvp,
+                            &mut *links,
+                            &mut *rsvp,
                             demand,
                             &mut tracer,
                         ),
@@ -1361,8 +1710,8 @@ pub fn run_experiment_traced(
                                     topo,
                                     group,
                                     source,
-                                    &mut links,
-                                    &mut rsvp,
+                                    &mut *links,
+                                    &mut *rsvp,
                                     demand,
                                     &mut tracer,
                                 )
@@ -1371,8 +1720,8 @@ pub fn run_experiment_traced(
                                     topo,
                                     group,
                                     source,
-                                    &mut links,
-                                    &mut rsvp,
+                                    &mut *links,
+                                    &mut *rsvp,
                                     demand,
                                     &mut tracer,
                                 )
@@ -1380,6 +1729,16 @@ pub fn run_experiment_traced(
                         }
                     };
                     drop(tracer);
+                    if capture_decisions {
+                        decisions.push(Decision {
+                            request: request_id,
+                            at_secs: at.as_secs(),
+                            admitted: outcome.is_admitted(),
+                            member_index: outcome.admitted.as_ref().map(|f| f.member_index),
+                            session: outcome.admitted.as_ref().map(|f| f.session),
+                            tries: outcome.tries,
+                        });
+                    }
                     stats.record(at, outcome.is_admitted(), outcome.tries);
                     group_stats[group_index].record(at, outcome.is_admitted(), outcome.tries);
                     if at >= warmup_end {
@@ -1410,19 +1769,26 @@ pub fn run_experiment_traced(
             } => {
                 if !batching {
                     process_arrival!(now, source_index, group_index, holding_secs, demand);
-                    let next = workload.next_request();
-                    let next_demand = draw_demand(&mut demand_rng);
-                    let next_group = draw_group(&mut group_rng);
-                    eng.schedule_at(
-                        next.arrival,
-                        Event::Arrival {
-                            source_index: next.source_index,
-                            group_index: next_group,
-                            holding_secs: next.holding.as_secs(),
-                            demand: next_demand,
-                            chain: true,
-                        },
-                    );
+                    match next_feed_arrival(
+                        feed,
+                        config,
+                        group_shares,
+                        demand_weights,
+                        demand_rng,
+                        group_rng,
+                    ) {
+                        Some(next) => eng.schedule_at(
+                            next.at,
+                            Event::Arrival {
+                                source_index: next.source_index,
+                                group_index: next.group_index,
+                                holding_secs: next.holding_secs,
+                                demand: next.demand,
+                                chain: true,
+                            },
+                        ),
+                        None => *feed_head_scheduled = false,
+                    }
                     return;
                 }
                 if !chain {
@@ -1455,27 +1821,31 @@ pub fn run_experiment_traced(
                     demand,
                 });
                 loop {
-                    let next = workload.next_request();
-                    let next_demand = draw_demand(&mut demand_rng);
-                    let next_group = draw_group(&mut group_rng);
-                    let same_quantum = next.arrival <= horizon
-                        && eng.peek_time().is_none_or(|p| next.arrival < p);
+                    let Some(next) = next_feed_arrival(
+                        feed,
+                        config,
+                        group_shares,
+                        demand_weights,
+                        demand_rng,
+                        group_rng,
+                    ) else {
+                        // Externally-fed and the queue ran dry: the next
+                        // submission re-arms the chain head.
+                        *feed_head_scheduled = false;
+                        break;
+                    };
+                    let same_quantum =
+                        next.at <= horizon && eng.peek_time().is_none_or(|p| next.at < p);
                     if same_quantum {
-                        arrival_batch.push(ArrivalSlot {
-                            at: next.arrival,
-                            source_index: next.source_index,
-                            group_index: next_group,
-                            holding_secs: next.holding.as_secs(),
-                            demand: next_demand,
-                        });
+                        arrival_batch.push(next);
                     } else {
                         eng.schedule_at(
-                            next.arrival,
+                            next.at,
                             Event::Arrival {
                                 source_index: next.source_index,
-                                group_index: next_group,
-                                holding_secs: next.holding.as_secs(),
-                                demand: next_demand,
+                                group_index: next.group_index,
+                                holding_secs: next.holding_secs,
+                                demand: next.demand,
                                 chain: true,
                             },
                         );
@@ -1538,7 +1908,7 @@ pub fn run_experiment_traced(
                     let delay = fault_rng.exp_duration(control.teardown_delay_secs);
                     eng.schedule_in(now, delay, Event::Teardown(session));
                 } else {
-                    rsvp.teardown(&mut links, session)
+                    rsvp.teardown(&mut *links, session)
                         .expect("departing flows hold live sessions");
                     soft_forget!(session);
                     if rec_on {
@@ -1557,7 +1927,7 @@ pub fn run_experiment_traced(
                 if killed.remove(&session) {
                     // A fault beat the delayed teardown to the reservation.
                 } else {
-                    rsvp.teardown(&mut links, session)
+                    rsvp.teardown(&mut *links, session)
                         .expect("delayed teardowns target live sessions");
                     soft_forget!(session);
                     if rec_on {
@@ -1637,7 +2007,7 @@ pub fn run_experiment_traced(
                     }
                 };
                 for session in victims {
-                    rsvp.teardown(&mut links, session)
+                    rsvp.teardown(&mut *links, session)
                         .expect("fault victims hold live reservations");
                     soft_forget!(session);
                     if rec_on {
@@ -1705,7 +2075,7 @@ pub fn run_experiment_traced(
                         _ => continue,
                     }
                     tracker.forget(session);
-                    rsvp.teardown(&mut links, session)
+                    rsvp.teardown(&mut *links, session)
                         .expect("expired sessions hold reservations");
                     orphaned.remove(&session);
                     book.note_orphan_reclaimed();
@@ -1753,9 +2123,9 @@ pub fn run_experiment_traced(
             }
             Event::WarmupEnd => {
                 rsvp.reset_ledger();
-                active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
-                reserved_bw = Some(TimeWeighted::new(now, links.total_reserved().bps() as f64));
-                availability = Some(TimeWeighted::new(now, links.operational_fraction()));
+                *active = Some(TimeWeighted::new(now, rsvp.active_sessions() as f64));
+                *reserved_bw = Some(TimeWeighted::new(now, links.total_reserved().bps() as f64));
+                *availability = Some(TimeWeighted::new(now, links.operational_fraction()));
             }
             Event::PathHop { req, setup, hop } => {
                 let tp = two_phase
@@ -1769,7 +2139,7 @@ pub fn run_experiment_traced(
                 let bw_bps = tp.table.bandwidth(setup).expect("tabled setup").bps();
                 match tp
                     .table
-                    .path_step(&mut rsvp, &mut links, setup, hop)
+                    .path_step(&mut *rsvp, &mut *links, setup, hop)
                     .expect("contains() checked above")
                 {
                     PathStep::Held {
@@ -1802,7 +2172,7 @@ pub fn run_experiment_traced(
                                 eng.schedule_at(SimTime::from_secs(tick), Event::HoldTick);
                             }
                         }
-                        match transit(&tp.sig.path, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                        match transit(&tp.sig.path, tp.cfg.per_hop_delay_secs, &mut *fault_rng) {
                             Some(delay) => {
                                 let next = if reached_destination {
                                     // The destination answers: its RESV first
@@ -1854,7 +2224,7 @@ pub fn run_experiment_traced(
             }
             Event::ResvHop { req, setup, hop } => {
                 let tp = two_phase.as_mut().expect("two-phase mode");
-                if !tp.table.resv_step(&mut rsvp, setup) {
+                if !tp.table.resv_step(&mut *rsvp, setup) {
                     return;
                 }
                 let link = tp.table.link_at(setup, hop).expect("route covers this hop");
@@ -1868,7 +2238,7 @@ pub fn run_experiment_traced(
                         },
                     );
                 }
-                match transit(&tp.sig.resv, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                match transit(&tp.sig.resv, tp.cfg.per_hop_delay_secs, &mut *fault_rng) {
                     Some(delay) => {
                         let next = if hop == 0 {
                             Event::SetupComplete { req, setup }
@@ -1906,7 +2276,7 @@ pub fn run_experiment_traced(
                 let link = tp.table.link_at(setup, hop).expect("route covers this hop");
                 let released = tp
                     .table
-                    .resv_err_step(&mut rsvp, &mut links, setup, hop)
+                    .resv_err_step(&mut *rsvp, &mut *links, setup, hop)
                     .expect("contains() checked above");
                 if released.is_some() {
                     // The error released this hop's hold before its timer fired.
@@ -1923,7 +2293,7 @@ pub fn run_experiment_traced(
                     );
                 }
                 let lost =
-                    match transit(&tp.sig.resv_err, tp.cfg.per_hop_delay_secs, &mut fault_rng) {
+                    match transit(&tp.sig.resv_err, tp.cfg.per_hop_delay_secs, &mut *fault_rng) {
                         Some(delay) => {
                             let next = if hop == 0 {
                                 Event::SetupRefused { req, setup }
@@ -1969,7 +2339,7 @@ pub fn run_experiment_traced(
                     .table
                     .started_at(setup)
                     .expect("pending setups stay tabled");
-                match tp.table.complete(&mut rsvp, &mut links, setup) {
+                match tp.table.complete(&mut *rsvp, &mut *links, setup) {
                     Some(outcome) => {
                         for h in 0..hops {
                             tp.holds.cancel(&(setup, h));
@@ -2069,7 +2439,7 @@ pub fn run_experiment_traced(
                 let tp = two_phase.as_mut().expect("two-phase mode");
                 for (setup, hop) in tp.holds.pop_due(now.as_secs()) {
                     let bw_bps = tp.table.bandwidth(setup).map(|b| b.bps());
-                    if let Some(link) = tp.table.expire_hold(&mut links, setup, hop) {
+                    if let Some(link) = tp.table.expire_hold(&mut *links, setup, hop) {
                         tp.holds_expired += 1;
                         if rec_on {
                             let owner = tp
@@ -2096,107 +2466,234 @@ pub fn run_experiment_traced(
                 }
             }
         }
-    });
+    }
 
-    // Orphans expire exactly at their soft-state deadline via SoftTick
-    // events inside the run, so no closing sweep is needed: anything the
-    // tracker still holds at the horizon is genuinely within lifetime.
-    //
-    // Drain in-flight two-phase setups: their exchanges never resolved
-    // (censored, like any open request at the horizon) and their holds go
-    // back. Every held bit must belong to a tabled setup — whatever
-    // `total_pending` still shows afterwards leaked.
-    let leaked_hold_bps = {
-        if let Some(tp) = two_phase.as_mut() {
-            let _ = tp.table.drain(&mut links);
-        }
-        links.total_pending().bps()
-    };
-    // Audit the bandwidth ledger: every reserved bit must be attributable
-    // to a surviving session (live flows, pending teardowns, and orphans
-    // still inside their soft-state lifetime).
-    let attributable: u64 = rsvp
-        .sessions()
-        .map(|(_, r)| r.bandwidth().bps() * r.path().links().len() as u64)
-        .sum();
-    let leaked_bandwidth_bps = links.total_reserved().bps().saturating_sub(attributable);
+    /// Finishes the run: drains in-flight two-phase setups, audits the
+    /// bandwidth ledger and assembles the [`Metrics`], with time-weighted
+    /// averages taken over `[warmup_end, end]`. The offline engine passes
+    /// the horizon; the online engine passes wherever its clock stopped.
+    pub(crate) fn finish(mut self, end: SimTime) -> (Metrics, R) {
+        // Orphans expire exactly at their soft-state deadline via SoftTick
+        // events inside the run, so no closing sweep is needed: anything
+        // the tracker still holds at the horizon is genuinely within
+        // lifetime.
+        //
+        // Drain in-flight two-phase setups: their exchanges never resolved
+        // (censored, like any open request at the horizon) and their holds
+        // go back. Every held bit must belong to a tabled setup — whatever
+        // `total_pending` still shows afterwards leaked.
+        let leaked_hold_bps = {
+            if let Some(tp) = self.two_phase.as_mut() {
+                let _ = tp.table.drain(&mut self.links);
+            }
+            self.links.total_pending().bps()
+        };
+        // Audit the bandwidth ledger: every reserved bit must be
+        // attributable to a surviving session (live flows, pending
+        // teardowns, and orphans still inside their soft-state lifetime).
+        let attributable: u64 = self
+            .rsvp
+            .sessions()
+            .map(|(_, r)| r.bandwidth().bps() * r.path().links().len() as u64)
+            .sum();
+        let leaked_bandwidth_bps = self
+            .links
+            .total_reserved()
+            .bps()
+            .saturating_sub(attributable);
 
-    let messages = rsvp.ledger().clone();
-    let offered = stats.offered();
-    Metrics {
-        label: config.system.label(),
-        lambda: config.lambda,
-        seed: config.seed,
-        admission_probability: stats.admission_probability(),
-        ap_ci95: stats.ap_ci95_half_width(),
-        offered,
-        admitted: stats.admitted(),
-        mean_tries: stats.mean_tries(),
-        mean_retrials: stats.mean_retrials(),
-        messages_per_request: if offered == 0 {
-            0.0
-        } else {
-            messages.total() as f64 / offered as f64
-        },
-        messages,
-        tries_histogram: stats.tries_histogram().buckets().to_vec(),
-        per_group_ap: group_stats
-            .iter()
-            .map(|s| s.admission_probability())
-            .collect(),
-        member_share: member_counts
-            .iter()
-            .map(|counts| {
-                let total: u64 = counts.iter().sum();
-                counts
-                    .iter()
-                    .map(|&c| {
-                        if total == 0 {
-                            0.0
-                        } else {
-                            c as f64 / total as f64
-                        }
-                    })
-                    .collect()
-            })
-            .collect(),
-        mean_active_flows: active
-            .as_ref()
-            .map(|tw| tw.average_until(horizon))
-            .unwrap_or(0.0),
-        mean_network_utilization: reserved_bw
-            .as_ref()
-            .map(|tw| {
-                if total_partition == 0.0 {
-                    0.0
-                } else {
-                    tw.average_until(horizon) / total_partition
-                }
-            })
-            .unwrap_or(0.0),
-        availability: availability
-            .as_ref()
-            .map(|tw| tw.average_until(horizon))
-            .unwrap_or(1.0),
-        flows_killed_by_failure: book.flows_killed(),
-        outages: book.completed_outages(),
-        mean_recovery_secs: book.mean_recovery_secs(),
-        orphaned_reservations: book.orphans_created(),
-        orphans_reclaimed: book.orphans_reclaimed(),
-        leaked_bandwidth_bps,
-        holds_placed: two_phase.as_ref().map_or(0, |tp| tp.holds_placed),
-        holds_expired: two_phase.as_ref().map_or(0, |tp| tp.holds_expired),
-        setups_completed: two_phase.as_ref().map_or(0, |tp| tp.setups_completed),
-        retransmits: two_phase.as_ref().map_or(0, |tp| tp.retransmits),
-        signaling_messages_lost: two_phase.as_ref().map_or(0, |tp| tp.msgs_lost),
-        mean_setup_latency_secs: two_phase.as_ref().map_or(0.0, |tp| {
-            if tp.latency_count == 0 {
+        let messages = self.rsvp.ledger().clone();
+        let offered = self.stats.offered();
+        let metrics = Metrics {
+            label: self.config.system.label(),
+            lambda: self.config.lambda,
+            seed: self.config.seed,
+            admission_probability: self.stats.admission_probability(),
+            ap_ci95: self.stats.ap_ci95_half_width(),
+            offered,
+            admitted: self.stats.admitted(),
+            mean_tries: self.stats.mean_tries(),
+            mean_retrials: self.stats.mean_retrials(),
+            messages_per_request: if offered == 0 {
                 0.0
             } else {
-                tp.latency_sum / tp.latency_count as f64
-            }
-        }),
-        leaked_hold_bps,
+                messages.total() as f64 / offered as f64
+            },
+            messages,
+            tries_histogram: self.stats.tries_histogram().buckets().to_vec(),
+            per_group_ap: self
+                .group_stats
+                .iter()
+                .map(|s| s.admission_probability())
+                .collect(),
+            member_share: self
+                .member_counts
+                .iter()
+                .map(|counts| {
+                    let total: u64 = counts.iter().sum();
+                    counts
+                        .iter()
+                        .map(|&c| {
+                            if total == 0 {
+                                0.0
+                            } else {
+                                c as f64 / total as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            mean_active_flows: self
+                .active
+                .as_ref()
+                .map(|tw| tw.average_until(end))
+                .unwrap_or(0.0),
+            mean_network_utilization: self
+                .reserved_bw
+                .as_ref()
+                .map(|tw| {
+                    if self.total_partition == 0.0 {
+                        0.0
+                    } else {
+                        tw.average_until(end) / self.total_partition
+                    }
+                })
+                .unwrap_or(0.0),
+            availability: self
+                .availability
+                .as_ref()
+                .map(|tw| tw.average_until(end))
+                .unwrap_or(1.0),
+            flows_killed_by_failure: self.book.flows_killed(),
+            outages: self.book.completed_outages(),
+            mean_recovery_secs: self.book.mean_recovery_secs(),
+            orphaned_reservations: self.book.orphans_created(),
+            orphans_reclaimed: self.book.orphans_reclaimed(),
+            leaked_bandwidth_bps,
+            holds_placed: self.two_phase.as_ref().map_or(0, |tp| tp.holds_placed),
+            holds_expired: self.two_phase.as_ref().map_or(0, |tp| tp.holds_expired),
+            setups_completed: self.two_phase.as_ref().map_or(0, |tp| tp.setups_completed),
+            retransmits: self.two_phase.as_ref().map_or(0, |tp| tp.retransmits),
+            signaling_messages_lost: self.two_phase.as_ref().map_or(0, |tp| tp.msgs_lost),
+            mean_setup_latency_secs: self.two_phase.as_ref().map_or(0.0, |tp| {
+                if tp.latency_count == 0 {
+                    0.0
+                } else {
+                    tp.latency_sum / tp.latency_count as f64
+                }
+            }),
+            leaked_hold_bps,
+        };
+        (metrics, self.recorder)
+    }
+
+    /// End of the warm-up period.
+    pub(crate) fn warmup_end(&self) -> SimTime {
+        self.warmup_end
+    }
+
+    /// The run horizon (`warmup_secs + measure_secs`).
+    pub(crate) fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of configured source routers.
+    pub(crate) fn source_count(&self) -> usize {
+        self.config.sources.len()
+    }
+
+    /// Number of effective anycast groups.
+    pub(crate) fn group_count(&self) -> usize {
+        self.group_shares.len()
+    }
+
+    /// Turns on per-request [`Decision`] capture (off for offline runs,
+    /// so their instruction stream is untouched).
+    pub(crate) fn enable_decision_capture(&mut self) {
+        self.capture_decisions = true;
+    }
+
+    /// Drains the decisions captured since the last call.
+    pub(crate) fn take_decisions(&mut self) -> Vec<Decision> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    /// Shared access to the recorder.
+    pub(crate) fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// A point-in-time operational snapshot for the service loop.
+    pub(crate) fn snapshot(&self, now: SimTime) -> ServiceSnapshot {
+        let summary = self.links.summary();
+        ServiceSnapshot {
+            time_secs: now.as_secs(),
+            offered: self.stats.offered(),
+            admitted: self.stats.admitted(),
+            rejected: self.stats.rejected(),
+            active_sessions: self.rsvp.active_sessions(),
+            reserved_bps: summary.reserved_bps,
+            pending_hold_bps: summary.pending_bps,
+            capacity_bps: summary.capacity_bps,
+            setups_in_flight: self.two_phase.as_ref().map_or(0, |tp| tp.table.in_flight()),
+            links: summary.links,
+            failed_links: summary.failed_links,
+        }
+    }
+
+    /// Enqueues one externally-submitted arrival.
+    ///
+    /// When no chain head is scheduled (the queue had run dry) the slot is
+    /// scheduled directly as the new head; otherwise it waits in the queue
+    /// for the running chain to drain it — exactly where the offline
+    /// engine would have drawn it from the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation is workload-driven, the slot references an
+    /// unknown source or group, its demand or holding time is not
+    /// positive, or it is earlier than a previously submitted slot.
+    pub(crate) fn submit_slot(&mut self, engine: &mut Engine<Event>, slot: ArrivalSlot) {
+        assert!(
+            slot.source_index < self.config.sources.len(),
+            "arrival references unknown source index {}",
+            slot.source_index
+        );
+        assert!(
+            slot.group_index < self.group_shares.len(),
+            "arrival references unknown group index {}",
+            slot.group_index
+        );
+        assert!(
+            slot.holding_secs.is_finite() && slot.holding_secs > 0.0,
+            "arrival holding time must be positive, got {}",
+            slot.holding_secs
+        );
+        assert!(slot.demand.bps() > 0, "arrival demand must be positive");
+        let Feed::External(queue) = &mut self.feed else {
+            panic!("submit_slot requires an externally-fed simulation");
+        };
+        if let Some(last) = queue.back() {
+            assert!(
+                slot.at >= last.at,
+                "arrivals must be submitted in nondecreasing time order"
+            );
+        }
+        if self.feed_head_scheduled {
+            queue.push_back(slot);
+        } else {
+            engine.schedule_at(
+                slot.at,
+                Event::Arrival {
+                    source_index: slot.source_index,
+                    group_index: slot.group_index,
+                    holding_secs: slot.holding_secs,
+                    demand: slot.demand,
+                    chain: true,
+                },
+            );
+            self.feed_head_scheduled = true;
+        }
     }
 }
 

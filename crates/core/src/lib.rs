@@ -44,6 +44,7 @@ mod error;
 pub mod experiment;
 mod history;
 pub mod multipath;
+pub mod online;
 pub mod policy;
 pub mod qos;
 mod retrial;

@@ -1,0 +1,243 @@
+//! The online admission engine: the closed-loop experiment of
+//! [`experiment`](crate::experiment), decoupled from its pre-scheduled
+//! arrival process so a long-lived service can feed it arrivals as they
+//! happen.
+//!
+//! [`run_experiment`](crate::experiment::run_experiment) owns its whole
+//! timeline: the workload draws every arrival up front and the event loop
+//! runs straight to the horizon. An admission *daemon* cannot do that —
+//! requests arrive from the outside world (a replayed trace, a wire
+//! protocol) and time is advanced by a real clock. [`OnlineEngine`] is the
+//! bridge: it owns the same simulation state and drives the **same** event
+//! handler, but its arrival feed is an externally-submitted queue and its
+//! clock advances only as far as the caller says.
+//!
+//! Because the offline and online engines share one code path (down to
+//! the RNG fork order — the workload is constructed, consuming its
+//! substreams, even when it is never drawn from), a virtual-time replay
+//! of a config's recorded arrival trace is **bit-identical** to the
+//! offline run: same decisions, same [`Metrics`], same telemetry stream.
+//! [`record_arrivals`] + [`OnlineEngine::replay`] round-trip is the
+//! contract; `core/tests/online_replay.rs` enforces it.
+
+use crate::experiment::{
+    draw_arrival_trace, ArrivalSlot, Decision, Event, ExperimentConfig, Metrics, ServiceSnapshot,
+    Sim,
+};
+use anycast_net::{Bandwidth, Topology};
+use anycast_sim::{Engine, SimTime};
+use anycast_telemetry::Recorder;
+
+/// One externally-submitted arrival: the online analogue of a workload
+/// draw, in plain units so trace files and wire messages map onto it
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineArrival {
+    /// Simulated arrival time, seconds.
+    pub at_secs: f64,
+    /// Index into the config's source list.
+    pub source_index: usize,
+    /// Index into the config's effective anycast groups.
+    pub group_index: usize,
+    /// Flow holding time, seconds.
+    pub holding_secs: f64,
+    /// Requested bandwidth.
+    pub demand: Bandwidth,
+}
+
+/// A long-lived admission engine fed by external arrivals.
+///
+/// Lifecycle: [`new`](Self::new) → any interleaving of
+/// [`submit`](Self::submit) / [`pump`](Self::pump) /
+/// [`advance_to`](Self::advance_to) → [`finish`](Self::finish) (run out
+/// the full horizon, for replays) or [`finish_now`](Self::finish_now)
+/// (stop where the clock stands, for services shutting down).
+pub struct OnlineEngine<R: Recorder> {
+    sim: Sim<R>,
+    engine: Engine<Event>,
+    last_submit: SimTime,
+}
+
+impl<R: Recorder> OnlineEngine<R> {
+    /// Builds an externally-fed engine for `config` on `topo`.
+    ///
+    /// Warm-up, the fault timeline, refresh sweeps and telemetry sampling
+    /// are scheduled exactly as in the offline experiment; only arrivals
+    /// wait for [`submit`](Self::submit). Decision capture is on.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_experiment`](crate::experiment::run_experiment) for
+    /// invalid configs.
+    pub fn new(topo: &Topology, config: &ExperimentConfig, recorder: R) -> Self {
+        let (mut sim, engine) = Sim::new(topo, config, recorder, true);
+        sim.enable_decision_capture();
+        OnlineEngine {
+            sim,
+            engine,
+            last_submit: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// End of the warm-up period: decisions before it are made but not
+    /// measured, exactly as offline.
+    pub fn warmup_end(&self) -> SimTime {
+        self.sim.warmup_end()
+    }
+
+    /// The run horizon (`warmup_secs + measure_secs`); the engine never
+    /// advances past it and arrivals beyond it are rejected at submit.
+    pub fn horizon(&self) -> SimTime {
+        self.sim.horizon()
+    }
+
+    /// Number of configured source routers (valid `source_index` bound).
+    pub fn source_count(&self) -> usize {
+        self.sim.source_count()
+    }
+
+    /// Number of effective anycast groups (valid `group_index` bound).
+    pub fn group_count(&self) -> usize {
+        self.sim.group_count()
+    }
+
+    /// Shared access to the recorder (e.g. to inspect a ring buffer).
+    pub fn recorder(&self) -> &R {
+        self.sim.recorder()
+    }
+
+    /// A point-in-time operational snapshot (the daemon's `stats`
+    /// endpoint).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.sim.snapshot(self.engine.now())
+    }
+
+    /// Enqueues one arrival. The decision is made when the engine's
+    /// clock reaches `arrival.at_secs` — call [`pump`](Self::pump) or
+    /// [`advance_to`](Self::advance_to) to collect it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival is before the engine's current time or an
+    /// earlier submission, past the horizon, references an unknown source
+    /// or group, or has a non-positive demand or holding time.
+    pub fn submit(&mut self, arrival: OnlineArrival) {
+        assert!(
+            arrival.at_secs.is_finite() && arrival.at_secs >= 0.0,
+            "arrival time must be finite and nonnegative, got {}",
+            arrival.at_secs
+        );
+        let at = SimTime::from_secs(arrival.at_secs);
+        assert!(
+            at >= self.engine.now(),
+            "arrival at {:?} is in the past (engine is at {:?})",
+            at,
+            self.engine.now()
+        );
+        assert!(
+            at >= self.last_submit,
+            "arrivals must be submitted in nondecreasing time order"
+        );
+        assert!(
+            at <= self.sim.horizon(),
+            "arrival at {:?} is past the horizon {:?}",
+            at,
+            self.sim.horizon()
+        );
+        self.sim.submit_slot(
+            &mut self.engine,
+            ArrivalSlot {
+                at,
+                source_index: arrival.source_index,
+                group_index: arrival.group_index,
+                holding_secs: arrival.holding_secs,
+                demand: arrival.demand,
+            },
+        );
+        self.last_submit = at;
+    }
+
+    /// Advances the clock to the latest submitted arrival, deciding
+    /// everything due by then, and drains the finalised decisions.
+    pub fn pump(&mut self) -> Vec<Decision> {
+        self.advance_to(self.last_submit)
+    }
+
+    /// Advances the clock to `t` (clamped to the horizon), processing
+    /// every event due by then — admissions, departures, signalling
+    /// exchanges, faults — and drains the finalised decisions.
+    ///
+    /// Advancing to a time earlier than [`now`](Self::now) is a no-op
+    /// apart from draining.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<Decision> {
+        let target = t.min(self.sim.horizon());
+        let Self { sim, engine, .. } = self;
+        engine.run_until(target, |eng, now, event| sim.handle(eng, now, event));
+        sim.take_decisions()
+    }
+
+    /// Runs the engine out to the full horizon and closes the run. This
+    /// is the replay path: its [`Metrics`] are bit-identical to the
+    /// offline engine's for the same config and arrival trace.
+    pub fn finish(mut self) -> (Metrics, Vec<Decision>, R) {
+        let horizon = self.sim.horizon();
+        let decisions = self.advance_to(horizon);
+        let (metrics, recorder) = self.sim.finish(horizon);
+        (metrics, decisions, recorder)
+    }
+
+    /// Closes the run where the clock currently stands, without running
+    /// out the horizon — the graceful-shutdown path. In-flight two-phase
+    /// holds are drained (and audited via `leaked_hold_bps`), the ledger
+    /// is audited via `leaked_bandwidth_bps`, and time-weighted averages
+    /// cover `[warmup_end, now]`.
+    pub fn finish_now(mut self) -> (Metrics, Vec<Decision>, R) {
+        let end = self.engine.now();
+        let decisions = self.sim.take_decisions();
+        let (metrics, recorder) = self.sim.finish(end);
+        (metrics, decisions, recorder)
+    }
+
+    /// Replays a recorded arrival trace in virtual time: submits every
+    /// arrival, runs to the horizon and closes the run. Returns the
+    /// metrics, every decision in request order, and the recorder.
+    ///
+    /// # Panics
+    ///
+    /// As [`submit`](Self::submit) for malformed traces.
+    pub fn replay(
+        topo: &Topology,
+        config: &ExperimentConfig,
+        arrivals: &[OnlineArrival],
+        recorder: R,
+    ) -> (Metrics, Vec<Decision>, R) {
+        let mut eng = OnlineEngine::new(topo, config, recorder);
+        for a in arrivals {
+            eng.submit(*a);
+        }
+        eng.finish()
+    }
+}
+
+/// Draws a config's complete arrival process — every arrival in
+/// `[0, warmup + measure]`, with its source, group, demand and holding
+/// time — without running any admission. This is what `anycast record`
+/// writes to a trace file; replaying the result through
+/// [`OnlineEngine::replay`] reproduces the offline run bit-identically.
+pub fn record_arrivals(config: &ExperimentConfig) -> Vec<OnlineArrival> {
+    draw_arrival_trace(config)
+        .into_iter()
+        .map(|s: ArrivalSlot| OnlineArrival {
+            at_secs: s.at.as_secs(),
+            source_index: s.source_index,
+            group_index: s.group_index,
+            holding_secs: s.holding_secs,
+            demand: s.demand,
+        })
+        .collect()
+}

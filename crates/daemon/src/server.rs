@@ -1,0 +1,434 @@
+//! The service loop: a long-lived DAC controller behind a TCP or Unix
+//! socket, speaking the line-delimited JSON protocol of [`crate::wire`].
+//!
+//! One engine thread owns the [`OnlineEngine`] and all connection
+//! writers; per-connection reader threads parse request lines and feed
+//! them through a channel. Simulated time is anchored to a rate-scaled
+//! [`WallClock`]: every tick (and every message) the engine is advanced
+//! to the clock's current instant, draining whatever arrived since the
+//! last quantum through the batched admission path, then finalised
+//! decisions are routed back to the connections that asked for them —
+//! possibly out of arrival order under asynchronous two-phase
+//! signalling, which is what the `request` ids are for.
+//!
+//! Graceful shutdown (SIGINT/SIGTERM, a `shutdown` request, or the
+//! horizon): stop accepting, decide everything already due, release every
+//! pending two-phase hold ([`Metrics::leaked_hold_bps`] audits this to
+//! zero), flush the telemetry stream, and return the final [`Metrics`].
+
+use crate::shutdown::{signalled, ShutdownFlag};
+use crate::wire::{
+    decision_response, error_response, parse_request, shutdown_response, stats_response, Request,
+};
+use anycast_dac::experiment::{ExperimentConfig, Metrics};
+use anycast_dac::online::{OnlineArrival, OnlineEngine};
+use anycast_net::Topology;
+use anycast_sim::{TimeSource, WallClock};
+use anycast_telemetry::{
+    Event, NullRecorder, Recorder, StreamPolicy, StreamRecorder, DEFAULT_STREAM_CAPACITY,
+};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:4730` (port 0 picks one).
+    Tcp(String),
+    /// A Unix-domain socket path (unlinked on bind and on exit).
+    Unix(PathBuf),
+}
+
+/// Service knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Simulated seconds per real second (1.0 = real time).
+    pub speed: f64,
+    /// Engine tick: how long the loop waits for traffic before advancing
+    /// the clock anyway (drives departures, timers, telemetry sampling).
+    pub tick: Duration,
+    /// Live telemetry: stream every event as JSONL to this path.
+    pub telemetry: Option<PathBuf>,
+    /// Full-channel policy for the telemetry stream. The default for a
+    /// live service is [`StreamPolicy::DropNewest`]: a slow disk must not
+    /// stall admission decisions; drops are counted, never silent.
+    pub telemetry_policy: StreamPolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            speed: 1.0,
+            tick: Duration::from_millis(5),
+            telemetry: None,
+            telemetry_policy: StreamPolicy::DropNewest,
+        }
+    }
+}
+
+/// What a completed service run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// End-of-run metrics, closed at the instant the service stopped
+    /// (holds drained, ledger audited).
+    pub metrics: Metrics,
+    /// Requests submitted over the wire.
+    pub submitted: u64,
+    /// Decisions finalised and routed (some may have found their
+    /// connection already gone).
+    pub decided: u64,
+    /// Telemetry lines written to the stream file (0 when telemetry off).
+    pub telemetry_written: u64,
+    /// Telemetry events dropped under backpressure (the
+    /// `telemetry_dropped` metric; 0 when telemetry off).
+    pub telemetry_dropped: u64,
+}
+
+/// Either telemetry sink, behind one concrete type so the engine is not
+/// generic over it at the service layer.
+enum ServiceRecorder {
+    Null(NullRecorder),
+    Stream(StreamRecorder),
+}
+
+impl Recorder for ServiceRecorder {
+    fn enabled(&self) -> bool {
+        match self {
+            ServiceRecorder::Null(r) => r.enabled(),
+            ServiceRecorder::Stream(r) => r.enabled(),
+        }
+    }
+
+    fn record(&mut self, time_secs: f64, event: Event) {
+        match self {
+            ServiceRecorder::Null(r) => r.record(time_secs, event),
+            ServiceRecorder::Stream(r) => r.record(time_secs, event),
+        }
+    }
+
+    fn link_sample_interval(&self) -> Option<f64> {
+        match self {
+            ServiceRecorder::Null(r) => r.link_sample_interval(),
+            ServiceRecorder::Stream(r) => r.link_sample_interval(),
+        }
+    }
+}
+
+impl ServiceRecorder {
+    fn dropped(&self) -> u64 {
+        match self {
+            ServiceRecorder::Null(_) => 0,
+            ServiceRecorder::Stream(r) => r.dropped(),
+        }
+    }
+
+    fn finish(self) -> io::Result<(u64, u64)> {
+        match self {
+            ServiceRecorder::Null(_) => Ok((0, 0)),
+            ServiceRecorder::Stream(r) => {
+                let dropped = r.dropped();
+                Ok((r.finish()?, dropped))
+            }
+        }
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+enum StreamKind {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl StreamKind {
+    fn split(self) -> io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+        match self {
+            StreamKind::Tcp(s) => {
+                let w = s.try_clone()?;
+                Ok((Box::new(BufReader::new(s)), Box::new(w)))
+            }
+            StreamKind::Unix(s) => {
+                let w = s.try_clone()?;
+                Ok((Box::new(BufReader::new(s)), Box::new(w)))
+            }
+        }
+    }
+}
+
+/// Messages from reader/accept threads into the engine thread.
+enum Inbound {
+    Connected(u64, Box<dyn Write + Send>),
+    Request(u64, Request),
+    Malformed(u64, String),
+    Disconnected(u64),
+}
+
+/// A daemon bound to its endpoint but not yet serving — split so tests
+/// (and the CLI) can learn an ephemeral port before the loop starts.
+pub struct BoundServer {
+    listener: ListenerKind,
+}
+
+impl BoundServer {
+    /// Binds the endpoint. A Unix path is unlinked first if present.
+    ///
+    /// # Errors
+    ///
+    /// Any bind error.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => ListenerKind::Tcp(TcpListener::bind(addr)?),
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                ListenerKind::Unix(UnixListener::bind(path)?, path.clone())
+            }
+        };
+        Ok(BoundServer { listener })
+    }
+
+    /// The bound TCP address (None for Unix endpoints).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.local_addr().ok(),
+            ListenerKind::Unix(..) => None,
+        }
+    }
+
+    /// Runs the service loop until shutdown (signal, wire request, or the
+    /// config horizon) and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// Listener/telemetry I/O errors. Per-connection errors only drop
+    /// that connection.
+    pub fn run(
+        self,
+        topo: &Topology,
+        config: &ExperimentConfig,
+        options: &ServeOptions,
+        shutdown: ShutdownFlag,
+    ) -> io::Result<ServeReport> {
+        let recorder = match &options.telemetry {
+            None => ServiceRecorder::Null(NullRecorder),
+            Some(path) => ServiceRecorder::Stream(
+                StreamRecorder::create(path, config.seed, DEFAULT_STREAM_CAPACITY)?
+                    .with_policy(options.telemetry_policy),
+            ),
+        };
+        let mut engine = OnlineEngine::new(topo, config, recorder);
+        let horizon = engine.horizon();
+        let mut clock = WallClock::new(options.speed);
+
+        let (tx, rx) = channel::<Inbound>();
+        let accept_handle = spawn_acceptor(self.listener, tx, shutdown.clone());
+
+        let mut writers: HashMap<u64, Box<dyn Write + Send>> = HashMap::new();
+        // request id -> (connection, submission instant); ids are the
+        // engine's dense arrival counter, assigned in submission order.
+        let mut pending: HashMap<u64, (u64, Instant)> = HashMap::new();
+        let mut submitted: u64 = 0;
+        let mut decided: u64 = 0;
+
+        loop {
+            let inbound = rx.recv_timeout(options.tick);
+            let now = clock.now();
+            match inbound {
+                Ok(Inbound::Connected(conn, writer)) => {
+                    writers.insert(conn, writer);
+                }
+                Ok(Inbound::Disconnected(conn)) => {
+                    writers.remove(&conn);
+                }
+                Ok(Inbound::Malformed(conn, message)) => {
+                    respond(&mut writers, conn, &error_response(&message));
+                }
+                Ok(Inbound::Request(conn, request)) => match request {
+                    Request::Admit {
+                        source_index,
+                        group_index,
+                        demand,
+                        holding_secs,
+                    } => {
+                        // Stamp the arrival at the wall clock, clamped
+                        // monotonically onto the engine's timeline.
+                        let at = now.max(engine.now()).min(horizon);
+                        if source_index >= engine.source_count()
+                            || group_index >= engine.group_count()
+                        {
+                            respond(
+                                &mut writers,
+                                conn,
+                                &error_response(&format!(
+                                    "source/group out of range (< {} / < {})",
+                                    engine.source_count(),
+                                    engine.group_count()
+                                )),
+                            );
+                        } else if clock.now() > horizon {
+                            respond(
+                                &mut writers,
+                                conn,
+                                &error_response("daemon horizon reached; request not admitted"),
+                            );
+                        } else {
+                            engine.submit(OnlineArrival {
+                                at_secs: at.as_secs(),
+                                source_index,
+                                group_index,
+                                holding_secs,
+                                demand,
+                            });
+                            pending.insert(submitted, (conn, Instant::now()));
+                            submitted += 1;
+                        }
+                    }
+                    Request::Stats => {
+                        let line = stats_response(&engine.snapshot(), engine.recorder().dropped());
+                        respond(&mut writers, conn, &line);
+                    }
+                    Request::Shutdown => {
+                        respond(&mut writers, conn, &shutdown_response());
+                        shutdown.request();
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+
+            for d in engine.advance_to(now) {
+                decided += 1;
+                if let Some((conn, since)) = pending.remove(&d.request) {
+                    let latency_us = since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    respond(&mut writers, conn, &decision_response(&d, latency_us));
+                }
+            }
+
+            if shutdown.is_requested() || signalled() || engine.now() >= horizon {
+                break;
+            }
+        }
+        shutdown.request(); // stops the acceptor whatever ended the loop
+
+        // Graceful drain: decide everything already due, then close the
+        // run where it stands — finish_now() releases every pending
+        // two-phase hold and audits the ledger.
+        for d in engine.advance_to(clock.now()) {
+            decided += 1;
+            if let Some((conn, since)) = pending.remove(&d.request) {
+                let latency_us = since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                respond(&mut writers, conn, &decision_response(&d, latency_us));
+            }
+        }
+        let (metrics, tail, recorder) = engine.finish_now();
+        for d in tail {
+            decided += 1;
+            if let Some((conn, since)) = pending.remove(&d.request) {
+                let latency_us = since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                respond(&mut writers, conn, &decision_response(&d, latency_us));
+            }
+        }
+        drop(writers);
+        let (telemetry_written, telemetry_dropped) = recorder.finish()?;
+        let _ = accept_handle.join();
+
+        Ok(ServeReport {
+            metrics,
+            submitted,
+            decided,
+            telemetry_written,
+            telemetry_dropped,
+        })
+    }
+}
+
+fn respond(writers: &mut HashMap<u64, Box<dyn Write + Send>>, conn: u64, line: &str) {
+    let gone = match writers.get_mut(&conn) {
+        Some(w) => w
+            .write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .is_err(),
+        None => false,
+    };
+    if gone {
+        writers.remove(&conn);
+    }
+}
+
+/// Accepts connections until shutdown, spawning one reader thread per
+/// connection. Non-blocking accept polled at 20 Hz so the flag is
+/// honoured promptly.
+fn spawn_acceptor(
+    listener: ListenerKind,
+    tx: Sender<Inbound>,
+    shutdown: ShutdownFlag,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let unix_path = match &listener {
+            ListenerKind::Unix(l, path) => {
+                let _ = l.set_nonblocking(true);
+                Some(path.clone())
+            }
+            ListenerKind::Tcp(l) => {
+                let _ = l.set_nonblocking(true);
+                None
+            }
+        };
+        let mut next_conn: u64 = 0;
+        while !shutdown.is_requested() && !signalled() {
+            let accepted = match &listener {
+                ListenerKind::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(StreamKind::Tcp(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                },
+                ListenerKind::Unix(l, _) => match l.accept() {
+                    Ok((s, _)) => Some(StreamKind::Unix(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(_) => None,
+                },
+            };
+            match accepted {
+                None => std::thread::sleep(Duration::from_millis(50)),
+                Some(stream) => {
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let Ok((reader, writer)) = stream.split() else {
+                        continue;
+                    };
+                    if tx.send(Inbound::Connected(conn, writer)).is_err() {
+                        break;
+                    }
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for line in reader.lines() {
+                            let Ok(line) = line else { break };
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            let msg = match parse_request(&line) {
+                                Ok(req) => Inbound::Request(conn, req),
+                                Err(e) => Inbound::Malformed(conn, e),
+                            };
+                            if tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                        let _ = tx.send(Inbound::Disconnected(conn));
+                    });
+                }
+            }
+        }
+        if let Some(path) = unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    })
+}

@@ -1,0 +1,301 @@
+//! The replayable arrival-trace format: JSONL, one header line then one
+//! line per arrival.
+//!
+//! ```text
+//! {"kind":"anycast-trace","version":1,"seed":24301,"lambda":20,"sources":4,"groups":1,"horizon_secs":900}
+//! {"at":0.0217,"source":2,"group":0,"holding_secs":95.44,"demand_bps":64000}
+//! ...
+//! ```
+//!
+//! `anycast record` writes one of these from any experiment config;
+//! `anycast replay` and the daemon's replay mode read it back. The header
+//! pins the provenance (seed, rate, index bounds, horizon) so a replayer
+//! can sanity-check the trace against its config before submitting
+//! anything — index bounds are validated on read, and replaying against
+//! the *same* config the trace was recorded from reproduces the offline
+//! run bit-identically (see `core/tests/online_replay.rs`).
+//!
+//! Fault plans are **not** part of the trace: faults are drawn by the
+//! engine's own RNG streams from the config's fault plan, so a trace stays
+//! valid across fault-plan ablations (`--faults` is re-supplied at replay
+//! time).
+
+use anycast_dac::experiment::ExperimentConfig;
+use anycast_dac::online::OnlineArrival;
+use anycast_net::Bandwidth;
+use anycast_telemetry::json::{parse, JsonValue};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+/// Current trace format version.
+pub const TRACE_VERSION: u64 = 1;
+
+/// The provenance header of a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Format version ([`TRACE_VERSION`]).
+    pub version: u64,
+    /// Seed of the config the trace was recorded from.
+    pub seed: u64,
+    /// Arrival rate λ of the recorded config, flows/second.
+    pub lambda: f64,
+    /// Number of source routers (exclusive bound on `source`).
+    pub sources: usize,
+    /// Number of anycast groups (exclusive bound on `group`).
+    pub groups: usize,
+    /// Recorded horizon (`warmup + measure`), seconds.
+    pub horizon_secs: f64,
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match obj {
+        JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num_field(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    match field(obj, key) {
+        Some(JsonValue::Num(x)) => Ok(*x),
+        Some(_) => Err(format!("field `{key}` is not a number")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn index_field(obj: &JsonValue, key: &str) -> Result<usize, String> {
+    let x = num_field(obj, key)?;
+    if x.fract() != 0.0 || x < 0.0 {
+        return Err(format!(
+            "field `{key}` must be a nonnegative integer, got {x}"
+        ));
+    }
+    Ok(x as usize)
+}
+
+impl TraceHeader {
+    /// Builds the header describing `config`'s arrival process.
+    pub fn for_config(config: &ExperimentConfig) -> Self {
+        TraceHeader {
+            version: TRACE_VERSION,
+            seed: config.seed,
+            lambda: config.lambda,
+            sources: config.sources.len(),
+            groups: config.effective_groups().len(),
+            horizon_secs: config.warmup_secs + config.measure_secs,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("kind", JsonValue::Str("anycast-trace".into())),
+            ("version", JsonValue::Num(self.version as f64)),
+            ("seed", JsonValue::Num(self.seed as f64)),
+            ("lambda", JsonValue::Num(self.lambda)),
+            ("sources", JsonValue::Num(self.sources as f64)),
+            ("groups", JsonValue::Num(self.groups as f64)),
+            ("horizon_secs", JsonValue::Num(self.horizon_secs)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match field(v, "kind") {
+            Some(JsonValue::Str(s)) if s == "anycast-trace" => {}
+            _ => return Err("not an anycast-trace header".into()),
+        }
+        let version = index_field(v, "version")? as u64;
+        if version != TRACE_VERSION {
+            return Err(format!(
+                "unsupported trace version {version} (expected {TRACE_VERSION})"
+            ));
+        }
+        Ok(TraceHeader {
+            version,
+            seed: num_field(v, "seed")? as u64,
+            lambda: num_field(v, "lambda")?,
+            sources: index_field(v, "sources")?,
+            groups: index_field(v, "groups")?,
+            horizon_secs: num_field(v, "horizon_secs")?,
+        })
+    }
+}
+
+fn arrival_json(a: &OnlineArrival) -> JsonValue {
+    JsonValue::obj([
+        ("at", JsonValue::Num(a.at_secs)),
+        ("source", JsonValue::Num(a.source_index as f64)),
+        ("group", JsonValue::Num(a.group_index as f64)),
+        ("holding_secs", JsonValue::Num(a.holding_secs)),
+        ("demand_bps", JsonValue::Num(a.demand.bps() as f64)),
+    ])
+}
+
+fn arrival_from_json(v: &JsonValue) -> Result<OnlineArrival, String> {
+    Ok(OnlineArrival {
+        at_secs: num_field(v, "at")?,
+        source_index: index_field(v, "source")?,
+        group_index: index_field(v, "group")?,
+        holding_secs: num_field(v, "holding_secs")?,
+        demand: Bandwidth::from_bps(num_field(v, "demand_bps")? as u64),
+    })
+}
+
+/// Writes a trace file: the header for `config`, then one line per
+/// arrival. Returns the number of arrival lines written.
+///
+/// # Errors
+///
+/// Any I/O error creating or writing the file.
+pub fn write_trace(
+    path: &Path,
+    config: &ExperimentConfig,
+    arrivals: &[OnlineArrival],
+) -> io::Result<u64> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(
+        TraceHeader::for_config(config)
+            .to_json()
+            .render()
+            .as_bytes(),
+    )?;
+    out.write_all(b"\n")?;
+    for a in arrivals {
+        out.write_all(arrival_json(a).render().as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(arrivals.len() as u64)
+}
+
+/// Reads a trace file back: header plus arrivals, validated line by line
+/// (syntax, field presence, index bounds against the header, nondecreasing
+/// timestamps).
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` naming the offending line for malformed
+/// content.
+pub fn read_trace(path: &Path) -> io::Result<(TraceHeader, Vec<OnlineArrival>)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let bad = |line_no: usize, msg: String| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}:{}: {}", path.display(), line_no, msg),
+        )
+    };
+    let header_line = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty trace file".into()))??;
+    let header = parse(&header_line)
+        .and_then(|v| TraceHeader::from_json(&v))
+        .map_err(|e| bad(1, e))?;
+    let mut arrivals = Vec::new();
+    let mut last_at = 0.0f64;
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let a = parse(&line)
+            .and_then(|v| arrival_from_json(&v))
+            .map_err(|e| bad(line_no, e))?;
+        if a.source_index >= header.sources {
+            return Err(bad(
+                line_no,
+                format!(
+                    "source {} out of range (<{})",
+                    a.source_index, header.sources
+                ),
+            ));
+        }
+        if a.group_index >= header.groups {
+            return Err(bad(
+                line_no,
+                format!("group {} out of range (<{})", a.group_index, header.groups),
+            ));
+        }
+        if !(a.at_secs.is_finite() && a.at_secs >= last_at) {
+            return Err(bad(
+                line_no,
+                format!(
+                    "timestamp {} not nondecreasing (last {})",
+                    a.at_secs, last_at
+                ),
+            ));
+        }
+        last_at = a.at_secs;
+        arrivals.push(a);
+    }
+    Ok((header, arrivals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+    use anycast_dac::online::record_arrivals;
+    use anycast_dac::policy::PolicySpec;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anycast-daemon-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig::paper_defaults(10.0, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_warmup_secs(30.0)
+            .with_measure_secs(60.0)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn trace_round_trips_exactly() {
+        let config = quick_config();
+        let arrivals = record_arrivals(&config);
+        let path = temp_path("roundtrip.jsonl");
+        let written = write_trace(&path, &config, &arrivals).unwrap();
+        assert_eq!(written, arrivals.len() as u64);
+        let (header, read_back) = read_trace(&path).unwrap();
+        assert_eq!(header, TraceHeader::for_config(&config));
+        assert_eq!(read_back, arrivals);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_line_numbers() {
+        let path = temp_path("malformed.jsonl");
+        let config = quick_config();
+        // Out-of-range source index on line 2.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{{\"at\":1,\"source\":99,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n",
+                TraceHeader::for_config(&config).to_json().render()
+            ),
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err().to_string();
+        assert!(err.contains(":2:") && err.contains("out of range"), "{err}");
+        // Decreasing timestamps.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{{\"at\":5,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n{{\"at\":4,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n",
+                TraceHeader::for_config(&config).to_json().render()
+            ),
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err().to_string();
+        assert!(
+            err.contains(":3:") && err.contains("nondecreasing"),
+            "{err}"
+        );
+        // Not a trace at all.
+        std::fs::write(&path, "{\"kind\":\"other\"}\n").unwrap();
+        assert!(read_trace(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,259 @@
+//! The daemon's wire protocol: line-delimited JSON over TCP or a Unix
+//! socket.
+//!
+//! Each client line is one request object; each response is one line.
+//! Requests:
+//!
+//! ```text
+//! {"op":"admit","source":2,"group":0,"demand_bps":64000,"holding_secs":120}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `admit` | `{"op":"decision","request":<id>,"at":<sim secs>,"admitted":<bool>,"member":<idx or null>,"session":<raw id or null>,"tries":<n>,"latency_us":<wall μs>}` |
+//! | `stats` | `{"op":"stats","time_secs":…,"offered":…,"admitted":…,"rejected":…,"active_sessions":…,"reserved_bps":…,"pending_hold_bps":…,"capacity_bps":…,"setups_in_flight":…,"links":…,"failed_links":…,"telemetry_dropped":…}` |
+//! | `shutdown` | `{"op":"shutting_down"}` then a graceful drain |
+//! | malformed | `{"op":"error","message":…}` (the connection stays open) |
+//!
+//! Request ids are the engine's dense per-run arrival counter, assigned
+//! in submission order — under asynchronous two-phase signalling a
+//! decision line may arrive *after* later requests' lines, and the id is
+//! how clients correlate. `latency_us` is wall-clock time from submission
+//! to decision as measured by the daemon.
+
+use anycast_dac::experiment::{Decision, ServiceSnapshot};
+use anycast_net::Bandwidth;
+use anycast_telemetry::json::{parse, JsonValue};
+
+/// One parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Submit one flow for admission.
+    Admit {
+        /// Index into the config's source list.
+        source_index: usize,
+        /// Index into the config's effective groups.
+        group_index: usize,
+        /// Requested bandwidth.
+        demand: Bandwidth,
+        /// Flow holding time, seconds.
+        holding_secs: f64,
+    },
+    /// Ask for an operational snapshot.
+    Stats,
+    /// Ask the daemon to drain and exit gracefully.
+    Shutdown,
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match obj {
+        JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num_field(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    match field(obj, key) {
+        Some(JsonValue::Num(x)) => Ok(*x),
+        Some(_) => Err(format!("field `{key}` is not a number")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn index_field(obj: &JsonValue, key: &str) -> Result<usize, String> {
+    let x = num_field(obj, key)?;
+    if x.fract() != 0.0 || x < 0.0 {
+        return Err(format!(
+            "field `{key}` must be a nonnegative integer, got {x}"
+        ));
+    }
+    Ok(x as usize)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message for JSON syntax errors, unknown ops or
+/// missing/invalid fields — suitable for an `error` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line.trim())?;
+    let op = match field(&v, "op") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        _ => return Err("missing string field `op`".into()),
+    };
+    match op {
+        "admit" => {
+            let holding_secs = num_field(&v, "holding_secs")?;
+            if !(holding_secs.is_finite() && holding_secs > 0.0) {
+                return Err(format!("holding_secs must be positive, got {holding_secs}"));
+            }
+            let demand_bps = num_field(&v, "demand_bps")?;
+            if !(demand_bps.is_finite() && demand_bps >= 1.0) {
+                return Err(format!("demand_bps must be at least 1, got {demand_bps}"));
+            }
+            Ok(Request::Admit {
+                source_index: index_field(&v, "source")?,
+                group_index: index_field(&v, "group")?,
+                demand: Bandwidth::from_bps(demand_bps as u64),
+                holding_secs,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Renders a `decision` response line (no trailing newline).
+pub fn decision_response(d: &Decision, latency_us: u64) -> String {
+    JsonValue::obj([
+        ("op", JsonValue::Str("decision".into())),
+        ("request", JsonValue::Num(d.request as f64)),
+        ("at", JsonValue::Num(d.at_secs)),
+        ("admitted", JsonValue::Bool(d.admitted)),
+        (
+            "member",
+            d.member_index
+                .map_or(JsonValue::Null, |m| JsonValue::Num(m as f64)),
+        ),
+        (
+            "session",
+            d.session
+                .map_or(JsonValue::Null, |s| JsonValue::Num(s.raw() as f64)),
+        ),
+        ("tries", JsonValue::Num(d.tries as f64)),
+        ("latency_us", JsonValue::Num(latency_us as f64)),
+    ])
+    .render()
+}
+
+/// Renders a `stats` response line (no trailing newline).
+/// `telemetry_dropped` is the stream recorder's drop counter (0 when
+/// telemetry is off or lossless).
+pub fn stats_response(s: &ServiceSnapshot, telemetry_dropped: u64) -> String {
+    JsonValue::obj([
+        ("op", JsonValue::Str("stats".into())),
+        ("time_secs", JsonValue::Num(s.time_secs)),
+        ("offered", JsonValue::Num(s.offered as f64)),
+        ("admitted", JsonValue::Num(s.admitted as f64)),
+        ("rejected", JsonValue::Num(s.rejected as f64)),
+        ("active_sessions", JsonValue::Num(s.active_sessions as f64)),
+        ("reserved_bps", JsonValue::Num(s.reserved_bps as f64)),
+        (
+            "pending_hold_bps",
+            JsonValue::Num(s.pending_hold_bps as f64),
+        ),
+        ("capacity_bps", JsonValue::Num(s.capacity_bps as f64)),
+        (
+            "setups_in_flight",
+            JsonValue::Num(s.setups_in_flight as f64),
+        ),
+        ("links", JsonValue::Num(s.links as f64)),
+        ("failed_links", JsonValue::Num(s.failed_links as f64)),
+        (
+            "telemetry_dropped",
+            JsonValue::Num(telemetry_dropped as f64),
+        ),
+    ])
+    .render()
+}
+
+/// Renders an `error` response line (no trailing newline).
+pub fn error_response(message: &str) -> String {
+    JsonValue::obj([
+        ("op", JsonValue::Str("error".into())),
+        ("message", JsonValue::Str(message.into())),
+    ])
+    .render()
+}
+
+/// Renders the `shutting_down` acknowledgement line (no trailing newline).
+pub fn shutdown_response() -> String {
+    JsonValue::obj([("op", JsonValue::Str("shutting_down".into()))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_ops() {
+        assert_eq!(
+            parse_request(
+                "{\"op\":\"admit\",\"source\":2,\"group\":0,\"demand_bps\":64000,\"holding_secs\":120}"
+            )
+            .unwrap(),
+            Request::Admit {
+                source_index: 2,
+                group_index: 0,
+                demand: Bandwidth::from_bps(64_000),
+                holding_secs: 120.0,
+            }
+        );
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(" {\"op\":\"shutdown\"} ").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"frobnicate\"}").is_err());
+        assert!(parse_request("{\"source\":1}").is_err());
+        // Negative, zero or fractional-index fields.
+        assert!(parse_request(
+            "{\"op\":\"admit\",\"source\":-1,\"group\":0,\"demand_bps\":1,\"holding_secs\":1}"
+        )
+        .is_err());
+        assert!(parse_request(
+            "{\"op\":\"admit\",\"source\":0.5,\"group\":0,\"demand_bps\":1,\"holding_secs\":1}"
+        )
+        .is_err());
+        assert!(parse_request(
+            "{\"op\":\"admit\",\"source\":0,\"group\":0,\"demand_bps\":0,\"holding_secs\":1}"
+        )
+        .is_err());
+        assert!(parse_request(
+            "{\"op\":\"admit\",\"source\":0,\"group\":0,\"demand_bps\":1,\"holding_secs\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn responses_render_and_parse_back() {
+        let d = Decision {
+            request: 7,
+            at_secs: 12.5,
+            admitted: true,
+            member_index: Some(1),
+            session: Some(anycast_rsvp::SessionId::for_tests(42)),
+            tries: 2,
+        };
+        let line = decision_response(&d, 830);
+        let v = parse(&line).unwrap();
+        assert_eq!(field(&v, "request"), Some(&JsonValue::Num(7.0)));
+        assert_eq!(field(&v, "session"), Some(&JsonValue::Num(42.0)));
+        assert_eq!(field(&v, "admitted"), Some(&JsonValue::Bool(true)));
+
+        let rejected = Decision {
+            request: 8,
+            at_secs: 13.0,
+            admitted: false,
+            member_index: None,
+            session: None,
+            tries: 3,
+        };
+        let v = parse(&decision_response(&rejected, 12)).unwrap();
+        assert_eq!(field(&v, "member"), Some(&JsonValue::Null));
+
+        assert!(parse(&error_response("bad \"line\"")).is_ok());
+        assert!(parse(&shutdown_response()).is_ok());
+    }
+}

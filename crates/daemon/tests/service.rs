@@ -1,0 +1,240 @@
+//! End-to-end service tests: a real client over a real socket against the
+//! live daemon loop, and the graceful-shutdown zero-leak guarantee.
+
+use anycast_dac::experiment::{ExperimentConfig, SignalingMode, SystemSpec, TwoPhaseConfig};
+use anycast_dac::policy::PolicySpec;
+use anycast_daemon::{BoundServer, Endpoint, ServeOptions, ShutdownFlag};
+use anycast_net::topologies;
+use anycast_telemetry::json::{parse, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match v {
+        JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn op_of(v: &JsonValue) -> String {
+    match field(v, "op") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        other => panic!("response without op: {other:?}"),
+    }
+}
+
+/// A live daemon: no warm-up discard, long horizon, modest speed so
+/// two-phase setups stay in flight for wall-clock milliseconds.
+fn service_config(system: SystemSpec) -> ExperimentConfig {
+    ExperimentConfig::paper_defaults(1.0, system)
+        .with_warmup_secs(0.0)
+        .with_measure_secs(3_600.0)
+        .with_seed(7)
+}
+
+/// One request line out, one (or more) response lines back.
+struct Client<W: Write, R: BufRead> {
+    writer: W,
+    reader: R,
+}
+
+impl<W: Write, R: BufRead> Client<W, R> {
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> JsonValue {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "server closed the connection early");
+        parse(line.trim()).unwrap()
+    }
+}
+
+#[test]
+fn tcp_round_trip_admit_stats_shutdown() {
+    let topo = topologies::mci();
+    let config = service_config(SystemSpec::dac(PolicySpec::wd_dh_default(), 2));
+    let options = ServeOptions {
+        speed: 50.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+
+        // Malformed line: error response, connection stays usable.
+        client.send("{\"op\":\"frobnicate\"}");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "error");
+
+        // One admission round-trip.
+        client.send(
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":300}",
+        );
+        let v = client.recv();
+        assert_eq!(op_of(&v), "decision");
+        assert_eq!(field(&v, "request"), Some(&JsonValue::Num(0.0)));
+        assert_eq!(field(&v, "admitted"), Some(&JsonValue::Bool(true)));
+        assert!(matches!(field(&v, "member"), Some(JsonValue::Num(_))));
+        assert!(matches!(field(&v, "latency_us"), Some(JsonValue::Num(_))));
+
+        // Stats reflect it.
+        client.send("{\"op\":\"stats\"}");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "stats");
+        assert_eq!(field(&v, "offered"), Some(&JsonValue::Num(1.0)));
+        assert_eq!(field(&v, "admitted"), Some(&JsonValue::Num(1.0)));
+        assert_eq!(field(&v, "active_sessions"), Some(&JsonValue::Num(1.0)));
+        assert_eq!(field(&v, "telemetry_dropped"), Some(&JsonValue::Num(0.0)));
+        match field(&v, "reserved_bps") {
+            Some(JsonValue::Num(x)) => assert!(*x >= 64_000.0, "reserved {x}"),
+            other => panic!("bad reserved_bps: {other:?}"),
+        }
+
+        // Out-of-range admit: error, still connected.
+        client.send(
+            "{\"op\":\"admit\",\"source\":99,\"group\":0,\"demand_bps\":1,\"holding_secs\":1}",
+        );
+        assert_eq!(op_of(&client.recv()), "error");
+
+        // Graceful exit over the wire.
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+
+    assert_eq!(report.submitted, 1);
+    assert_eq!(report.decided, 1);
+    assert_eq!(report.metrics.offered, 1);
+    assert_eq!(report.metrics.admitted, 1);
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    let topo = topologies::mci();
+    let config = service_config(SystemSpec::dac(PolicySpec::Ed, 2));
+    let options = ServeOptions {
+        speed: 50.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let path =
+        std::env::temp_dir().join(format!("anycast-daemon-test-{}.sock", std::process::id()));
+    let server = BoundServer::bind(&Endpoint::Unix(path.clone())).unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+        let stream = UnixStream::connect(&path).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+        client.send(
+            "{\"op\":\"admit\",\"source\":3,\"group\":0,\"demand_bps\":64000,\"holding_secs\":60}",
+        );
+        let v = client.recv();
+        assert_eq!(op_of(&v), "decision");
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+    assert_eq!(report.submitted, 1);
+    assert!(!path.exists(), "socket file must be unlinked on shutdown");
+}
+
+/// Satellite 2: shutting down with asynchronous two-phase setups in
+/// flight must release every pending hold (zero leak) and flush the
+/// telemetry stream.
+#[test]
+fn graceful_shutdown_drains_two_phase_holds_and_flushes_telemetry() {
+    let topo = topologies::mci();
+    // Slow signalling (0.5 s/hop at 1x speed): setups submitted just
+    // before shutdown cannot complete first, so holds are pending when
+    // the drain runs.
+    let config = service_config(SystemSpec::dac(PolicySpec::Ed, 2)).with_signaling(
+        SignalingMode::TwoPhase(TwoPhaseConfig {
+            per_hop_delay_secs: 0.5,
+            ..TwoPhaseConfig::default()
+        }),
+    );
+    let options = ServeOptions {
+        speed: 1.0,
+        tick: Duration::from_millis(2),
+        telemetry: Some(std::env::temp_dir().join(format!(
+            "anycast-daemon-shutdown-{}.jsonl",
+            std::process::id()
+        ))),
+        ..ServeOptions::default()
+    };
+    let telemetry_path = options.telemetry.clone().unwrap();
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+        for source in [1, 3, 5, 7] {
+            client.send(&format!(
+                "{{\"op\":\"admit\",\"source\":{source},\"group\":0,\"demand_bps\":64000,\"holding_secs\":600}}"
+            ));
+        }
+        // The setups are now in flight (0.5 s/hop ≫ the few ms elapsed);
+        // stats must show pending holds before any decision lands.
+        client.send("{\"op\":\"stats\"}");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "stats");
+        match field(&v, "setups_in_flight") {
+            Some(JsonValue::Num(x)) => assert!(*x >= 1.0, "no setup in flight: {x}"),
+            other => panic!("bad setups_in_flight: {other:?}"),
+        }
+        match field(&v, "pending_hold_bps") {
+            Some(JsonValue::Num(x)) => assert!(*x > 0.0, "no pending hold bandwidth: {x}"),
+            other => panic!("bad pending_hold_bps: {other:?}"),
+        }
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+
+    assert_eq!(report.submitted, 4);
+    assert!(report.metrics.holds_placed >= 1, "test must exercise holds");
+    // The zero-leak guarantee: every pending hold released, ledger clean.
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+    // Telemetry flushed and parseable; the accounting invariant holds.
+    assert_eq!(report.telemetry_dropped, 0);
+    let text = std::fs::read_to_string(&telemetry_path).unwrap();
+    let lines = text.lines().count() as u64;
+    assert!(lines > 0, "telemetry stream must not be empty");
+    for line in text.lines() {
+        parse(line).unwrap();
+    }
+    assert!(
+        text.lines().any(|l| l.contains("hold_placed")),
+        "two-phase run must stream hold telemetry"
+    );
+    std::fs::remove_file(&telemetry_path).ok();
+}

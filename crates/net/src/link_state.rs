@@ -51,6 +51,22 @@ impl LinkSnapshot {
     }
 }
 
+/// Whole-table aggregate of the ledger, for operational snapshots (the
+/// admission daemon's `stats` endpoint) — one pass over every link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSummary {
+    /// Links tracked by the ledger.
+    pub links: usize,
+    /// Links currently (effectively) down.
+    pub failed_links: usize,
+    /// Total anycast-partition capacity, bit/s.
+    pub capacity_bps: u64,
+    /// Total reserved bandwidth, bit/s.
+    pub reserved_bps: u64,
+    /// Total bandwidth held by pending (unconfirmed) setups, bit/s.
+    pub pending_bps: u64,
+}
+
 /// Mutable per-link bandwidth bookkeeping for one simulation run.
 ///
 /// Tracks, for every link, how much of the anycast partition is reserved by
@@ -427,6 +443,24 @@ impl LinkStateTable {
     /// Total reserved bandwidth across all links (a congestion indicator).
     pub fn total_reserved(&self) -> Bandwidth {
         self.states.iter().map(|s| s.reserved).sum()
+    }
+
+    /// Aggregates the whole ledger into a [`LinkSummary`] in one pass.
+    pub fn summary(&self) -> LinkSummary {
+        let mut s = LinkSummary {
+            links: self.states.len(),
+            failed_links: 0,
+            capacity_bps: 0,
+            reserved_bps: 0,
+            pending_bps: 0,
+        };
+        for state in &self.states {
+            s.failed_links += usize::from(state.failed);
+            s.capacity_bps += state.capacity.bps();
+            s.reserved_bps += state.reserved.bps();
+            s.pending_bps += state.held.bps();
+        }
+        s
     }
 
     /// Number of links with zero available bandwidth for a demand of `bw`.
@@ -994,6 +1028,25 @@ mod tests {
         for i in 0..3 {
             assert_eq!(table.stamp(LinkId::new(i)), table.version());
         }
+    }
+
+    #[test]
+    fn summary_aggregates_all_columns() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(10))
+            .unwrap();
+        table
+            .place_hold(LinkId::new(1), Bandwidth::from_mbps(5))
+            .unwrap();
+        table.fail_link(LinkId::new(2)).unwrap();
+        let s = table.summary();
+        assert_eq!(s.links, 3);
+        assert_eq!(s.failed_links, 1);
+        assert_eq!(s.capacity_bps, 3 * Bandwidth::from_mbps(100).bps());
+        assert_eq!(s.reserved_bps, Bandwidth::from_mbps(10).bps());
+        assert_eq!(s.pending_bps, Bandwidth::from_mbps(5).bps());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod engine;
 mod event;
 pub mod pool;
@@ -54,6 +55,7 @@ mod time;
 mod timer;
 pub mod workload;
 
+pub use clock::{TimeSource, VirtualClock, WallClock};
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use random::SimRng;

@@ -82,5 +82,5 @@ pub use event::{
 };
 pub use recorder::{NullRecorder, Recorder, RingRecorder, TelemetryMode, DEFAULT_RING_CAPACITY};
 pub use registry::{registry_from_events, MetricKey, MetricsRegistry};
-pub use stream::{StreamRecorder, DEFAULT_STREAM_CAPACITY};
+pub use stream::{StreamPolicy, StreamRecorder, DEFAULT_STREAM_CAPACITY};
 pub use tracer::RequestTracer;

@@ -33,6 +33,26 @@ pub trait Recorder {
     }
 }
 
+/// Forwarding impl so generic simulation code (`Sim<R: Recorder>`) can be
+/// driven through a borrowed recorder — in particular a `&mut dyn
+/// Recorder` — without wrapping it.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, time_secs: f64, event: Event) {
+        (**self).record(time_secs, event)
+    }
+
+    #[inline]
+    fn link_sample_interval(&self) -> Option<f64> {
+        (**self).link_sample_interval()
+    }
+}
+
 /// The disabled recorder: `enabled()` is `false` and `record` is a no-op
 /// the optimizer removes entirely.
 #[derive(Debug, Clone, Copy, Default)]

@@ -5,12 +5,27 @@
 //! long soak with message-level telemetry (five extra event kinds per
 //! setup) outgrows any ring. A [`StreamRecorder`] instead renders each
 //! event to one JSON line on a dedicated writer thread, fed through a
-//! *bounded* channel: when the writer falls behind, [`record`] blocks
-//! (backpressure) rather than dropping events or growing without bound.
+//! *bounded* channel. What happens when the writer falls behind is the
+//! recorder's [`StreamPolicy`]:
 //!
-//! Determinism is unaffected: the simulation thread hands events over in
-//! recording order and the writer preserves it, so the streamed file is
-//! byte-identical to `to_jsonl` over the same run's full event sequence.
+//! * [`StreamPolicy::Block`] (the default) — [`record`] blocks until the
+//!   writer catches up: backpressure, never loss. Offline runs want this;
+//!   the simulation simply slows to disk speed.
+//! * [`StreamPolicy::DropNewest`] — [`record`] never blocks: when the
+//!   channel is full the event is discarded and counted in
+//!   [`dropped`](StreamRecorder::dropped). A live service wants this; a
+//!   slow disk must not stall admission decisions.
+//!
+//! Under **either** policy, loss is never silent: every event that did not
+//! reach the file — a full channel under `DropNewest`, or any policy after
+//! the writer thread died on an I/O error — increments the `dropped`
+//! counter, so `recorded() == lines written + dropped()` always holds.
+//! Consumers export the counter as the `telemetry_dropped` metric.
+//!
+//! Determinism is unaffected under `Block`: the simulation thread hands
+//! events over in recording order and the writer preserves it, so the
+//! streamed file is byte-identical to `to_jsonl` over the same run's full
+//! event sequence.
 //!
 //! [`record`]: Recorder::record
 
@@ -20,13 +35,26 @@ use crate::recorder::Recorder;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 /// Default channel capacity (events in flight between simulation and
 /// writer) — large enough to ride out short I/O stalls, small enough to
 /// bound memory at a few MB.
 pub const DEFAULT_STREAM_CAPACITY: usize = 8192;
+
+/// What [`Recorder::record`] does when the bounded channel to the writer
+/// thread is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamPolicy {
+    /// Block until the writer drains a slot: backpressure, never loss.
+    #[default]
+    Block,
+    /// Drop the new event and count it in
+    /// [`dropped`](StreamRecorder::dropped): the simulation (or service)
+    /// never stalls on telemetry I/O.
+    DropNewest,
+}
 
 /// A [`Recorder`] that streams events to a JSONL file as they happen.
 #[derive(Debug)]
@@ -36,6 +64,8 @@ pub struct StreamRecorder {
     writer: Option<JoinHandle<io::Result<u64>>>,
     sample_every_secs: Option<f64>,
     recorded: u64,
+    policy: StreamPolicy,
+    dropped: u64,
 }
 
 impl StreamRecorder {
@@ -70,6 +100,8 @@ impl StreamRecorder {
             writer: Some(writer),
             sample_every_secs: None,
             recorded: 0,
+            policy: StreamPolicy::Block,
+            dropped: 0,
         })
     }
 
@@ -96,14 +128,31 @@ impl StreamRecorder {
         self
     }
 
+    /// Replaces the full-channel policy (the default is
+    /// [`StreamPolicy::Block`]).
+    pub fn with_policy(mut self, policy: StreamPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The substream seed stamped on every exported line.
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
-    /// Events handed to the writer so far.
+    /// Events handed to [`Recorder::record`] so far (written + dropped).
     pub fn recorded(&self) -> u64 {
         self.recorded
+    }
+
+    /// Events that did not reach the file: discarded by
+    /// [`StreamPolicy::DropNewest`] on a full channel, or (under either
+    /// policy) recorded after the writer thread died on an I/O error.
+    /// This is the `telemetry_dropped` metric; it is never silently zero
+    /// when lines are missing, because `recorded() == written + dropped()`
+    /// is an invariant.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Closes the channel, joins the writer and returns the number of
@@ -132,13 +181,32 @@ impl Recorder for StreamRecorder {
 
     fn record(&mut self, time_secs: f64, event: Event) {
         self.recorded += 1;
-        if let Some(tx) = &self.tx {
-            // Blocks when the channel is full — backpressure, not loss. A
-            // send error means the writer died on an I/O error; keep
-            // simulating and surface the error at finish().
-            if tx.send(TimedEvent { time_secs, event }).is_err() {
-                self.tx = None;
+        let Some(tx) = &self.tx else {
+            // The writer already died on an I/O error; the event cannot
+            // reach the file. Account for it — never drop silently.
+            self.dropped += 1;
+            return;
+        };
+        let timed = TimedEvent { time_secs, event };
+        match self.policy {
+            StreamPolicy::Block => {
+                // Blocks when the channel is full — backpressure, not
+                // loss. A send error means the writer died on an I/O
+                // error; count the loss, keep simulating, and surface the
+                // error at finish().
+                if tx.send(timed).is_err() {
+                    self.tx = None;
+                    self.dropped += 1;
+                }
             }
+            StreamPolicy::DropNewest => match tx.try_send(timed) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => self.dropped += 1,
+                Err(TrySendError::Disconnected(_)) => {
+                    self.tx = None;
+                    self.dropped += 1;
+                }
+            },
         }
     }
 
@@ -236,6 +304,46 @@ mod tests {
         assert_eq!(rec.link_sample_interval(), Some(30.0));
         assert_eq!(rec.seed(), 1);
         drop(rec);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_policy_never_drops() {
+        let path = temp_path("block-policy.jsonl");
+        let mut rec = StreamRecorder::create(&path, 3, 2)
+            .unwrap()
+            .with_policy(StreamPolicy::Block);
+        for i in 0..300 {
+            rec.record(i as f64, sample(i));
+        }
+        assert_eq!(rec.recorded(), 300);
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.finish().unwrap(), 300);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_newest_accounts_for_every_missing_line() {
+        // The writer may or may not keep up with the burst; whichever
+        // events it misses under DropNewest MUST show up in dropped(), so
+        // recorded == written + dropped is exact, not best-effort.
+        let path = temp_path("drop-newest.jsonl");
+        let mut rec = StreamRecorder::create(&path, 9, 1)
+            .unwrap()
+            .with_policy(StreamPolicy::DropNewest);
+        for i in 0..2_000 {
+            rec.record(i as f64, sample(i));
+        }
+        assert_eq!(rec.recorded(), 2_000);
+        let dropped = rec.dropped();
+        let written = rec.finish().unwrap();
+        assert_eq!(
+            written + dropped,
+            2_000,
+            "every event is either written or counted dropped"
+        );
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed.lines().count() as u64, written);
         std::fs::remove_file(&path).ok();
     }
 }
