@@ -12,6 +12,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy (sharded link-state + batch evaluation crates, lib-only pass)"
+# The crates the parallel in-batch evaluator lives in, linted on their
+# own so a workspace-level cfg or feature change cannot mask a warning.
+cargo clippy -p anycast-net -p anycast-dac --offline -- -D warnings
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
@@ -33,9 +38,13 @@ cargo run --release --offline -p anycast-bench --bin bench_pr5 -- --smoke --jobs
 echo "==> online engine smoke (bench_pr6: online submit/pump must match offline)"
 cargo run --release --offline -p anycast-bench --bin bench_pr6 -- --smoke --jobs 2 --out /tmp/BENCH_pr6_ci.json
 
+echo "==> parallel batch smoke (bench_pr7: batch_jobs=N must match batch_jobs=1)"
+cargo run --release --offline -p anycast-bench --bin bench_pr7 -- --smoke --jobs 2 --out /tmp/BENCH_pr7_ci.json
+
 echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
 ! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
-    /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json
+    /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json \
+    /tmp/BENCH_pr7_ci.json
 
 echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
 cargo run --release --offline -p anycast-cli --bin anycast -- \
@@ -45,9 +54,21 @@ cargo run --release --offline -p anycast-cli --bin anycast -- \
     simulate --lambda 45 --system gdi --warmup 20 --measure 80 --batch \
     > /tmp/batch_metrics.txt
 diff /tmp/seq_metrics.txt /tmp/batch_metrics.txt
+
+echo "==> parallel-vs-sequential batch gate (--jobs must not change a single byte)"
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 45 --system gdi --warmup 20 --measure 80 --batch --jobs 1 \
+    > /tmp/batch_j1_metrics.txt
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 45 --system gdi --warmup 20 --measure 80 --batch --jobs 4 \
+    > /tmp/batch_j4_metrics.txt
+diff /tmp/batch_metrics.txt /tmp/batch_j1_metrics.txt
+diff /tmp/batch_j1_metrics.txt /tmp/batch_j4_metrics.txt
+
 echo "==> NaN gate (no printed metric may be NaN or infinite)"
 ! grep -qiE 'nan|inf' /tmp/seq_metrics.txt
-rm -f /tmp/seq_metrics.txt /tmp/batch_metrics.txt
+rm -f /tmp/seq_metrics.txt /tmp/batch_metrics.txt \
+    /tmp/batch_j1_metrics.txt /tmp/batch_j4_metrics.txt
 
 echo "==> two-phase leak smoke (lossy signalling must leak zero held bandwidth)"
 # 5% loss on every signalling message kind plus real per-hop latency:

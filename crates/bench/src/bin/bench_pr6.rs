@@ -21,6 +21,7 @@
 
 use anycast_bench::default_jobs;
 use anycast_bench::json::JsonValue;
+use anycast_bench::stats::percentile;
 use anycast_dac::experiment::{
     run_experiment, ExperimentConfig, Metrics, SignalingMode, SystemSpec, TwoPhaseConfig,
 };
@@ -120,14 +121,6 @@ fn run_online(topo: &Topology, config: &ExperimentConfig) -> OnlineRun {
         wall_secs,
         latencies_us,
     }
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn main() {

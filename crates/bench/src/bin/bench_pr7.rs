@@ -1,0 +1,248 @@
+//! PR 7 performance snapshot: sequential vs parallel **in-batch**
+//! candidate evaluation — the sharded link-state fan-out inside one
+//! simulation run — written to `BENCH_pr7.json`.
+//!
+//! Unlike `bench_pr2` (which parallelises across independent runs), this
+//! benchmark keeps a single run and times the same batched workload with
+//! `batch_jobs = 1` against `batch_jobs = --jobs`: the candidate
+//! evaluations of every same-quantum batch are fanned across the worker
+//! pool over a borrowed [`ShardedSnapshot`] while the commit loop stays
+//! sequential. Workloads:
+//!
+//! * **wddh** — `<WD/D+H,2>`, where the fan-out primes the per-source
+//!   route-bandwidth caches;
+//! * **gdi** — the global-knowledge baseline, where it precomputes the
+//!   per-(source, demand) feasibility memo;
+//! * **wddh_express** — express two-phase signalling (zero per-hop
+//!   delay), where batching stays active and the primed caches feed the
+//!   express setup walk.
+//!
+//! Every workload asserts the **divergence gate**: parallel metrics must
+//! be bit-identical to sequential. On a single-core runner a ~1× speedup
+//! is expected and fine — the gate is the point, the speedup is the
+//! bonus.
+//!
+//! [`ShardedSnapshot`]: anycast_net::ShardedSnapshot
+
+use anycast_bench::default_jobs;
+use anycast_bench::json::JsonValue;
+use anycast_bench::stats::percentile;
+use anycast_dac::experiment::{
+    run_experiment, ExperimentConfig, Metrics, SignalingMode, SystemSpec, TwoPhaseConfig,
+};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::topologies;
+use std::time::Instant;
+
+/// Run lengths, λ grid and timing repetitions for one profile.
+struct Profile {
+    name: &'static str,
+    warmup_secs: f64,
+    measure_secs: f64,
+    lambdas: Vec<f64>,
+    iters: usize,
+    seed: u64,
+}
+
+impl Profile {
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            lambdas: vec![40.0],
+            iters: 1,
+            seed: 101,
+        }
+    }
+
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            warmup_secs: 300.0,
+            measure_secs: 600.0,
+            lambdas: vec![35.0, 50.0],
+            iters: 3,
+            seed: 101,
+        }
+    }
+
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            warmup_secs: 1_800.0,
+            measure_secs: 3_600.0,
+            lambdas: vec![35.0, 50.0],
+            iters: 5,
+            seed: 101,
+        }
+    }
+}
+
+/// One batched workload to time in both execution modes.
+struct Workload {
+    name: String,
+    config: ExperimentConfig,
+}
+
+/// Times `iters` repetitions of one config and returns the metrics of the
+/// first run plus the median wall time in seconds (nearest-rank over
+/// microsecond samples, so repeated runs damp scheduler noise).
+fn time_runs(
+    topo: &anycast_net::Topology,
+    config: &ExperimentConfig,
+    iters: usize,
+) -> (Metrics, f64) {
+    let mut samples_us: Vec<u64> = Vec::with_capacity(iters);
+    let mut metrics: Option<Metrics> = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let m = run_experiment(topo, config);
+        samples_us.push(start.elapsed().as_micros() as u64);
+        match &metrics {
+            None => metrics = Some(m),
+            Some(first) => assert_eq!(
+                *first, m,
+                "repeated runs of one config must be bit-identical"
+            ),
+        }
+    }
+    samples_us.sort_unstable();
+    let median_secs = percentile(&samples_us, 0.5) as f64 / 1e6;
+    (metrics.expect("at least one iteration"), median_secs)
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr7: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr7: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr7: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr7 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  times batched runs with batch_jobs=1 vs batch_jobs=N,");
+                println!("  asserts the metrics are bit-identical, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr7: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr7: profile={} jobs={jobs} available_parallelism={cores}",
+        profile.name
+    );
+
+    let systems: [(&str, SystemSpec, Option<SignalingMode>); 3] = [
+        (
+            "wddh",
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            None,
+        ),
+        ("gdi", SystemSpec::GlobalDynamic, None),
+        (
+            "wddh_express",
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            Some(SignalingMode::TwoPhase(TwoPhaseConfig::default())),
+        ),
+    ];
+    let mut workloads: Vec<Workload> = Vec::new();
+    for (system_name, system, signaling) in systems {
+        for &lambda in &profile.lambdas {
+            let mut config = ExperimentConfig::paper_defaults(lambda, system)
+                .with_warmup_secs(profile.warmup_secs)
+                .with_measure_secs(profile.measure_secs)
+                .with_seed(profile.seed)
+                .with_batching(true);
+            if let Some(mode) = signaling {
+                config = config.with_signaling(mode);
+            }
+            workloads.push(Workload {
+                name: format!("{system_name}_lambda{lambda:.0}"),
+                config,
+            });
+        }
+    }
+
+    let mut entries = Vec::new();
+    for w in &workloads {
+        let sequential_config = w.config.clone().with_batch_jobs(1);
+        let parallel_config = w.config.clone().with_batch_jobs(jobs);
+        let (seq_metrics, sequential_secs) = time_runs(&topo, &sequential_config, profile.iters);
+        let (par_metrics, parallel_secs) = time_runs(&topo, &parallel_config, profile.iters);
+        // The divergence gate: batch_jobs is an execution knob only.
+        assert_eq!(
+            seq_metrics, par_metrics,
+            "{}: batch_jobs={jobs} diverged from batch_jobs=1",
+            w.name
+        );
+        let offered = seq_metrics.offered;
+        let speedup = sequential_secs / parallel_secs;
+        println!(
+            "  {:<22} offered={:<7} AP={:.4} seq={:.3}s par={:.3}s speedup={:.2}x",
+            w.name,
+            offered,
+            seq_metrics.admission_probability,
+            sequential_secs,
+            parallel_secs,
+            speedup
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(w.name.clone())),
+            ("lambda", JsonValue::Num(w.config.lambda)),
+            ("offered_requests", JsonValue::Num(offered as f64)),
+            ("mean_ap", JsonValue::Num(seq_metrics.admission_probability)),
+            ("sequential_secs", JsonValue::Num(sequential_secs)),
+            ("parallel_secs", JsonValue::Num(parallel_secs)),
+            ("speedup", JsonValue::Num(speedup)),
+            (
+                "sequential_requests_per_sec",
+                JsonValue::Num(offered as f64 / sequential_secs),
+            ),
+            (
+                "parallel_requests_per_sec",
+                JsonValue::Num(offered as f64 / parallel_secs),
+            ),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr7_parallel_batch".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("available_parallelism", JsonValue::Num(cores as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr7: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

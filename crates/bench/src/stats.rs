@@ -1,0 +1,67 @@
+//! Small summary statistics shared by the bench binaries.
+
+/// Nearest-rank percentile of an already **sorted** slice: the smallest
+/// element with at least `p · n` of the sample at or below it
+/// (`rank = ⌈p·n⌉`, clamped to `[1, n]`).
+///
+/// An empty slice yields 0 — bench workloads with no latency samples
+/// report a zero percentile rather than panicking.
+///
+/// This replaces an earlier `((n-1)·p).round()` variant, which both
+/// panicked on empty input and rounded *up* across the midpoint (for
+/// `n = 2`, `p = 0.5` it returned the maximum instead of the median's
+/// lower nearest rank).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile wants p in [0, 1], got {p}"
+    );
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_zero() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[], 0.99), 0);
+    }
+
+    #[test]
+    fn nearest_rank_on_small_samples() {
+        // The regression the old rounding variant got wrong: the median
+        // of two samples is the lower nearest rank, not the maximum.
+        assert_eq!(percentile(&[10, 20], 0.5), 10);
+        assert_eq!(percentile(&[10, 20], 0.51), 20);
+        let one = [7];
+        assert_eq!(percentile(&one, 0.0), 7);
+        assert_eq!(percentile(&one, 1.0), 7);
+    }
+
+    #[test]
+    fn matches_the_nearest_rank_definition() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        // p = 0 clamps to the first element rather than indexing rank 0.
+        assert_eq!(percentile(&sorted, 0.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0, 1]")]
+    fn rejects_out_of_range_p() {
+        let _ = percentile(&[1, 2, 3], 1.5);
+    }
+}

@@ -6,8 +6,10 @@
 use anycast_bench::figures::comparison_systems;
 use anycast_bench::{run_grid, run_grid_traced};
 use anycast_chaos::FaultPlan;
-use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
-use anycast_net::topologies;
+use anycast_dac::experiment::{
+    DemandClass, ExperimentConfig, GroupSpec, SignalingMode, SystemSpec, TwoPhaseConfig,
+};
+use anycast_net::{topologies, Bandwidth, NodeId};
 use anycast_sim::SimRng;
 use anycast_telemetry::TelemetryMode;
 
@@ -102,5 +104,139 @@ fn batched_traced_grid_streams_are_identical() {
             "cell {} seed {}: batched telemetry stream diverged",
             a.config_index, a.seed
         );
+    }
+}
+
+/// The tentpole invariant of the parallel in-batch evaluator: for every
+/// system, `batch_jobs = N` reproduces `batch_jobs = 1` bit-for-bit —
+/// the parallel precompute installs exactly the values the sequential
+/// commit loop would have computed lazily.
+#[test]
+fn parallel_batch_evaluation_is_jobs_invariant() {
+    let topo = topologies::mci();
+    let seeds = [SimRng::substream_seed(11, 0), SimRng::substream_seed(11, 1)];
+    let baseline: Vec<ExperimentConfig> = comparison_systems()
+        .into_iter()
+        .map(|system| short(40.0, system, true).with_batch_jobs(1))
+        .collect();
+    let expected = run_grid(&topo, &baseline, &seeds, 1);
+    for jobs in [2, 4, 7] {
+        let parallel: Vec<ExperimentConfig> = comparison_systems()
+            .into_iter()
+            .map(|system| short(40.0, system, true).with_batch_jobs(jobs))
+            .collect();
+        let got = run_grid(&topo, &parallel, &seeds, 1);
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(
+                a.runs, b.runs,
+                "{}: batch_jobs={jobs} diverged from batch_jobs=1",
+                a.label
+            );
+        }
+    }
+}
+
+/// Jobs invariance holds under chaos: faults interleave with batches
+/// (flushing them), and the precompute must neither consume fault RNG nor
+/// observe a different ledger than the commit loop.
+#[test]
+fn parallel_batch_under_faults_is_jobs_invariant() {
+    let topo = topologies::mci();
+    let plan = FaultPlan::none()
+        .with_link_model(300.0, 60.0)
+        .with_teardown_loss(0.1)
+        .with_teardown_delay(2.0);
+    let seeds = [SimRng::substream_seed(13, 0)];
+    let make = |jobs: usize| -> Vec<ExperimentConfig> {
+        comparison_systems()
+            .iter()
+            .map(|s| {
+                short(25.0, *s, true)
+                    .with_faults(plan.clone())
+                    .with_batch_jobs(jobs)
+            })
+            .collect()
+    };
+    let expected = run_grid(&topo, &make(1), &seeds, 2);
+    let got = run_grid(&topo, &make(4), &seeds, 2);
+    for (a, b) in expected.iter().zip(&got) {
+        assert_eq!(a.runs, b.runs, "{}: chaos batch_jobs=4 diverged", a.label);
+    }
+}
+
+/// Two-phase signalling in both regimes: express (zero per-hop delay,
+/// batching active — the primed bandwidth cache feeds the express walk)
+/// and delayed (event-driven exchanges disable batching, so batch_jobs
+/// must be a harmless no-op).
+#[test]
+fn parallel_batch_two_phase_is_jobs_invariant() {
+    let topo = topologies::mci();
+    let seeds = [SimRng::substream_seed(17, 0)];
+    let system = comparison_systems()[1]; // <WD/D+H,2>
+    for per_hop in [0.0, 0.005] {
+        let make = |jobs: usize| {
+            vec![short(35.0, system, true)
+                .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig {
+                    per_hop_delay_secs: per_hop,
+                    ..TwoPhaseConfig::default()
+                }))
+                .with_batch_jobs(jobs)]
+        };
+        let expected = run_grid(&topo, &make(1), &seeds, 1);
+        let got = run_grid(&topo, &make(3), &seeds, 1);
+        assert_eq!(
+            expected[0].runs, got[0].runs,
+            "two-phase per_hop={per_hop}: batch_jobs=3 diverged"
+        );
+    }
+}
+
+/// Multi-group workloads take the memo-less GDI path (`gdi_shared_links`)
+/// and per-group DAC controllers; a heterogeneous demand mix exercises
+/// distinct (source, demand) prime tasks. The full telemetry stream must
+/// match, not just the metrics.
+#[test]
+fn parallel_batch_multi_group_streams_are_identical() {
+    let topo = topologies::mci();
+    let groups = vec![
+        GroupSpec {
+            members: vec![NodeId::new(0), NodeId::new(8), NodeId::new(16)],
+            share: 2.0,
+        },
+        GroupSpec {
+            members: vec![NodeId::new(4), NodeId::new(12)],
+            share: 1.0,
+        },
+    ];
+    let mix = vec![
+        DemandClass {
+            bandwidth: Bandwidth::from_kbps(64),
+            weight: 3.0,
+        },
+        DemandClass {
+            bandwidth: Bandwidth::from_kbps(256),
+            weight: 1.0,
+        },
+    ];
+    let seeds = [SimRng::substream_seed(19, 0)];
+    for system in [SystemSpec::GlobalDynamic, comparison_systems()[1]] {
+        let make = |jobs: usize| {
+            vec![short(40.0, system, true)
+                .with_groups(groups.clone())
+                .with_demand_mix(mix.clone())
+                .with_batch_jobs(jobs)]
+        };
+        let (expected_metrics, expected_cells) =
+            run_grid_traced(&topo, &make(1), &seeds, 1, TelemetryMode::ring());
+        let (got_metrics, got_cells) =
+            run_grid_traced(&topo, &make(5), &seeds, 1, TelemetryMode::ring());
+        assert_eq!(expected_metrics[0].runs, got_metrics[0].runs);
+        for (a, b) in expected_cells.iter().zip(&got_cells) {
+            assert!(!a.events.is_empty(), "traced cells must capture events");
+            assert_eq!(
+                a.events, b.events,
+                "multi-group batch_jobs=5 telemetry diverged"
+            );
+        }
     }
 }

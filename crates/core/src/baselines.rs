@@ -325,6 +325,60 @@ impl GlobalDynamicSystem {
         self.batch.clear();
     }
 
+    /// The exhaustive per-member residual search for one `(source, demand)`
+    /// pair: the per-member feasibility verdict and the winning
+    /// `(member_index, path)` (fewest hops, first member winning ties).
+    ///
+    /// A pure function of the ledger: this is the read-only half of a
+    /// batched admission, factored out so batch priming can fan it out
+    /// across worker threads, each with its own `scratch`, against a
+    /// shared frozen snapshot.
+    pub fn compute_batch_entry(
+        scratch: &mut RoutingScratch,
+        topo: &Topology,
+        group: &AnycastGroup,
+        links: &LinkStateTable,
+        source: NodeId,
+        demand: Bandwidth,
+    ) -> (Vec<bool>, Option<(usize, Path)>) {
+        let mut feasible = Vec::with_capacity(group.members().len());
+        let mut best: Option<(usize, Path)> = None;
+        for (idx, &member) in group.members().iter().enumerate() {
+            let found = filtered_shortest_path_with(scratch, topo, links, source, member, demand);
+            feasible.push(found.is_some());
+            if let Some(path) = found {
+                let better = match &best {
+                    Some((_, current)) => path.hops() < current.hops(),
+                    None => true,
+                };
+                if better {
+                    best = Some((idx, path));
+                }
+            }
+        }
+        (feasible, best)
+    }
+
+    /// Installs a batch-start memo entry computed by
+    /// [`compute_batch_entry`](Self::compute_batch_entry) for
+    /// `(source, demand)`.
+    ///
+    /// Must run after [`begin_batch`](Self::begin_batch) and before any
+    /// admission of that batch: with the flips ledger still empty, the
+    /// entry records `flips_seen = 0`, so every in-batch availability drop
+    /// is scanned at lookup time — a primed entry revalidates exactly like
+    /// one the miss path computed itself, and admission outcomes are
+    /// bit-identical either way.
+    pub fn prime_batch_entry(
+        &mut self,
+        source: NodeId,
+        demand: Bandwidth,
+        feasible: Vec<bool>,
+        best: Option<(usize, Path)>,
+    ) {
+        self.batch.store(source, demand.bps(), feasible, best);
+    }
+
     /// [`admit_traced`](Self::admit_traced) memoising the exhaustive
     /// search across a same-quantum arrival batch (see [`GdiBatchCache`]).
     /// Bit-identical to the uncached path: outcomes, the RSVP message
@@ -346,28 +400,14 @@ impl GlobalDynamicSystem {
             match self.batch.lookup(source, demand_bps) {
                 Some((f, b)) => (f.to_vec(), b.clone()),
                 None => {
-                    let mut feasible = Vec::with_capacity(group.members().len());
-                    let mut best: Option<(usize, Path)> = None;
-                    for (idx, &member) in group.members().iter().enumerate() {
-                        let found = filtered_shortest_path_with(
-                            &mut self.scratch,
-                            topo,
-                            links,
-                            source,
-                            member,
-                            demand,
-                        );
-                        feasible.push(found.is_some());
-                        if let Some(path) = found {
-                            let better = match &best {
-                                Some((_, current)) => path.hops() < current.hops(),
-                                None => true,
-                            };
-                            if better {
-                                best = Some((idx, path));
-                            }
-                        }
-                    }
+                    let (feasible, best) = Self::compute_batch_entry(
+                        &mut self.scratch,
+                        topo,
+                        group,
+                        links,
+                        source,
+                        demand,
+                    );
                     self.batch
                         .store(source, demand_bps, feasible.clone(), best.clone());
                     (feasible, best)
@@ -603,6 +643,78 @@ mod tests {
             }
         }
         assert!(links_s.iter().zip(links_b.iter()).all(|(x, y)| x == y));
+    }
+
+    /// Priming the batch memo from entries precomputed at batch start is
+    /// indistinguishable from letting the miss path fill it lazily: the
+    /// primed entries record `flips_seen = 0`, so every in-batch
+    /// reservation revalidates them exactly as a lazily stored entry
+    /// computed before any drop.
+    #[test]
+    fn primed_batch_entries_match_lazy_memoisation() {
+        let (topo, group, _table) = fixture();
+        let mut links_l = LinkStateTable::from_topology(&topo);
+        let mut links_p = LinkStateTable::from_topology(&topo);
+        let mut rsvp_l = ReservationEngine::new();
+        let mut rsvp_p = ReservationEngine::new();
+        let mut lazy = GlobalDynamicSystem::new();
+        let mut primed = GlobalDynamicSystem::new();
+        // Repeats exercise memo hits; the 96k demand crosses thresholds
+        // mid-batch, so primed entries must also invalidate correctly.
+        let batches: &[&[(u32, u64)]] = &[
+            &[(0, 48), (0, 48), (1, 96), (0, 48), (0, 96)],
+            &[(2, 32), (2, 32), (0, 64), (2, 32)],
+        ];
+        for (bi, batch) in batches.iter().enumerate() {
+            lazy.begin_batch();
+            primed.begin_batch();
+            // Precompute every distinct (source, demand) of the batch
+            // against the batch-start ledger, then install.
+            let mut tasks: Vec<(NodeId, Bandwidth)> = Vec::new();
+            for &(src, kbps) in batch.iter() {
+                let t = (NodeId::new(src), Bandwidth::from_kbps(kbps));
+                if !tasks.contains(&t) {
+                    tasks.push(t);
+                }
+            }
+            let mut scratch = RoutingScratch::new();
+            for &(source, demand) in &tasks {
+                let (feasible, best) = GlobalDynamicSystem::compute_batch_entry(
+                    &mut scratch,
+                    &topo,
+                    &group,
+                    &links_p,
+                    source,
+                    demand,
+                );
+                primed.prime_batch_entry(source, demand, feasible, best);
+            }
+            for (ai, &(src, kbps)) in batch.iter().enumerate() {
+                let source = NodeId::new(src);
+                let demand = Bandwidth::from_kbps(kbps);
+                let a = lazy.admit_batched_traced(
+                    &topo,
+                    &group,
+                    source,
+                    &mut links_l,
+                    &mut rsvp_l,
+                    demand,
+                    &mut RequestTracer::new(&mut NullRecorder, 0.0, 0),
+                );
+                let b = primed.admit_batched_traced(
+                    &topo,
+                    &group,
+                    source,
+                    &mut links_p,
+                    &mut rsvp_p,
+                    demand,
+                    &mut RequestTracer::new(&mut NullRecorder, 0.0, 0),
+                );
+                assert_eq!(a, b, "batch {bi} arrival {ai}");
+                assert_eq!(rsvp_l.ledger(), rsvp_p.ledger(), "batch {bi} arrival {ai}");
+            }
+        }
+        assert!(links_l.iter().zip(links_p.iter()).all(|(x, y)| x == y));
     }
 
     #[test]

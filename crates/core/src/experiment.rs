@@ -17,13 +17,15 @@ use anycast_chaos::{
     build_timeline, ControlFaultModel, FaultAction, FaultBook, FaultEntity, FaultPlan,
     MessageFault, SignalingFaults,
 };
+use anycast_net::routing::RoutingScratch;
 use anycast_net::{
-    topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, RouteTable, Topology,
+    topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, Path, RouteTable, Topology,
 };
 use anycast_rsvp::{
     MessageKind, MessageLedger, PathStep, RefreshTracker, ReservationEngine, SessionId, SetupId,
     SetupTable,
 };
+use anycast_sim::pool::parallel_map_with;
 use anycast_sim::stats::{AdmissionStats, TimeWeighted};
 use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
 use anycast_sim::{Engine, SimRng, SimTime, TimerWheel};
@@ -260,6 +262,19 @@ pub struct ExperimentConfig {
     /// with arrivals by design.
     #[serde(default)]
     pub batch: bool,
+    /// Worker threads for the read-only candidate-evaluation half of each
+    /// arrival batch (route-bandwidth vectors, GDI residual searches),
+    /// fanned out over a frozen sharded snapshot of the ledger. The commit
+    /// loop stays sequential in arrival order, so results are bit-identical
+    /// for every value; 1 (the default) evaluates inline. Only meaningful
+    /// with `batch`. An execution knob, never an experimental parameter:
+    /// it must not — and provably cannot — change any metric.
+    #[serde(default = "default_batch_jobs")]
+    pub batch_jobs: usize,
+}
+
+fn default_batch_jobs() -> usize {
+    1
 }
 
 impl ExperimentConfig {
@@ -286,6 +301,7 @@ impl ExperimentConfig {
             faults: FaultPlan::none(),
             signaling: SignalingMode::Atomic,
             batch: false,
+            batch_jobs: default_batch_jobs(),
         }
     }
 
@@ -353,6 +369,18 @@ impl ExperimentConfig {
     /// paper; metrics are bit-identical either way).
     pub fn with_batching(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Sets the worker-thread count for in-batch candidate evaluation
+    /// (execution knob; output is bit-identical for every value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_batch_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs >= 1, "batch evaluation needs at least one worker");
+        self.batch_jobs = jobs;
         self
     }
 
@@ -1860,6 +1888,133 @@ impl<R: Recorder> Sim<R> {
                         gdi.begin_batch();
                     }
                 }
+                // --- Parallel candidate pre-evaluation --------------------
+                // The read-only half of the batch: compute, against the
+                // frozen batch-start snapshot, the route-bandwidth vectors
+                // (DAC) and exhaustive residual searches (GDI) that the
+                // commit loop is about to ask for, and install them in the
+                // caches the sequential path already consults. Priming is
+                // value-identical to lazy computation — the caches' own
+                // exactness invariants are the proof — and consumes no RNG,
+                // so every metric, decision and telemetry byte is unchanged
+                // for every `batch_jobs` value, including 1.
+                if arrival_batch.len() > 1 {
+                    enum PrimeTask {
+                        /// Route-bandwidth vector for one (group, source)
+                        /// DAC controller.
+                        RouteBw { group: usize, source: usize },
+                        /// Exhaustive residual search for one GDI
+                        /// (group, source node, demand) triple.
+                        Gdi {
+                            group: usize,
+                            source: NodeId,
+                            demand: Bandwidth,
+                        },
+                    }
+                    enum PrimeResult {
+                        RouteBw(Vec<f64>),
+                        Gdi(Vec<bool>, Option<(usize, Path)>),
+                    }
+                    let mut tasks: Vec<PrimeTask> = Vec::new();
+                    for slot in arrival_batch.iter() {
+                        match &systems[slot.group_index] {
+                            SystemState::Dac(controllers)
+                                if controllers[slot.source_index].needs_route_bandwidth()
+                                    && !tasks.iter().any(|t| {
+                                        matches!(t,
+                                        PrimeTask::RouteBw { group, source }
+                                            if *group == slot.group_index
+                                                && *source == slot.source_index)
+                                    }) =>
+                            {
+                                tasks.push(PrimeTask::RouteBw {
+                                    group: slot.group_index,
+                                    source: slot.source_index,
+                                });
+                            }
+                            // Interleaved multi-group GDI resets its memo
+                            // per member, so batch-start entries would be
+                            // discarded unread.
+                            SystemState::Gdi(_) if !gdi_shared_links => {
+                                let source = config.sources[slot.source_index];
+                                if !tasks.iter().any(|t| {
+                                    matches!(t,
+                                    PrimeTask::Gdi { group, source: s, demand }
+                                        if *group == slot.group_index
+                                            && *s == source
+                                            && *demand == slot.demand)
+                                }) {
+                                    tasks.push(PrimeTask::Gdi {
+                                        group: slot.group_index,
+                                        source,
+                                        demand: slot.demand,
+                                    });
+                                }
+                            }
+                            // Multipath recomputes bandwidth inline per
+                            // attempt (no cache) and SP needs none.
+                            _ => {}
+                        }
+                    }
+                    if !tasks.is_empty() {
+                        let snap = links.sharded();
+                        let version = snap.version();
+                        let results = parallel_map_with(
+                            config.batch_jobs,
+                            &tasks,
+                            RoutingScratch::new,
+                            |scratch, _, task| match *task {
+                                PrimeTask::RouteBw { group, source } => PrimeResult::RouteBw(
+                                    AdmissionController::route_bandwidths_against(
+                                        route_tables[group].routes_from(config.sources[source]),
+                                        snap,
+                                    ),
+                                ),
+                                PrimeTask::Gdi {
+                                    group,
+                                    source,
+                                    demand,
+                                } => {
+                                    let (feasible, best) = GlobalDynamicSystem::compute_batch_entry(
+                                        scratch,
+                                        topo,
+                                        &groups[group],
+                                        snap.table(),
+                                        source,
+                                        demand,
+                                    );
+                                    PrimeResult::Gdi(feasible, best)
+                                }
+                            },
+                        );
+                        for (task, result) in tasks.iter().zip(results) {
+                            match (task, result) {
+                                (
+                                    PrimeTask::RouteBw { group, source },
+                                    PrimeResult::RouteBw(values),
+                                ) => {
+                                    if let SystemState::Dac(controllers) = &mut systems[*group] {
+                                        controllers[*source]
+                                            .prime_route_bandwidth(&values, version);
+                                    }
+                                }
+                                (
+                                    PrimeTask::Gdi {
+                                        group,
+                                        source,
+                                        demand,
+                                    },
+                                    PrimeResult::Gdi(feasible, best),
+                                ) => {
+                                    if let SystemState::Gdi(gdi) = &mut systems[*group] {
+                                        gdi.prime_batch_entry(*source, *demand, feasible, best);
+                                    }
+                                }
+                                _ => unreachable!("each result matches its task variant"),
+                            }
+                        }
+                    }
+                }
                 for j in 0..arrival_batch.len() {
                     let slot = arrival_batch[j];
                     if j > 0 && eng.peek_time().is_some_and(|p| p <= slot.at) {
@@ -2100,18 +2255,23 @@ impl<R: Recorder> Sim<R> {
             Event::TelemetrySample => {
                 // Read-only periodic probe of the link-state table: consumes
                 // no randomness and mutates nothing, so scheduling it (or
-                // not) leaves the simulated system bit-identical.
-                for (link, snap) in links.iter() {
-                    recorder.record(
-                        now.as_secs(),
-                        TelemetryEvent::LinkSample {
-                            link,
-                            reserved_bps: snap.reserved.bps(),
-                            capacity_bps: snap.capacity.bps(),
-                            flows: snap.flows,
-                            failed: snap.failed,
-                        },
-                    );
+                // not) leaves the simulated system bit-identical. Walks the
+                // sharded view stripe by stripe — ascending shard order is
+                // ascending link order, so the stream is unchanged.
+                let sharded = links.sharded();
+                for shard in 0..sharded.shard_count() {
+                    for (link, snap) in sharded.iter_shard(shard) {
+                        recorder.record(
+                            now.as_secs(),
+                            TelemetryEvent::LinkSample {
+                                link,
+                                reserved_bps: snap.reserved.bps(),
+                                capacity_bps: snap.capacity.bps(),
+                                flows: snap.flows,
+                                failed: snap.failed,
+                            },
+                        );
+                    }
                 }
                 if let Some(interval_secs) = sample_interval {
                     eng.schedule_in(

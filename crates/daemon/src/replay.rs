@@ -50,12 +50,10 @@ pub struct ReplayOutcome {
 /// # Errors
 ///
 /// I/O or format errors reading the trace, or `InvalidData` when the
-/// trace's source/group bounds do not match `config`.
-///
-/// # Panics
-///
-/// As [`OnlineEngine::submit`] for traces that pass the header check but
-/// violate engine invariants (e.g. arrivals past the horizon).
+/// trace's source/group bounds do not match `config` or its arrivals run
+/// past the config's horizon. Malformed traces never reach
+/// [`OnlineEngine::submit`]'s invariants: every line is validated before
+/// the first submission, so client input cannot panic the engine.
 pub fn replay_trace<R: Recorder>(
     topo: &Topology,
     config: &ExperimentConfig,
@@ -76,6 +74,21 @@ pub fn replay_trace<R: Recorder>(
                 engine.group_count()
             ),
         ));
+    }
+    // The trace's own horizon was checked on read; the replaying config
+    // may legitimately differ (e.g. a longer --measure), so arrivals must
+    // also fit *this* engine's horizon before anything is submitted.
+    if let Some(last) = arrivals.last() {
+        let horizon = engine.horizon();
+        if SimTime::from_secs(last.at_secs) > horizon {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace arrival at {}s is past the config horizon {:?}",
+                    last.at_secs, horizon
+                ),
+            ));
+        }
     }
     let mut clock = match pacing {
         ReplayPacing::Virtual => None,
@@ -122,7 +135,7 @@ mod tests {
     }
 
     #[test]
-    fn virtual_and_paced_replays_are_bit_identical() {
+    fn virtual_and_paced_replays_are_bit_identical() -> io::Result<()> {
         let topo = topologies::mci();
         let config = ExperimentConfig::paper_defaults(8.0, SystemSpec::dac(PolicySpec::Ed, 2))
             .with_warmup_secs(20.0)
@@ -130,10 +143,9 @@ mod tests {
             .with_seed(3)
             .with_batching(true);
         let path = temp_path("paced.jsonl");
-        write_trace(&path, &config, &record_arrivals(&config)).unwrap();
+        write_trace(&path, &config, &record_arrivals(&config))?;
 
-        let (virt, _) =
-            replay_trace(&topo, &config, &path, ReplayPacing::Virtual, NullRecorder).unwrap();
+        let (virt, _) = replay_trace(&topo, &config, &path, ReplayPacing::Virtual, NullRecorder)?;
         // High speed so the 60 simulated seconds pace out in ~6 ms.
         let (paced, _) = replay_trace(
             &topo,
@@ -141,23 +153,23 @@ mod tests {
             &path,
             ReplayPacing::Paced { speed: 10_000.0 },
             NullRecorder,
-        )
-        .unwrap();
+        )?;
         assert_eq!(virt, paced, "pacing must not change any outcome");
         // And both equal the offline engine.
         assert_eq!(virt.metrics, run_experiment(&topo, &config));
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn mismatched_config_is_rejected() {
+    fn mismatched_config_is_rejected() -> io::Result<()> {
         let topo = topologies::mci();
         let config = ExperimentConfig::paper_defaults(8.0, SystemSpec::dac(PolicySpec::Ed, 2))
             .with_warmup_secs(20.0)
             .with_measure_secs(40.0)
             .with_seed(3);
         let path = temp_path("mismatch.jsonl");
-        write_trace(&path, &config, &record_arrivals(&config)).unwrap();
+        write_trace(&path, &config, &record_arrivals(&config))?;
         // Fewer sources than the trace was recorded for.
         let narrowed = config
             .clone()
@@ -166,5 +178,33 @@ mod tests {
             replay_trace(&topo, &narrowed, &path, ReplayPacing::Virtual, NullRecorder).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn arrivals_past_the_config_horizon_are_an_error_not_a_panic() -> io::Result<()> {
+        let topo = topologies::mci();
+        let config = ExperimentConfig::paper_defaults(8.0, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_warmup_secs(20.0)
+            .with_measure_secs(40.0)
+            .with_seed(3);
+        let path = temp_path("horizon.jsonl");
+        write_trace(&path, &config, &record_arrivals(&config))?;
+        // Replay against a config with a shorter horizon than the trace:
+        // the header check alone cannot catch this (source/group bounds
+        // still match), so the pre-submit horizon check must.
+        let shortened = config.clone().with_measure_secs(10.0);
+        let err = replay_trace(
+            &topo,
+            &shortened,
+            &path,
+            ReplayPacing::Virtual,
+            NullRecorder,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("past the config horizon"), "{err}");
+        std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

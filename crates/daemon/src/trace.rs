@@ -109,13 +109,19 @@ impl TraceHeader {
                 "unsupported trace version {version} (expected {TRACE_VERSION})"
             ));
         }
+        let horizon_secs = num_field(v, "horizon_secs")?;
+        if !(horizon_secs.is_finite() && horizon_secs > 0.0) {
+            return Err(format!(
+                "field `horizon_secs` must be positive and finite, got {horizon_secs}"
+            ));
+        }
         Ok(TraceHeader {
             version,
             seed: num_field(v, "seed")? as u64,
             lambda: num_field(v, "lambda")?,
             sources: index_field(v, "sources")?,
             groups: index_field(v, "groups")?,
-            horizon_secs: num_field(v, "horizon_secs")?,
+            horizon_secs,
         })
     }
 }
@@ -131,12 +137,24 @@ fn arrival_json(a: &OnlineArrival) -> JsonValue {
 }
 
 fn arrival_from_json(v: &JsonValue) -> Result<OnlineArrival, String> {
+    let holding_secs = num_field(v, "holding_secs")?;
+    if !(holding_secs.is_finite() && holding_secs > 0.0) {
+        return Err(format!(
+            "field `holding_secs` must be positive and finite, got {holding_secs}"
+        ));
+    }
+    let demand_bps = num_field(v, "demand_bps")?;
+    if !(demand_bps.is_finite() && demand_bps >= 1.0) {
+        return Err(format!(
+            "field `demand_bps` must be at least 1, got {demand_bps}"
+        ));
+    }
     Ok(OnlineArrival {
         at_secs: num_field(v, "at")?,
         source_index: index_field(v, "source")?,
         group_index: index_field(v, "group")?,
-        holding_secs: num_field(v, "holding_secs")?,
-        demand: Bandwidth::from_bps(num_field(v, "demand_bps")? as u64),
+        holding_secs,
+        demand: Bandwidth::from_bps(demand_bps as u64),
     })
 }
 
@@ -168,8 +186,9 @@ pub fn write_trace(
 }
 
 /// Reads a trace file back: header plus arrivals, validated line by line
-/// (syntax, field presence, index bounds against the header, nondecreasing
-/// timestamps).
+/// (syntax, field presence, positive holding time and demand, index
+/// bounds against the header, nondecreasing timestamps within the
+/// recorded horizon).
 ///
 /// # Errors
 ///
@@ -225,6 +244,15 @@ pub fn read_trace(path: &Path) -> io::Result<(TraceHeader, Vec<OnlineArrival>)> 
                 ),
             ));
         }
+        if a.at_secs > header.horizon_secs {
+            return Err(bad(
+                line_no,
+                format!(
+                    "arrival at {} is past the recorded horizon {}",
+                    a.at_secs, header.horizon_secs
+                ),
+            ));
+        }
         last_at = a.at_secs;
         arrivals.push(a);
     }
@@ -252,50 +280,77 @@ mod tests {
     }
 
     #[test]
-    fn trace_round_trips_exactly() {
+    fn trace_round_trips_exactly() -> Result<(), Box<dyn std::error::Error>> {
         let config = quick_config();
         let arrivals = record_arrivals(&config);
         let path = temp_path("roundtrip.jsonl");
-        let written = write_trace(&path, &config, &arrivals).unwrap();
+        let written = write_trace(&path, &config, &arrivals)?;
         assert_eq!(written, arrivals.len() as u64);
-        let (header, read_back) = read_trace(&path).unwrap();
+        let (header, read_back) = read_trace(&path)?;
         assert_eq!(header, TraceHeader::for_config(&config));
         assert_eq!(read_back, arrivals);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn malformed_traces_are_rejected_with_line_numbers() {
+    fn malformed_traces_are_rejected_with_line_numbers() -> Result<(), Box<dyn std::error::Error>> {
         let path = temp_path("malformed.jsonl");
         let config = quick_config();
-        // Out-of-range source index on line 2.
-        std::fs::write(
-            &path,
-            format!(
-                "{}\n{{\"at\":1,\"source\":99,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n",
-                TraceHeader::for_config(&config).to_json().render()
+        let header = TraceHeader::for_config(&config).to_json().render();
+        // Each case: (arrival lines after the header, line number and
+        // message fragment the error must carry).
+        let cases: [(&str, &str, &str); 6] = [
+            (
+                "{\"at\":1,\"source\":99,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}",
+                ":2:",
+                "out of range",
             ),
-        )
-        .unwrap();
-        let err = read_trace(&path).unwrap_err().to_string();
-        assert!(err.contains(":2:") && err.contains("out of range"), "{err}");
-        // Decreasing timestamps.
-        std::fs::write(
-            &path,
-            format!(
-                "{}\n{{\"at\":5,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n{{\"at\":4,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}}\n",
-                TraceHeader::for_config(&config).to_json().render()
+            (
+                "{\"at\":5,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}\n\
+                 {\"at\":4,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}",
+                ":3:",
+                "nondecreasing",
             ),
-        )
-        .unwrap();
-        let err = read_trace(&path).unwrap_err().to_string();
-        assert!(
-            err.contains(":3:") && err.contains("nondecreasing"),
-            "{err}"
-        );
-        // Not a trace at all.
-        std::fs::write(&path, "{\"kind\":\"other\"}\n").unwrap();
+            (
+                "{\"at\":1,\"source\":0,\"group\":0,\"holding_secs\":0,\"demand_bps\":64000}",
+                ":2:",
+                "holding_secs",
+            ),
+            (
+                "{\"at\":1,\"source\":0,\"group\":0,\"holding_secs\":1e999,\"demand_bps\":64000}",
+                ":2:",
+                "holding_secs",
+            ),
+            (
+                "{\"at\":1,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":0}",
+                ":2:",
+                "demand_bps",
+            ),
+            (
+                "{\"at\":91,\"source\":0,\"group\":0,\"holding_secs\":1,\"demand_bps\":64000}",
+                ":2:",
+                "past the recorded horizon",
+            ),
+        ];
+        for (lines, line_no, needle) in cases {
+            std::fs::write(&path, format!("{header}\n{lines}\n"))?;
+            let err = read_trace(&path).unwrap_err().to_string();
+            assert!(
+                err.contains(line_no) && err.contains(needle),
+                "`{lines}` must fail with `{needle}` at `{line_no}`, got: {err}"
+            );
+        }
+        // Not a trace at all, and a header with a nonsense horizon.
+        std::fs::write(&path, "{\"kind\":\"other\"}\n")?;
         assert!(read_trace(&path).is_err());
+        std::fs::write(
+            &path,
+            header.replace("\"horizon_secs\":90", "\"horizon_secs\":0") + "\n",
+        )?;
+        let err = read_trace(&path).unwrap_err().to_string();
+        assert!(err.contains("horizon_secs"), "{err}");
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

@@ -182,12 +182,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_all_ops() {
+    fn parses_all_ops() -> Result<(), String> {
         assert_eq!(
             parse_request(
                 "{\"op\":\"admit\",\"source\":2,\"group\":0,\"demand_bps\":64000,\"holding_secs\":120}"
-            )
-            .unwrap(),
+            )?,
             Request::Admit {
                 source_index: 2,
                 group_index: 0,
@@ -195,11 +194,9 @@ mod tests {
                 holding_secs: 120.0,
             }
         );
-        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
-        assert_eq!(
-            parse_request(" {\"op\":\"shutdown\"} ").unwrap(),
-            Request::Shutdown
-        );
+        assert_eq!(parse_request("{\"op\":\"stats\"}")?, Request::Stats);
+        assert_eq!(parse_request(" {\"op\":\"shutdown\"} ")?, Request::Shutdown);
+        Ok(())
     }
 
     #[test]
@@ -227,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn responses_render_and_parse_back() {
+    fn responses_render_and_parse_back() -> Result<(), String> {
         let d = Decision {
             request: 7,
             at_secs: 12.5,
@@ -237,7 +234,7 @@ mod tests {
             tries: 2,
         };
         let line = decision_response(&d, 830);
-        let v = parse(&line).unwrap();
+        let v = parse(&line)?;
         assert_eq!(field(&v, "request"), Some(&JsonValue::Num(7.0)));
         assert_eq!(field(&v, "session"), Some(&JsonValue::Num(42.0)));
         assert_eq!(field(&v, "admitted"), Some(&JsonValue::Bool(true)));
@@ -250,10 +247,11 @@ mod tests {
             session: None,
             tries: 3,
         };
-        let v = parse(&decision_response(&rejected, 12)).unwrap();
+        let v = parse(&decision_response(&rejected, 12))?;
         assert_eq!(field(&v, "member"), Some(&JsonValue::Null));
 
         assert!(parse(&error_response("bad \"line\"")).is_ok());
         assert!(parse(&shutdown_response()).is_ok());
+        Ok(())
     }
 }

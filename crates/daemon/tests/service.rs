@@ -238,3 +238,94 @@ fn graceful_shutdown_drains_two_phase_holds_and_flushes_telemetry() {
     );
     std::fs::remove_file(&telemetry_path).ok();
 }
+
+/// Malformed client input — wire garbage over the socket and broken trace
+/// rows through the replay path — must come back as protocol/validation
+/// errors; the engine thread never panics and the service stays up.
+#[test]
+fn malformed_client_input_never_panics_the_engine() {
+    use anycast_daemon::{read_trace, replay_trace, ReplayPacing};
+    use anycast_telemetry::NullRecorder;
+
+    let topo = topologies::mci();
+    let config = service_config(SystemSpec::dac(PolicySpec::wd_dh_default(), 2));
+    let options = ServeOptions {
+        speed: 50.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+        // Every hostile line draws an error response, never a crash:
+        // garbage bytes, wrong types, zero/negative/non-finite numerics,
+        // out-of-range indices.
+        for bad in [
+            "}{ not json at all",
+            "[1,2,3]",
+            "{\"op\":\"admit\"}",
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":0,\"holding_secs\":10}",
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":0}",
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":-5}",
+            "{\"op\":\"admit\",\"source\":1,\"group\":99,\"demand_bps\":64000,\"holding_secs\":10}",
+            "{\"op\":\"admit\",\"source\":\"x\",\"group\":0,\"demand_bps\":64000,\"holding_secs\":10}",
+        ] {
+            client.send(bad);
+            assert_eq!(op_of(&client.recv()), "error", "line survived: {bad}");
+        }
+        // The engine is still healthy: a valid admit round-trips.
+        client.send(
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":60}",
+        );
+        assert_eq!(op_of(&client.recv()), "decision");
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+    assert_eq!(
+        report.submitted, 1,
+        "only the valid request reaches the engine"
+    );
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+
+    // The replay path rejects broken trace rows the same way: errors with
+    // line numbers, never an engine panic.
+    let path = std::env::temp_dir().join(format!(
+        "anycast-daemon-malformed-replay-{}.jsonl",
+        std::process::id()
+    ));
+    let header = "{\"kind\":\"anycast-trace\",\"version\":1,\"seed\":7,\"lambda\":1,\
+                  \"sources\":9,\"groups\":1,\"horizon_secs\":3600}";
+    for (row, needle) in [
+        (
+            "{\"at\":1,\"source\":0,\"group\":0,\"holding_secs\":0,\"demand_bps\":64000}",
+            "holding_secs",
+        ),
+        (
+            "{\"at\":1,\"source\":0,\"group\":0,\"holding_secs\":10,\"demand_bps\":0}",
+            "demand_bps",
+        ),
+        (
+            "{\"at\":999999,\"source\":0,\"group\":0,\"holding_secs\":10,\"demand_bps\":64000}",
+            "past the recorded horizon",
+        ),
+    ] {
+        std::fs::write(&path, format!("{header}\n{row}\n")).unwrap();
+        let err = read_trace(&path).unwrap_err().to_string();
+        assert!(err.contains(":2:") && err.contains(needle), "{row}: {err}");
+        let err = replay_trace(&topo, &config, &path, ReplayPacing::Virtual, NullRecorder)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(needle), "replay {row}: {err}");
+    }
+    std::fs::remove_file(&path).ok();
+}

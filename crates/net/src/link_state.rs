@@ -3,6 +3,19 @@
 
 use crate::{Bandwidth, LinkId, NetError, NodeId, Path, Topology};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Links per shard of the striped ledger view. Each shard carries its own
+/// last-touched stamp, so a reader scanning many links (summary, telemetry
+/// sampling, route-bandwidth refresh) can skip whole stripes whose stamp
+/// has not advanced past the version it last saw. 64 keeps a shard's
+/// snapshots within a cache line or two while still collapsing the paper
+/// topologies (tens of links) into one or two stripes.
+pub const LINKS_PER_SHARD: usize = 64;
+
+fn shard_count_for(links: usize) -> usize {
+    links.div_ceil(LINKS_PER_SHARD)
+}
 
 /// Read-only snapshot of one link's capacity accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,6 +114,11 @@ pub struct LinkStateTable {
     /// the `version` at which link `i`'s availability last changed.
     #[serde(default)]
     stamps: Vec<u64>,
+    /// Per-shard last-touched version: `shard_stamps[s]` upper-bounds the
+    /// stamp of every link in shard `s` (links `s*LINKS_PER_SHARD ..`), so
+    /// an unchanged shard stamp proves the whole stripe is unchanged.
+    #[serde(default)]
+    shard_stamps: Vec<u64>,
 }
 
 impl LinkStateTable {
@@ -147,6 +165,7 @@ impl LinkStateTable {
             endpoints,
             version: 0,
             stamps: vec![0; topo.link_count()],
+            shard_stamps: vec![0; shard_count_for(topo.link_count())],
         }
     }
 
@@ -220,10 +239,66 @@ impl LinkStateTable {
             .unwrap_or(0)
     }
 
+    /// Whether any link along `path` was touched after `epoch`. Screens at
+    /// shard granularity first: a shard stamp upper-bounds every member
+    /// link's stamp, so stripes that have not moved past `epoch` are
+    /// skipped without reading a single per-link stamp. Equivalent to
+    /// `max_stamp_on(path) > epoch`.
+    pub fn any_stamp_on_after(&self, path: &Path, epoch: u64) -> bool {
+        path.links().iter().any(|l| {
+            self.shard_stamps[l.index() / LINKS_PER_SHARD] > epoch && self.stamps[l.index()] > epoch
+        })
+    }
+
+    /// Number of shards in the striped view (`⌈links / LINKS_PER_SHARD⌉`).
+    pub fn shard_count(&self) -> usize {
+        self.shard_stamps.len()
+    }
+
+    /// The shard a link belongs to.
+    pub fn shard_of(link: LinkId) -> usize {
+        link.index() / LINKS_PER_SHARD
+    }
+
+    /// The version at which any link in `shard` last changed (0 if the
+    /// whole stripe was never touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_stamp(&self, shard: usize) -> u64 {
+        self.shard_stamps[shard]
+    }
+
+    /// The link-index range covered by `shard`. The final shard may be
+    /// shorter than [`LINKS_PER_SHARD`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_range(&self, shard: usize) -> Range<usize> {
+        assert!(
+            shard < self.shard_stamps.len(),
+            "shard {shard} out of range"
+        );
+        let start = shard * LINKS_PER_SHARD;
+        start..(start + LINKS_PER_SHARD).min(self.states.len())
+    }
+
+    /// A read-only, shard-aware view of the ledger. The view is `Copy` and
+    /// `Sync`, so it is what batch evaluation fans out across worker
+    /// threads: every parallel reader sees the same frozen version, and the
+    /// borrow checker guarantees no mutation can interleave while any view
+    /// is alive.
+    pub fn sharded(&self) -> ShardedSnapshot<'_> {
+        ShardedSnapshot { table: self }
+    }
+
     /// Records that `link_index`'s availability changed.
     fn touch(&mut self, link_index: usize) {
         self.version += 1;
         self.stamps[link_index] = self.version;
+        self.shard_stamps[link_index / LINKS_PER_SHARD] = self.version;
     }
 
     /// Reserves `bw` on a single link.
@@ -445,27 +520,15 @@ impl LinkStateTable {
         self.states.iter().map(|s| s.reserved).sum()
     }
 
-    /// Aggregates the whole ledger into a [`LinkSummary`] in one pass.
+    /// Aggregates the whole ledger into a [`LinkSummary`] — one pass over
+    /// every link, folded shard by shard through the striped view.
     pub fn summary(&self) -> LinkSummary {
-        let mut s = LinkSummary {
-            links: self.states.len(),
-            failed_links: 0,
-            capacity_bps: 0,
-            reserved_bps: 0,
-            pending_bps: 0,
-        };
-        for state in &self.states {
-            s.failed_links += usize::from(state.failed);
-            s.capacity_bps += state.capacity.bps();
-            s.reserved_bps += state.reserved.bps();
-            s.pending_bps += state.held.bps();
-        }
-        s
+        self.sharded().summary()
     }
 
     /// Number of links with zero available bandwidth for a demand of `bw`.
     pub fn saturated_links(&self, bw: Bandwidth) -> usize {
-        self.states.iter().filter(|s| s.available() < bw).count()
+        self.sharded().saturated_links(bw)
     }
 
     /// Marks a link as failed (fault-injection extension, beyond the
@@ -613,6 +676,127 @@ impl LinkStateTable {
         // availability (potentially) changed, so stamp them all.
         self.version += 1;
         self.stamps.fill(self.version);
+        self.shard_stamps.fill(self.version);
+    }
+}
+
+/// Read-only, shard-aware view of a [`LinkStateTable`], obtained from
+/// [`LinkStateTable::sharded`].
+///
+/// The view pins one version of the ledger for its whole lifetime: it
+/// holds a shared borrow, so no mutation can interleave while any copy is
+/// alive, and every copy observes the identical availability picture.
+/// That makes it the unit of work for parallel batch evaluation — workers
+/// each get a `Copy` of the view, read whichever stripes they need, and
+/// the sequential commit loop regains the `&mut` only after every view is
+/// dropped.
+///
+/// Whole-table scans ([`summary`](Self::summary),
+/// [`saturated_links`](Self::saturated_links), shard iteration) walk the
+/// ledger stripe by stripe in ascending shard order, which is exactly
+/// ascending link order — so shard-aware readers observe the same sequence
+/// as a flat scan, and the stripes exist purely to let stamp-based readers
+/// skip unchanged ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSnapshot<'a> {
+    table: &'a LinkStateTable,
+}
+
+impl<'a> ShardedSnapshot<'a> {
+    /// The ledger version this view pins.
+    pub fn version(&self) -> u64 {
+        self.table.version
+    }
+
+    /// Number of links tracked.
+    pub fn link_count(&self) -> usize {
+        self.table.states.len()
+    }
+
+    /// Number of shards (`⌈links / LINKS_PER_SHARD⌉`).
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_stamps.len()
+    }
+
+    /// The version at which any link in `shard` last changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_stamp(&self, shard: usize) -> u64 {
+        self.table.shard_stamps[shard]
+    }
+
+    /// Iterates one stripe's `(LinkId, LinkSnapshot)` pairs in link order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn iter_shard(&self, shard: usize) -> impl Iterator<Item = (LinkId, LinkSnapshot)> + 'a {
+        let range = self.table.shard_range(shard);
+        let states = &self.table.states[range.clone()];
+        states
+            .iter()
+            .enumerate()
+            .map(move |(i, s)| (LinkId::new((range.start + i) as u32), *s))
+    }
+
+    /// Available bandwidth `AB_l` of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn available(&self, link: LinkId) -> Bandwidth {
+        self.table.available(link)
+    }
+
+    /// Minimum available bandwidth along a path, as
+    /// [`LinkStateTable::min_available_on`].
+    pub fn min_available_on(&self, path: &Path) -> Bandwidth {
+        self.table.min_available_on(path)
+    }
+
+    /// Aggregates the ledger into a [`LinkSummary`], folding shard by
+    /// shard. Identical to a flat scan: stripes partition the link range
+    /// in ascending order.
+    pub fn summary(&self) -> LinkSummary {
+        let mut s = LinkSummary {
+            links: self.table.states.len(),
+            failed_links: 0,
+            capacity_bps: 0,
+            reserved_bps: 0,
+            pending_bps: 0,
+        };
+        for shard in 0..self.shard_count() {
+            for state in &self.table.states[self.table.shard_range(shard)] {
+                s.failed_links += usize::from(state.failed);
+                s.capacity_bps += state.capacity.bps();
+                s.reserved_bps += state.reserved.bps();
+                s.pending_bps += state.held.bps();
+            }
+        }
+        s
+    }
+
+    /// Number of links with less than `bw` available, folded shard by
+    /// shard.
+    pub fn saturated_links(&self, bw: Bandwidth) -> usize {
+        (0..self.shard_count())
+            .map(|shard| {
+                self.table.states[self.table.shard_range(shard)]
+                    .iter()
+                    .filter(|s| s.available() < bw)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// The underlying table, for readers that need its full read-only API
+    /// (e.g. the residual-capacity route search). The returned borrow has
+    /// the view's lifetime, so the no-interleaved-mutation guarantee
+    /// carries over.
+    pub fn table(&self) -> &'a LinkStateTable {
+        self.table
     }
 }
 
@@ -1047,6 +1231,114 @@ mod tests {
         assert_eq!(s.capacity_bps, 3 * Bandwidth::from_mbps(100).bps());
         assert_eq!(s.reserved_bps, Bandwidth::from_mbps(10).bps());
         assert_eq!(s.pending_bps, Bandwidth::from_mbps(5).bps());
+    }
+
+    #[test]
+    fn shard_stamps_upper_bound_link_stamps() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        // 3 links fit in one shard at LINKS_PER_SHARD = 64.
+        assert_eq!(table.shard_count(), 1);
+        assert_eq!(LinkStateTable::shard_of(LinkId::new(2)), 0);
+        assert_eq!(table.shard_range(0), 0..3);
+        assert_eq!(table.shard_stamp(0), 0);
+
+        table
+            .reserve(LinkId::new(1), Bandwidth::from_kbps(64))
+            .unwrap();
+        let v1 = table.version();
+        assert_eq!(table.shard_stamp(0), v1);
+        // The shard stamp upper-bounds every member stamp.
+        for i in 0..3 {
+            assert!(table.stamp(LinkId::new(i)) <= table.shard_stamp(0));
+        }
+        assert!(table.any_stamp_on_after(&path, 0));
+        assert!(!table.any_stamp_on_after(&path, v1));
+        // A trivial path depends on nothing.
+        assert!(!table.any_stamp_on_after(&Path::trivial(NodeId::new(0)), 0));
+
+        table.reset();
+        assert_eq!(table.shard_stamp(0), table.version());
+    }
+
+    #[test]
+    fn any_stamp_on_after_matches_max_stamp() {
+        let (topo, path) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(0), Bandwidth::from_kbps(64))
+            .unwrap();
+        table
+            .place_hold(LinkId::new(2), Bandwidth::from_kbps(64))
+            .unwrap();
+        for epoch in 0..=table.version() + 1 {
+            assert_eq!(
+                table.any_stamp_on_after(&path, epoch),
+                table.max_stamp_on(&path) > epoch,
+                "epoch {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_view_matches_flat_scan() {
+        let (topo, _) = line4();
+        let mut table = LinkStateTable::from_topology(&topo);
+        table
+            .reserve(LinkId::new(0), Bandwidth::from_mbps(10))
+            .unwrap();
+        table
+            .place_hold(LinkId::new(1), Bandwidth::from_mbps(5))
+            .unwrap();
+        table.fail_link(LinkId::new(2)).unwrap();
+
+        let snap = table.sharded();
+        assert_eq!(snap.version(), table.version());
+        assert_eq!(snap.link_count(), table.link_count());
+        assert_eq!(snap.summary(), table.summary());
+        assert_eq!(
+            snap.saturated_links(Bandwidth::from_mbps(96)),
+            table.saturated_links(Bandwidth::from_mbps(96))
+        );
+        // Shard iteration visits every link exactly once, in link order.
+        let mut seen = Vec::new();
+        for shard in 0..snap.shard_count() {
+            for (link, state) in snap.iter_shard(shard) {
+                assert_eq!(state, table.snapshot(link).unwrap());
+                seen.push(link);
+            }
+        }
+        let flat: Vec<LinkId> = table.iter().map(|(l, _)| l).collect();
+        assert_eq!(seen, flat);
+    }
+
+    #[test]
+    fn shard_boundaries_partition_wide_tables() {
+        // A topology wider than one shard: a star with 70 spokes.
+        let mut b = TopologyBuilder::new(71);
+        let spokes: Vec<(u32, u32)> = (1..71u32).map(|i| (0, i)).collect();
+        b.links_uniform(spokes, Bandwidth::from_mbps(100)).unwrap();
+        let topo = b.build();
+        let mut table = LinkStateTable::from_topology(&topo);
+        assert_eq!(table.shard_count(), 2);
+        assert_eq!(table.shard_range(0), 0..64);
+        assert_eq!(table.shard_range(1), 64..70);
+        assert_eq!(LinkStateTable::shard_of(LinkId::new(63)), 0);
+        assert_eq!(LinkStateTable::shard_of(LinkId::new(64)), 1);
+
+        // Touching a link in the second stripe leaves the first stripe's
+        // stamp behind — that is the skip a shard-aware reader exploits.
+        table
+            .reserve(LinkId::new(65), Bandwidth::from_kbps(64))
+            .unwrap();
+        assert_eq!(table.shard_stamp(0), 0);
+        assert_eq!(table.shard_stamp(1), table.version());
+        let snap = table.sharded();
+        assert_eq!(snap.summary(), table.summary());
+        assert_eq!(
+            snap.iter_shard(0).count() + snap.iter_shard(1).count(),
+            table.link_count()
+        );
     }
 
     #[test]

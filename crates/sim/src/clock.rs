@@ -77,6 +77,13 @@ impl TimeSource for VirtualClock {
 /// 60.0 replays an hour-long trace in a minute. The origin is captured at
 /// construction, so simulated time `t` corresponds to the real instant
 /// `origin + t / speed`.
+///
+/// Pacing is **absolute-deadline anchored**: every sleep targets
+/// `origin + t / speed` rather than a duration relative to the previous
+/// wake-up, so per-sleep overheads (scheduler latency, timer coarseness)
+/// never accumulate across a long replay — a driver issuing thousands of
+/// `sleep_until` calls lands on the final deadline with bounded error,
+/// not the sum of each call's overshoot.
 #[derive(Debug, Clone)]
 pub struct WallClock {
     origin: Instant,
@@ -150,6 +157,33 @@ mod tests {
         assert!(reached >= SimTime::from_secs(20.0));
         assert!(c.now() >= reached);
         assert_eq!(c.speed(), 1_000.0);
+    }
+
+    #[test]
+    fn paced_sleeps_do_not_accumulate_drift() {
+        // A --speed replay issues one sleep_until per arrival. Because
+        // each sleep targets the absolute deadline `origin + t/speed`,
+        // per-call overshoot must NOT accumulate: many short sleeps land
+        // on the final deadline with the same bounded error as one long
+        // sleep. 2000 sleeps covering 100 simulated seconds at 100000x
+        // is 1 ms of nominal real time; even a slow CI runner stays far
+        // under the 1 s slack unless overheads compound per call.
+        let speed = 100_000.0;
+        let mut c = WallClock::new(speed);
+        let started = Instant::now();
+        let steps = 2_000;
+        let final_secs = 100.0;
+        for i in 1..=steps {
+            let target = SimTime::from_secs(final_secs * i as f64 / steps as f64);
+            let reached = c.sleep_until(target);
+            assert!(reached >= target, "woke before the deadline at step {i}");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let nominal = final_secs / speed;
+        assert!(
+            elapsed < nominal + 1.0,
+            "cumulative pacing drift: {elapsed:.3}s real for {nominal:.3}s nominal"
+        );
     }
 
     #[test]
