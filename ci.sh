@@ -17,6 +17,9 @@ echo "==> cargo clippy (sharded link-state + batch evaluation crates, lib-only p
 # own so a workspace-level cfg or feature change cannot mask a warning.
 cargo clippy -p anycast-net -p anycast-dac --offline -- -D warnings
 
+echo "==> cargo clippy (estimator crate, lib-only pass)"
+cargo clippy -p anycast-estimator --offline -- -D warnings
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
@@ -41,10 +44,15 @@ cargo run --release --offline -p anycast-bench --bin bench_pr6 -- --smoke --jobs
 echo "==> parallel batch smoke (bench_pr7: batch_jobs=N must match batch_jobs=1)"
 cargo run --release --offline -p anycast-bench --bin bench_pr7 -- --smoke --jobs 2 --out /tmp/BENCH_pr7_ci.json
 
+echo "==> estimator smoke (bench_pr8: |AP_est - AP_sim| <= 0.05 on every cell)"
+# The binary hard-asserts the error bound per cell before writing the
+# artifact, so a plain exit-status check is the accuracy gate.
+cargo run --release --offline -p anycast-bench --bin bench_pr8 -- --smoke --jobs 2 --out /tmp/BENCH_pr8_ci.json
+
 echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
 ! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
     /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json \
-    /tmp/BENCH_pr7_ci.json
+    /tmp/BENCH_pr7_ci.json /tmp/BENCH_pr8_ci.json BENCH_pr8.json
 
 echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
 cargo run --release --offline -p anycast-cli --bin anycast -- \

@@ -15,7 +15,9 @@ pub enum BlockingModel {
 }
 
 impl BlockingModel {
-    fn blocking(self, load: f64, servers: u32) -> f64 {
+    /// Evaluates the model's blocking probability for one link offered
+    /// `load` erlangs with `servers` flow slots.
+    pub fn blocking(self, load: f64, servers: u32) -> f64 {
         match self {
             BlockingModel::ErlangB => erlang_b(load, servers),
             BlockingModel::Uaa => {
@@ -113,6 +115,59 @@ pub fn predict_ap_with(
     model: BlockingModel,
     options: FixedPointOptions,
 ) -> ApPrediction {
+    predict_ap_fn(
+        scenario,
+        |_, load, servers| model.blocking(load, servers),
+        options,
+    )
+}
+
+/// [`predict_ap_with`] with an arbitrary per-link blocking function.
+///
+/// `blocking_fn(link, load, servers)` maps one link's reduced offered
+/// load to its blocking probability; [`BlockingModel`] supplies the two
+/// closed-form instances, while `anycast-estimator` substitutes
+/// calibrated occupancy-distribution estimators per link. The function
+/// must return values in `[0, 1]` for the iteration to remain a map on
+/// probabilities; everything else about the reduced-load fixed point
+/// (thinning, adaptive under-relaxation, eq. 17/15 readout) is shared.
+///
+/// # Panics
+///
+/// As [`predict_ap_with`].
+pub fn predict_ap_fn<F>(
+    scenario: &TrafficScenario,
+    blocking_fn: F,
+    options: FixedPointOptions,
+) -> ApPrediction
+where
+    F: Fn(usize, f64, u32) -> f64,
+{
+    let zeros = vec![0.0f64; scenario.capacities.len()];
+    predict_ap_fn_from(scenario, blocking_fn, options, &zeros)
+}
+
+/// [`predict_ap_fn`] warm-started from `initial_blocking`.
+///
+/// The iteration is a contraction towards the same fixed point from any
+/// starting vector in `[0, 1]^L`; starting near the solution (e.g. the
+/// converged blocking of a slightly different load, as the estimator's
+/// retrial outer loop does) cuts the iteration count from hundreds to a
+/// handful. `predict_ap_fn` is exactly this function started from zero.
+///
+/// # Panics
+///
+/// As [`predict_ap_fn`], plus if `initial_blocking` has the wrong length
+/// or holds values outside `[0, 1]`.
+pub fn predict_ap_fn_from<F>(
+    scenario: &TrafficScenario,
+    blocking_fn: F,
+    options: FixedPointOptions,
+    initial_blocking: &[f64],
+) -> ApPrediction
+where
+    F: Fn(usize, f64, u32) -> f64,
+{
     assert!(
         options.damping > 0.0 && options.damping <= 1.0,
         "damping must lie in (0, 1], got {}",
@@ -140,8 +195,17 @@ pub fn predict_ap_with(
     }
     let total_offered: f64 = scenario.routes.iter().map(|r| r.offered_erlangs).sum();
     assert!(total_offered > 0.0, "scenario offers no traffic");
+    assert_eq!(
+        initial_blocking.len(),
+        link_count,
+        "initial blocking vector must cover every link"
+    );
+    assert!(
+        initial_blocking.iter().all(|b| (0.0..=1.0).contains(b)),
+        "initial blocking values must be probabilities"
+    );
 
-    let mut blocking = vec![0.0f64; link_count];
+    let mut blocking = initial_blocking.to_vec();
     let mut iterations = 0;
     let mut converged = false;
     // Adaptive under-relaxation. Under heavy overload the Picard map has
@@ -181,7 +245,7 @@ pub fn predict_ap_with(
         // judged on the *undamped* residual |L(v) − B| so shrinking θ can
         // never fake convergence.
         let fresh: Vec<f64> = (0..link_count)
-            .map(|l| model.blocking(reduced[l], scenario.capacities[l]))
+            .map(|l| blocking_fn(l, reduced[l], scenario.capacities[l]))
             .collect();
         let residual = fresh
             .iter()
@@ -461,6 +525,89 @@ mod tests {
         );
         assert!((fast.admission_probability - slow.admission_probability).abs() < 1e-8);
         assert!(fast.iterations <= slow.iterations);
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let scenario = TrafficScenario {
+            routes: vec![
+                RouteLoad {
+                    links: vec![0, 1],
+                    offered_erlangs: 300.0,
+                },
+                RouteLoad {
+                    links: vec![1],
+                    offered_erlangs: 150.0,
+                },
+            ],
+            capacities: vec![312, 312],
+        };
+        let opts = FixedPointOptions::default();
+        let blocking_fn =
+            |_: usize, load: f64, servers: u32| BlockingModel::ErlangB.blocking(load, servers);
+        let cold = predict_ap_fn(&scenario, blocking_fn, opts);
+        assert!(cold.converged);
+        let warm = predict_ap_fn_from(&scenario, blocking_fn, opts, &cold.link_blocking);
+        assert!(warm.converged);
+        // Restarting at the fixed point must terminate at once and agree.
+        assert!(warm.iterations <= 2, "took {} iterations", warm.iterations);
+        assert!(
+            (warm.admission_probability - cold.admission_probability).abs() < 1e-8,
+            "warm {} vs cold {}",
+            warm.admission_probability,
+            cold.admission_probability
+        );
+    }
+
+    #[test]
+    fn warm_start_near_solution_beats_cold_start() {
+        let scenario = TrafficScenario {
+            routes: vec![RouteLoad {
+                links: vec![0, 1],
+                offered_erlangs: 350.0,
+            }],
+            capacities: vec![312, 312],
+        };
+        let opts = FixedPointOptions::default();
+        let blocking_fn =
+            |_: usize, load: f64, servers: u32| BlockingModel::ErlangB.blocking(load, servers);
+        let cold = predict_ap_fn(&scenario, blocking_fn, opts);
+        // A nearby load's solution is a realistic warm start.
+        let nearby = TrafficScenario {
+            routes: vec![RouteLoad {
+                links: vec![0, 1],
+                offered_erlangs: 345.0,
+            }],
+            capacities: vec![312, 312],
+        };
+        let seed = predict_ap_fn(&nearby, blocking_fn, opts);
+        let warm = predict_ap_fn_from(&scenario, blocking_fn, opts, &seed.link_blocking);
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!((warm.admission_probability - cold.admission_probability).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every link")]
+    fn warm_start_length_mismatch_panics() {
+        let scenario = TrafficScenario {
+            routes: vec![RouteLoad {
+                links: vec![0],
+                offered_erlangs: 10.0,
+            }],
+            capacities: vec![100],
+        };
+        let _ = predict_ap_fn_from(
+            &scenario,
+            |_, load, servers| BlockingModel::ErlangB.blocking(load, servers),
+            FixedPointOptions::default(),
+            &[0.0, 0.0],
+        );
     }
 
     #[test]

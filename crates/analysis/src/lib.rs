@@ -40,9 +40,10 @@ pub mod scenario;
 mod special;
 mod uaa;
 
-pub use erlang::erlang_b;
+pub use erlang::{erlang_b, erlang_b_ln};
 pub use fixed_point::{
-    predict_ap, predict_ap_batch, predict_ap_with, ApPrediction, BlockingModel, FixedPointOptions,
+    predict_ap, predict_ap_batch, predict_ap_fn, predict_ap_fn_from, predict_ap_with, ApPrediction,
+    BlockingModel, FixedPointOptions,
 };
 pub use special::{erf, erfc, erfcx};
 pub use uaa::uaa_blocking;

@@ -1,0 +1,300 @@
+//! PR 8 cross-validation harness: the parsimon-style link-decomposition
+//! estimator vs the full DES, written to `BENCH_pr8.json`.
+//!
+//! For each of the five comparison systems (`<ED,2>`, `<WD/D+H,2>`,
+//! `<WD/D+B,2>`, SP, GDI) the harness
+//!
+//! 1. **calibrates** the estimator from short, time-compressed DES
+//!    bursts at a few anchor λs (`anycast-estimator::calibrate`);
+//! 2. **predicts** AP over the whole λ grid in one `predict_batch` call;
+//! 3. **simulates** every grid cell with the full DES at paper-style
+//!    horizons and an *independent* seed;
+//! 4. reports the per-cell absolute AP error and the end-to-end
+//!    wall-clock speedup (total DES time over calibration + prediction).
+//!
+//! The error gate is hard: the run aborts if any cell's absolute AP
+//! error exceeds `--error-bound` (default 0.05). The speedup is
+//! reported, not gated — it measures the economics, which on the smoke
+//! profile are deliberately unfavourable (the DES baseline there is cut
+//! to CI length while the calibration cost is irreducible; quick/full
+//! measure the real trade).
+
+use anycast_bench::default_jobs;
+use anycast_bench::json::JsonValue;
+use anycast_dac::calibrate::CalibrationBurst;
+use anycast_dac::experiment::{run_experiment, ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_estimator::{CalibrationOptions, Estimator};
+use anycast_net::topologies;
+use std::time::Instant;
+
+/// Grid, horizons and calibration sizing for one profile.
+struct Profile {
+    name: &'static str,
+    /// λ grid every system is validated on.
+    lambdas: Vec<f64>,
+    /// DES horizons per validation cell.
+    des_warmup_secs: f64,
+    des_measure_secs: f64,
+    /// Anchor λs the estimator calibrates at.
+    anchors: Vec<f64>,
+    /// Burst horizons in compressed simulated seconds.
+    calib_warmup_secs: f64,
+    calib_measure_secs: f64,
+    /// Time-compression factor for the bursts.
+    compression: f64,
+}
+
+impl Profile {
+    /// CI gate: a 3-λ grid against a shortened (but still ≥3 mean
+    /// holding times of warmup) DES. Validates accuracy, not economics.
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            lambdas: vec![15.0, 30.0, 45.0],
+            des_warmup_secs: 540.0,
+            des_measure_secs: 300.0,
+            anchors: vec![12.0, 30.0, 48.0],
+            calib_warmup_secs: 90.0,
+            calib_measure_secs: 60.0,
+            compression: 6.0,
+        }
+    }
+
+    /// A 50-cell grid (5 systems × 10 λs) against 2/3-paper-length DES
+    /// runs — the fast way to validate accuracy over the whole sweep.
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            lambdas: (1..=10).map(|i| 5.0 * i as f64).collect(),
+            des_warmup_secs: 1_200.0,
+            des_measure_secs: 2_400.0,
+            anchors: vec![5.0, 12.5, 20.0, 27.5, 35.0, 50.0],
+            calib_warmup_secs: 90.0,
+            calib_measure_secs: 60.0,
+            compression: 6.0,
+        }
+    }
+
+    /// The checked-in artifact: paper-faithful horizons (1800 s + 3600 s
+    /// per cell) over a dense λ grid (step 2.5, 95 cells). The dense grid
+    /// is where the economics live — calibration is paid once per system
+    /// and amortised over every cell the DES must simulate one by one.
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            lambdas: (2..=20).map(|i| 2.5 * i as f64).collect(),
+            des_warmup_secs: 1_800.0,
+            des_measure_secs: 3_600.0,
+            ..Profile::quick()
+        }
+    }
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut jobs = default_jobs();
+    let mut out = String::from("BENCH_pr8.json");
+    let mut error_bound = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr8: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr8: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--error-bound" => {
+                let v = args.next().unwrap_or_default();
+                error_bound = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr8: --error-bound wants a number, got `{v}`");
+                    std::process::exit(2);
+                });
+                if !(error_bound > 0.0 && error_bound.is_finite()) {
+                    eprintln!("bench_pr8: --error-bound must be positive");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr8: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_pr8 [--smoke|--quick|--full] [--jobs N] \
+                     [--error-bound E] [--out PATH]"
+                );
+                println!("  calibrates the link-decomposition estimator per system,");
+                println!("  cross-validates every (system, lambda) cell against the");
+                println!("  full DES, asserts |AP_est - AP_sim| <= E, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr8: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = topologies::mci();
+    let cores = default_jobs();
+    println!(
+        "bench_pr8: profile={} jobs={jobs} cells={} error_bound={error_bound} \
+         available_parallelism={cores}",
+        profile.name,
+        5 * profile.lambdas.len()
+    );
+
+    let systems: [SystemSpec; 5] = [
+        SystemSpec::dac(PolicySpec::Ed, 2),
+        SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        SystemSpec::dac(PolicySpec::WdDb, 2),
+        SystemSpec::ShortestPath,
+        SystemSpec::GlobalDynamic,
+    ];
+    // Calibration and validation must not share randomness: bursts run
+    // under the estimator's default seed, the DES under its own.
+    const DES_SEED: u64 = 101;
+
+    let calib_options = CalibrationOptions {
+        anchors: profile.anchors.clone(),
+        burst: CalibrationBurst {
+            warmup_secs: profile.calib_warmup_secs,
+            measure_secs: profile.calib_measure_secs,
+            ..CalibrationBurst::default()
+        },
+        time_compression: profile.compression,
+        jobs,
+        ..CalibrationOptions::default()
+    };
+
+    let mut system_entries = Vec::new();
+    let mut worst: (f64, String, f64) = (0.0, String::new(), 0.0);
+    let mut total_des_secs = 0.0;
+    let mut total_estimator_secs = 0.0;
+    for system in systems {
+        let label = system.label();
+        let base = ExperimentConfig::paper_defaults(profile.lambdas[0], system);
+
+        let start = Instant::now();
+        let estimator = Estimator::calibrated(&topo, &base, &calib_options);
+        let calibrate_secs = start.elapsed().as_secs_f64();
+        let calibration_requests = estimator
+            .calibration()
+            .expect("calibrated estimator has a table")
+            .total_requests();
+
+        let start = Instant::now();
+        let estimates = estimator.predict_batch(jobs, &profile.lambdas);
+        let predict_secs = start.elapsed().as_secs_f64();
+
+        let mut cells = Vec::new();
+        let mut des_secs = 0.0;
+        let mut max_abs_err = 0.0f64;
+        for (est, &lambda) in estimates.iter().zip(&profile.lambdas) {
+            let config = ExperimentConfig::paper_defaults(lambda, system)
+                .with_warmup_secs(profile.des_warmup_secs)
+                .with_measure_secs(profile.des_measure_secs)
+                .with_seed(DES_SEED);
+            let start = Instant::now();
+            let metrics = run_experiment(&topo, &config);
+            let cell_secs = start.elapsed().as_secs_f64();
+            des_secs += cell_secs;
+
+            let abs_err = (est.admission_probability - metrics.admission_probability).abs();
+            assert!(
+                est.admission_probability.is_finite()
+                    && (0.0..=1.0).contains(&est.admission_probability),
+                "{label} λ={lambda}: estimate {} is not a probability",
+                est.admission_probability
+            );
+            max_abs_err = max_abs_err.max(abs_err);
+            if abs_err > worst.0 {
+                worst = (abs_err, label.clone(), lambda);
+            }
+            cells.push(JsonValue::obj([
+                ("lambda", JsonValue::Num(lambda)),
+                ("ap_sim", JsonValue::Num(metrics.admission_probability)),
+                ("ap_est", JsonValue::Num(est.admission_probability)),
+                ("ap_est_raw", JsonValue::Num(est.raw_admission_probability)),
+                ("residual", JsonValue::Num(est.residual_correction)),
+                ("abs_err", JsonValue::Num(abs_err)),
+                ("tries_sim", JsonValue::Num(metrics.mean_tries)),
+                ("tries_est", JsonValue::Num(est.mean_tries)),
+                ("offered_requests", JsonValue::Num(metrics.offered as f64)),
+                ("des_secs", JsonValue::Num(cell_secs)),
+            ]));
+        }
+        let estimator_secs = calibrate_secs + predict_secs;
+        total_des_secs += des_secs;
+        total_estimator_secs += estimator_secs;
+        println!(
+            "  {:<11} max|err|={max_abs_err:.4} des={des_secs:.2}s \
+             calib={calibrate_secs:.2}s predict={predict_secs:.4}s speedup={:.1}x",
+            label,
+            des_secs / estimator_secs
+        );
+        system_entries.push(JsonValue::obj([
+            ("system", JsonValue::Str(label.clone())),
+            ("max_abs_err", JsonValue::Num(max_abs_err)),
+            (
+                "calibration_requests",
+                JsonValue::Num(calibration_requests as f64),
+            ),
+            ("calibrate_secs", JsonValue::Num(calibrate_secs)),
+            ("predict_secs", JsonValue::Num(predict_secs)),
+            ("des_secs", JsonValue::Num(des_secs)),
+            ("speedup", JsonValue::Num(des_secs / estimator_secs)),
+            ("cells", JsonValue::Arr(cells)),
+        ]));
+    }
+
+    let speedup = total_des_secs / total_estimator_secs;
+    println!(
+        "bench_pr8: worst |err|={:.4} ({} λ={}) bound={error_bound} overall speedup={speedup:.1}x",
+        worst.0, worst.1, worst.2
+    );
+    let doc = JsonValue::obj([
+        (
+            "bench",
+            JsonValue::Str("pr8_estimator_cross_validation".into()),
+        ),
+        ("profile", JsonValue::Str(profile.name.into())),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("error_bound", JsonValue::Num(error_bound)),
+        ("max_abs_err", JsonValue::Num(worst.0)),
+        ("worst_system", JsonValue::Str(worst.1.clone())),
+        ("worst_lambda", JsonValue::Num(worst.2)),
+        ("total_des_secs", JsonValue::Num(total_des_secs)),
+        ("total_estimator_secs", JsonValue::Num(total_estimator_secs)),
+        ("speedup", JsonValue::Num(speedup)),
+        ("systems", JsonValue::Arr(system_entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr8: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The hard gate, last so the JSON survives for debugging a failure.
+    assert!(
+        worst.0 <= error_bound,
+        "estimator error {:.4} on {} at λ={} exceeds the bound {error_bound}",
+        worst.0,
+        worst.1,
+        worst.2
+    );
+    println!("bench_pr8: error bound held on every cell");
+}

@@ -1,0 +1,174 @@
+//! Calibration-run driver: short, cheap traced DES bursts whose event
+//! streams feed the parsimon-style link-decomposition estimator.
+//!
+//! A *burst* is an ordinary [`run_experiment_traced`] run with shortened
+//! horizons and a [`RingRecorder`] whose periodic link sampler is
+//! enabled, so the returned stream carries both the per-request decision
+//! record (arrivals, probes, admissions) and the per-link occupancy
+//! series the estimator's calibrated blocking terms are fitted from.
+//! Everything downstream — occupancy extraction, table fitting,
+//! composition — lives in `anycast-telemetry::occupancy` and
+//! `anycast-estimator`; this module only owns the burst configuration
+//! and the run itself, so the driver stays as deterministic as the
+//! experiment engine it wraps.
+
+use crate::experiment::{run_experiment_traced, ExperimentConfig, Metrics};
+use anycast_net::Topology;
+use anycast_telemetry::{EventFilter, RingRecorder, TimedEvent};
+
+/// The event kinds the calibration extractors consume
+/// (`link_occupancy` + `source_attempt_profiles`); everything else a run
+/// emits is filtered out of the burst's ring on arrival, keeping memory
+/// traffic proportional to what the estimator actually reads.
+const CALIBRATION_KINDS: &[&str] = &["arrival", "probe", "link_sample"];
+
+/// Horizon and sampling parameters of one calibration burst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBurst {
+    /// Transient period discarded from the extracted statistics. Much
+    /// shorter than the paper's 1800 s: a burst only needs the occupancy
+    /// distribution to forget the empty network, not to settle tail
+    /// quantiles.
+    pub warmup_secs: f64,
+    /// Measured period the extractors consume.
+    pub measure_secs: f64,
+    /// Period of the link-state sampler feeding the occupancy series.
+    pub sample_interval_secs: f64,
+    /// Ring capacity for the recorded stream. Bursts are short, but probe
+    /// and sample volume still scales with λ; an overflowing ring evicts
+    /// oldest-first, which would silently bias the join, so the driver
+    /// asserts nothing was dropped.
+    pub ring_capacity: usize,
+}
+
+impl Default for CalibrationBurst {
+    fn default() -> Self {
+        CalibrationBurst {
+            warmup_secs: 30.0,
+            measure_secs: 120.0,
+            sample_interval_secs: 1.0,
+            ring_capacity: anycast_telemetry::DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+/// Everything one burst observed: the run's end-of-run metrics plus the
+/// full recorded event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationObservation {
+    /// λ the burst ran at.
+    pub lambda: f64,
+    /// Seed of the burst run.
+    pub seed: u64,
+    /// Warm-up the extractors should skip (equals the burst's
+    /// `warmup_secs`).
+    pub warmup_secs: f64,
+    /// End-of-run metrics — the measured AP anchors the estimator's
+    /// residual correction.
+    pub metrics: Metrics,
+    /// The recorded stream, time-ordered.
+    pub events: Vec<TimedEvent>,
+}
+
+/// Runs one calibration burst: `base` with the burst's horizons, traced
+/// into a ring with the link sampler on and an [`EventFilter`] keeping
+/// only the kinds the calibration extractors consume.
+///
+/// The burst inherits everything else from `base` — system, topology
+/// parameters, seed, group, sources — so the observation is drawn from
+/// exactly the scenario family being estimated. Deterministic: equal
+/// `(topo, base, burst)` give equal observations, bit for bit.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid for the topology (as
+/// [`run_experiment_traced`]), if the burst durations are non-positive,
+/// or if the ring overflowed (raise
+/// [`ring_capacity`](CalibrationBurst::ring_capacity)).
+pub fn run_calibration_burst(
+    topo: &Topology,
+    base: &ExperimentConfig,
+    burst: &CalibrationBurst,
+) -> CalibrationObservation {
+    assert!(
+        burst.warmup_secs >= 0.0 && burst.measure_secs > 0.0,
+        "burst horizons must be positive, got warmup {} measure {}",
+        burst.warmup_secs,
+        burst.measure_secs
+    );
+    assert!(
+        burst.sample_interval_secs > 0.0,
+        "sample interval must be positive"
+    );
+    let config = base
+        .clone()
+        .with_warmup_secs(burst.warmup_secs)
+        .with_measure_secs(burst.measure_secs);
+    let mut recorder = RingRecorder::with_capacity(config.seed, burst.ring_capacity)
+        .with_sample_interval(burst.sample_interval_secs)
+        .with_filter(EventFilter::keep(CALIBRATION_KINDS));
+    let metrics = run_experiment_traced(topo, &config, &mut recorder);
+    let (_, events, dropped) = recorder.into_parts();
+    assert_eq!(
+        dropped, 0,
+        "calibration ring overflowed ({dropped} events dropped): raise ring_capacity"
+    );
+    CalibrationObservation {
+        lambda: config.lambda,
+        seed: config.seed,
+        warmup_secs: burst.warmup_secs,
+        metrics,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SystemSpec;
+    use crate::policy::PolicySpec;
+    use anycast_net::topologies;
+    use anycast_telemetry::Event;
+
+    #[test]
+    fn burst_is_deterministic_and_sampled() {
+        let topo = topologies::mci();
+        let base =
+            ExperimentConfig::paper_defaults(20.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
+                .with_seed(7);
+        let burst = CalibrationBurst {
+            warmup_secs: 5.0,
+            measure_secs: 20.0,
+            ..Default::default()
+        };
+        let a = run_calibration_burst(&topo, &base, &burst);
+        let b = run_calibration_burst(&topo, &base, &burst);
+        assert_eq!(a, b, "same inputs must give identical observations");
+        assert!(a.metrics.offered > 0);
+        let samples = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::LinkSample { .. }))
+            .count();
+        // ~25 s of sampling at 1 Hz across every link.
+        assert!(samples >= topo.link_count(), "only {samples} samples");
+        let arrivals = a
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, Event::RequestArrival { .. }))
+            .count();
+        assert!(arrivals > 100, "only {arrivals} arrivals recorded");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizons must be positive")]
+    fn zero_measure_rejected() {
+        let topo = topologies::mci();
+        let base = ExperimentConfig::paper_defaults(5.0, SystemSpec::ShortestPath);
+        let burst = CalibrationBurst {
+            measure_secs: 0.0,
+            ..Default::default()
+        };
+        let _ = run_calibration_burst(&topo, &base, &burst);
+    }
+}

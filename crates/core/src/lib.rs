@@ -39,6 +39,7 @@
 
 pub mod backoff;
 pub mod baselines;
+pub mod calibrate;
 mod controller;
 mod error;
 pub mod experiment;

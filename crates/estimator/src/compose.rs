@@ -1,0 +1,280 @@
+//! Composition rules: per-route rejections → per-request outcomes.
+//!
+//! The fixed point yields per-route rejection probabilities under link
+//! independence; these functions compose them into the per-*request*
+//! quantities the systems report:
+//!
+//! * [`compose_retrials`] — DAC's §4.5 without-replacement retrial walk
+//!   with arbitrary (calibrated) first-pick weights, generalising the
+//!   uniform `<ED,R>` treatment of `anycast-analysis::scenario`;
+//! * [`any_route_clear`] — GDI's admit-if-any-route-clear rule,
+//!   evaluated exactly (inclusion–exclusion over the candidate set) so
+//!   overlapping routes from one source are not double-counted.
+
+/// Outcome of one source's retrial walk at fixed route losses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrialComposition {
+    /// `P(member i receives an attempt)` per member — also the factor
+    /// that converts per-source offered erlangs into per-route offered
+    /// erlangs, since every attempt offers the flow to its route.
+    pub attempt_probability: Vec<f64>,
+    /// Probability the request exhausts its tries and is rejected.
+    pub rejection: f64,
+    /// Expected probes per request (`Σ_i attempt_probability[i]`).
+    pub expected_tries: f64,
+}
+
+/// Exact retrial walk: members are drawn without replacement with
+/// probability proportional to `weights`, each drawn member fails
+/// independently with its `losses` entry, and the request stops at the
+/// first success or after `r` draws.
+///
+/// With uniform weights this reduces to the elementary-symmetric-mean
+/// formulas of the `<ED,R>` extension; calibrated first-pick weights
+/// extend the same walk to WD/D+H and WD/D+B, whose policies bias the
+/// draw. Zero-weight members are never drawn; if every undrawn member
+/// has zero weight the walk stops and the request is rejected (this is
+/// how SP's single-candidate behaviour falls out of the same code).
+///
+/// The walk enumerates ordered failure prefixes — `O(K!/(K−r)!)` states
+/// — which is exact and cheap for anycast group sizes.
+///
+/// # Panics
+///
+/// Panics if `r == 0`, the slices disagree in length, the group is
+/// larger than 12 members (enumeration guard), a weight is negative or
+/// non-finite, or a loss lies outside `[0, 1]`.
+pub fn compose_retrials(weights: &[f64], losses: &[f64], r: usize) -> RetrialComposition {
+    let k = weights.len();
+    assert!(r >= 1, "at least one try is required");
+    assert_eq!(k, losses.len(), "weights and losses must align");
+    assert!(
+        k <= 12,
+        "retrial enumeration supports at most 12 members, got {k}"
+    );
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+    }
+    for &l in losses {
+        assert!(
+            l.is_finite() && (-1e-12..=1.0 + 1e-12).contains(&l),
+            "losses must be probabilities, got {l}"
+        );
+    }
+    let mut out = RetrialComposition {
+        attempt_probability: vec![0.0; k],
+        rejection: 0.0,
+        expected_tries: 0.0,
+    };
+    let r = r.min(k);
+    walk(weights, losses, r, 0, 0, 1.0, &mut out);
+    out
+}
+
+fn walk(
+    weights: &[f64],
+    losses: &[f64],
+    r: usize,
+    mask: u32,
+    depth: usize,
+    reach: f64,
+    out: &mut RetrialComposition,
+) {
+    if reach <= 0.0 {
+        return;
+    }
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            total += w;
+        }
+    }
+    if total <= 0.0 {
+        // No candidate left worth drawing: the request gives up here.
+        out.rejection += reach;
+        return;
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        if mask & (1 << i) != 0 || w <= 0.0 {
+            continue;
+        }
+        let attempt = reach * w / total;
+        out.attempt_probability[i] += attempt;
+        out.expected_tries += attempt;
+        let fail = attempt * losses[i].clamp(0.0, 1.0);
+        if depth + 1 == r {
+            out.rejection += fail;
+        } else {
+            walk(weights, losses, r, mask | (1 << i), depth + 1, fail, out);
+        }
+    }
+}
+
+/// `P(at least one candidate route has every link clear)` under link
+/// independence — GDI's admission event restricted to the fixed
+/// candidate routes.
+///
+/// Routes from one source share their first hops, so the naive
+/// `1 − Π(route blocked)` overstates admission; inclusion–exclusion over
+/// route subsets evaluates the union exactly: for each non-empty subset
+/// `S`, every link in `∪S` must be clear, with sign `(−1)^{|S|+1}`.
+///
+/// # Panics
+///
+/// Panics if there are more than 16 routes (subset guard), a route
+/// references a link outside `blocking`, or a blocking value lies
+/// outside `[0, 1]`.
+pub fn any_route_clear(routes: &[&[usize]], blocking: &[f64]) -> f64 {
+    let k = routes.len();
+    assert!(k <= 16, "inclusion-exclusion supports at most 16 routes");
+    for &b in blocking {
+        assert!(
+            b.is_finite() && (-1e-12..=1.0 + 1e-12).contains(&b),
+            "blocking must be a probability, got {b}"
+        );
+    }
+    let mut clear = 0.0f64;
+    let mut union: Vec<usize> = Vec::new();
+    for subset in 1u32..(1 << k) {
+        union.clear();
+        for (i, route) in routes.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                union.extend_from_slice(route);
+            }
+        }
+        union.sort_unstable();
+        union.dedup();
+        let mut p = 1.0;
+        for &l in &union {
+            assert!(l < blocking.len(), "route references link {l} out of range");
+            p *= 1.0 - blocking[l].clamp(0.0, 1.0);
+        }
+        if subset.count_ones() % 2 == 1 {
+            clear += p;
+        } else {
+            clear -= p;
+        }
+    }
+    clear.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_single_try_is_mean_loss() {
+        let losses = [0.1, 0.3, 0.5];
+        let c = compose_retrials(&[1.0, 1.0, 1.0], &losses, 1);
+        assert!((c.rejection - 0.3).abs() < 1e-12);
+        for q in &c.attempt_probability {
+            assert!((q - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((c.expected_tries - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_two_tries_matches_hand_count() {
+        // K=2, R=2: reject = L0·L1 regardless of order.
+        let c = compose_retrials(&[1.0, 1.0], &[0.2, 0.4], 2);
+        assert!((c.rejection - 0.08).abs() < 1e-12);
+        // q0 = 1/2 + 1/2·0.4; q1 = 1/2 + 1/2·0.2.
+        assert!((c.attempt_probability[0] - 0.7).abs() < 1e-12);
+        assert!((c.attempt_probability[1] - 0.6).abs() < 1e-12);
+        assert!((c.expected_tries - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_walk_prefers_heavy_member() {
+        let c = compose_retrials(&[3.0, 1.0], &[0.5, 0.5], 1);
+        assert!((c.attempt_probability[0] - 0.75).abs() < 1e-12);
+        assert!((c.attempt_probability[1] - 0.25).abs() < 1e-12);
+        assert!((c.rejection - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indicator_weights_reduce_to_single_candidate() {
+        // SP-like: only member 1 has weight; extra tries have nothing to
+        // draw, so rejection = its loss even with r = 3.
+        let c = compose_retrials(&[0.0, 1.0, 0.0], &[0.9, 0.35, 0.9], 3);
+        assert!((c.rejection - 0.35).abs() < 1e-12);
+        assert_eq!(c.attempt_probability[0], 0.0);
+        assert!((c.attempt_probability[1] - 1.0).abs() < 1e-12);
+        assert!((c.expected_tries - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_retries_reject_with_full_product() {
+        // r ≥ K with all-positive weights: rejection = Π losses for any
+        // weights (every order must fail everywhere).
+        let losses = [0.2, 0.5, 0.8];
+        for weights in [[1.0, 1.0, 1.0], [5.0, 1.0, 0.5]] {
+            let c = compose_retrials(&weights, &losses, 3);
+            assert!(
+                (c.rejection - 0.08).abs() < 1e-12,
+                "weights {weights:?}: {}",
+                c.rejection
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_normalised() {
+        // Rejection + P(admitted) accounting: P(admit via i) =
+        // q_i·(1−L_i) summed, plus rejection, must be 1.
+        let weights = [2.0, 1.0, 1.0, 0.5];
+        let losses = [0.3, 0.7, 0.1, 0.9];
+        for r in 1..=4 {
+            let c = compose_retrials(&weights, &losses, r);
+            let admitted: f64 = c
+                .attempt_probability
+                .iter()
+                .zip(&losses)
+                .map(|(q, l)| q * (1.0 - l))
+                .sum();
+            assert!(
+                (admitted + c.rejection - 1.0).abs() < 1e-12,
+                "r={r}: {admitted} + {}",
+                c.rejection
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_routes_match_independence() {
+        // Two disjoint routes: inclusion–exclusion equals 1 − Π blocked.
+        let blocking = [0.3, 0.6];
+        let r0: &[usize] = &[0];
+        let r1: &[usize] = &[1];
+        let p = any_route_clear(&[r0, r1], &blocking);
+        let expected = 1.0 - 0.3 * 0.6;
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_link_is_not_double_counted() {
+        // Both routes cross link 0: clearing is dominated by the shared
+        // link. P(∃ clear) = P(l0)·(1 − (1−P(l1))(1−P(l2))) with
+        // P(l) = 1 − B_l.
+        let blocking = [0.5, 0.2, 0.4];
+        let r0: &[usize] = &[0, 1];
+        let r1: &[usize] = &[0, 2];
+        let p = any_route_clear(&[r0, r1], &blocking);
+        let expected = 0.5 * (1.0 - (1.0 - 0.8) * (1.0 - 0.6));
+        assert!((p - expected).abs() < 1e-12, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn empty_route_always_clear() {
+        let r0: &[usize] = &[];
+        let r1: &[usize] = &[0];
+        let p = any_route_clear(&[r0, r1], &[0.99]);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one try")]
+    fn zero_tries_rejected() {
+        let _ = compose_retrials(&[1.0], &[0.5], 0);
+    }
+}

@@ -1,0 +1,673 @@
+//! The composition engine: calibrated (or closed-form) per-link blocking
+//! terms + per-source composition rules → admission-probability
+//! predictions at any λ, in milliseconds.
+//!
+//! The engine runs the reduced-load fixed point of Appendix A
+//! ([`predict_ap_fn`]) with three substitutions relative to the
+//! closed-form `<ED,1>`/SP analysis:
+//!
+//! 1. **Calibrated selection weights.** Offered route loads come from the
+//!    burst-measured per-source shares — first-attempt shares for the DAC
+//!    policies (WD/D+H and WD/D+B bias the draw; ED's shares are
+//!    uniform), admitted shares for GDI's effective placement.
+//! 2. **Calibrated link blocking.** Each link's Erlang-B term gets the
+//!    Fredericks–Hayward peakedness correction fitted from the burst's
+//!    occupancy series: blocking `≈ ErlangB(v/z, C/z)` with
+//!    `z = Var/E`. `z` is clamped to `[1, 2]`: carried-occupancy
+//!    truncation pushes measured `z` below 1 at overload, an artifact of
+//!    sampling *admitted* rather than *offered* flows that would bias
+//!    blocking the wrong way, and `z = 1` recovers exact Erlang-B.
+//! 3. **Composition + residual.** Route rejections compose into
+//!    per-request outcomes via the retrial walk (DAC/SP) or
+//!    inclusion–exclusion (GDI); what the composition still misses
+//!    (attempt correlation, GDI's any-path freedom) is absorbed by an
+//!    anchor-interpolated residual `measured_ap − raw_composed_ap`.
+//!
+//! [`Estimator::analytic`] disables all three substitutions and reduces
+//! exactly to `anycast-analysis::predict_ap` — the property tests pin the
+//! two against each other.
+
+use crate::calibrate::{calibrate, CalibrationOptions};
+use crate::compose::{any_route_clear, compose_retrials};
+use crate::table::{CalibrationTable, ShareKind};
+use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec, TrafficScenario};
+use anycast_analysis::{erlang_b, predict_ap_fn, predict_ap_fn_from, FixedPointOptions};
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_net::Topology;
+
+/// Outer-loop cap for the retrial↔load coupling (same budget as
+/// `approx_ap_ed_r`).
+const MAX_OUTER_ITERATIONS: u32 = 200;
+/// Damping of the offered-load update in the outer loop. The coupled
+/// map is a mild contraction on every paper scenario (retrials add at
+/// most `(r−1)/r` of the first-attempt load), so the undamped update
+/// converges and halves the round count; non-convergence is reported
+/// through [`Estimate::converged`], not hidden.
+const OUTER_DAMPING: f64 = 1.0;
+/// Outer-loop convergence: relative change in offered route loads. Far
+/// below the 0.05 AP error budget; tightening it further only spends
+/// fixed-point iterations the residual correction would absorb anyway.
+const OUTER_TOLERANCE: f64 = 1e-7;
+/// Inner fixed-point tolerance. The default (1e-10) is for the
+/// analytical tables; the estimator composes through a retrial walk and
+/// a residual correction, so 1e-8 is already two orders below anything
+/// observable in the output.
+const INNER_TOLERANCE: f64 = 1e-8;
+/// Inner iteration budget per outer round during the joint phase of the
+/// retrial coupling (phase 2 lifts the cap to polish the solution).
+const JOINT_INNER_BUDGET: u32 = 25;
+/// Peakedness clamp: `[1, 2]`. Below 1 is a carried-load sampling
+/// artifact; above 2 the short bursts are too noisy to trust.
+const PEAKEDNESS_FLOOR: f64 = 1.0;
+const PEAKEDNESS_CEILING: f64 = 2.0;
+
+/// How per-route rejections compose into a per-request outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Composition {
+    /// Without-replacement retrial walk over the group (DAC systems; SP
+    /// is the single-candidate special case).
+    Retrial {
+        /// Maximum destinations tried per request.
+        r: usize,
+    },
+    /// Admit iff any candidate route is clear (GDI).
+    AnyRoute,
+}
+
+/// Where selection weights and peakedness come from.
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Closed-form weights, unit peakedness, no residual — the Appendix-A
+    /// analysis verbatim.
+    Analytic(AnalyzedSystem),
+    /// Burst-calibrated table.
+    Calibrated(CalibrationTable),
+}
+
+/// One prediction of the fast path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Request rate the prediction is for.
+    pub lambda: f64,
+    /// Predicted admission probability (residual-corrected, clamped to
+    /// `[0, 1]`).
+    pub admission_probability: f64,
+    /// The composed prediction before the residual correction.
+    pub raw_admission_probability: f64,
+    /// The anchor-interpolated residual applied (zero in analytic mode).
+    pub residual_correction: f64,
+    /// Predicted mean destinations tried per request.
+    pub mean_tries: f64,
+    /// Predicted mean retrials per request (tries beyond the first).
+    pub mean_retrials: f64,
+    /// Converged per-link blocking probabilities — where the network
+    /// saturates first.
+    pub link_saturation: Vec<f64>,
+    /// Total inner fixed-point iterations spent.
+    pub iterations: u32,
+    /// Whether every inner fixed point met its tolerance.
+    pub converged: bool,
+}
+
+/// The parsimon-style fast path: predicts AP, retrials and per-link
+/// saturation for one `(topology, system, traffic family)` at any λ
+/// without running the DES.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    label: String,
+    spec: ScenarioSpec,
+    /// Per-route link lists, source-major member-minor (the fixed routes
+    /// every system probes over).
+    route_links: Vec<Vec<usize>>,
+    capacities: Vec<u32>,
+    k: usize,
+    composition: Composition,
+    mode: Mode,
+    /// Analytic-SP indicator: nearest member index per source.
+    nearest: Vec<usize>,
+    /// `(anchor λ, measured − raw)` pairs, empty in analytic mode.
+    residuals: Vec<(f64, f64)>,
+    fixed_point: FixedPointOptions,
+}
+
+impl Estimator {
+    /// The Appendix-A analysis re-expressed as an estimator: closed-form
+    /// weights (uniform for `<ED,1>`, nearest-indicator for SP), unit
+    /// peakedness, no residual. Agrees with
+    /// `anycast_analysis::predict_ap` to fixed-point tolerance — this
+    /// mode exists exactly so that property can be tested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid for the topology (see
+    /// [`build_scenario`]).
+    pub fn analytic(topo: &Topology, spec: &ScenarioSpec, system: AnalyzedSystem) -> Estimator {
+        let label = match system {
+            AnalyzedSystem::Ed1 => "<ED,1>".to_string(),
+            AnalyzedSystem::Sp => "SP".to_string(),
+        };
+        let mut e = Estimator::skeleton(topo, spec.clone(), label, Composition::Retrial { r: 1 });
+        e.mode = Mode::Analytic(system);
+        e
+    }
+
+    /// Calibrates the estimator for `base`'s system by running one short
+    /// DES burst per anchor λ (see [`calibrate`]), then fitting the
+    /// residual correction at each anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` uses the multipath, multi-group or mixed-demand
+    /// extensions (the estimator models the paper's §5.1 setting), or if
+    /// calibration itself panics.
+    pub fn calibrated(
+        topo: &Topology,
+        base: &ExperimentConfig,
+        options: &CalibrationOptions,
+    ) -> Estimator {
+        assert!(
+            base.demand_mix.is_empty(),
+            "the estimator models the paper's single 64 kb/s demand class"
+        );
+        let composition = match &base.system {
+            SystemSpec::Dac { retrial, .. } => Composition::Retrial {
+                r: retrial.max_tries() as usize,
+            },
+            SystemSpec::ShortestPath => Composition::Retrial { r: 1 },
+            SystemSpec::GlobalDynamic => Composition::AnyRoute,
+            SystemSpec::DacMultipath { .. } => {
+                panic!("multipath systems probe alternate routes the link decomposition does not model")
+            }
+        };
+        let spec = ScenarioSpec {
+            lambda: 1.0,
+            mean_holding_secs: base.mean_holding_secs,
+            flow_bandwidth: base.flow_bandwidth,
+            anycast_fraction: base.anycast_fraction,
+            default_link_capacity: base.default_link_capacity,
+            group_members: base.group_members.clone(),
+            sources: base.sources.clone(),
+        };
+        let table = calibrate(topo, base, options);
+        let mut e = Estimator::skeleton(topo, spec, base.system.label(), composition);
+        e.mode = Mode::Calibrated(table);
+        // Residuals: what the raw composition misses at each anchor,
+        // interpolated in between. Computed after `mode` is installed so
+        // the raw predictions use the calibrated weights and peakedness.
+        let anchors: Vec<(f64, f64)> = match &e.mode {
+            Mode::Calibrated(t) => t
+                .anchors
+                .iter()
+                .map(|a| (a.lambda, a.measured_ap))
+                .collect(),
+            Mode::Analytic(_) => unreachable!(),
+        };
+        e.residuals = anchors
+            .iter()
+            .map(|&(lambda, measured)| {
+                (
+                    lambda,
+                    measured - e.raw_predict(lambda).admission_probability,
+                )
+            })
+            .collect();
+        e
+    }
+
+    fn skeleton(
+        topo: &Topology,
+        spec: ScenarioSpec,
+        label: String,
+        composition: Composition,
+    ) -> Estimator {
+        let mut probe_spec = spec.clone();
+        probe_spec.lambda = 1.0;
+        let ed = build_scenario(topo, &probe_spec, AnalyzedSystem::Ed1);
+        let sp = build_scenario(topo, &probe_spec, AnalyzedSystem::Sp);
+        let k = spec.group_members.len();
+        let nearest = sp
+            .routes
+            .chunks(k)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .position(|r| r.offered_erlangs > 0.0)
+                    .expect("SP loads exactly one route per source")
+            })
+            .collect();
+        Estimator {
+            label,
+            spec,
+            route_links: ed.routes.into_iter().map(|r| r.links).collect(),
+            capacities: ed.capacities,
+            k,
+            composition,
+            mode: Mode::Analytic(AnalyzedSystem::Ed1),
+            nearest,
+            residuals: Vec::new(),
+            fixed_point: FixedPointOptions {
+                tolerance: INNER_TOLERANCE,
+                ..FixedPointOptions::default()
+            },
+        }
+    }
+
+    /// The estimated system's paper label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The calibration table backing this estimator, if any.
+    pub fn calibration(&self) -> Option<&CalibrationTable> {
+        match &self.mode {
+            Mode::Calibrated(t) => Some(t),
+            Mode::Analytic(_) => None,
+        }
+    }
+
+    /// Predicts at one λ: raw composition plus the residual correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive and finite.
+    pub fn predict(&self, lambda: f64) -> Estimate {
+        let mut est = self.raw_predict(lambda);
+        let residual = interpolate(&self.residuals, lambda);
+        est.residual_correction = residual;
+        est.admission_probability = (est.raw_admission_probability + residual).clamp(0.0, 1.0);
+        est
+    }
+
+    /// [`predict`](Estimator::predict) over a λ grid across `jobs` worker
+    /// threads, in input order. Each cell is a pure function of
+    /// `(self, lambda)`, so the output is bit-identical for every `jobs`
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0` or any λ is invalid.
+    pub fn predict_batch(&self, jobs: usize, lambdas: &[f64]) -> Vec<Estimate> {
+        anycast_sim::pool::parallel_map(jobs, lambdas, |_, &lambda| self.predict(lambda))
+    }
+
+    /// Per-source selection weights at `lambda` (length `k` each).
+    fn weights_at(&self, lambda: f64) -> Vec<Vec<f64>> {
+        let sources = self.spec.sources.len();
+        match &self.mode {
+            Mode::Analytic(AnalyzedSystem::Ed1) => {
+                vec![vec![1.0 / self.k as f64; self.k]; sources]
+            }
+            Mode::Analytic(AnalyzedSystem::Sp) => self
+                .nearest
+                .iter()
+                .map(|&n| {
+                    let mut w = vec![0.0; self.k];
+                    w[n] = 1.0;
+                    w
+                })
+                .collect(),
+            Mode::Calibrated(table) => {
+                let kind = match self.composition {
+                    Composition::Retrial { .. } => ShareKind::FirstAttempt,
+                    Composition::AnyRoute => ShareKind::Admitted,
+                };
+                table.shares_at(lambda, kind)
+            }
+        }
+    }
+
+    /// Per-link peakedness at `lambda`, clamped to the trusted band.
+    fn peakedness_at(&self, lambda: f64) -> Vec<f64> {
+        match &self.mode {
+            Mode::Analytic(_) => vec![1.0; self.capacities.len()],
+            Mode::Calibrated(table) => table
+                .peakedness_at(lambda)
+                .into_iter()
+                .map(|z| z.clamp(PEAKEDNESS_FLOOR, PEAKEDNESS_CEILING))
+                .collect(),
+        }
+    }
+
+    /// The composed prediction before any residual correction.
+    fn raw_predict(&self, lambda: f64) -> Estimate {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive and finite, got {lambda}"
+        );
+        let sources = self.spec.sources.len();
+        let rho_s = lambda * self.spec.mean_holding_secs / sources as f64;
+        let weights = self.weights_at(lambda);
+        let z = self.peakedness_at(lambda);
+        let blocking_fn = |l: usize, load: f64, servers: u32| hayward_blocking(load, servers, z[l]);
+
+        let mut scenario = TrafficScenario {
+            routes: self
+                .route_links
+                .iter()
+                .enumerate()
+                .map(|(idx, links)| anycast_analysis::scenario::RouteLoad {
+                    links: links.clone(),
+                    offered_erlangs: rho_s * weights[idx / self.k][idx % self.k],
+                })
+                .collect(),
+            capacities: self.capacities.clone(),
+        };
+        let mut prediction = predict_ap_fn(&scenario, blocking_fn, self.fixed_point);
+        let mut iterations = prediction.iterations;
+        let mut converged = prediction.converged;
+
+        match self.composition {
+            Composition::Retrial { r } => {
+                // Couple the retrial walk to the fixed point: attempts
+                // beyond the first add offered load, which raises
+                // blocking, which changes the attempt distribution. The
+                // coupled Picard map contracts slowly near the knee
+                // (slope ≈ 0.9), so fully converging the inner fixed
+                // point on every round wastes thousands of iterations on
+                // blocking vectors the next load update invalidates.
+                // Phase 1 therefore runs the rounds as a *joint*
+                // iteration — warm-started inner solves capped at a
+                // small budget — and phase 2 repeats the loop at full
+                // inner convergence (a couple of rounds from the joint
+                // solution) so the reported fixed point is exact.
+                let update_loads = |prediction: &anycast_analysis::ApPrediction,
+                                    scenario: &mut TrafficScenario|
+                 -> f64 {
+                    let mut max_delta: f64 = 0.0;
+                    for (s, w) in weights.iter().enumerate() {
+                        let losses = &prediction.route_rejection[s * self.k..(s + 1) * self.k];
+                        let comp = compose_retrials(w, losses, r);
+                        for i in 0..self.k {
+                            let offered = rho_s * comp.attempt_probability[i];
+                            let slot = &mut scenario.routes[s * self.k + i].offered_erlangs;
+                            let next = (1.0 - OUTER_DAMPING) * *slot + OUTER_DAMPING * offered;
+                            max_delta = max_delta.max((next - *slot).abs());
+                            *slot = next;
+                        }
+                    }
+                    max_delta
+                };
+                let outer_tol = OUTER_TOLERANCE * rho_s.max(1.0);
+                // Phase 1: joint iteration — each round moves the loads
+                // one step and advances the blocking a capped number of
+                // warm-started iterations towards the moved target.
+                let joint = FixedPointOptions {
+                    max_iterations: JOINT_INNER_BUDGET,
+                    ..self.fixed_point
+                };
+                for _ in 0..MAX_OUTER_ITERATIONS {
+                    if update_loads(&prediction, &mut scenario) < outer_tol {
+                        break;
+                    }
+                    prediction = predict_ap_fn_from(
+                        &scenario,
+                        blocking_fn,
+                        joint,
+                        &prediction.link_blocking,
+                    );
+                    iterations += prediction.iterations;
+                }
+                // Phase 2: polish — fully-converged solves (warm, so a
+                // couple of rounds) until the load update stops moving,
+                // guaranteeing the reported pair is a joint fixed point.
+                let mut outer_converged = false;
+                for _ in 0..MAX_OUTER_ITERATIONS {
+                    prediction = predict_ap_fn_from(
+                        &scenario,
+                        blocking_fn,
+                        self.fixed_point,
+                        &prediction.link_blocking,
+                    );
+                    iterations += prediction.iterations;
+                    converged = prediction.converged;
+                    if update_loads(&prediction, &mut scenario) < outer_tol {
+                        outer_converged = true;
+                        break;
+                    }
+                }
+                converged = converged && outer_converged;
+                let mut rejection = 0.0;
+                let mut tries = 0.0;
+                for (s, w) in weights.iter().enumerate() {
+                    let losses = &prediction.route_rejection[s * self.k..(s + 1) * self.k];
+                    let comp = compose_retrials(w, losses, r);
+                    rejection += comp.rejection;
+                    tries += comp.expected_tries;
+                }
+                let mean_tries = tries / sources as f64;
+                let ap = 1.0 - rejection / sources as f64;
+                Estimate {
+                    lambda,
+                    admission_probability: ap,
+                    raw_admission_probability: ap,
+                    residual_correction: 0.0,
+                    mean_tries,
+                    mean_retrials: (mean_tries - 1.0).max(0.0),
+                    link_saturation: prediction.link_blocking,
+                    iterations,
+                    converged,
+                }
+            }
+            Composition::AnyRoute => {
+                // GDI admits iff some route to some member is clear;
+                // inclusion–exclusion over each source's candidate set
+                // keeps shared first hops from being double-counted.
+                let mut admitted = 0.0;
+                for s in 0..sources {
+                    let routes: Vec<&[usize]> = (0..self.k)
+                        .map(|i| self.route_links[s * self.k + i].as_slice())
+                        .collect();
+                    admitted += any_route_clear(&routes, &prediction.link_blocking);
+                }
+                let ap = admitted / sources as f64;
+                Estimate {
+                    lambda,
+                    admission_probability: ap,
+                    raw_admission_probability: ap,
+                    residual_correction: 0.0,
+                    mean_tries: 1.0,
+                    mean_retrials: 0.0,
+                    link_saturation: prediction.link_blocking,
+                    iterations,
+                    converged,
+                }
+            }
+        }
+    }
+}
+
+/// Fredericks–Hayward peaked blocking: a stream with peakedness `z`
+/// blocks like a Poisson stream of `v/z` erlangs on `C/z` servers.
+/// `z = 1` is exactly Erlang-B.
+fn hayward_blocking(load: f64, servers: u32, z: f64) -> f64 {
+    debug_assert!(
+        (PEAKEDNESS_FLOOR..=PEAKEDNESS_CEILING).contains(&z),
+        "peakedness must be pre-clamped, got {z}"
+    );
+    if z <= 1.0 {
+        return erlang_b(load, servers);
+    }
+    let effective = ((servers as f64 / z).round()).max(1.0) as u32;
+    erlang_b(load / z, effective)
+}
+
+/// Piecewise-linear interpolation over `(x, y)` pairs sorted by `x`,
+/// clamped at both ends; `0.0` for an empty table.
+fn interpolate(points: &[(f64, f64)], x: f64) -> f64 {
+    match points {
+        [] => 0.0,
+        [(_, y)] => *y,
+        _ => {
+            if x <= points[0].0 {
+                return points[0].1;
+            }
+            let last = points[points.len() - 1];
+            if x >= last.0 {
+                return last.1;
+            }
+            for w in points.windows(2) {
+                let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+                if x <= x1 {
+                    let t = (x - x0) / (x1 - x0);
+                    return (1.0 - t) * y0 + t * y1;
+                }
+            }
+            unreachable!("points are sorted")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anycast_analysis::{predict_ap, BlockingModel};
+    use anycast_dac::calibrate::CalibrationBurst;
+    use anycast_dac::policy::PolicySpec;
+    use anycast_net::topologies;
+
+    #[test]
+    fn analytic_ed1_matches_fixed_point() {
+        let topo = topologies::mci();
+        for lambda in [5.0, 25.0, 50.0] {
+            let spec = ScenarioSpec::paper_defaults(lambda);
+            let est = Estimator::analytic(&topo, &spec, AnalyzedSystem::Ed1).predict(lambda);
+            let reference = predict_ap(
+                &build_scenario(&topo, &spec, AnalyzedSystem::Ed1),
+                BlockingModel::ErlangB,
+            );
+            assert!(est.converged && reference.converged);
+            assert!(
+                (est.admission_probability - reference.admission_probability).abs() < 1e-6,
+                "λ={lambda}: {} vs {}",
+                est.admission_probability,
+                reference.admission_probability
+            );
+            assert_eq!(est.residual_correction, 0.0);
+            assert!((est.mean_tries - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analytic_sp_matches_fixed_point() {
+        let topo = topologies::mci();
+        for lambda in [15.0, 40.0] {
+            let spec = ScenarioSpec::paper_defaults(lambda);
+            let est = Estimator::analytic(&topo, &spec, AnalyzedSystem::Sp).predict(lambda);
+            let reference = predict_ap(
+                &build_scenario(&topo, &spec, AnalyzedSystem::Sp),
+                BlockingModel::ErlangB,
+            );
+            assert!(
+                (est.admission_probability - reference.admission_probability).abs() < 1e-6,
+                "λ={lambda}: {} vs {}",
+                est.admission_probability,
+                reference.admission_probability
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_jobs_invariant() {
+        let topo = topologies::mci();
+        let spec = ScenarioSpec::paper_defaults(1.0);
+        let est = Estimator::analytic(&topo, &spec, AnalyzedSystem::Ed1);
+        let grid: Vec<f64> = (1..=8).map(|i| 5.0 * i as f64).collect();
+        let serial = est.predict_batch(1, &grid);
+        for jobs in [2, 4] {
+            assert_eq!(est.predict_batch(jobs, &grid), serial, "jobs={jobs}");
+        }
+        // AP must fall monotonically with load.
+        for w in serial.windows(2) {
+            assert!(w[1].admission_probability <= w[0].admission_probability + 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibrated_estimator_hits_anchors_exactly() {
+        let topo = topologies::mci();
+        let base = ExperimentConfig::paper_defaults(10.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let options = CalibrationOptions {
+            anchors: vec![10.0, 40.0],
+            burst: CalibrationBurst {
+                warmup_secs: 5.0,
+                measure_secs: 15.0,
+                ..CalibrationBurst::default()
+            },
+            ..CalibrationOptions::default()
+        };
+        let est = Estimator::calibrated(&topo, &base, &options);
+        let table = est.calibration().expect("calibrated mode has a table");
+        // By construction raw + residual == measured at each anchor.
+        for anchor in table.anchors.clone() {
+            let p = est.predict(anchor.lambda);
+            assert!(
+                (p.admission_probability - anchor.measured_ap).abs() < 1e-9,
+                "anchor λ={}: {} vs measured {}",
+                anchor.lambda,
+                p.admission_probability,
+                anchor.measured_ap
+            );
+        }
+        // Between anchors the prediction stays a probability and the
+        // estimator reports real retrial behaviour for R=2.
+        let mid = est.predict(25.0);
+        assert!(mid.admission_probability > 0.0 && mid.admission_probability <= 1.0);
+        assert!(mid.mean_tries >= 1.0 && mid.mean_tries <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn gdi_estimator_beats_sp_estimator() {
+        // Under link independence GDI's any-route-clear admission
+        // dominates SP's single fixed route at equal placement.
+        let topo = topologies::mci();
+        let spec = ScenarioSpec::paper_defaults(35.0);
+        let sp = Estimator::analytic(&topo, &spec, AnalyzedSystem::Sp).predict(35.0);
+        // Analytic GDI stand-in: uniform placement, any-route composition.
+        let base = ExperimentConfig::paper_defaults(35.0, SystemSpec::GlobalDynamic);
+        let options = CalibrationOptions {
+            anchors: vec![35.0],
+            burst: CalibrationBurst {
+                warmup_secs: 5.0,
+                measure_secs: 15.0,
+                ..CalibrationBurst::default()
+            },
+            ..CalibrationOptions::default()
+        };
+        let gdi = Estimator::calibrated(&topo, &base, &options).predict(35.0);
+        assert!(
+            gdi.admission_probability > sp.admission_probability,
+            "GDI {} must beat SP {}",
+            gdi.admission_probability,
+            sp.admission_probability
+        );
+    }
+
+    #[test]
+    fn hayward_reduces_to_erlang_at_unit_peakedness() {
+        for (load, servers) in [(100.0, 120), (300.0, 312), (10.0, 4)] {
+            assert_eq!(
+                hayward_blocking(load, servers, 1.0),
+                erlang_b(load, servers)
+            );
+        }
+        // Peaked traffic blocks more near the knee.
+        assert!(hayward_blocking(300.0, 312, 1.5) > erlang_b(300.0, 312));
+    }
+
+    #[test]
+    fn interpolation_clamps_and_blends() {
+        let pts = [(10.0, 0.02), (30.0, -0.04)];
+        assert_eq!(interpolate(&pts, 5.0), 0.02);
+        assert_eq!(interpolate(&pts, 50.0), -0.04);
+        assert!((interpolate(&pts, 20.0) - (-0.01)).abs() < 1e-12);
+        assert_eq!(interpolate(&[], 20.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_lambda_rejected() {
+        let topo = topologies::mci();
+        let spec = ScenarioSpec::paper_defaults(1.0);
+        let _ = Estimator::analytic(&topo, &spec, AnalyzedSystem::Ed1).predict(0.0);
+    }
+}

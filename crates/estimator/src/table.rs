@@ -1,0 +1,329 @@
+//! Calibration tables: what the short DES bursts learned, in a form the
+//! composition engine can interpolate at any λ.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated occupancy moments of one link at one anchor λ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Occupancy samples that contributed.
+    pub samples: u64,
+    /// Mean flows in flight.
+    pub mean_flows: f64,
+    /// Peakedness `Var/E` of the occupancy distribution (`1.0` when
+    /// unobserved) — the Fredericks–Hayward correction factor that
+    /// replaces the pure-Poisson Erlang-B assumption.
+    pub peakedness: f64,
+}
+
+/// Calibrated destination-selection behaviour of one source at one
+/// anchor λ. All share vectors have group-size length and sum to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// The source router (raw node id).
+    pub node: u32,
+    /// Requests observed after warmup.
+    pub requests: u64,
+    /// Share of requests whose *first* probe targeted each member — the
+    /// policy's steady-state pick distribution, which the retrial walk
+    /// extends to later tries.
+    pub first_share: Vec<f64>,
+    /// Share of all probes (first picks plus retrials) per member.
+    pub attempt_share: Vec<f64>,
+    /// Share of admissions per member — GDI's effective placement.
+    pub admitted_share: Vec<f64>,
+}
+
+/// Everything one calibration burst observed at one anchor λ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnchorProfile {
+    /// The anchor request rate.
+    pub lambda: f64,
+    /// Requests measured across all sources.
+    pub requests: u64,
+    /// The burst's measured admission probability — anchors the
+    /// residual correction.
+    pub measured_ap: f64,
+    /// The burst's measured mean probes per request.
+    pub measured_tries: f64,
+    /// Per-source selection profiles, in the scenario's source order.
+    pub sources: Vec<SourceProfile>,
+    /// Per-link occupancy profiles, in dense link order.
+    pub links: Vec<LinkProfile>,
+}
+
+/// A full calibration table: one scenario family (topology + system +
+/// traffic parameters), several anchor λs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationTable {
+    /// The calibrated system's paper label (`<WD/D+H,2>`, `GDI`, …).
+    pub system_label: String,
+    /// Seed the bursts ran under.
+    pub seed: u64,
+    /// Burst warm-up horizon in seconds.
+    pub burst_warmup_secs: f64,
+    /// Burst measured horizon in seconds.
+    pub burst_measure_secs: f64,
+    /// Anchor profiles in strictly increasing λ order.
+    pub anchors: Vec<AnchorProfile>,
+}
+
+/// Which calibrated share vector a prediction should draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareKind {
+    /// First-probe shares — the DAC policies' pick distribution.
+    FirstAttempt,
+    /// Admission shares — GDI's effective placement.
+    Admitted,
+}
+
+impl CalibrationTable {
+    /// Bracketing anchors and interpolation weight for `lambda`:
+    /// `(lo, hi, t)` with `t ∈ [0, 1]`; clamped at the ends so the table
+    /// never extrapolates beyond what was measured.
+    fn bracket(&self, lambda: f64) -> (usize, usize, f64) {
+        assert!(!self.anchors.is_empty(), "calibration table has no anchors");
+        let n = self.anchors.len();
+        if lambda <= self.anchors[0].lambda {
+            return (0, 0, 0.0);
+        }
+        if lambda >= self.anchors[n - 1].lambda {
+            return (n - 1, n - 1, 0.0);
+        }
+        for i in 0..n - 1 {
+            let (a, b) = (self.anchors[i].lambda, self.anchors[i + 1].lambda);
+            if lambda <= b {
+                return (i, i + 1, (lambda - a) / (b - a));
+            }
+        }
+        unreachable!("anchors are sorted")
+    }
+
+    /// Per-source member shares at `lambda`, linearly interpolated
+    /// between the bracketing anchors and renormalised to sum to 1.
+    pub fn shares_at(&self, lambda: f64, kind: ShareKind) -> Vec<Vec<f64>> {
+        let (lo, hi, t) = self.bracket(lambda);
+        fn pick(p: &SourceProfile, kind: ShareKind) -> &[f64] {
+            match kind {
+                ShareKind::FirstAttempt => &p.first_share,
+                ShareKind::Admitted => &p.admitted_share,
+            }
+        }
+        self.anchors[lo]
+            .sources
+            .iter()
+            .zip(&self.anchors[hi].sources)
+            .map(|(a, b)| {
+                let mut v: Vec<f64> = pick(a, kind)
+                    .iter()
+                    .zip(pick(b, kind))
+                    .map(|(x, y)| (1.0 - t) * x + t * y)
+                    .collect();
+                let sum: f64 = v.iter().sum();
+                if sum > 0.0 {
+                    for x in &mut v {
+                        *x /= sum;
+                    }
+                } else {
+                    let k = v.len().max(1);
+                    v = vec![1.0 / k as f64; k];
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Per-link peakedness at `lambda`, linearly interpolated.
+    pub fn peakedness_at(&self, lambda: f64) -> Vec<f64> {
+        let (lo, hi, t) = self.bracket(lambda);
+        self.anchors[lo]
+            .links
+            .iter()
+            .zip(&self.anchors[hi].links)
+            .map(|(a, b)| (1.0 - t) * a.peakedness + t * b.peakedness)
+            .collect()
+    }
+
+    /// Measured AP at `lambda`, linearly interpolated between anchors.
+    pub fn measured_ap_at(&self, lambda: f64) -> f64 {
+        let (lo, hi, t) = self.bracket(lambda);
+        (1.0 - t) * self.anchors[lo].measured_ap + t * self.anchors[hi].measured_ap
+    }
+
+    /// Total requests observed across all anchors — the calibration's
+    /// evidence volume, reported by the cross-validation harness.
+    pub fn total_requests(&self) -> u64 {
+        self.anchors.iter().map(|a| a.requests).sum()
+    }
+
+    /// Canonical, byte-stable JSON rendering of the table.
+    ///
+    /// Serialisation here is hand-rolled (field order fixed, floats via
+    /// Rust's shortest-round-trip formatting) precisely so that the
+    /// calibration-determinism guarantee — same seed, same bytes — is
+    /// testable as string equality, independent of any serde framework.
+    pub fn canonical_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"system\":");
+        push_str_escaped(&mut s, &self.system_label);
+        s.push_str(",\"seed\":");
+        s.push_str(&self.seed.to_string());
+        s.push_str(",\"burst_warmup_secs\":");
+        push_f64(&mut s, self.burst_warmup_secs);
+        s.push_str(",\"burst_measure_secs\":");
+        push_f64(&mut s, self.burst_measure_secs);
+        s.push_str(",\"anchors\":[");
+        for (i, a) in self.anchors.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"lambda\":");
+            push_f64(&mut s, a.lambda);
+            s.push_str(",\"requests\":");
+            s.push_str(&a.requests.to_string());
+            s.push_str(",\"measured_ap\":");
+            push_f64(&mut s, a.measured_ap);
+            s.push_str(",\"measured_tries\":");
+            push_f64(&mut s, a.measured_tries);
+            s.push_str(",\"sources\":[");
+            for (j, src) in a.sources.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"node\":");
+                s.push_str(&src.node.to_string());
+                s.push_str(",\"requests\":");
+                s.push_str(&src.requests.to_string());
+                s.push_str(",\"first_share\":");
+                push_f64_array(&mut s, &src.first_share);
+                s.push_str(",\"attempt_share\":");
+                push_f64_array(&mut s, &src.attempt_share);
+                s.push_str(",\"admitted_share\":");
+                push_f64_array(&mut s, &src.admitted_share);
+                s.push('}');
+            }
+            s.push_str("],\"links\":[");
+            for (j, link) in a.links.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"samples\":");
+                s.push_str(&link.samples.to_string());
+                s.push_str(",\"mean_flows\":");
+                push_f64(&mut s, link.mean_flows);
+                s.push_str(",\"peakedness\":");
+                push_f64(&mut s, link.peakedness);
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn push_f64(s: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "calibration tables must be finite, got {v}");
+    // `{:?}` is Rust's shortest round-trip float form: stable across
+    // runs, platforms and jobs counts for equal bit patterns.
+    s.push_str(&format!("{v:?}"));
+}
+
+fn push_f64_array(s: &mut String, values: &[f64]) {
+    s.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_f64(s, v);
+    }
+    s.push(']');
+}
+
+fn push_str_escaped(s: &mut String, raw: &str) {
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_anchors(lambdas: &[f64]) -> CalibrationTable {
+        CalibrationTable {
+            system_label: "<ED,2>".into(),
+            seed: 7,
+            burst_warmup_secs: 10.0,
+            burst_measure_secs: 40.0,
+            anchors: lambdas
+                .iter()
+                .enumerate()
+                .map(|(i, &lambda)| AnchorProfile {
+                    lambda,
+                    requests: 100,
+                    measured_ap: 1.0 - 0.1 * i as f64,
+                    measured_tries: 1.0 + 0.1 * i as f64,
+                    sources: vec![SourceProfile {
+                        node: 1,
+                        requests: 100,
+                        first_share: vec![0.5 + 0.1 * i as f64, 0.5 - 0.1 * i as f64],
+                        attempt_share: vec![0.5, 0.5],
+                        admitted_share: vec![0.6, 0.4],
+                    }],
+                    links: vec![LinkProfile {
+                        samples: 40,
+                        mean_flows: 10.0 * (i + 1) as f64,
+                        peakedness: 1.0 + 0.2 * i as f64,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn interpolation_brackets_and_clamps() {
+        let t = table_with_anchors(&[10.0, 30.0]);
+        // Midpoint.
+        let shares = t.shares_at(20.0, ShareKind::FirstAttempt);
+        assert!((shares[0][0] - 0.55).abs() < 1e-12);
+        let z = t.peakedness_at(20.0);
+        assert!((z[0] - 1.1).abs() < 1e-12);
+        assert!((t.measured_ap_at(20.0) - 0.95).abs() < 1e-12);
+        // Clamped below and above.
+        assert!((t.shares_at(1.0, ShareKind::FirstAttempt)[0][0] - 0.5).abs() < 1e-12);
+        assert!((t.shares_at(99.0, ShareKind::FirstAttempt)[0][0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_renormalise() {
+        let mut t = table_with_anchors(&[10.0]);
+        t.anchors[0].sources[0].first_share = vec![0.2, 0.2];
+        let s = t.shares_at(10.0, ShareKind::FirstAttempt);
+        assert!((s[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // All-zero shares fall back to uniform.
+        t.anchors[0].sources[0].first_share = vec![0.0, 0.0];
+        let s = t.shares_at(10.0, ShareKind::FirstAttempt);
+        assert_eq!(s[0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_parseable() {
+        let t = table_with_anchors(&[10.0, 30.0]);
+        let a = t.canonical_json();
+        let b = t.clone().canonical_json();
+        assert_eq!(a, b);
+        // Round-trips through the workspace JSON parser.
+        let parsed = anycast_telemetry::json::parse(&a).expect("canonical JSON must parse");
+        let _ = parsed;
+        assert!(a.contains("\"system\":\"<ED,2>\""));
+        assert!(a.contains("\"anchors\":["));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests anchoring the fast path to the validated
+//! Appendix-A fixed point and pinning calibration determinism.
+
+use anycast_analysis::scenario::{build_scenario, AnalyzedSystem, ScenarioSpec};
+use anycast_analysis::{predict_ap, BlockingModel};
+use anycast_dac::calibrate::CalibrationBurst;
+use anycast_dac::experiment::{ExperimentConfig, SystemSpec};
+use anycast_dac::policy::PolicySpec;
+use anycast_estimator::{CalibrationOptions, Estimator};
+use anycast_net::topologies;
+use proptest::prelude::*;
+
+proptest! {
+    /// The estimator's analytic mode *is* the Appendix-A analysis: at any
+    /// load, `<ED,1>` and SP agree with `predict_ap` to fixed-point
+    /// tolerance, report no residual, and stay probabilities.
+    #[test]
+    fn analytic_mode_matches_appendix_a(lambda in 0.5f64..60.0, sp in any::<bool>()) {
+        let topo = topologies::mci();
+        let system = if sp { AnalyzedSystem::Sp } else { AnalyzedSystem::Ed1 };
+        let spec = ScenarioSpec::paper_defaults(lambda);
+        let est = Estimator::analytic(&topo, &spec, system).predict(lambda);
+        let reference = predict_ap(
+            &build_scenario(&topo, &spec, system),
+            BlockingModel::ErlangB,
+        );
+        prop_assert!((0.0..=1.0).contains(&est.admission_probability));
+        prop_assert_eq!(est.residual_correction, 0.0);
+        prop_assert!(
+            (est.admission_probability - reference.admission_probability).abs() < 1e-6,
+            "{:?} λ={}: estimator {} vs fixed point {}",
+            system,
+            lambda,
+            est.admission_probability,
+            reference.admission_probability
+        );
+    }
+
+    /// Analytic-mode batches are a pure per-λ map: bit-identical for
+    /// every worker count, at any grid shape.
+    #[test]
+    fn analytic_batch_is_jobs_invariant(
+        start in 1.0f64..20.0,
+        step in 1.0f64..10.0,
+        cells in 2usize..6,
+        jobs in 2usize..5,
+    ) {
+        let topo = topologies::mci();
+        let spec = ScenarioSpec::paper_defaults(1.0);
+        let est = Estimator::analytic(&topo, &spec, AnalyzedSystem::Ed1);
+        let grid: Vec<f64> = (0..cells).map(|i| start + step * i as f64).collect();
+        prop_assert_eq!(est.predict_batch(jobs, &grid), est.predict_batch(1, &grid));
+    }
+}
+
+/// Calibration is a pure function of `(topo, base, options)`: repeated
+/// runs give byte-identical tables (canonical JSON) and bit-identical
+/// predictions regardless of the worker count used for either stage.
+#[test]
+fn calibration_and_prediction_are_deterministic() {
+    let topo = topologies::mci();
+    let options = CalibrationOptions {
+        anchors: vec![10.0, 40.0],
+        burst: CalibrationBurst {
+            warmup_secs: 5.0,
+            measure_secs: 15.0,
+            ..CalibrationBurst::default()
+        },
+        ..CalibrationOptions::default()
+    };
+    for seed in [options.seed, 7] {
+        let options = CalibrationOptions {
+            seed,
+            ..options.clone()
+        };
+        let parallel_options = CalibrationOptions {
+            jobs: 3,
+            ..options.clone()
+        };
+        let base =
+            ExperimentConfig::paper_defaults(10.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2));
+        let a = Estimator::calibrated(&topo, &base, &options);
+        let b = Estimator::calibrated(&topo, &base, &parallel_options);
+        assert_eq!(
+            a.calibration().expect("table").canonical_json(),
+            b.calibration().expect("table").canonical_json(),
+            "seed {seed}: tables must be byte-identical for any jobs"
+        );
+        let grid = [8.0, 20.0, 33.0, 47.0];
+        assert_eq!(
+            a.predict_batch(1, &grid),
+            b.predict_batch(4, &grid),
+            "seed {seed}: predictions must be bit-identical for any jobs"
+        );
+    }
+}

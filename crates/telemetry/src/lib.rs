@@ -71,6 +71,7 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod occupancy;
 pub mod recorder;
 pub mod registry;
 pub mod stream;
@@ -80,7 +81,10 @@ pub use event::{
     DecisionStep, DecisionTrace, Event, FaultKind, ProbeResult, SkipReason, TeardownReason,
     TimedEvent,
 };
-pub use recorder::{NullRecorder, Recorder, RingRecorder, TelemetryMode, DEFAULT_RING_CAPACITY};
+pub use occupancy::{link_occupancy, source_attempt_profiles, LinkOccupancy, SourceAttempts};
+pub use recorder::{
+    EventFilter, NullRecorder, Recorder, RingRecorder, TelemetryMode, DEFAULT_RING_CAPACITY,
+};
 pub use registry::{registry_from_events, MetricKey, MetricsRegistry};
 pub use stream::{StreamPolicy, StreamRecorder, DEFAULT_STREAM_CAPACITY};
 pub use tracer::RequestTracer;

@@ -1,0 +1,347 @@
+//! Calibration extractors: per-link occupancy distributions and
+//! per-source destination-attempt profiles from a recorded event stream.
+//!
+//! The parsimon-style fast path (`anycast-estimator`) replaces full
+//! discrete-event runs with a reduced-load fixed point whose per-link
+//! blocking terms are *calibrated* rather than closed-form. The two
+//! ingredients it needs both live in the ordinary telemetry stream a
+//! short burst already produces:
+//!
+//! * [`link_occupancy`] folds the periodic [`Event::LinkSample`] series
+//!   into per-link occupancy moments — mean flows in flight, variance,
+//!   and the peakedness ratio `z = Var/E` that drives the
+//!   Fredericks–Hayward blocking correction (`z = 1` recovers pure
+//!   Erlang-B, the Poisson case);
+//! * [`source_attempt_profiles`] joins `arrival` events (request →
+//!   source) with `probe` events (request → member) to recover how each
+//!   admission policy actually spread its attempts over the group —
+//!   first-attempt counts, total attempt counts and admissions per
+//!   (source, member) pair.
+//!
+//! Both extractors are pure functions of the event slice, so equal
+//! streams (same seed) give byte-identical outputs — the property the
+//! calibration-determinism tests pin down.
+
+use crate::event::{Event, ProbeResult, TimedEvent};
+use anycast_net::NodeId;
+use std::collections::HashMap;
+
+/// Occupancy moments of one link, folded from its `link_sample` series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkOccupancy {
+    /// Number of samples that contributed.
+    pub samples: u64,
+    /// Mean flows in flight.
+    pub mean_flows: f64,
+    /// Population variance of flows in flight.
+    pub var_flows: f64,
+    /// Mean reserved/capacity bandwidth ratio.
+    pub mean_utilization: f64,
+    /// Peakedness `Var/E` of the occupancy distribution; `1.0` when the
+    /// link saw no flows (the Poisson default).
+    pub peakedness: f64,
+}
+
+impl LinkOccupancy {
+    fn empty() -> Self {
+        LinkOccupancy {
+            samples: 0,
+            mean_flows: 0.0,
+            var_flows: 0.0,
+            mean_utilization: 0.0,
+            peakedness: 1.0,
+        }
+    }
+}
+
+/// Folds the `link_sample` events at `time_secs >= start_secs` into
+/// per-link occupancy moments, indexed by dense link id.
+///
+/// Links that were never sampled (or whose samples all fall before
+/// `start_secs`, e.g. inside the warmup) report zero samples and the
+/// neutral peakedness `1.0`.
+///
+/// # Panics
+///
+/// Panics if a sample references a link index `>= link_count`.
+pub fn link_occupancy(
+    events: &[TimedEvent],
+    link_count: usize,
+    start_secs: f64,
+) -> Vec<LinkOccupancy> {
+    // Two-pass moments (mean, then centred variance) keep the variance
+    // non-negative without Welford state per link.
+    let mut count = vec![0u64; link_count];
+    let mut sum_flows = vec![0.0f64; link_count];
+    let mut sum_util = vec![0.0f64; link_count];
+    for te in events {
+        if te.time_secs < start_secs {
+            continue;
+        }
+        if let Event::LinkSample {
+            link,
+            reserved_bps,
+            capacity_bps,
+            flows,
+            ..
+        } = &te.event
+        {
+            let l = link.index();
+            assert!(
+                l < link_count,
+                "link sample references link {l} outside link_count {link_count}"
+            );
+            count[l] += 1;
+            sum_flows[l] += *flows as f64;
+            if *capacity_bps > 0 {
+                sum_util[l] += *reserved_bps as f64 / *capacity_bps as f64;
+            }
+        }
+    }
+    let mut sum_sq_dev = vec![0.0f64; link_count];
+    for te in events {
+        if te.time_secs < start_secs {
+            continue;
+        }
+        if let Event::LinkSample { link, flows, .. } = &te.event {
+            let l = link.index();
+            let mean = sum_flows[l] / count[l] as f64;
+            let dev = *flows as f64 - mean;
+            sum_sq_dev[l] += dev * dev;
+        }
+    }
+    (0..link_count)
+        .map(|l| {
+            if count[l] == 0 {
+                return LinkOccupancy::empty();
+            }
+            let n = count[l] as f64;
+            let mean_flows = sum_flows[l] / n;
+            let var_flows = sum_sq_dev[l] / n;
+            let peakedness = if mean_flows > 0.0 {
+                var_flows / mean_flows
+            } else {
+                1.0
+            };
+            LinkOccupancy {
+                samples: count[l],
+                mean_flows,
+                var_flows,
+                mean_utilization: sum_util[l] / n,
+                peakedness,
+            }
+        })
+        .collect()
+}
+
+/// How one source's requests were spread over the group members, joined
+/// from its `arrival` and `probe` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceAttempts {
+    /// Requests that arrived at this source (after `start_secs`).
+    pub requests: u64,
+    /// Per-member count of *first* probes — the policy's initial pick.
+    pub first_attempts: Vec<u64>,
+    /// Per-member count of all probes (first picks plus retrials).
+    pub attempts: Vec<u64>,
+    /// Per-member count of probes that admitted the flow.
+    pub admissions: Vec<u64>,
+}
+
+impl SourceAttempts {
+    fn new(members: usize) -> Self {
+        SourceAttempts {
+            requests: 0,
+            first_attempts: vec![0; members],
+            attempts: vec![0; members],
+            admissions: vec![0; members],
+        }
+    }
+}
+
+/// Joins arrivals with probes into one [`SourceAttempts`] per entry of
+/// `sources` (same order), counting only requests that arrived at
+/// `time_secs >= start_secs`.
+///
+/// Requests from nodes outside `sources` are ignored, as are probes whose
+/// arrival was never seen (e.g. recorded before `start_secs` or evicted
+/// from a saturated ring) — the join is strict so warmup transients can
+/// be excluded exactly.
+///
+/// # Panics
+///
+/// Panics if a probe references a member index `>= members`.
+pub fn source_attempt_profiles(
+    events: &[TimedEvent],
+    sources: &[NodeId],
+    members: usize,
+    start_secs: f64,
+) -> Vec<SourceAttempts> {
+    let index_of: HashMap<NodeId, usize> =
+        sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut profiles: Vec<SourceAttempts> = (0..sources.len())
+        .map(|_| SourceAttempts::new(members))
+        .collect();
+    // request id → (source slot, probes seen so far for the request).
+    let mut open: HashMap<u64, (usize, u32)> = HashMap::new();
+    for te in events {
+        match &te.event {
+            Event::RequestArrival {
+                request, source, ..
+            } => {
+                if te.time_secs < start_secs {
+                    continue;
+                }
+                if let Some(&slot) = index_of.get(source) {
+                    profiles[slot].requests += 1;
+                    open.insert(*request, (slot, 0));
+                }
+            }
+            Event::DestinationProbe {
+                request,
+                member_index,
+                result,
+                ..
+            } => {
+                let Some(entry) = open.get_mut(request) else {
+                    continue;
+                };
+                assert!(
+                    *member_index < members,
+                    "probe references member {member_index} outside group of {members}"
+                );
+                let (slot, probes_seen) = (entry.0, entry.1);
+                entry.1 += 1;
+                let p = &mut profiles[slot];
+                if probes_seen == 0 {
+                    p.first_attempts[*member_index] += 1;
+                }
+                p.attempts[*member_index] += 1;
+                if matches!(result, ProbeResult::Admitted) {
+                    p.admissions[*member_index] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SkipReason;
+    use anycast_net::LinkId;
+
+    fn sample(t: f64, link: u32, flows: u32) -> TimedEvent {
+        TimedEvent {
+            time_secs: t,
+            event: Event::LinkSample {
+                link: LinkId::new(link),
+                reserved_bps: flows as u64 * 64_000,
+                capacity_bps: 640_000,
+                flows,
+                failed: false,
+            },
+        }
+    }
+
+    fn arrival(t: f64, request: u64, source: u32) -> TimedEvent {
+        TimedEvent {
+            time_secs: t,
+            event: Event::RequestArrival {
+                request,
+                source: NodeId::new(source),
+                group: 0,
+                demand_bps: 64_000,
+            },
+        }
+    }
+
+    fn probe(t: f64, request: u64, member: usize, admitted: bool) -> TimedEvent {
+        TimedEvent {
+            time_secs: t,
+            event: Event::DestinationProbe {
+                request,
+                member_index: member,
+                weight: 0.2,
+                result: if admitted {
+                    ProbeResult::Admitted
+                } else {
+                    ProbeResult::Skipped(SkipReason::NoFeasiblePath)
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn occupancy_moments() {
+        let events = vec![
+            sample(1.0, 0, 2),
+            sample(2.0, 0, 4),
+            sample(3.0, 0, 6),
+            sample(1.0, 1, 0),
+        ];
+        let occ = link_occupancy(&events, 3, 0.0);
+        assert_eq!(occ[0].samples, 3);
+        assert!((occ[0].mean_flows - 4.0).abs() < 1e-12);
+        // Population variance of {2, 4, 6} = 8/3.
+        assert!((occ[0].var_flows - 8.0 / 3.0).abs() < 1e-12);
+        assert!((occ[0].peakedness - (8.0 / 3.0) / 4.0).abs() < 1e-12);
+        assert!((occ[0].mean_utilization - 4.0 * 64_000.0 / 640_000.0).abs() < 1e-12);
+        // Link 1: sampled but empty → neutral peakedness.
+        assert_eq!(occ[1].samples, 1);
+        assert_eq!(occ[1].peakedness, 1.0);
+        // Link 2: never sampled.
+        assert_eq!(occ[2].samples, 0);
+        assert_eq!(occ[2].peakedness, 1.0);
+    }
+
+    #[test]
+    fn occupancy_respects_start_time() {
+        let events = vec![sample(1.0, 0, 100), sample(10.0, 0, 2)];
+        let occ = link_occupancy(&events, 1, 5.0);
+        assert_eq!(occ[0].samples, 1);
+        assert!((occ[0].mean_flows - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attempt_profiles_join_and_count() {
+        let s = [NodeId::new(1), NodeId::new(3)];
+        let events = vec![
+            arrival(1.0, 0, 1),
+            probe(1.0, 0, 2, false),
+            probe(1.0, 0, 4, true),
+            arrival(2.0, 1, 3),
+            probe(2.0, 1, 2, true),
+            arrival(3.0, 2, 1),
+            probe(3.0, 2, 0, false),
+            probe(3.0, 2, 1, false),
+            // Unknown source: ignored entirely.
+            arrival(4.0, 3, 8),
+            probe(4.0, 3, 0, true),
+        ];
+        let p = source_attempt_profiles(&events, &s, 5, 0.0);
+        assert_eq!(p[0].requests, 2);
+        assert_eq!(p[0].first_attempts, vec![1, 0, 1, 0, 0]);
+        assert_eq!(p[0].attempts, vec![1, 1, 1, 0, 1]);
+        assert_eq!(p[0].admissions, vec![0, 0, 0, 0, 1]);
+        assert_eq!(p[1].requests, 1);
+        assert_eq!(p[1].first_attempts, vec![0, 0, 1, 0, 0]);
+        assert_eq!(p[1].admissions, vec![0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn attempt_profiles_drop_warmup_arrivals() {
+        let s = [NodeId::new(1)];
+        let events = vec![
+            arrival(1.0, 0, 1),
+            probe(1.0, 0, 0, true),
+            arrival(9.0, 1, 1),
+            probe(9.0, 1, 1, true),
+        ];
+        let p = source_attempt_profiles(&events, &s, 2, 5.0);
+        assert_eq!(p[0].requests, 1);
+        assert_eq!(p[0].first_attempts, vec![0, 1]);
+    }
+}

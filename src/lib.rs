@@ -21,6 +21,7 @@
 //! | [`telemetry`] | `anycast-telemetry` | structured events, recorders, exporters, metrics registry |
 //! | [`chaos`] | `anycast-chaos` | fault plans, deterministic fault timelines, outage ledger |
 //! | [`analysis`] | `anycast-analysis` | Erlang-B, UAA, fixed point, AP prediction |
+//! | [`estimator`] | `anycast-estimator` | calibrated link-decomposition fast path (Parsimon-style) |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use anycast_analysis as analysis;
 pub use anycast_chaos as chaos;
 pub use anycast_dac as dac;
+pub use anycast_estimator as estimator;
 pub use anycast_net as net;
 pub use anycast_rsvp as rsvp;
 pub use anycast_sim as sim;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use anycast_dac::multipath::{MultipathController, MultipathRouteTable};
     pub use anycast_dac::policy::{HistoryMode, PolicySpec};
     pub use anycast_dac::{AdmissionController, RetrialPolicy};
+    pub use anycast_estimator::{CalibrationOptions, CalibrationTable, Estimate, Estimator};
     pub use anycast_net::routing::RouteTable;
     pub use anycast_net::{
         topologies, AnycastGroup, Bandwidth, LinkId, LinkStateTable, NodeId, Path, Topology,
