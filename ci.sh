@@ -49,10 +49,17 @@ echo "==> estimator smoke (bench_pr8: |AP_est - AP_sim| <= 0.05 on every cell)"
 # artifact, so a plain exit-status check is the accuracy gate.
 cargo run --release --offline -p anycast-bench --bin bench_pr8 -- --smoke --jobs 2 --out /tmp/BENCH_pr8_ci.json
 
+echo "==> daemon overload smoke (bench_pr9: shedding must bound p99 under overload)"
+# The binary hard-asserts the accounting identity (every request is
+# admitted, shed, a duplicate, or a shutdown rejection) and the p99
+# bound in every shedding cell before writing the artifact.
+cargo run --release --offline -p anycast-bench --bin bench_pr9 -- --smoke --out /tmp/BENCH_pr9_ci.json
+
 echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
 ! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
     /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json \
-    /tmp/BENCH_pr7_ci.json /tmp/BENCH_pr8_ci.json BENCH_pr8.json
+    /tmp/BENCH_pr7_ci.json /tmp/BENCH_pr8_ci.json /tmp/BENCH_pr9_ci.json \
+    BENCH_pr8.json BENCH_pr9.json
 
 echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
 cargo run --release --offline -p anycast-cli --bin anycast -- \
@@ -153,5 +160,12 @@ bash "$daemon_client" "$port"
 wait "$daemon_pid"
 grep -q 'served 1 requests' "$daemon_log"
 rm -f "$daemon_log" "$daemon_client"
+
+echo "==> daemon soak (thousands of faulted connections must leak nothing)"
+# Drives the daemon with the chaos client fleet — vanishing peers,
+# slow-loris writers, malformed frames, duplicate submits, resumes and
+# withheld teardowns — then asserts zero leaked bandwidth, bounded
+# queue/journal growth, and the shed/error accounting identity.
+cargo test --release --offline -q -p anycast-daemon --test soak
 
 echo "CI OK"

@@ -1,0 +1,563 @@
+//! Client-side fault driver for the admission daemon's wire protocol.
+//!
+//! The rest of this crate injects faults *inside* the simulated network
+//! (links die, members crash, RSVP messages get lost). This module
+//! attacks from the *outside*: it is a deterministic hostile-client
+//! swarm that speaks the daemon's line-delimited JSON protocol badly on
+//! purpose — connection churn, slow-loris writes, half-frames dropped
+//! mid-line, malformed JSON, duplicate submits, reconnect-and-resume,
+//! and teardowns that never get sent — so the service-layer soak test
+//! can show the daemon neither leaks nor wedges under any of it.
+//!
+//! Determinism: every behaviour choice is drawn from a [`SimRng`] forked
+//! per worker from the plan seed, so the same plan replays the same mix
+//! of abuse (wall-clock interleaving against the daemon still varies —
+//! that is the point of a soak, the *ledger* must not care).
+//!
+//! The module deliberately depends only on the wire format (plain JSON
+//! over a socket), not on the daemon crate: it is the daemon's test
+//! adversary, not its client library.
+
+use anycast_sim::SimRng;
+use anycast_telemetry::json::{parse, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What a chaos swarm should do.
+#[derive(Debug, Clone)]
+pub struct ChaosClientPlan {
+    /// Total connections to open across all workers.
+    pub connections: usize,
+    /// Concurrent worker threads (each gets a forked RNG stream).
+    pub workers: usize,
+    /// Seed for the behaviour mix.
+    pub seed: u64,
+    /// Exclusive upper bound for the `source` field of admits.
+    pub source_count: usize,
+    /// Exclusive upper bound for the `group` field of admits.
+    pub group_count: usize,
+    /// Demand of every admit, bits per second.
+    pub demand_bps: u64,
+    /// Holding time of every admit, simulated seconds.
+    pub holding_secs: f64,
+    /// Per-socket read timeout; a response slower than this is counted
+    /// in [`ChaosClientReport::read_timeouts`] and the connection is
+    /// abandoned (which is itself more churn for the daemon).
+    pub read_timeout: Duration,
+}
+
+impl Default for ChaosClientPlan {
+    fn default() -> Self {
+        ChaosClientPlan {
+            connections: 256,
+            workers: 4,
+            seed: 1,
+            source_count: 9,
+            group_count: 1,
+            demand_bps: 64_000,
+            holding_secs: 30.0,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What the swarm observed, summed over all workers. Every counter is a
+/// client-side view; the soak test reconciles them against the daemon's
+/// own [`DaemonCounters`]-style accounting.
+///
+/// [`DaemonCounters`]: https://docs.rs/anycast-daemon
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosClientReport {
+    /// Connections opened (including ones dropped on purpose).
+    pub connections: u64,
+    /// Well-formed admit lines fully written.
+    pub admits_sent: u64,
+    /// `decision` responses read.
+    pub decisions: u64,
+    /// ... of which were admitted.
+    pub admitted: u64,
+    /// `overloaded` responses read.
+    pub overloaded: u64,
+    /// `error` responses read.
+    pub errors: u64,
+    /// `shutting_down` responses read.
+    pub shutdowns_seen: u64,
+    /// Malformed lines deliberately sent.
+    pub malformed_sent: u64,
+    /// Duplicate same-token admits deliberately sent.
+    pub duplicates_sent: u64,
+    /// Connections dropped right after an admit, without reading.
+    pub churned: u64,
+    /// Admit lines written byte-dribbled (slow-loris) but completed.
+    pub slow_loris: u64,
+    /// Lines abandoned half-written (no newline ever sent).
+    pub partial_frames: u64,
+    /// `resume` ops sent.
+    pub resumes_sent: u64,
+    /// Resumes answered with a replayed `decision`.
+    pub resumed_decided: u64,
+    /// Resumes answered `pending` (decision then read on this conn).
+    pub resumed_pending: u64,
+    /// Resumes answered `unknown` (evicted, shed, or never journaled).
+    pub resumed_unknown: u64,
+    /// Wire `teardown` ops sent.
+    pub teardowns_sent: u64,
+    /// ... of which the daemon reported `reclaimed: true`.
+    pub teardowns_reclaimed: u64,
+    /// Admitted sessions whose teardown was deliberately never sent
+    /// (the soft-state/holding-time path must reclaim them).
+    pub teardowns_withheld: u64,
+    /// Reads that hit the socket timeout (connection then abandoned).
+    pub read_timeouts: u64,
+}
+
+impl ChaosClientReport {
+    /// Folds another worker's counters into this one.
+    pub fn merge(&mut self, other: &ChaosClientReport) {
+        let ChaosClientReport {
+            connections,
+            admits_sent,
+            decisions,
+            admitted,
+            overloaded,
+            errors,
+            shutdowns_seen,
+            malformed_sent,
+            duplicates_sent,
+            churned,
+            slow_loris,
+            partial_frames,
+            resumes_sent,
+            resumed_decided,
+            resumed_pending,
+            resumed_unknown,
+            teardowns_sent,
+            teardowns_reclaimed,
+            teardowns_withheld,
+            read_timeouts,
+        } = other;
+        self.connections += connections;
+        self.admits_sent += admits_sent;
+        self.decisions += decisions;
+        self.admitted += admitted;
+        self.overloaded += overloaded;
+        self.errors += errors;
+        self.shutdowns_seen += shutdowns_seen;
+        self.malformed_sent += malformed_sent;
+        self.duplicates_sent += duplicates_sent;
+        self.churned += churned;
+        self.slow_loris += slow_loris;
+        self.partial_frames += partial_frames;
+        self.resumes_sent += resumes_sent;
+        self.resumed_decided += resumed_decided;
+        self.resumed_pending += resumed_pending;
+        self.resumed_unknown += resumed_unknown;
+        self.teardowns_sent += teardowns_sent;
+        self.teardowns_reclaimed += teardowns_reclaimed;
+        self.teardowns_withheld += teardowns_withheld;
+        self.read_timeouts += read_timeouts;
+    }
+}
+
+/// One live connection to the daemon.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str, timeout: Duration) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line; `None` on timeout, EOF, or junk.
+    fn recv(&mut self) -> Option<JsonValue> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => parse(line.trim()).ok(),
+        }
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match v {
+        JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn op_of(v: &JsonValue) -> &str {
+    match field(v, "op") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        _ => "",
+    }
+}
+
+fn str_of<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    match field(v, key) {
+        Some(JsonValue::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn num_of(v: &JsonValue, key: &str) -> Option<f64> {
+    match field(v, key) {
+        Some(JsonValue::Num(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn bool_of(v: &JsonValue, key: &str) -> Option<bool> {
+    match field(v, key) {
+        Some(JsonValue::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Renders an admit line with a correlation token.
+fn admit_line(plan: &ChaosClientPlan, rng: &mut SimRng, token: &str) -> String {
+    JsonValue::obj([
+        ("op", JsonValue::Str("admit".into())),
+        (
+            "source",
+            JsonValue::Num(rng.below(plan.source_count) as f64),
+        ),
+        ("group", JsonValue::Num(rng.below(plan.group_count) as f64)),
+        ("demand_bps", JsonValue::Num(plan.demand_bps as f64)),
+        ("holding_secs", JsonValue::Num(plan.holding_secs)),
+        ("token", JsonValue::Str(token.into())),
+    ])
+    .render()
+}
+
+/// Reads responses until a `decision` (or terminal refusal) arrives for
+/// a just-sent admit, tallying whatever shows up.
+fn read_admit_outcome(conn: &mut Conn, report: &mut ChaosClientReport) -> Option<JsonValue> {
+    loop {
+        let Some(v) = conn.recv() else {
+            report.read_timeouts += 1;
+            return None;
+        };
+        match op_of(&v) {
+            "decision" => {
+                report.decisions += 1;
+                if bool_of(&v, "admitted") == Some(true) {
+                    report.admitted += 1;
+                }
+                return Some(v);
+            }
+            "overloaded" => {
+                report.overloaded += 1;
+                return None;
+            }
+            "error" => {
+                report.errors += 1;
+                return None;
+            }
+            "shutting_down" => {
+                report.shutdowns_seen += 1;
+                return None;
+            }
+            // `resumed`/`torn_down`/`stats` for someone else's question:
+            // keep reading, the decision is still coming.
+            _ => {}
+        }
+    }
+}
+
+/// One worker's share of the swarm. `backlog` carries tokens whose
+/// verdicts were deliberately not read (churned connections) into later
+/// resume behaviours.
+#[allow(clippy::too_many_lines)]
+fn run_worker(
+    addr: &str,
+    plan: &ChaosClientPlan,
+    mut rng: SimRng,
+    worker: usize,
+    connections: usize,
+) -> ChaosClientReport {
+    let mut report = ChaosClientReport::default();
+    let mut backlog: Vec<String> = Vec::new();
+    let mut minted: u64 = 0;
+    let mint = |minted: &mut u64| {
+        let t = format!("w{worker}-{m}", m = *minted);
+        *minted += 1;
+        t
+    };
+
+    for _ in 0..connections {
+        let Ok(mut conn) = Conn::open(addr, plan.read_timeout) else {
+            continue;
+        };
+        report.connections += 1;
+        match rng.below(8) {
+            // Clean client: admit, read the verdict, tear the session
+            // down when admitted.
+            0 => {
+                let token = mint(&mut minted);
+                if conn.send(&admit_line(plan, &mut rng, &token)).is_err() {
+                    continue;
+                }
+                report.admits_sent += 1;
+                if let Some(v) = read_admit_outcome(&mut conn, &mut report) {
+                    if let Some(session) = num_of(&v, "session") {
+                        let line =
+                            format!("{{\"op\":\"teardown\",\"session\":{}}}", session as u64);
+                        if conn.send(&line).is_ok() {
+                            report.teardowns_sent += 1;
+                            if let Some(r) = conn.recv() {
+                                if bool_of(&r, "reclaimed") == Some(true) {
+                                    report.teardowns_reclaimed += 1;
+                                }
+                            } else {
+                                report.read_timeouts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Churn: submit and vanish without reading. The token goes
+            // to the backlog for a later resume.
+            1 => {
+                let token = mint(&mut minted);
+                if conn.send(&admit_line(plan, &mut rng, &token)).is_ok() {
+                    report.admits_sent += 1;
+                    report.churned += 1;
+                    backlog.push(token);
+                }
+            }
+            // Slow-loris: the same admit, dribbled a few bytes at a
+            // time. The daemon's reader must neither block the engine
+            // nor give up on a slow-but-honest line.
+            2 => {
+                let token = mint(&mut minted);
+                let line = admit_line(plan, &mut rng, &token);
+                let bytes = line.as_bytes();
+                let mut ok = true;
+                for chunk in bytes.chunks(7) {
+                    if conn.writer.write_all(chunk).is_err() || conn.writer.flush().is_err() {
+                        ok = false;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if ok && conn.send("").is_ok() {
+                    report.admits_sent += 1;
+                    report.slow_loris += 1;
+                    read_admit_outcome(&mut conn, &mut report);
+                }
+            }
+            // Partial frame: half a line, then the connection dies.
+            // The daemon must discard the fragment with the socket.
+            3 => {
+                let token = mint(&mut minted);
+                let line = admit_line(plan, &mut rng, &token);
+                let cut = line.len() / 2;
+                if conn.writer.write_all(&line.as_bytes()[..cut]).is_ok() {
+                    let _ = conn.writer.flush();
+                    report.partial_frames += 1;
+                }
+            }
+            // Malformed line, then a valid admit on the same connection:
+            // the error must not poison the connection.
+            4 => {
+                let junk = match rng.below(4) {
+                    0 => "}{ not json".to_string(),
+                    1 => "{\"op\":\"frobnicate\"}".to_string(),
+                    2 => "{\"op\":\"admit\",\"source\":-1}".to_string(),
+                    _ => format!("{{\"op\":\"admit\",\"pad\":\"{}\"}}", "x".repeat(9000)),
+                };
+                if conn.send(&junk).is_err() {
+                    continue;
+                }
+                report.malformed_sent += 1;
+                if let Some(v) = conn.recv() {
+                    if op_of(&v) == "error" {
+                        report.errors += 1;
+                    }
+                } else {
+                    report.read_timeouts += 1;
+                    continue;
+                }
+                let token = mint(&mut minted);
+                if conn.send(&admit_line(plan, &mut rng, &token)).is_ok() {
+                    report.admits_sent += 1;
+                    read_admit_outcome(&mut conn, &mut report);
+                }
+            }
+            // Duplicate submit: the same token twice back-to-back. The
+            // journal must answer the second from the first — two
+            // responses, one engine decision.
+            5 => {
+                let token = mint(&mut minted);
+                let line = admit_line(plan, &mut rng, &token);
+                if conn.send(&line).is_err() || conn.send(&line).is_err() {
+                    continue;
+                }
+                report.admits_sent += 1;
+                report.duplicates_sent += 1;
+                for _ in 0..2 {
+                    let Some(v) = conn.recv() else {
+                        report.read_timeouts += 1;
+                        break;
+                    };
+                    match op_of(&v) {
+                        "decision" => {
+                            report.decisions += 1;
+                            if bool_of(&v, "admitted") == Some(true) {
+                                report.admitted += 1;
+                            }
+                        }
+                        "overloaded" => report.overloaded += 1,
+                        "resumed" => report.resumed_pending += 1,
+                        "error" => report.errors += 1,
+                        _ => {}
+                    }
+                }
+            }
+            // Resume: pick up a churned token on a fresh connection and
+            // chase it to a verdict.
+            6 => {
+                let Some(token) = backlog.pop() else {
+                    // Nothing to resume yet: behave cleanly instead.
+                    let token = mint(&mut minted);
+                    if conn.send(&admit_line(plan, &mut rng, &token)).is_ok() {
+                        report.admits_sent += 1;
+                        read_admit_outcome(&mut conn, &mut report);
+                    }
+                    continue;
+                };
+                let line = format!("{{\"op\":\"resume\",\"token\":\"{token}\"}}");
+                if conn.send(&line).is_err() {
+                    continue;
+                }
+                report.resumes_sent += 1;
+                match conn.recv() {
+                    None => report.read_timeouts += 1,
+                    Some(v) if op_of(&v) == "decision" => {
+                        report.resumed_decided += 1;
+                    }
+                    Some(v) if op_of(&v) == "resumed" => match str_of(&v, "state") {
+                        Some("pending") => {
+                            report.resumed_pending += 1;
+                            // The verdict is now bound to this
+                            // connection; wait for it.
+                            read_admit_outcome(&mut conn, &mut report);
+                        }
+                        _ => report.resumed_unknown += 1,
+                    },
+                    Some(_) => {}
+                }
+            }
+            // Lost teardown: admit, read the verdict, never tear down.
+            // The reservation must drain by holding-time departure (or
+            // §4.4 soft-state expiry when refresh is faulted) — the
+            // soak's zero-leak assertion proves it.
+            _ => {
+                let token = mint(&mut minted);
+                if conn.send(&admit_line(plan, &mut rng, &token)).is_err() {
+                    continue;
+                }
+                report.admits_sent += 1;
+                if let Some(v) = read_admit_outcome(&mut conn, &mut report) {
+                    if num_of(&v, "session").is_some() {
+                        report.teardowns_withheld += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Runs the swarm against a daemon at `addr` (a TCP address) and returns
+/// the merged client-side tally. Workers run concurrently; each drains
+/// its own share of [`ChaosClientPlan::connections`] with its own forked
+/// RNG stream.
+pub fn run_chaos_clients(addr: &str, plan: &ChaosClientPlan) -> ChaosClientReport {
+    let workers = plan.workers.max(1);
+    let mut root = SimRng::seed_from(plan.seed);
+    let mut total = ChaosClientReport::default();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let rng = root.fork();
+            let share = plan.connections / workers + usize::from(w < plan.connections % workers);
+            let addr = addr.to_string();
+            handles.push(s.spawn(move || run_worker(&addr, plan, rng, w, share)));
+        }
+        for h in handles {
+            if let Ok(r) = h.join() {
+                total.merge(&r);
+            }
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_shares_cover_all_connections() {
+        let plan = ChaosClientPlan {
+            connections: 10,
+            workers: 4,
+            ..ChaosClientPlan::default()
+        };
+        let shares: usize = (0..plan.workers)
+            .map(|w| {
+                plan.connections / plan.workers + usize::from(w < plan.connections % plan.workers)
+            })
+            .sum();
+        assert_eq!(shares, plan.connections);
+    }
+
+    #[test]
+    fn report_merge_sums_every_counter() {
+        let mut a = ChaosClientReport {
+            connections: 1,
+            admits_sent: 2,
+            decisions: 3,
+            ..ChaosClientReport::default()
+        };
+        let b = ChaosClientReport {
+            connections: 10,
+            admits_sent: 20,
+            decisions: 30,
+            teardowns_withheld: 4,
+            ..ChaosClientReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.connections, 11);
+        assert_eq!(a.admits_sent, 22);
+        assert_eq!(a.decisions, 33);
+        assert_eq!(a.teardowns_withheld, 4);
+    }
+
+    #[test]
+    fn admit_lines_are_valid_wire_json() {
+        let plan = ChaosClientPlan::default();
+        let mut rng = SimRng::seed_from(9);
+        let line = admit_line(&plan, &mut rng, "w0-0");
+        let v = parse(&line).unwrap();
+        assert_eq!(op_of(&v), "admit");
+        assert_eq!(str_of(&v, "token"), Some("w0-0"));
+        assert!(num_of(&v, "demand_bps").unwrap() > 0.0);
+    }
+}

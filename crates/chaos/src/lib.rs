@@ -24,11 +24,13 @@
 //! `anycast-dac` interprets the actions.
 
 mod book;
+pub mod client;
 mod plan;
 pub mod spec;
 mod timeline;
 
 pub use book::{FaultBook, FaultEntity};
+pub use client::{run_chaos_clients, ChaosClientPlan, ChaosClientReport};
 pub use plan::{
     ControlFaultModel, FaultAction, FaultPlan, MessageFault, ScriptedFault, SignalingFaults,
     StochasticFaultModel,

@@ -154,16 +154,23 @@ pub fn print_help(command: &str) {
              Runs the admission controller as a long-lived daemon speaking\n\
              line-delimited JSON (one request per line):\n\
              \n\
-             \x20 {{\"op\":\"admit\",\"source\":2,\"group\":0,\"demand_bps\":64000,\"holding_secs\":120}}\n\
+             \x20 {{\"op\":\"admit\",\"source\":2,\"group\":0,\"demand_bps\":64000,\"holding_secs\":120,\"token\":\"t1\"}}\n\
+             \x20 {{\"op\":\"teardown\",\"session\":7}}\n\
+             \x20 {{\"op\":\"resume\",\"token\":\"t1\"}}\n\
              \x20 {{\"op\":\"stats\"}}\n\
              \x20 {{\"op\":\"shutdown\"}}\n\
              \n\
              Decisions come back per connection, correlated by request id\n\
-             (out of order under asynchronous two-phase signalling).\n\
-             SIGINT/SIGTERM or a shutdown request drains in-flight work,\n\
-             releases pending holds and prints final metrics. The service\n\
-             lifetime is the config horizon (--warmup + --measure; a\n\
-             service typically wants --warmup 0).\n\
+             and optional client token (out of order under asynchronous\n\
+             two-phase signalling). Under overload the daemon answers\n\
+             `overloaded` instead of queueing without bound; malformed or\n\
+             overlong lines draw an `error` with a reason code and the\n\
+             offending line echoed. SIGINT/SIGTERM or a shutdown request\n\
+             drains in-flight work, rejects queued-but-unserved admits\n\
+             with `shutting_down`, releases pending holds and prints\n\
+             final metrics. The service lifetime is the config horizon\n\
+             (--warmup + --measure; a service typically wants --warmup 0)\n\
+             unless --window puts it in rolling mode.\n\
              \n\
              options (plus all `simulate` options):\n\
              \x20 --listen ADDR                  TCP listen address (port 0 = any)\n\
@@ -172,7 +179,14 @@ pub fn print_help(command: &str) {
              \x20                                (default 1 = real time)\n\
              \x20 --tick-ms MS                   idle engine tick (default 5)\n\
              \x20 --stream PATH                  stream live telemetry to PATH as\n\
-             \x20                                JSONL (drop-newest backpressure)"
+             \x20                                JSONL (drop-newest backpressure)\n\
+             \x20 --window SECS                  rolling-horizon mode: serve forever,\n\
+             \x20                                stats report a trailing SECS window\n\
+             \x20 --queue-limit N                admission queue bound; shed\n\
+             \x20                                watermarks scale with it (default 1024)\n\
+             \x20 --no-shed                      disable the hysteresis shed controller\n\
+             \x20                                (the hard queue bound still refuses\n\
+             \x20                                admits when full)"
         ),
         "predict" => println!(
             "usage: anycast predict --lambda RATE | --lambdas START:END:STEP [options]\n\
@@ -873,7 +887,7 @@ pub fn replay(raw: Vec<String>) -> Result<(), String> {
 /// `anycast serve`: run the admission controller as a long-lived daemon
 /// behind a TCP or Unix socket.
 pub fn serve(raw: Vec<String>) -> Result<(), String> {
-    let mut args = Args::parse(raw, &["batch"])?;
+    let mut args = Args::parse(raw, &["batch", "no-shed"])?;
     let lambda: f64 = args.get_or("lambda", 1.0)?;
     let (topo, config) = common_config(&mut args, lambda, "wddh")?;
     let listen = args.get_str("listen");
@@ -881,9 +895,27 @@ pub fn serve(raw: Vec<String>) -> Result<(), String> {
     let speed: f64 = args.get_or("speed", 1.0)?;
     let tick_ms: u64 = args.get_or("tick-ms", 5)?;
     let stream = args.get_str("stream");
+    let window = args.get_str("window");
+    let queue_limit: usize = args.get_or("queue-limit", 1024)?;
+    let no_shed = args.switch("no-shed");
     args.finish()?;
     if !(speed.is_finite() && speed > 0.0) {
         return Err(format!("--speed must be positive, got {speed}"));
+    }
+    let window_secs = match window {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|e| format!("--window: cannot parse `{raw}`: {e}"))?;
+            if !(secs.is_finite() && secs > 0.0) {
+                return Err(format!("--window must be positive seconds, got {secs}"));
+            }
+            Some(secs)
+        }
+    };
+    if queue_limit == 0 {
+        return Err("--queue-limit must be positive".to_string());
     }
     let endpoint = match (listen, unix) {
         (Some(addr), None) => Endpoint::Tcp(addr),
@@ -891,10 +923,14 @@ pub fn serve(raw: Vec<String>) -> Result<(), String> {
         (Some(_), Some(_)) => return Err("--listen and --unix are mutually exclusive".into()),
         (None, None) => return Err("missing --listen or --unix".into()),
     };
+    let mut overload = anycast_daemon::OverloadOptions::default().with_queue_limit(queue_limit);
+    overload.shed = !no_shed;
     let options = ServeOptions {
         speed,
         tick: std::time::Duration::from_millis(tick_ms),
         telemetry: stream.map(std::path::PathBuf::from),
+        window_secs,
+        overload,
         ..ServeOptions::default()
     };
     let shutdown = ShutdownFlag::new();
@@ -920,6 +956,19 @@ pub fn serve(raw: Vec<String>) -> Result<(), String> {
     println!(
         "served                {} requests ({} decisions routed)",
         report.submitted, report.decided
+    );
+    let c = &report.counters;
+    println!(
+        "service               {} admits, {} shed, {} duplicates, {} rejected at shutdown",
+        c.admits_received, c.shed, c.duplicates, c.rejected_shutdown
+    );
+    println!(
+        "service               {} resumed, {} torn down ({} misses), {} wire errors",
+        c.resumed, c.torn_down, c.teardown_misses, c.wire_errors
+    );
+    println!(
+        "service               queue peak {}, journal peak {} ({} evicted), shed engaged {}x",
+        c.queue_peak, c.journal_peak, c.journal_evicted, c.shed_engaged
     );
     if options.telemetry.is_some() {
         println!(
@@ -1912,6 +1961,26 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--speed"), "{err}");
+        let err = serve(strs(&[
+            "--lambda",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+            "--window",
+            "-3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--window"), "{err}");
+        let err = serve(strs(&[
+            "--lambda",
+            "1",
+            "--listen",
+            "127.0.0.1:0",
+            "--queue-limit",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--queue-limit"), "{err}");
     }
 
     #[test]

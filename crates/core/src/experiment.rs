@@ -36,6 +36,12 @@ use anycast_telemetry::{
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// The horizon a rolling-window (run-forever) service advances toward:
+/// ~31 million simulated years, far past any deployment's lifetime, yet
+/// finite so [`SimTime`] arithmetic (adding holding times, signalling
+/// delays) can never overflow to infinity.
+pub(crate) const UNBOUNDED_HORIZON_SECS: f64 = 1e15;
+
 /// Which admission system the experiment evaluates — the paper's
 /// `<A, R>` tuples plus the two baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -656,6 +662,15 @@ pub struct ServiceSnapshot {
     pub links: usize,
     /// Links currently failed.
     pub failed_links: usize,
+    /// Width of the rolling measurement window, seconds (0 when the run
+    /// measures over its whole finite horizon instead).
+    pub window_secs: f64,
+    /// Requests offered inside the trailing window (rolling mode only).
+    pub window_offered: u64,
+    /// Requests admitted inside the trailing window (rolling mode only).
+    pub window_admitted: u64,
+    /// Requests rejected inside the trailing window (rolling mode only).
+    pub window_rejected: u64,
 }
 
 fn draw_group(group_shares: &[f64], rng: &mut SimRng) -> usize {
@@ -936,6 +951,10 @@ pub(crate) struct Sim<R: Recorder> {
     live_flows: HashSet<SessionId>,
     orphaned: HashSet<SessionId>,
     killed: HashSet<SessionId>,
+    /// Sessions torn down early over the wire (`teardown` op): their
+    /// still-scheduled holding-time [`Event::Departure`] must become a
+    /// no-op, exactly as `killed` neutralises fault victims' departures.
+    wire_torn: HashSet<SessionId>,
     book: FaultBook,
     refresh_interval: anycast_sim::Duration,
     control: ControlFaultModel,
@@ -1150,6 +1169,7 @@ impl<R: Recorder> Sim<R> {
         let live_flows: HashSet<SessionId> = HashSet::new();
         let orphaned: HashSet<SessionId> = HashSet::new();
         let killed: HashSet<SessionId> = HashSet::new();
+        let wire_torn: HashSet<SessionId> = HashSet::new();
         let book = FaultBook::new();
         let availability: Option<TimeWeighted> = None;
         let refresh_interval = anycast_sim::Duration::from_secs(refresh.refresh_interval_secs);
@@ -1264,6 +1284,7 @@ impl<R: Recorder> Sim<R> {
             live_flows,
             orphaned,
             killed,
+            wire_torn,
             book,
             refresh_interval,
             control,
@@ -1322,6 +1343,7 @@ impl<R: Recorder> Sim<R> {
             live_flows,
             orphaned,
             killed,
+            wire_torn,
             book,
             next_request_id,
             arrival_batch,
@@ -2048,6 +2070,12 @@ impl<R: Recorder> Sim<R> {
                 }
             }
             Event::Departure(session) => {
+                if wire_torn.remove(&session) {
+                    // The endpoint already tore this reservation down over
+                    // the wire (or its teardown is lost/in flight); the
+                    // holding-time departure has nothing left to do.
+                    return;
+                }
                 live_flows.remove(&session);
                 if killed.remove(&session) {
                     // The reservation already died with a fault; the flow's
@@ -2798,7 +2826,82 @@ impl<R: Recorder> Sim<R> {
             setups_in_flight: self.two_phase.as_ref().map_or(0, |tp| tp.table.in_flight()),
             links: summary.links,
             failed_links: summary.failed_links,
+            window_secs: 0.0,
+            window_offered: 0,
+            window_admitted: 0,
+            window_rejected: 0,
         }
+    }
+
+    /// Pushes the run horizon out to [`UNBOUNDED_HORIZON_SECS`]: the
+    /// rolling-window service mode, where the daemon runs until told to
+    /// stop instead of to a configured measurement horizon. The fault
+    /// timeline and any workload pre-draw keep the original
+    /// `warmup + measure` span; only the engine's stopping time moves.
+    pub(crate) fn make_unbounded(&mut self) {
+        self.horizon = SimTime::from_secs(UNBOUNDED_HORIZON_SECS);
+    }
+
+    /// Tears down a live admitted session right now — the wire `teardown`
+    /// op. Returns `false` when the session is not a live flow (already
+    /// departed, already torn down, killed by a fault, or never existed):
+    /// the op is idempotent and a lost or late teardown is harmless,
+    /// because the holding-time departure and the §4.4 soft-state expiry
+    /// path reclaim the reservation anyway.
+    ///
+    /// The control-plane fault model applies exactly as to a natural
+    /// departure: the internal PATH_TEAR can be lost (the reservation
+    /// orphans and soft state reclaims it) or delayed (a
+    /// [`Event::Teardown`] lands later). Either way the still-scheduled
+    /// holding-time departure is neutralised via `wire_torn`.
+    pub(crate) fn teardown_session(&mut self, eng: &mut Engine<Event>, session: SessionId) -> bool {
+        if !self.live_flows.contains(&session) {
+            return false;
+        }
+        if self.killed.contains(&session) {
+            // A fault already reclaimed the reservation; the endpoint's
+            // teardown finds nothing. The `killed` marker stays for the
+            // still-scheduled holding-time departure to consume.
+            return false;
+        }
+        self.live_flows.remove(&session);
+        let now = eng.now();
+        self.wire_torn.insert(session);
+        if self.control.teardown_loss_probability > 0.0
+            && self.fault_rng.uniform() < self.control.teardown_loss_probability
+        {
+            // PATH_TEAR lost: the reservation holds its bandwidth until
+            // soft state expires it — §4.4, end to end over the wire.
+            self.orphaned.insert(session);
+            self.book.note_orphan_created();
+        } else if self.control.teardown_delay_secs > 0.0 {
+            let delay = self
+                .fault_rng
+                .exp_duration(self.control.teardown_delay_secs);
+            eng.schedule_in(now, delay, Event::Teardown(session));
+        } else {
+            self.rsvp
+                .teardown(&mut self.links, session)
+                .expect("live flows hold live sessions");
+            self.tracker.forget(session);
+            self.soft_wheel.cancel(&session);
+            if self.rec_on {
+                self.recorder.record(
+                    now.as_secs(),
+                    TelemetryEvent::ReservationTeardown {
+                        session,
+                        reason: TeardownReason::Departure,
+                    },
+                );
+            }
+            if let Some(tw) = self.active.as_mut() {
+                tw.update(now, self.rsvp.active_sessions() as f64);
+            }
+            if let Some(tw) = self.reserved_bw.as_mut() {
+                tw.update(now, self.links.total_reserved().bps() as f64);
+            }
+        }
+        true
     }
 
     /// Enqueues one externally-submitted arrival.

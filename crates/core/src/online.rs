@@ -25,8 +25,74 @@ use crate::experiment::{
     Sim,
 };
 use anycast_net::{Bandwidth, Topology};
+use anycast_rsvp::SessionId;
 use anycast_sim::{Engine, SimTime};
 use anycast_telemetry::Recorder;
+use std::collections::VecDeque;
+
+/// Trailing-window admission counters for the rolling (run-forever)
+/// service mode: every decision is folded into a fixed number of
+/// simulated-time buckets and buckets older than the window are evicted,
+/// so memory stays O(buckets) no matter how long the daemon runs.
+#[derive(Debug, Clone)]
+struct RollingWindow {
+    window_secs: f64,
+    bucket_secs: f64,
+    /// (bucket start, offered, admitted), oldest first.
+    buckets: VecDeque<(f64, u64, u64)>,
+}
+
+/// Buckets per window: coarse enough to stay tiny, fine enough that the
+/// reported window is within ~1/32 of the configured width.
+const WINDOW_BUCKETS: f64 = 32.0;
+
+impl RollingWindow {
+    fn new(window_secs: f64) -> Self {
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "rolling window must be positive seconds, got {window_secs}"
+        );
+        RollingWindow {
+            window_secs,
+            bucket_secs: window_secs / WINDOW_BUCKETS,
+            buckets: VecDeque::new(),
+        }
+    }
+
+    fn evict(&mut self, now_secs: f64) {
+        let cutoff = now_secs - self.window_secs;
+        while let Some(&(start, ..)) = self.buckets.front() {
+            if start + self.bucket_secs <= cutoff {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn note(&mut self, at_secs: f64, admitted: bool) {
+        let start = (at_secs / self.bucket_secs).floor() * self.bucket_secs;
+        match self.buckets.back_mut() {
+            Some((s, offered, adm)) if *s >= start => {
+                *offered += 1;
+                *adm += u64::from(admitted);
+            }
+            _ => self.buckets.push_back((start, 1, u64::from(admitted))),
+        }
+        self.evict(at_secs);
+    }
+
+    fn totals(&mut self, now_secs: f64) -> (u64, u64) {
+        self.evict(now_secs);
+        let mut offered = 0;
+        let mut admitted = 0;
+        for &(_, o, a) in &self.buckets {
+            offered += o;
+            admitted += a;
+        }
+        (offered, admitted)
+    }
+}
 
 /// One externally-submitted arrival: the online analogue of a workload
 /// draw, in plain units so trace files and wire messages map onto it
@@ -56,6 +122,7 @@ pub struct OnlineEngine<R: Recorder> {
     sim: Sim<R>,
     engine: Engine<Event>,
     last_submit: SimTime,
+    rolling: Option<RollingWindow>,
 }
 
 impl<R: Recorder> OnlineEngine<R> {
@@ -76,7 +143,32 @@ impl<R: Recorder> OnlineEngine<R> {
             sim,
             engine,
             last_submit: SimTime::ZERO,
+            rolling: None,
         }
+    }
+
+    /// Switches the engine into rolling-window service mode: the run
+    /// horizon moves out to an effectively unbounded instant (so `serve`
+    /// runs until told to stop, not to `warmup + measure`), and
+    /// [`snapshot`](Self::snapshot) reports trailing-window admission
+    /// counters over the last `window_secs` of simulated time alongside
+    /// the monotone totals.
+    ///
+    /// The configured `warmup + measure` span still scopes the fault
+    /// timeline; warm-up stat gating is unchanged. Replays that need
+    /// bit-identical offline metrics must not enable this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not positive and finite.
+    pub fn enable_rolling(&mut self, window_secs: f64) {
+        self.rolling = Some(RollingWindow::new(window_secs));
+        self.sim.make_unbounded();
+    }
+
+    /// Whether rolling-window mode is on.
+    pub fn is_rolling(&self) -> bool {
+        self.rolling.is_some()
     }
 
     /// Current simulated time (time of the last processed event).
@@ -112,9 +204,29 @@ impl<R: Recorder> OnlineEngine<R> {
     }
 
     /// A point-in-time operational snapshot (the daemon's `stats`
-    /// endpoint).
-    pub fn snapshot(&self) -> ServiceSnapshot {
-        self.sim.snapshot(self.engine.now())
+    /// endpoint). In rolling mode the trailing-window counters are
+    /// filled in; otherwise they are zero and `window_secs` is 0.
+    pub fn snapshot(&mut self) -> ServiceSnapshot {
+        let now = self.engine.now();
+        let mut snap = self.sim.snapshot(now);
+        if let Some(window) = self.rolling.as_mut() {
+            let (offered, admitted) = window.totals(now.as_secs());
+            snap.window_secs = window.window_secs;
+            snap.window_offered = offered;
+            snap.window_admitted = admitted;
+            snap.window_rejected = offered - admitted;
+        }
+        snap
+    }
+
+    /// Tears down a live admitted session right now — the wire `teardown`
+    /// op. Returns `false` when the session is not live (already departed
+    /// at its holding deadline, already torn down, fault-killed, or never
+    /// existed): lost and duplicate teardowns are harmless because the
+    /// §4.4 soft-state path reclaims the reservation regardless.
+    pub fn teardown(&mut self, session: SessionId) -> bool {
+        let Self { sim, engine, .. } = self;
+        sim.teardown_session(engine, session)
     }
 
     /// Enqueues one arrival. The decision is made when the engine's
@@ -178,13 +290,25 @@ impl<R: Recorder> OnlineEngine<R> {
         let target = t.min(self.sim.horizon());
         let Self { sim, engine, .. } = self;
         engine.run_until(target, |eng, now, event| sim.handle(eng, now, event));
-        sim.take_decisions()
+        let decisions = sim.take_decisions();
+        if let Some(window) = self.rolling.as_mut() {
+            for d in &decisions {
+                window.note(d.at_secs, d.admitted);
+            }
+        }
+        decisions
     }
 
     /// Runs the engine out to the full horizon and closes the run. This
     /// is the replay path: its [`Metrics`] are bit-identical to the
     /// offline engine's for the same config and arrival trace.
     pub fn finish(mut self) -> (Metrics, Vec<Decision>, R) {
+        if self.rolling.is_some() {
+            // A rolling engine has no meaningful horizon to run out to
+            // (it is ~1e15 s away, with self-rescheduling periodic events
+            // in between); close where the clock stands instead.
+            return self.finish_now();
+        }
         let horizon = self.sim.horizon();
         let decisions = self.advance_to(horizon);
         let (metrics, recorder) = self.sim.finish(horizon);

@@ -35,9 +35,17 @@ options:
   --tick-ms MS     engine tick while idle (default 5)
   --telemetry PATH stream telemetry events to PATH as JSONL
   --batch          batched same-quantum admission
+  --window SECS    rolling-horizon mode: serve forever, report trailing
+                   admission stats over the last SECS simulated seconds
+                   (--horizon is ignored)
+  --queue-limit N  admission queue bound; shed watermarks scale with it
+                   (default 1024)
+  --no-shed        disable the hysteresis shed controller (the hard queue
+                   bound still refuses admits when full)
 
 SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request drains in-flight work,
-releases pending holds and exits after printing final metrics.";
+rejects queued-but-unserved admits, releases pending holds and exits
+after printing final metrics and service counters.";
 
 fn parse_flags(argv: Vec<String>) -> Result<(Endpoint, ExperimentConfig, ServeOptions), String> {
     let mut listen: Option<String> = None;
@@ -68,6 +76,21 @@ fn parse_flags(argv: Vec<String>) -> Result<(Endpoint, ExperimentConfig, ServeOp
             }
             "--telemetry" => options.telemetry = Some(value("--telemetry")?.into()),
             "--batch" => batch = true,
+            "--window" => {
+                let secs: f64 = parse_num(&value("--window")?, "--window")?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!("--window must be positive seconds, got {secs}"));
+                }
+                options.window_secs = Some(secs);
+            }
+            "--queue-limit" => {
+                let limit: usize = parse_num(&value("--queue-limit")?, "--queue-limit")?;
+                if limit == 0 {
+                    return Err("--queue-limit must be positive".into());
+                }
+                options.overload = options.overload.with_queue_limit(limit);
+            }
+            "--no-shed" => options.overload.shed = false,
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
@@ -149,6 +172,19 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     println!(
         "served {} requests, {} decisions routed",
         report.submitted, report.decided
+    );
+    let c = &report.counters;
+    println!(
+        "service: {} admits received, {} shed, {} duplicates, {} rejected at shutdown",
+        c.admits_received, c.shed, c.duplicates, c.rejected_shutdown
+    );
+    println!(
+        "service: {} resumed, {} torn down ({} misses), {} wire errors",
+        c.resumed, c.torn_down, c.teardown_misses, c.wire_errors
+    );
+    println!(
+        "service: queue peak {} journal peak {} (evicted {}), shed engaged {}x",
+        c.queue_peak, c.journal_peak, c.journal_evicted, c.shed_engaged
     );
     if options.telemetry.is_some() {
         println!(

@@ -1,12 +1,14 @@
 //! Cooperative shutdown signalling: a shared flag set by SIGINT/SIGTERM
 //! or by a `shutdown` wire request, polled by the service loop between
-//! ticks.
+//! ticks — plus the admission-queue drain that keeps shutdown honest
+//! toward queued clients ([`drain_unserved`]).
 //!
 //! The workspace vendors no `libc`/`signal-hook`, so the signal handler
 //! is registered through the C `signal(2)` ABI directly — the only
 //! `unsafe` in the workspace, confined to this module. The handler does
 //! the one thing that is async-signal-safe: a relaxed atomic store.
 
+use crate::overload::{AdmissionQueue, QueuedAdmit};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -62,6 +64,15 @@ pub fn signalled() -> bool {
     SIGNALLED.load(Ordering::Relaxed)
 }
 
+/// Empties the admission queue at shutdown, in the queue's own fair
+/// dispatch order, so the server can send every queued-but-unserved admit
+/// an explicit `shutting_down` rejection instead of leaving its client
+/// waiting on a decision that will never come. The engine is stopping:
+/// nothing drained here may be submitted.
+pub fn drain_unserved(queue: &mut AdmissionQueue) -> Vec<QueuedAdmit> {
+    std::iter::from_fn(|| queue.pop()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +90,28 @@ mod tests {
     fn handler_installs() {
         assert!(install_signal_handler());
         assert!(!signalled());
+    }
+
+    #[test]
+    fn drain_empties_the_queue_in_dispatch_order() {
+        let admit = |conn: u64| QueuedAdmit {
+            conn,
+            token: None,
+            source_index: 0,
+            group_index: 0,
+            demand: anycast_net::Bandwidth::from_bps(1),
+            holding_secs: 1.0,
+            received: std::time::Instant::now(),
+        };
+        let mut q = AdmissionQueue::new(8, 4);
+        q.push(admit(0)).unwrap();
+        q.push(admit(0)).unwrap();
+        q.push(admit(1)).unwrap();
+        let drained = drain_unserved(&mut q);
+        assert_eq!(
+            drained.iter().map(|a| a.conn).collect::<Vec<_>>(),
+            vec![0, 1, 0]
+        );
+        assert!(q.is_empty());
     }
 }

@@ -329,3 +329,252 @@ fn malformed_client_input_never_panics_the_engine() {
     }
     std::fs::remove_file(&path).ok();
 }
+
+fn str_field(v: &JsonValue, key: &str) -> String {
+    match field(v, key) {
+        Some(JsonValue::Str(s)) => s.clone(),
+        other => panic!("missing string field {key}: {other:?}"),
+    }
+}
+
+#[test]
+fn wire_errors_carry_reason_codes_and_the_offending_line() {
+    let topo = topologies::mci();
+    let config = service_config(SystemSpec::dac(PolicySpec::wd_dh_default(), 2));
+    let options = ServeOptions {
+        speed: 50.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+
+        // Unknown op: the reason names it and the echo shows the line.
+        client.send("{\"op\":\"frobnicate\"}");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "error");
+        assert_eq!(str_field(&v, "reason"), "unknown_op");
+        assert!(str_field(&v, "line").contains("frobnicate"));
+
+        // Unparseable JSON: reason `parse`.
+        client.send("}{ garbage");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "error");
+        assert_eq!(str_field(&v, "reason"), "parse");
+        assert!(str_field(&v, "line").contains("garbage"));
+
+        // A line past the hard length guard: reason `line_too_long`,
+        // echo truncated, connection still alive.
+        let huge = format!("{{\"op\":\"admit\",\"pad\":\"{}\"}}", "y".repeat(9_000));
+        client.send(&huge);
+        let v = client.recv();
+        assert_eq!(op_of(&v), "error");
+        assert_eq!(str_field(&v, "reason"), "line_too_long");
+        assert!(str_field(&v, "line").len() <= 120);
+
+        // Indices outside the scenario: reason `out_of_range`.
+        client.send(
+            "{\"op\":\"admit\",\"source\":99,\"group\":0,\"demand_bps\":1,\"holding_secs\":1}",
+        );
+        let v = client.recv();
+        assert_eq!(op_of(&v), "error");
+        assert_eq!(str_field(&v, "reason"), "out_of_range");
+
+        // The connection survived all four insults.
+        client.send(
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":60}",
+        );
+        assert_eq!(op_of(&client.recv()), "decision");
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+
+    assert_eq!(report.counters.wire_errors, 4);
+    assert_eq!(report.submitted, 1);
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+}
+
+#[test]
+fn wire_teardown_reclaims_a_live_session_exactly_once() {
+    let topo = topologies::mci();
+    let config = service_config(SystemSpec::dac(PolicySpec::wd_dh_default(), 2));
+    let options = ServeOptions {
+        speed: 50.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+
+        client.send(
+            "{\"op\":\"admit\",\"source\":1,\"group\":0,\"demand_bps\":64000,\"holding_secs\":600}",
+        );
+        let v = client.recv();
+        assert_eq!(op_of(&v), "decision");
+        assert_eq!(field(&v, "admitted"), Some(&JsonValue::Bool(true)));
+        let session = match field(&v, "session") {
+            Some(JsonValue::Num(s)) => *s as u64,
+            other => panic!("admitted decision without session: {other:?}"),
+        };
+
+        // First teardown reclaims the reservation.
+        client.send(&format!("{{\"op\":\"teardown\",\"session\":{session}}}"));
+        let v = client.recv();
+        assert_eq!(op_of(&v), "torn_down");
+        assert_eq!(field(&v, "reclaimed"), Some(&JsonValue::Bool(true)));
+
+        // The bandwidth is back immediately, long before the holding
+        // deadline.
+        client.send("{\"op\":\"stats\"}");
+        let v = client.recv();
+        assert_eq!(field(&v, "active_sessions"), Some(&JsonValue::Num(0.0)));
+        assert_eq!(field(&v, "reserved_bps"), Some(&JsonValue::Num(0.0)));
+
+        // A duplicate teardown and a teardown for a session that never
+        // existed are both harmless misses.
+        client.send(&format!("{{\"op\":\"teardown\",\"session\":{session}}}"));
+        let v = client.recv();
+        assert_eq!(field(&v, "reclaimed"), Some(&JsonValue::Bool(false)));
+        client.send("{\"op\":\"teardown\",\"session\":424242}");
+        let v = client.recv();
+        assert_eq!(field(&v, "reclaimed"), Some(&JsonValue::Bool(false)));
+
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+
+    assert_eq!(report.counters.torn_down, 1);
+    assert_eq!(report.counters.teardown_misses, 2);
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+}
+
+/// The crash/restart contract: a client that dies mid-stream and comes
+/// back with the same correlation tokens gets **exactly one verdict per
+/// request** — replayed from the journal when the decision landed while
+/// it was gone, or delivered to the new connection when still in flight.
+#[test]
+fn reconnect_with_tokens_resumes_exactly_one_verdict_per_request() {
+    let topo = topologies::mci();
+    // Slow two-phase signalling so decisions are still in flight when
+    // the first connection dies.
+    let config = service_config(SystemSpec::dac(PolicySpec::Ed, 2)).with_signaling(
+        SignalingMode::TwoPhase(TwoPhaseConfig {
+            per_hop_delay_secs: 0.3,
+            ..TwoPhaseConfig::default()
+        }),
+    );
+    let options = ServeOptions {
+        speed: 1.0,
+        tick: Duration::from_millis(2),
+        ..ServeOptions::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = BoundServer::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(|| server.run(&topo, &config, &options, shutdown).unwrap());
+
+        // First life: four tokened admits, then the process "crashes"
+        // (connection dropped without reading a single verdict).
+        {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut client = Client {
+                writer: stream.try_clone().unwrap(),
+                reader: BufReader::new(stream),
+            };
+            for t in 0..4 {
+                client.send(&format!(
+                    "{{\"op\":\"admit\",\"source\":{t},\"group\":0,\"demand_bps\":64000,\
+                     \"holding_secs\":600,\"token\":\"boot-{t}\"}}"
+                ));
+            }
+        }
+
+        // Second life: same tokens, new connection.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        };
+        for t in 0..4 {
+            client.send(&format!("{{\"op\":\"resume\",\"token\":\"boot-{t}\"}}"));
+        }
+        // Read until every token has a verdict: `decision` lines count,
+        // `resumed`/`pending` status lines do not.
+        let mut verdicts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        while verdicts.len() < 4 || verdicts.values().sum::<u64>() < 4 {
+            let v = client.recv();
+            match op_of(&v).as_str() {
+                "decision" => {
+                    *verdicts.entry(str_field(&v, "token")).or_insert(0) += 1;
+                }
+                "resumed" => {
+                    let state = str_field(&v, "state");
+                    assert!(
+                        state == "pending",
+                        "token must not be unknown after a crash: {state}"
+                    );
+                }
+                other => panic!("unexpected response {other}"),
+            }
+        }
+        for t in 0..4 {
+            assert_eq!(
+                verdicts.get(&format!("boot-{t}")).copied(),
+                Some(1),
+                "exactly one verdict per request: {verdicts:?}"
+            );
+        }
+
+        // Resuming a settled token replays the journaled verdict
+        // verbatim instead of minting a second one.
+        client.send("{\"op\":\"resume\",\"token\":\"boot-0\"}");
+        let v = client.recv();
+        assert_eq!(op_of(&v), "decision");
+        assert_eq!(str_field(&v, "token"), "boot-0");
+
+        // And a duplicate *submit* of a settled token is answered from
+        // the journal too — the engine never sees a fifth request.
+        client.send(
+            "{\"op\":\"admit\",\"source\":0,\"group\":0,\"demand_bps\":64000,\
+             \"holding_secs\":600,\"token\":\"boot-1\"}",
+        );
+        let v = client.recv();
+        assert_eq!(op_of(&v), "decision");
+        assert_eq!(str_field(&v, "token"), "boot-1");
+
+        client.send("{\"op\":\"shutdown\"}");
+        assert_eq!(op_of(&client.recv()), "shutting_down");
+        serve.join().unwrap()
+    });
+
+    assert_eq!(report.submitted, 4, "the engine decided each request once");
+    assert_eq!(report.decided, 4);
+    assert_eq!(report.counters.duplicates, 1);
+    assert!(report.counters.resumed >= 5);
+    assert_eq!(report.metrics.leaked_hold_bps, 0);
+    assert_eq!(report.metrics.leaked_bandwidth_bps, 0);
+}

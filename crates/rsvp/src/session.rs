@@ -31,6 +31,14 @@ impl SessionId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a session id from its raw number — the inverse of
+    /// [`raw`](Self::raw), for ids that crossed a process boundary (the
+    /// daemon's wire `teardown` op names sessions by number). An id that
+    /// was never issued simply resolves to nothing.
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
 }
 
 impl fmt::Display for SessionId {

@@ -93,6 +93,16 @@ impl MetricsRegistry {
         self.gauges.get(key).copied()
     }
 
+    /// Raises the gauge at `key` to `value` if `value` is larger (creating
+    /// it at `value`): a high-water-mark gauge, used for peak queue depth
+    /// and peak journal size in the admission daemon.
+    pub fn set_gauge_max(&mut self, key: MetricKey, value: f64) {
+        let g = self.gauges.entry(key).or_insert(value);
+        if value > *g {
+            *g = value;
+        }
+    }
+
     /// Records `value` into the histogram at `key` (creating it empty).
     pub fn observe(&mut self, key: MetricKey, value: u32) {
         self.histograms.entry(key).or_default().record(value);
