@@ -55,11 +55,17 @@ echo "==> daemon overload smoke (bench_pr9: shedding must bound p99 under overlo
 # bound in every shedding cell before writing the artifact.
 cargo run --release --offline -p anycast-bench --bin bench_pr9 -- --smoke --out /tmp/BENCH_pr9_ci.json
 
+echo "==> route-oracle smoke (bench_pr10: oracle must match the table on a fat-tree)"
+# The binary hard-asserts that the on-demand route oracle's metrics are
+# bit-identical to the precomputed table's on a small fat-tree before
+# writing the artifact.
+cargo run --release --offline -p anycast-bench --bin bench_pr10 -- --smoke --out /tmp/BENCH_pr10_ci.json
+
 echo "==> NaN gate (no bench artifact may contain NaN or infinite values)"
 ! grep -qiE 'nan|inf' /tmp/BENCH_pr2_ci.json /tmp/BENCH_pr3_ci.json \
     /tmp/BENCH_pr4_ci.json /tmp/BENCH_pr5_ci.json /tmp/BENCH_pr6_ci.json \
     /tmp/BENCH_pr7_ci.json /tmp/BENCH_pr8_ci.json /tmp/BENCH_pr9_ci.json \
-    BENCH_pr8.json BENCH_pr9.json
+    /tmp/BENCH_pr10_ci.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json
 
 echo "==> batch-vs-sequential CLI gate (--batch must not change a single byte)"
 cargo run --release --offline -p anycast-cli --bin anycast -- \
@@ -79,6 +85,18 @@ cargo run --release --offline -p anycast-cli --bin anycast -- \
     > /tmp/batch_j4_metrics.txt
 diff /tmp/batch_metrics.txt /tmp/batch_j1_metrics.txt
 diff /tmp/batch_j1_metrics.txt /tmp/batch_j4_metrics.txt
+
+echo "==> route-oracle CLI gate (--route-mode oracle must not change a single byte)"
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 30 --system wddh --topology fat_tree:4 --group 28,31,34 \
+    --warmup 20 --measure 80 \
+    > /tmp/table_metrics.txt
+cargo run --release --offline -p anycast-cli --bin anycast -- \
+    simulate --lambda 30 --system wddh --topology fat_tree:4 --group 28,31,34 \
+    --warmup 20 --measure 80 --route-mode oracle \
+    > /tmp/oracle_metrics.txt
+diff /tmp/table_metrics.txt /tmp/oracle_metrics.txt
+rm -f /tmp/table_metrics.txt /tmp/oracle_metrics.txt
 
 echo "==> NaN gate (no printed metric may be NaN or infinite)"
 ! grep -qiE 'nan|inf' /tmp/seq_metrics.txt

@@ -124,8 +124,13 @@ pub fn build_scenario(
 
     let mut routes = Vec::with_capacity(spec.sources.len() * k);
     for &s in &spec.sources {
-        let nearest = table.nearest_member(s);
-        for (i, path) in table.routes_from(s).iter().enumerate() {
+        let nearest = table
+            .nearest_member(s)
+            .expect("scenario sources are nodes of the topology");
+        let paths = table
+            .routes_from(s)
+            .expect("scenario sources are nodes of the topology");
+        for (i, path) in paths.iter().enumerate() {
             let offered = match system {
                 AnalyzedSystem::Ed1 => rho_s / k as f64,
                 AnalyzedSystem::Sp => {

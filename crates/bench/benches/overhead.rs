@@ -83,11 +83,11 @@ fn bench_admission_per_system(c: &mut Criterion) {
             let mut controller = AdmissionController::new(
                 spec.build().unwrap(),
                 RetrialPolicy::FixedLimit(2),
-                routes.distances(source),
+                routes.distances(source).unwrap(),
             );
             b.iter(|| {
                 let out = controller.admit(
-                    routes.routes_from(source),
+                    routes.routes_from(source).unwrap(),
                     &mut links,
                     &mut rsvp,
                     demand,
@@ -104,9 +104,14 @@ fn bench_admission_per_system(c: &mut Criterion) {
         let mut links =
             LinkStateTable::with_uniform_fraction(&topo, Bandwidth::from_mbps(100), 0.2);
         let mut rsvp = ReservationEngine::new();
-        let sp = ShortestPathSystem::new(routes.nearest_member(source));
+        let sp = ShortestPathSystem::new(routes.nearest_member(source).unwrap());
         b.iter(|| {
-            let out = sp.admit(routes.routes_from(source), &mut links, &mut rsvp, demand);
+            let out = sp.admit(
+                routes.routes_from(source).unwrap(),
+                &mut links,
+                &mut rsvp,
+                demand,
+            );
             if let Some(f) = out.admitted {
                 rsvp.teardown(&mut links, f.session).unwrap();
             }

@@ -33,7 +33,7 @@ fn main() {
     );
 
     // Waxman random ISP-like graph.
-    let wax = topologies::waxman(19, 0.5, 0.5, 7, cap);
+    let wax = topologies::waxman(19, 0.5, 0.5, 7, cap).expect("seed 7 yields a connected graph");
     comparison_on(
         "Waxman 19 (seed 7)",
         &wax,

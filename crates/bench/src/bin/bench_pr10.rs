@@ -1,0 +1,296 @@
+//! PR 10 performance snapshot: the on-demand route oracle vs the eagerly
+//! materialised route table on datacenter-scale fat-tree fabrics —
+//! written to `BENCH_pr10.json`.
+//!
+//! The precomputed [`RouteTable`] runs one BFS per topology node at
+//! construction and keeps `nodes × members` paths resident, even though
+//! an experiment only ever looks up its configured sources. The
+//! [`RouteOracle`] computes per-source route sets on first use and holds
+//! them in a bounded, epoch-stamped cache, so residency tracks the
+//! working set (the sources) instead of the topology. On the paper's
+//! 19-node MCI backbone the difference is noise; on a ~10k-node fat-tree
+//! the table pays tens of millions of BFS edge relaxations for routes
+//! nobody asks for.
+//!
+//! Every workload runs in both modes and asserts the **divergence
+//! gate**: oracle metrics must be bit-identical to the table's (routes
+//! are pure functions of the immutable topology, so there is nothing the
+//! cache may legitimately change). The report records wall time,
+//! requests/s, the oracle's peak resident entries and hit rate, and the
+//! honest residency comparison: `nodes × members` table paths vs
+//! `peak_entries × members` oracle paths.
+//!
+//! [`RouteTable`]: anycast_net::RouteTable
+//! [`RouteOracle`]: anycast_net::RouteOracle
+
+use anycast_bench::default_jobs;
+use anycast_bench::json::JsonValue;
+use anycast_bench::stats::percentile;
+use anycast_dac::experiment::{
+    run_experiment_with_route_stats, ExperimentConfig, Metrics, SystemSpec,
+};
+use anycast_dac::policy::PolicySpec;
+use anycast_net::{topologies, Bandwidth, NodeId, RouteCacheStats, RouteMode, Topology};
+use std::time::Instant;
+
+/// One fat-tree scenario: fabric size, placement density and run length.
+struct Profile {
+    name: &'static str,
+    /// Fat-tree parameter (k pods; `(k/2)² + k² + k·(k/2)²` nodes).
+    k: usize,
+    /// Anycast group size (hosts, spread across pods).
+    members: usize,
+    /// Number of source hosts driving load.
+    sources: usize,
+    lambda: f64,
+    warmup_secs: f64,
+    measure_secs: f64,
+    iters: usize,
+    seed: u64,
+}
+
+impl Profile {
+    /// CI gate: a 36-node fat-tree, seconds end to end.
+    fn smoke() -> Self {
+        Profile {
+            name: "smoke",
+            k: 4,
+            members: 4,
+            sources: 8,
+            lambda: 20.0,
+            warmup_secs: 30.0,
+            measure_secs: 90.0,
+            iters: 1,
+            seed: 1010,
+        }
+    }
+
+    /// A 1.3k-node fabric: the table's eager BFS is already visible.
+    fn quick() -> Self {
+        Profile {
+            name: "quick",
+            k: 16,
+            members: 8,
+            sources: 48,
+            lambda: 40.0,
+            warmup_secs: 120.0,
+            measure_secs: 480.0,
+            iters: 3,
+            seed: 1010,
+        }
+    }
+
+    /// The acceptance scenario: an 11 271-node fat-tree (k = 34).
+    fn full() -> Self {
+        Profile {
+            name: "full",
+            k: 34,
+            members: 8,
+            sources: 64,
+            lambda: 40.0,
+            warmup_secs: 300.0,
+            measure_secs: 900.0,
+            iters: 3,
+            seed: 1010,
+        }
+    }
+}
+
+/// Picks `count` evenly spaced entries of `pool` (deterministic, no RNG).
+fn spread(pool: &[NodeId], count: usize) -> Vec<NodeId> {
+    assert!(count <= pool.len(), "fabric too small for the placement");
+    (0..count).map(|i| pool[i * pool.len() / count]).collect()
+}
+
+/// Times `iters` repetitions of one config (the topology build and any
+/// route precomputation happen inside, so the table's eager BFS is paid
+/// inside the measured window, exactly as a user pays it). Returns the
+/// first run's metrics and cache stats plus the median wall seconds.
+fn time_runs(
+    topo: &Topology,
+    config: &ExperimentConfig,
+    iters: usize,
+) -> (Metrics, Option<RouteCacheStats>, f64) {
+    let mut samples_us: Vec<u64> = Vec::with_capacity(iters);
+    let mut first: Option<(Metrics, Option<RouteCacheStats>)> = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let (m, stats) = run_experiment_with_route_stats(topo, config);
+        samples_us.push(start.elapsed().as_micros() as u64);
+        match &first {
+            None => first = Some((m, stats)),
+            Some((m0, _)) => {
+                assert_eq!(*m0, m, "repeated runs of one config must be bit-identical")
+            }
+        }
+    }
+    samples_us.sort_unstable();
+    let median_secs = percentile(&samples_us, 0.5) as f64 / 1e6;
+    let (metrics, stats) = first.expect("at least one iteration");
+    (metrics, stats, median_secs)
+}
+
+fn main() {
+    let mut profile = Profile::quick();
+    let mut out = String::from("BENCH_pr10.json");
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::smoke(),
+            "--quick" => profile = Profile::quick(),
+            "--full" => profile = Profile::full(),
+            "--jobs" | "-j" => {
+                let v = args.next().unwrap_or_default();
+                jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_pr10: --jobs wants a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                if jobs == 0 {
+                    eprintln!("bench_pr10: --jobs must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("bench_pr10: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_pr10 [--smoke|--quick|--full] [--jobs N] [--out PATH]");
+                println!("  runs admission on a fat-tree in table and oracle route modes,");
+                println!("  asserts the metrics are bit-identical, and writes {out}");
+                return;
+            }
+            other => {
+                eprintln!("bench_pr10: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cap = Bandwidth::from_mbps(100);
+    let nodes = topologies::fat_tree_node_count(profile.k);
+    println!(
+        "bench_pr10: profile={} fat_tree(k={}) nodes={nodes} members={} sources={} jobs={jobs}",
+        profile.name, profile.k, profile.members, profile.sources
+    );
+    let topo = topologies::fat_tree(profile.k, cap);
+    assert_eq!(topo.node_count(), nodes);
+    let hosts = topologies::fat_tree_hosts(profile.k);
+    let members = spread(&hosts, profile.members);
+    let source_pool: Vec<NodeId> = hosts
+        .iter()
+        .copied()
+        .filter(|h| !members.contains(h))
+        .collect();
+    let sources = spread(&source_pool, profile.sources);
+
+    let systems: [(&str, SystemSpec); 2] = [
+        ("wddh", SystemSpec::dac(PolicySpec::wd_dh_default(), 2)),
+        ("ed", SystemSpec::dac(PolicySpec::Ed, 2)),
+    ];
+    let mut entries = Vec::new();
+    for (system_name, system) in systems {
+        let base = ExperimentConfig::paper_defaults(profile.lambda, system)
+            .with_group(members.clone())
+            .with_sources(sources.clone())
+            .with_warmup_secs(profile.warmup_secs)
+            .with_measure_secs(profile.measure_secs)
+            .with_seed(profile.seed);
+        let table_config = base.clone(); // RouteMode::Precomputed is the default.
+        let oracle_config = base.clone().with_routing(RouteMode::on_demand());
+        let (table_metrics, table_stats, table_secs) =
+            time_runs(&topo, &table_config, profile.iters);
+        assert!(table_stats.is_none(), "the table has no cache to report");
+        let (oracle_metrics, oracle_stats, oracle_secs) =
+            time_runs(&topo, &oracle_config, profile.iters);
+        // The divergence gate: the route mode is an execution knob only.
+        assert_eq!(
+            table_metrics, oracle_metrics,
+            "{system_name}: oracle diverged from the precomputed table"
+        );
+        let stats = oracle_stats.expect("oracle runs surface cache stats");
+        assert!(
+            stats.peak_entries <= profile.sources,
+            "residency must track the working set: {} sources, {} resident",
+            profile.sources,
+            stats.peak_entries
+        );
+        let offered = table_metrics.offered;
+        let table_resident_paths = nodes * profile.members;
+        let oracle_resident_paths = stats.peak_entries * profile.members;
+        println!(
+            "  {:<5} offered={:<7} AP={:.4} table={:.3}s oracle={:.3}s \
+             cache: peak={} hit_rate={:.4} resident_paths {}→{}",
+            system_name,
+            offered,
+            table_metrics.admission_probability,
+            table_secs,
+            oracle_secs,
+            stats.peak_entries,
+            stats.hit_rate(),
+            table_resident_paths,
+            oracle_resident_paths
+        );
+        entries.push(JsonValue::obj([
+            ("name", JsonValue::Str(system_name.into())),
+            ("lambda", JsonValue::Num(profile.lambda)),
+            ("offered_requests", JsonValue::Num(offered as f64)),
+            (
+                "mean_ap",
+                JsonValue::Num(table_metrics.admission_probability),
+            ),
+            ("table_secs", JsonValue::Num(table_secs)),
+            ("oracle_secs", JsonValue::Num(oracle_secs)),
+            (
+                "table_requests_per_sec",
+                JsonValue::Num(offered as f64 / table_secs),
+            ),
+            (
+                "oracle_requests_per_sec",
+                JsonValue::Num(offered as f64 / oracle_secs),
+            ),
+            ("cache_hits", JsonValue::Num(stats.hits as f64)),
+            ("cache_misses", JsonValue::Num(stats.misses as f64)),
+            ("cache_hit_rate", JsonValue::Num(stats.hit_rate())),
+            (
+                "cache_peak_entries",
+                JsonValue::Num(stats.peak_entries as f64),
+            ),
+            (
+                "cache_invalidations",
+                JsonValue::Num(stats.invalidations as f64),
+            ),
+            (
+                "table_resident_paths",
+                JsonValue::Num(table_resident_paths as f64),
+            ),
+            (
+                "oracle_resident_paths",
+                JsonValue::Num(oracle_resident_paths as f64),
+            ),
+        ]));
+    }
+    let doc = JsonValue::obj([
+        ("bench", JsonValue::Str("pr10_route_oracle".into())),
+        ("profile", JsonValue::Str(profile.name.into())),
+        (
+            "topology",
+            JsonValue::Str(format!("fat_tree:{}", profile.k)),
+        ),
+        ("nodes", JsonValue::Num(nodes as f64)),
+        ("members", JsonValue::Num(profile.members as f64)),
+        ("sources", JsonValue::Num(profile.sources as f64)),
+        ("jobs", JsonValue::Num(jobs as f64)),
+        ("workloads", JsonValue::Arr(entries)),
+    ]);
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("bench_pr10: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,6 +10,8 @@ use anycast_net::{io, topologies, Bandwidth, Topology};
 /// * `mci` (default) — the paper's calibrated MCI backbone;
 /// * `grid:WxH`, `ring:N`, `star:N`, `waxman:N:SEED` — synthetic families
 ///   (100 Mb/s links);
+/// * `fat_tree:K`, `clos:SPINE:LEAF:HOSTS` — datacenter fabrics
+///   (100 Mb/s links);
 /// * anything else — a path to an edge-list file
 ///   (see [`anycast_net::io`]).
 ///
@@ -72,7 +74,41 @@ pub fn parse_topology(spec: &str) -> Result<Topology, String> {
             if n < 2 {
                 return Err("waxman needs at least 2 nodes".to_string());
             }
-            Ok(topologies::waxman(n, 0.5, 0.5, seed, cap))
+            topologies::waxman(n, 0.5, 0.5, seed, cap)
+                .map_err(|e| format!("waxman:{n}:{seed}: {e}"))
+        }
+        "fat_tree" => {
+            let k: usize = parts
+                .next()
+                .ok_or_else(|| "fat_tree needs a parameter, e.g. fat_tree:4".to_string())?
+                .parse()
+                .map_err(|e| format!("bad fat-tree parameter: {e}"))?;
+            if k < 2 || !k.is_multiple_of(2) {
+                return Err(format!(
+                    "fat-tree parameter k must be even and >= 2, got {k}"
+                ));
+            }
+            Ok(topologies::fat_tree(k, cap))
+        }
+        "clos" => {
+            let mut dim = |what: &str| -> Result<usize, String> {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("clos needs {what}, e.g. clos:4:8:16"))?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad clos {what}: {e}"))
+                    .and_then(|v| {
+                        if v == 0 {
+                            Err(format!("clos {what} must be positive"))
+                        } else {
+                            Ok(v)
+                        }
+                    })
+            };
+            let spine = dim("a spine count")?;
+            let leaf = dim("a leaf count")?;
+            let hosts = dim("a hosts-per-leaf count")?;
+            Ok(topologies::clos(spine, leaf, hosts, cap))
         }
         path => {
             let text = std::fs::read_to_string(path)
@@ -152,6 +188,12 @@ mod tests {
         let w = parse_topology("waxman:12:3").unwrap();
         assert_eq!(w.node_count(), 12);
         assert!(w.is_connected());
+        let ft = parse_topology("fat_tree:4").unwrap();
+        assert_eq!(ft.node_count(), 36);
+        assert!(ft.is_connected());
+        let cl = parse_topology("clos:2:3:4").unwrap();
+        assert_eq!(cl.node_count(), 2 + 3 * 5);
+        assert!(cl.is_connected());
     }
 
     #[test]
@@ -163,6 +205,10 @@ mod tests {
             "ring:2",
             "star:1",
             "waxman:1",
+            "fat_tree",
+            "fat_tree:3",
+            "clos:2:3",
+            "clos:0:3:4",
             "/no/such/file.edges",
         ] {
             assert!(parse_topology(bad).is_err(), "{bad} should fail");

@@ -490,13 +490,13 @@ mod tests {
     fn sp_always_uses_nearest() {
         let (topo, _group, table) = fixture();
         let source = NodeId::new(0);
-        let nearest = table.nearest_member(source);
+        let nearest = table.nearest_member(source).unwrap();
         assert_eq!(nearest, 0, "member 3 is 2 hops, member 4 is 3 hops");
         let sp = ShortestPathSystem::new(nearest);
         assert_eq!(sp.nearest_member(), 0);
         let mut links = LinkStateTable::from_topology(&topo);
         let mut rsvp = ReservationEngine::new();
-        let routes = table.routes_from(source);
+        let routes = table.routes_from(source).unwrap();
         let out = sp.admit(routes, &mut links, &mut rsvp, Bandwidth::from_kbps(64));
         assert!(out.is_admitted());
         assert_eq!(out.admitted.unwrap().member_index, 0);
@@ -507,7 +507,7 @@ mod tests {
     fn sp_rejects_on_congested_fixed_route_even_when_alternative_exists() {
         let (topo, _group, table) = fixture();
         let source = NodeId::new(0);
-        let sp = ShortestPathSystem::new(table.nearest_member(source));
+        let sp = ShortestPathSystem::new(table.nearest_member(source).unwrap());
         let mut links = LinkStateTable::from_topology(&topo);
         // Saturate the fixed route 0-1-3 at link 0-1.
         let fixed = table.route(source, NodeId::new(3)).unwrap();
@@ -516,7 +516,7 @@ mod tests {
             .unwrap();
         let mut rsvp = ReservationEngine::new();
         let out = sp.admit(
-            table.routes_from(source),
+            table.routes_from(source).unwrap(),
             &mut links,
             &mut rsvp,
             Bandwidth::from_kbps(64),
@@ -733,9 +733,9 @@ mod tests {
             }
             let mut rsvp_sp = ReservationEngine::new();
             let mut rsvp_gdi = ReservationEngine::new();
-            let sp = ShortestPathSystem::new(table.nearest_member(source));
+            let sp = ShortestPathSystem::new(table.nearest_member(source).unwrap());
             let sp_out = sp.admit(
-                table.routes_from(source),
+                table.routes_from(source).unwrap(),
                 &mut links_sp,
                 &mut rsvp_sp,
                 demand,

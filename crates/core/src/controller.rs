@@ -462,8 +462,8 @@ mod tests {
         let topo = b.build();
         let group = AnycastGroup::new("A", [NodeId::new(0), NodeId::new(4)]).unwrap();
         let table = RouteTable::shortest_paths(&topo, &group);
-        let routes = table.routes_from(NodeId::new(1)).to_vec();
-        let dists = table.distances(NodeId::new(1));
+        let routes = table.routes_from(NodeId::new(1)).unwrap().to_vec();
+        let dists = table.distances(NodeId::new(1)).unwrap();
         (topo, routes, dists)
     }
 

@@ -19,7 +19,8 @@ use anycast_chaos::{
 };
 use anycast_net::routing::RoutingScratch;
 use anycast_net::{
-    topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, Path, RouteTable, Topology,
+    topologies, AnycastGroup, Bandwidth, LinkStateTable, NodeId, Path, RouteBook, RouteCacheStats,
+    RouteMode, RouteProvider, RouteSet, Topology,
 };
 use anycast_rsvp::{
     MessageKind, MessageLedger, PathStep, RefreshTracker, ReservationEngine, SessionId, SetupId,
@@ -27,7 +28,9 @@ use anycast_rsvp::{
 };
 use anycast_sim::pool::parallel_map_with;
 use anycast_sim::stats::{AdmissionStats, TimeWeighted};
-use anycast_sim::workload::{BurstyWorkload, FlowRequest, PoissonWorkload};
+use anycast_sim::workload::{
+    BurstyWorkload, FlowRequest, HoldingSampler, ModulatedWorkload, PoissonWorkload, RateEnvelope,
+};
 use anycast_sim::{Engine, SimRng, SimTime, TimerWheel};
 use anycast_telemetry::{
     DecisionStep, DecisionTrace, Event as TelemetryEvent, FaultKind, NullRecorder, ProbeResult,
@@ -128,6 +131,57 @@ pub enum ArrivalProcess {
         /// Mean sojourn in each modulating state, seconds.
         mean_sojourn_secs: f64,
     },
+    /// Sinusoidal diurnal modulation of the Poisson rate: the instantaneous
+    /// rate is `λ · (1 + amplitude · sin(2πt / period))`, so the long-run
+    /// mean stays λ while load peaks and troughs once per period.
+    Diurnal {
+        /// Peak-to-mean excursion in `[0, 1)`.
+        amplitude: f64,
+        /// Length of one full cycle, seconds.
+        period_secs: f64,
+    },
+    /// A flash crowd: Poisson at rate λ outside the window; inside
+    /// `[start, start + duration)` the rate jumps to `λ · multiplier` and
+    /// every arrival targets anycast group `group_index` — a burst of
+    /// demand aimed at one service, the §4.1 stress case for
+    /// destination-selection spreading.
+    FlashCrowd {
+        /// Window start, seconds.
+        start_secs: f64,
+        /// Window length, seconds.
+        duration_secs: f64,
+        /// Rate multiplier inside the window (≥ 1).
+        multiplier: f64,
+        /// The group (index into [`ExperimentConfig::effective_groups`])
+        /// the crowd piles onto.
+        group_index: usize,
+    },
+}
+
+/// How the workload draws flow holding times (extension — the paper's
+/// lifetimes are exponential).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum HoldingModel {
+    /// Exponential lifetimes with the configured mean (§5.1). The default,
+    /// bit-identical to the pre-knob workload.
+    #[default]
+    Exponential,
+    /// Heavy-tailed Pareto-I lifetimes with the configured mean: most
+    /// flows are short but a fat tail of long-lived flows pins bandwidth.
+    Pareto {
+        /// Tail exponent, `> 1` so the mean exists; smaller is heavier.
+        shape: f64,
+    },
+}
+
+impl HoldingModel {
+    /// The concrete sampler drawing from this model at the given mean.
+    fn sampler(&self, mean_secs: f64) -> HoldingSampler {
+        match *self {
+            HoldingModel::Exponential => HoldingSampler::exponential(mean_secs),
+            HoldingModel::Pareto { shape } => HoldingSampler::pareto(mean_secs, shape),
+        }
+    }
 }
 
 /// One anycast group of a multi-service workload (extension — the paper
@@ -251,6 +305,19 @@ pub struct ExperimentConfig {
     pub system: SystemSpec,
     /// Shape of the request arrival process (extension; paper: Poisson).
     pub arrivals: ArrivalProcess,
+    /// Holding-time distribution (extension; paper: exponential, which
+    /// the default reproduces bit-for-bit).
+    #[serde(default)]
+    pub holding: HoldingModel,
+    /// How per-source routes are obtained: the precomputed all-pairs
+    /// [`RouteTable`](anycast_net::RouteTable) (the §3 reference) or the
+    /// bounded on-demand [`RouteOracle`](anycast_net::RouteOracle). An
+    /// execution knob, never an experimental parameter: both modes yield
+    /// bit-identical routes (the paths are a pure function of the
+    /// immutable topology), hence bit-identical metrics — the oracle
+    /// equivalence tests are the proof.
+    #[serde(default)]
+    pub routing: RouteMode,
     /// Fault-injection plan (extension; the paper's analysis is
     /// fault-free, which [`FaultPlan::none`] reproduces exactly).
     pub faults: FaultPlan,
@@ -304,6 +371,8 @@ impl ExperimentConfig {
             sources: topologies::mci_source_nodes(),
             system,
             arrivals: ArrivalProcess::Poisson,
+            holding: HoldingModel::Exponential,
+            routing: RouteMode::Precomputed,
             faults: FaultPlan::none(),
             signaling: SignalingMode::Atomic,
             batch: false,
@@ -356,6 +425,19 @@ impl ExperimentConfig {
     /// Replaces the arrival-process shape (extension beyond the paper).
     pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the holding-time model (extension beyond the paper).
+    pub fn with_holding_model(mut self, holding: HoldingModel) -> Self {
+        self.holding = holding;
+        self
+    }
+
+    /// Replaces the route-lookup mode (execution knob; metrics are
+    /// bit-identical for every mode and cache capacity).
+    pub fn with_routing(mut self, routing: RouteMode) -> Self {
+        self.routing = routing;
         self
     }
 
@@ -693,6 +775,94 @@ fn draw_demand(config: &ExperimentConfig, demand_weights: &[f64], rng: &mut SimR
     }
 }
 
+/// A flash crowd aims every in-window arrival at its configured group.
+///
+/// The group stream is still *drawn* (and its result discarded) for every
+/// arrival, so the RNG streams stay aligned and arrivals outside the
+/// window are bit-identical to a run without the override.
+fn flash_group_override(config: &ExperimentConfig, at: SimTime, drawn: usize) -> usize {
+    if let ArrivalProcess::FlashCrowd {
+        start_secs,
+        duration_secs,
+        group_index,
+        ..
+    } = config.arrivals
+    {
+        let t = at.as_secs();
+        if t >= start_secs && t < start_secs + duration_secs {
+            return group_index;
+        }
+    }
+    drawn
+}
+
+/// Builds the configured workload, consuming the master stream's workload
+/// forks. Shared by [`Sim::new`] and [`draw_arrival_trace`] so the two
+/// consume identical fork sequences — the replay-equivalence contract.
+fn build_workload(config: &ExperimentConfig, master_rng: &mut SimRng) -> WorkloadKind {
+    let holding = config.holding.sampler(config.mean_holding_secs);
+    match config.arrivals {
+        ArrivalProcess::Poisson => WorkloadKind::Poisson(
+            PoissonWorkload::new(
+                config.lambda,
+                config.mean_holding_secs,
+                config.sources.len(),
+                master_rng,
+            )
+            .with_holding(holding),
+        ),
+        ArrivalProcess::Bursty {
+            burstiness,
+            mean_sojourn_secs,
+        } => WorkloadKind::Bursty(
+            BurstyWorkload::with_mean_rate(
+                config.lambda,
+                burstiness,
+                mean_sojourn_secs,
+                config.mean_holding_secs,
+                config.sources.len(),
+                master_rng,
+            )
+            .with_holding(holding),
+        ),
+        ArrivalProcess::Diurnal {
+            amplitude,
+            period_secs,
+        } => WorkloadKind::Modulated(
+            ModulatedWorkload::new(
+                config.lambda,
+                RateEnvelope::Diurnal {
+                    amplitude,
+                    period_secs,
+                },
+                config.mean_holding_secs,
+                config.sources.len(),
+                master_rng,
+            )
+            .with_holding(holding),
+        ),
+        ArrivalProcess::FlashCrowd {
+            start_secs,
+            duration_secs,
+            multiplier,
+            ..
+        } => WorkloadKind::Modulated(
+            ModulatedWorkload::new(
+                config.lambda,
+                RateEnvelope::Window {
+                    start_secs,
+                    duration_secs,
+                    multiplier,
+                },
+                config.mean_holding_secs,
+                config.sources.len(),
+                master_rng,
+            )
+            .with_holding(holding),
+        ),
+    }
+}
+
 /// The next arrival of the stream, in the exact draw order of the
 /// pre-refactor sequential code (request, then demand, then group), or
 /// `None` when an external feed has run dry.
@@ -708,7 +878,8 @@ fn next_feed_arrival(
         Feed::Workload(workload) => {
             let next = workload.next_request();
             let demand = draw_demand(config, demand_weights, demand_rng);
-            let group_index = draw_group(group_shares, group_rng);
+            let group_index =
+                flash_group_override(config, next.arrival, draw_group(group_shares, group_rng));
             Some(ArrivalSlot {
                 at: next.arrival,
                 source_index: next.source_index,
@@ -728,25 +899,7 @@ fn next_feed_arrival(
 /// engine is bit-identical to the workload-driven run.
 pub(crate) fn draw_arrival_trace(config: &ExperimentConfig) -> Vec<ArrivalSlot> {
     let mut master_rng = SimRng::seed_from(config.seed);
-    let mut workload = match config.arrivals {
-        ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
-            config.lambda,
-            config.mean_holding_secs,
-            config.sources.len(),
-            &mut master_rng,
-        )),
-        ArrivalProcess::Bursty {
-            burstiness,
-            mean_sojourn_secs,
-        } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
-            config.lambda,
-            burstiness,
-            mean_sojourn_secs,
-            config.mean_holding_secs,
-            config.sources.len(),
-            &mut master_rng,
-        )),
-    };
+    let mut workload = build_workload(config, &mut master_rng);
     // Mirror Sim::new's fork order exactly: selection is forked (and
     // discarded here) before the demand and group streams.
     let _selection_rng = master_rng.fork();
@@ -760,7 +913,11 @@ pub(crate) fn draw_arrival_trace(config: &ExperimentConfig) -> Vec<ArrivalSlot> 
     loop {
         let next = workload.next_request();
         let demand = draw_demand(config, &demand_weights, &mut demand_rng);
-        let group_index = draw_group(&group_shares, &mut group_rng);
+        let group_index = flash_group_override(
+            config,
+            next.arrival,
+            draw_group(&group_shares, &mut group_rng),
+        );
         if next.arrival > horizon {
             return out;
         }
@@ -774,11 +931,12 @@ pub(crate) fn draw_arrival_trace(config: &ExperimentConfig) -> Vec<ArrivalSlot> 
     }
 }
 
-/// Arrival-stream dispatch without a trait object (both variants are
+/// Arrival-stream dispatch without a trait object (all variants are
 /// concrete and cheap).
 pub(crate) enum WorkloadKind {
     Poisson(PoissonWorkload),
     Bursty(BurstyWorkload),
+    Modulated(ModulatedWorkload),
 }
 
 impl WorkloadKind {
@@ -786,6 +944,7 @@ impl WorkloadKind {
         match self {
             WorkloadKind::Poisson(w) => w.next_request(),
             WorkloadKind::Bursty(w) => w.next_request(),
+            WorkloadKind::Modulated(w) => w.next_request(),
         }
     }
 }
@@ -913,6 +1072,24 @@ pub fn run_experiment_traced(
     sim.finish(horizon).0
 }
 
+/// [`run_experiment`] plus the run's aggregated route-cache statistics:
+/// `Some` (hits, misses, evictions, peak resident entries, …) when the
+/// config's [`RouteMode`] is on-demand, `None` under the precomputed
+/// reference table. The metrics are bit-identical to [`run_experiment`]'s
+/// — the counters are observational, never consulted by the simulation.
+pub fn run_experiment_with_route_stats(
+    topo: &Topology,
+    config: &ExperimentConfig,
+) -> (Metrics, Option<RouteCacheStats>) {
+    let mut recorder = NullRecorder;
+    let recorder: &mut dyn Recorder = &mut recorder;
+    let (mut sim, mut engine) = Sim::new(topo, config, recorder, false);
+    let horizon = sim.horizon;
+    engine.run_until(horizon, |eng, now, event| sim.handle(eng, now, event));
+    let stats = sim.route_cache_stats();
+    (sim.finish(horizon).0, stats)
+}
+
 /// The full state of one closed-loop simulation between events: every
 /// table, RNG stream, statistic and timer the handler needs.
 ///
@@ -926,7 +1103,7 @@ pub(crate) struct Sim<R: Recorder> {
     config: ExperimentConfig,
     topo: Topology,
     groups: Vec<AnycastGroup>,
-    route_tables: Vec<RouteTable>,
+    route_books: Vec<RouteBook>,
     links: LinkStateTable,
     rsvp: ReservationEngine,
     systems: Vec<SystemState>,
@@ -1024,16 +1201,22 @@ impl<R: Recorder> Sim<R> {
                 Some(cfg)
             }
         };
+        if let ArrivalProcess::FlashCrowd { group_index, .. } = config.arrivals {
+            assert!(
+                group_index < config.effective_groups().len(),
+                "flash crowd targets unknown group index {group_index}"
+            );
+        }
         let group_specs = config.effective_groups();
         let mut groups = Vec::with_capacity(group_specs.len());
-        let mut route_tables = Vec::with_capacity(group_specs.len());
+        let mut route_books = Vec::with_capacity(group_specs.len());
         for (gi, spec) in group_specs.iter().enumerate() {
             let group = AnycastGroup::new(format!("G{gi}"), spec.members.iter().copied())
                 .expect("group must be non-empty");
             for m in group.members() {
                 assert!(topo.contains_node(*m), "member {m} not in topology");
             }
-            route_tables.push(RouteTable::shortest_paths(topo, &group));
+            route_books.push(RouteBook::for_mode(config.routing, topo, &group));
             groups.push(group);
         }
         let links = LinkStateTable::with_uniform_fraction(
@@ -1043,19 +1226,24 @@ impl<R: Recorder> Sim<R> {
         );
         let rsvp = ReservationEngine::new();
 
-        let systems: Vec<SystemState> = groups
-            .iter()
-            .zip(&route_tables)
-            .map(|(group, routes)| match &config.system {
+        // One distance buffer reused across every (group, source) pair —
+        // the `distances_into` convention keeps controller construction
+        // allocation-light even on datacenter-sized source sets.
+        let mut dist_buf: Vec<u32> = Vec::new();
+        let mut systems: Vec<SystemState> = Vec::with_capacity(groups.len());
+        for (group, book) in groups.iter().zip(route_books.iter_mut()) {
+            systems.push(match &config.system {
                 SystemSpec::Dac { policy, retrial } => SystemState::Dac(
                     config
                         .sources
                         .iter()
                         .map(|&s| {
+                            book.distances_into(topo, s, &mut dist_buf)
+                                .expect("sources are in the topology and reach every member");
                             AdmissionController::new(
                                 policy.build().expect("policy parameters validated"),
                                 *retrial,
-                                routes.distances(s),
+                                dist_buf.clone(),
                             )
                         })
                         .collect(),
@@ -1083,33 +1271,20 @@ impl<R: Recorder> Sim<R> {
                     config
                         .sources
                         .iter()
-                        .map(|&s| ShortestPathSystem::new(routes.nearest_member(s)))
+                        .map(|&s| {
+                            ShortestPathSystem::new(
+                                book.nearest_member(topo, s)
+                                    .expect("sources are in the topology and reach every member"),
+                            )
+                        })
                         .collect(),
                 ),
                 SystemSpec::GlobalDynamic => SystemState::Gdi(GlobalDynamicSystem::new()),
-            })
-            .collect();
+            });
+        }
 
         let mut master_rng = SimRng::seed_from(config.seed);
-        let workload = match config.arrivals {
-            ArrivalProcess::Poisson => WorkloadKind::Poisson(PoissonWorkload::new(
-                config.lambda,
-                config.mean_holding_secs,
-                config.sources.len(),
-                &mut master_rng,
-            )),
-            ArrivalProcess::Bursty {
-                burstiness,
-                mean_sojourn_secs,
-            } => WorkloadKind::Bursty(BurstyWorkload::with_mean_rate(
-                config.lambda,
-                burstiness,
-                mean_sojourn_secs,
-                config.mean_holding_secs,
-                config.sources.len(),
-                &mut master_rng,
-            )),
-        };
+        let workload = build_workload(config, &mut master_rng);
         let selection_rng = master_rng.fork();
         let mut demand_rng = master_rng.fork();
         let mut group_rng = master_rng.fork();
@@ -1226,7 +1401,11 @@ impl<R: Recorder> Sim<R> {
         if let Feed::Workload(w) = &mut feed {
             let first = w.next_request();
             let first_demand = draw_demand(config, &demand_weights, &mut demand_rng);
-            let first_group = draw_group(&group_shares, &mut group_rng);
+            let first_group = flash_group_override(
+                config,
+                first.arrival,
+                draw_group(&group_shares, &mut group_rng),
+            );
             engine.schedule_at(
                 first.arrival,
                 Event::Arrival {
@@ -1259,7 +1438,7 @@ impl<R: Recorder> Sim<R> {
             config: config.clone(),
             topo: topo.clone(),
             groups,
-            route_tables,
+            route_books,
             links,
             rsvp,
             systems,
@@ -1321,7 +1500,7 @@ impl<R: Recorder> Sim<R> {
             config,
             topo,
             groups,
-            route_tables,
+            route_books,
             links,
             rsvp,
             systems,
@@ -1485,7 +1664,10 @@ impl<R: Recorder> Sim<R> {
                         .expect("attempt needs a pending admission");
                     (p.group_index, p.source_index, p.pick, p.demand)
                 };
-                let route = route_tables[gi].routes_from(config.sources[si])[pick].clone();
+                let route = route_books[gi]
+                    .routes(&*topo, config.sources[si])
+                    .expect("configured sources have routes to every member")[pick]
+                    .clone();
                 if route.hops() == 0 {
                     // The member is local: zero links to signal over, so the
                     // setup completes on the spot — same as the atomic engine.
@@ -1571,10 +1753,10 @@ impl<R: Recorder> Sim<R> {
                                 },
                             );
                         }
-                        let weights = controllers[si].selection_weights(
-                            route_tables[gi].routes_from(config.sources[si]),
-                            &*links,
-                        );
+                        let routes = route_books[gi]
+                            .routes(&*topo, config.sources[si])
+                            .expect("configured sources have routes to every member");
+                        let weights = controllers[si].selection_weights(&routes, &*links);
                         let p = tp.pending.get_mut(&req).expect("still pending");
                         let next_pick = AdmissionController::pick_destination(
                             &weights,
@@ -1634,7 +1816,19 @@ impl<R: Recorder> Sim<R> {
                 let demand = $demand;
                 let source = config.sources[source_index];
                 let group = &groups[group_index];
-                let routes = &route_tables[group_index];
+                // SP and the single-path DAC walk the fixed routes; GDI
+                // searches the live topology and multipath keeps its own
+                // fan table, so only the former consult the route book
+                // (and, in on-demand mode, touch the oracle's cache).
+                let route_set: Option<RouteSet> = match &systems[group_index] {
+                    SystemState::Dac(_) | SystemState::Sp(_) => Some(
+                        route_books[group_index]
+                            .routes(&*topo, source)
+                            .expect("configured sources have routes to every member"),
+                    ),
+                    _ => None,
+                };
+                let routes = route_set.as_deref();
                 let request_id = *next_request_id;
                 *next_request_id += 1;
                 if rec_on {
@@ -1662,7 +1856,7 @@ impl<R: Recorder> Sim<R> {
                         _ => unreachable!("checked above"),
                     };
                     let weights = controllers[source_index]
-                        .selection_weights(routes.routes_from(source), &*links);
+                        .selection_weights(routes.expect("DAC fetched its routes"), &*links);
                     let untried = vec![true; weights.len()];
                     let pick = AdmissionController::pick_destination(
                         &weights,
@@ -1697,7 +1891,7 @@ impl<R: Recorder> Sim<R> {
                             // Degenerate two-phase (zero delay, inert faults):
                             // synchronous per-hop walk, bit-identical to atomic.
                             Some(tp) => controllers[source_index].admit_two_phase_express(
-                                routes.routes_from(source),
+                                routes.expect("DAC fetched its routes"),
                                 &mut *links,
                                 &mut *rsvp,
                                 &mut tp.table,
@@ -1707,7 +1901,7 @@ impl<R: Recorder> Sim<R> {
                                 &mut tracer,
                             ),
                             None => controllers[source_index].admit_traced(
-                                routes.routes_from(source),
+                                routes.expect("DAC fetched its routes"),
                                 &mut *links,
                                 &mut *rsvp,
                                 demand,
@@ -1741,7 +1935,7 @@ impl<R: Recorder> Sim<R> {
                             out
                         }
                         SystemState::Sp(per_source) => per_source[source_index].admit_traced(
-                            routes.routes_from(source),
+                            routes.expect("SP fetched its routes"),
                             &mut *links,
                             &mut *rsvp,
                             demand,
@@ -1923,8 +2117,16 @@ impl<R: Recorder> Sim<R> {
                 if arrival_batch.len() > 1 {
                     enum PrimeTask {
                         /// Route-bandwidth vector for one (group, source)
-                        /// DAC controller.
-                        RouteBw { group: usize, source: usize },
+                        /// DAC controller. The routes are fetched from the
+                        /// book *sequentially* at task-build time (the
+                        /// oracle needs `&mut`); the cheap shared
+                        /// [`RouteSet`] handle then crosses into the
+                        /// worker threads.
+                        RouteBw {
+                            group: usize,
+                            source: usize,
+                            routes: RouteSet,
+                        },
                         /// Exhaustive residual search for one GDI
                         /// (group, source node, demand) triple.
                         Gdi {
@@ -1944,14 +2146,18 @@ impl<R: Recorder> Sim<R> {
                                 if controllers[slot.source_index].needs_route_bandwidth()
                                     && !tasks.iter().any(|t| {
                                         matches!(t,
-                                        PrimeTask::RouteBw { group, source }
+                                        PrimeTask::RouteBw { group, source, .. }
                                             if *group == slot.group_index
                                                 && *source == slot.source_index)
                                     }) =>
                             {
+                                let routes = route_books[slot.group_index]
+                                    .routes(&*topo, config.sources[slot.source_index])
+                                    .expect("configured sources have routes to every member");
                                 tasks.push(PrimeTask::RouteBw {
                                     group: slot.group_index,
                                     source: slot.source_index,
+                                    routes,
                                 });
                             }
                             // Interleaved multi-group GDI resets its memo
@@ -1985,12 +2191,9 @@ impl<R: Recorder> Sim<R> {
                             config.batch_jobs,
                             &tasks,
                             RoutingScratch::new,
-                            |scratch, _, task| match *task {
-                                PrimeTask::RouteBw { group, source } => PrimeResult::RouteBw(
-                                    AdmissionController::route_bandwidths_against(
-                                        route_tables[group].routes_from(config.sources[source]),
-                                        snap,
-                                    ),
+                            |scratch, _, task| match task {
+                                PrimeTask::RouteBw { routes, .. } => PrimeResult::RouteBw(
+                                    AdmissionController::route_bandwidths_against(routes, snap),
                                 ),
                                 PrimeTask::Gdi {
                                     group,
@@ -2000,10 +2203,10 @@ impl<R: Recorder> Sim<R> {
                                     let (feasible, best) = GlobalDynamicSystem::compute_batch_entry(
                                         scratch,
                                         topo,
-                                        &groups[group],
+                                        &groups[*group],
                                         snap.table(),
-                                        source,
-                                        demand,
+                                        *source,
+                                        *demand,
                                     );
                                     PrimeResult::Gdi(feasible, best)
                                 }
@@ -2012,7 +2215,7 @@ impl<R: Recorder> Sim<R> {
                         for (task, result) in tasks.iter().zip(results) {
                             match (task, result) {
                                 (
-                                    PrimeTask::RouteBw { group, source },
+                                    PrimeTask::RouteBw { group, source, .. },
                                     PrimeResult::RouteBw(values),
                                 ) => {
                                     if let SystemState::Dac(controllers) = &mut systems[*group] {
@@ -2127,11 +2330,27 @@ impl<R: Recorder> Sim<R> {
             }
             Event::Fault(action) => {
                 let t = now.as_secs();
+                // Tell every route book which links the fault touched. The
+                // fixed §3 routes are a function of the immutable topology,
+                // so an oracle's recomputation provably returns the same
+                // paths — the stamp discipline (invalidate only sources
+                // whose cached routes cross the link) is exercised under
+                // chaos without ever being able to change a metric.
+                macro_rules! note_links {
+                    ($links:expr) => {
+                        for link in $links {
+                            for bk in route_books.iter_mut() {
+                                bk.note_link_change(link);
+                            }
+                        }
+                    };
+                }
                 let victims: Vec<SessionId> = match action {
                     FaultAction::FailLink(link) => {
                         links
                             .fail_link(link)
                             .expect("fault plan references known links");
+                        note_links!([link]);
                         book.record_down(FaultEntity::Link(link), t);
                         if rec_on {
                             recorder.record(
@@ -2147,6 +2366,7 @@ impl<R: Recorder> Sim<R> {
                         links
                             .restore_link(link)
                             .expect("fault plan references known links");
+                        note_links!([link]);
                         book.record_up(FaultEntity::Link(link), t);
                         if rec_on {
                             recorder.record(
@@ -2162,6 +2382,7 @@ impl<R: Recorder> Sim<R> {
                         links
                             .fail_node(node)
                             .expect("fault plan references known nodes");
+                        note_links!(topo.neighbors(node).iter().map(|&(_, l)| l));
                         book.record_down(FaultEntity::Node(node), t);
                         if rec_on {
                             recorder.record(
@@ -2177,6 +2398,7 @@ impl<R: Recorder> Sim<R> {
                         links
                             .restore_node(node)
                             .expect("fault plan references known nodes");
+                        note_links!(topo.neighbors(node).iter().map(|&(_, l)| l));
                         book.record_up(FaultEntity::Node(node), t);
                         if rec_on {
                             recorder.record(
@@ -2793,6 +3015,20 @@ impl<R: Recorder> Sim<R> {
     /// Number of effective anycast groups.
     pub(crate) fn group_count(&self) -> usize {
         self.group_shares.len()
+    }
+
+    /// Route-cache statistics absorbed across every group's book: `Some`
+    /// when at least one book is an on-demand oracle, `None` when every
+    /// book is the precomputed reference table (which keeps no counters).
+    pub(crate) fn route_cache_stats(&self) -> Option<RouteCacheStats> {
+        let mut agg: Option<RouteCacheStats> = None;
+        for book in &self.route_books {
+            if let Some(stats) = book.cache_stats() {
+                agg.get_or_insert_with(RouteCacheStats::default)
+                    .absorb(&stats);
+            }
+        }
+        agg
     }
 
     /// Turns on per-request [`Decision`] capture (off for offline runs,
@@ -3672,6 +3908,295 @@ mod tests {
             let m = run_experiment(&topo, &cfg);
             assert_all_finite(&m, "NaN sweep");
         }
+    }
+
+    /// The PR 10 tentpole equivalence: the on-demand route oracle is
+    /// bit-identical to the precomputed table for every system, because
+    /// routes are pure functions of the immutable topology — the oracle
+    /// may only recompute, never diverge.
+    #[test]
+    fn oracle_is_bit_identical_to_table_for_every_system() {
+        let topo = topologies::mci();
+        for system in [
+            SystemSpec::dac(PolicySpec::Ed, 2),
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            SystemSpec::dac(PolicySpec::WdDb, 2),
+            SystemSpec::dac_multipath(PolicySpec::wd_dh_default(), 2, 2),
+            SystemSpec::ShortestPath,
+            SystemSpec::GlobalDynamic,
+        ] {
+            for lambda in [30.0, 50.0] {
+                let cfg = quick(lambda, system);
+                let table = run_experiment(&topo, &cfg);
+                let oracle =
+                    run_experiment(&topo, &cfg.clone().with_routing(RouteMode::on_demand()));
+                assert_eq!(
+                    table, oracle,
+                    "route oracle diverged for {} at λ={lambda}",
+                    table.label
+                );
+                assert_all_finite(&oracle, "oracle");
+            }
+        }
+    }
+
+    /// Chaos link flaps invalidate oracle cache entries mid-run; the
+    /// recomputed routes must still replay the precomputed run exactly,
+    /// and the invalidation discipline must actually fire.
+    #[test]
+    fn oracle_matches_table_under_chaos() {
+        let topo = topologies::mci();
+        let plan = FaultPlan::none()
+            .with_link_model(400.0, 60.0)
+            .with_member_model(600.0, 120.0)
+            .with_teardown_loss(0.1)
+            .with_teardown_delay(2.0);
+        for system in [
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+            SystemSpec::GlobalDynamic,
+            SystemSpec::ShortestPath,
+        ] {
+            let cfg = quick(25.0, system).with_faults(plan.clone());
+            let table = run_experiment(&topo, &cfg);
+            let oracle_cfg = cfg.clone().with_routing(RouteMode::on_demand());
+            let (oracle, stats) = run_experiment_with_route_stats(&topo, &oracle_cfg);
+            assert_eq!(
+                table, oracle,
+                "route oracle diverged under the chaos plan for {}",
+                table.label
+            );
+            assert!(table.outages > 0, "the plan must actually fire");
+            let stats = stats.expect("on-demand runs surface cache stats");
+            // GDI computes its own residual-capacity paths and never
+            // consults the route book, so its cache holds nothing to
+            // invalidate; the route-driven systems must see flap-driven
+            // invalidations.
+            if !matches!(system, SystemSpec::GlobalDynamic) {
+                assert!(
+                    stats.invalidations > 0,
+                    "{}: link flaps must invalidate cached routes",
+                    table.label
+                );
+            }
+        }
+    }
+
+    /// Two-phase signalling (both the degenerate express mode and real
+    /// delayed exchanges) replays identically through the oracle.
+    #[test]
+    fn oracle_matches_table_under_two_phase() {
+        let topo = topologies::mci();
+        for cfg in [
+            quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2))
+                .with_signaling(SignalingMode::TwoPhase(TwoPhaseConfig::default())),
+            quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_signaling(
+                SignalingMode::TwoPhase(TwoPhaseConfig {
+                    per_hop_delay_secs: 0.05,
+                    ..TwoPhaseConfig::default()
+                }),
+            ),
+        ] {
+            let table = run_experiment(&topo, &cfg);
+            let oracle = run_experiment(&topo, &cfg.clone().with_routing(RouteMode::on_demand()));
+            assert_eq!(
+                table, oracle,
+                "route oracle diverged under two-phase signalling"
+            );
+        }
+    }
+
+    /// Multi-group runs with a demand mix, batched at every worker count:
+    /// batch priming prefetches route sets through the oracle before the
+    /// parallel phase, so the jobs knob must never leak into results.
+    #[test]
+    fn oracle_matches_table_multi_group_batched_all_jobs() {
+        let topo = topologies::mci();
+        let groups = vec![
+            GroupSpec {
+                members: vec![NodeId::new(0), NodeId::new(8), NodeId::new(16)],
+                share: 2.0,
+            },
+            GroupSpec {
+                members: vec![NodeId::new(4), NodeId::new(12)],
+                share: 1.0,
+            },
+        ];
+        let mix = vec![
+            DemandClass {
+                bandwidth: Bandwidth::from_kbps(64),
+                weight: 3.0,
+            },
+            DemandClass {
+                bandwidth: Bandwidth::from_kbps(256),
+                weight: 1.0,
+            },
+        ];
+        for system in [
+            SystemSpec::GlobalDynamic,
+            SystemSpec::dac(PolicySpec::wd_dh_default(), 2),
+        ] {
+            let base = quick(30.0, system)
+                .with_groups(groups.clone())
+                .with_demand_mix(mix.clone());
+            let reference = run_experiment(&topo, &base);
+            for jobs in [1, 2, 4] {
+                let cfg = base
+                    .clone()
+                    .with_routing(RouteMode::on_demand())
+                    .with_batching(true)
+                    .with_batch_jobs(jobs);
+                let oracle = run_experiment(&topo, &cfg);
+                assert_eq!(
+                    reference, oracle,
+                    "oracle+batch diverged for {} at jobs={jobs}",
+                    reference.label
+                );
+            }
+        }
+    }
+
+    /// Cache eviction is invisible: results are independent of the cache
+    /// capacity, from a single-entry cache (thrashing on every lookup)
+    /// through one big enough to never evict.
+    #[test]
+    fn oracle_cache_capacity_never_changes_results() {
+        let topo = topologies::mci();
+        let cfg = quick(30.0, SystemSpec::dac(PolicySpec::wd_dh_default(), 2))
+            .with_faults(FaultPlan::none().with_link_model(400.0, 60.0));
+        let reference = run_experiment(&topo, &cfg);
+        for capacity in [1, 2, 64] {
+            let oracle_cfg = cfg.clone().with_routing(RouteMode::OnDemand { capacity });
+            let (m, stats) = run_experiment_with_route_stats(&topo, &oracle_cfg);
+            assert_eq!(
+                reference, m,
+                "cache capacity {capacity} changed experiment results"
+            );
+            let stats = stats.expect("on-demand runs surface cache stats");
+            assert!(
+                stats.peak_entries <= capacity,
+                "eviction must bound residency"
+            );
+            if capacity == 1 {
+                assert!(stats.evictions > 0, "a 1-entry cache must evict");
+            }
+        }
+    }
+
+    /// Cache stats are surfaced only by on-demand runs, and a steady-state
+    /// run is overwhelmingly cache hits.
+    #[test]
+    fn route_cache_stats_follow_the_mode() {
+        let topo = topologies::mci();
+        let cfg = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let (_, none) = run_experiment_with_route_stats(&topo, &cfg);
+        assert!(none.is_none(), "precomputed runs have no cache to report");
+        let (_, stats) = run_experiment_with_route_stats(
+            &topo,
+            &cfg.clone().with_routing(RouteMode::on_demand()),
+        );
+        let stats = stats.expect("on-demand runs surface cache stats");
+        assert!(stats.hits > 0);
+        assert!(stats.misses > 0, "cold start must miss");
+        assert!(
+            stats.hit_rate() > 0.9,
+            "steady state should be hit-dominated, got {}",
+            stats.hit_rate()
+        );
+    }
+
+    /// Diurnal and flash-crowd arrival processes are deterministic under a
+    /// seed and actually modulate load.
+    #[test]
+    fn modulated_arrivals_are_deterministic_and_modulate() {
+        let topo = topologies::mci();
+        let diurnal = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_arrivals(
+            ArrivalProcess::Diurnal {
+                amplitude: 0.8,
+                period_secs: 300.0,
+            },
+        );
+        let a = run_experiment(&topo, &diurnal);
+        let b = run_experiment(&topo, &diurnal);
+        assert_eq!(a, b, "diurnal arrivals must replay bit-identically");
+        assert_all_finite(&a, "diurnal");
+
+        let flat = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2));
+        let base = run_experiment(&topo, &flat);
+        let crowd = quick(20.0, SystemSpec::dac(PolicySpec::Ed, 2)).with_arrivals(
+            ArrivalProcess::FlashCrowd {
+                start_secs: 400.0,
+                duration_secs: 300.0,
+                multiplier: 4.0,
+                group_index: 0,
+            },
+        );
+        let c1 = run_experiment(&topo, &crowd);
+        let c2 = run_experiment(&topo, &crowd);
+        assert_eq!(c1, c2, "flash crowds must replay bit-identically");
+        assert!(
+            c1.offered > base.offered,
+            "a 4x burst must raise offered load: {} vs {}",
+            c1.offered,
+            base.offered
+        );
+    }
+
+    /// A flash crowd aimed at one group of a two-group deployment
+    /// congests that group: its admission probability drops relative to
+    /// the same run without the burst, while the untargeted group is
+    /// barely affected.
+    #[test]
+    fn flash_crowd_concentrates_on_target_group() {
+        let topo = topologies::mci();
+        let groups = vec![
+            GroupSpec {
+                members: vec![NodeId::new(0), NodeId::new(8), NodeId::new(16)],
+                share: 1.0,
+            },
+            GroupSpec {
+                members: vec![NodeId::new(4), NodeId::new(12)],
+                share: 1.0,
+            },
+        ];
+        let base = quick(25.0, SystemSpec::dac(PolicySpec::Ed, 1)).with_groups(groups.clone());
+        let calm = run_experiment(&topo, &base);
+        let crowd = run_experiment(
+            &topo,
+            &base.clone().with_arrivals(ArrivalProcess::FlashCrowd {
+                start_secs: 300.0,
+                duration_secs: 600.0,
+                multiplier: 6.0,
+                group_index: 1,
+            }),
+        );
+        assert!(
+            crowd.per_group_ap[1] < calm.per_group_ap[1] - 0.05,
+            "the targeted group must congest: {} vs calm {}",
+            crowd.per_group_ap[1],
+            calm.per_group_ap[1]
+        );
+    }
+
+    /// Heavy-tailed Pareto holding times are deterministic under a seed
+    /// and produce a different sample path than exponential holding at
+    /// the same mean.
+    #[test]
+    fn pareto_holding_is_deterministic_and_distinct() {
+        let topo = topologies::mci();
+        let pareto = quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2))
+            .with_holding_model(HoldingModel::Pareto { shape: 2.5 });
+        let a = run_experiment(&topo, &pareto);
+        let b = run_experiment(&topo, &pareto);
+        assert_eq!(a, b, "Pareto holding must replay bit-identically");
+        assert_all_finite(&a, "pareto");
+        let exp = run_experiment(&topo, &quick(30.0, SystemSpec::dac(PolicySpec::Ed, 2)));
+        assert_ne!(
+            a.admitted, exp.admitted,
+            "a different holding law must explore a different sample path"
+        );
+        // Oracle equivalence holds under the new workloads too.
+        let oracle = run_experiment(&topo, &pareto.clone().with_routing(RouteMode::on_demand()));
+        assert_eq!(a, oracle);
     }
 
     #[test]

@@ -386,7 +386,7 @@ mod tests {
         let mut sc = crate::AdmissionController::new(
             PolicySpec::wd_dh_default().build().unwrap(),
             RetrialPolicy::FixedLimit(2),
-            single.distances(source),
+            single.distances(source).unwrap(),
         );
         for _ in 0..200 {
             let a = mc.admit(
@@ -397,7 +397,7 @@ mod tests {
                 &mut rng_a,
             );
             let b = sc.admit(
-                single.routes_from(source),
+                single.routes_from(source).unwrap(),
                 &mut links_b,
                 &mut rsvp_b,
                 Bandwidth::from_kbps(64),

@@ -160,12 +160,12 @@ proptest! {
         let mut controller = AdmissionController::new(
             policy,
             RetrialPolicy::FixedLimit(r),
-            routes.distances(source),
+            routes.distances(source).expect("source is in the topology"),
         );
         let mut sessions = Vec::new();
         for _ in 0..30 {
             let out = controller.admit(
-                routes.routes_from(source),
+                routes.routes_from(source).expect("source is in the topology"),
                 &mut links,
                 &mut rsvp,
                 Bandwidth::from_kbps(64),

@@ -40,6 +40,12 @@ pub enum NetError {
     MalformedPath(&'static str),
     /// No route exists between the requested pair of nodes.
     NoRoute(NodeId, NodeId),
+    /// A random-topology generator exhausted its retry budget without
+    /// producing a connected graph.
+    DisconnectedTopology {
+        /// How many deterministically re-seeded draws were attempted.
+        attempts: u32,
+    },
     /// An edge-list document could not be parsed.
     MalformedEdgeList {
         /// 1-based line number of the offending line (0 for whole-document
@@ -78,6 +84,10 @@ impl fmt::Display for NetError {
             NetError::EmptyGroup => write!(f, "anycast group must have at least one member"),
             NetError::MalformedPath(why) => write!(f, "malformed path: {why}"),
             NetError::NoRoute(s, d) => write!(f, "no route from {s} to {d}"),
+            NetError::DisconnectedTopology { attempts } => write!(
+                f,
+                "no connected topology found after {attempts} re-seeded draws"
+            ),
             NetError::MalformedEdgeList { line, reason } => {
                 write!(f, "malformed edge list at line {line}: {reason}")
             }
@@ -125,6 +135,7 @@ mod tests {
             NetError::EmptyGroup,
             NetError::MalformedPath("gap"),
             NetError::NoRoute(NodeId::new(0), NodeId::new(9)),
+            NetError::DisconnectedTopology { attempts: 64 },
             NetError::MalformedEdgeList {
                 line: 3,
                 reason: "missing capacity",

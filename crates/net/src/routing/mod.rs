@@ -20,6 +20,7 @@
 mod bfs;
 mod dijkstra;
 mod filtered;
+mod oracle;
 mod scratch;
 mod table;
 mod widest;
@@ -28,6 +29,10 @@ mod yen;
 pub use bfs::{bfs_tree, shortest_path, BfsTree};
 pub use dijkstra::{dijkstra_path, dijkstra_path_with};
 pub use filtered::{filtered_shortest_path, filtered_shortest_path_with};
+pub use oracle::{
+    RouteBook, RouteCacheStats, RouteMode, RouteOracle, RouteProvider, RouteSet,
+    DEFAULT_ROUTE_CACHE_CAPACITY,
+};
 pub use scratch::RoutingScratch;
 pub use table::RouteTable;
 pub use widest::widest_path;

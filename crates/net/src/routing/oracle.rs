@@ -1,0 +1,684 @@
+//! On-demand route computation behind a bounded, epoch-stamped cache.
+//!
+//! [`RouteTable`] precomputes a path from *every* node to every group
+//! member, which is perfect for paper-scale meshes but allocates
+//! `node_count × group_len` paths up front — at datacenter scale (a
+//! `k = 34` fat tree has ~11k nodes) that is tens of thousands of paths
+//! of which a typical scenario touches a few hundred. [`RouteOracle`]
+//! instead computes a source's routes the first time they are asked for
+//! (reusing the epoch-stamped [`RoutingScratch`] BFS, so the steady-state
+//! hot path performs no allocation) and keeps them in a bounded
+//! least-recently-used cache.
+//!
+//! Cache entries are invalidated with the same stamp discipline as the
+//! sharded [`LinkStateTable`](crate::LinkStateTable): the oracle keeps a
+//! per-link change stamp plus a per-shard upper bound
+//! ([`LINKS_PER_SHARD`] links per stripe), advanced only when
+//! [`note_link_change`](RouteOracle::note_link_change) reports a fault
+//! event. A lookup whose cached entry predates the latest change first
+//! screens whole shards before touching per-link stamps, so a chaos link
+//! flap re-validates untouched sources in O(path links / 64) and only
+//! recomputes the sources whose cached paths actually cross a flapped
+//! link.
+//!
+//! Because routes are a pure function of the immutable [`Topology`]
+//! (faults live in the link-state ledger, not the graph), a recompute
+//! always reproduces exactly the paths the precomputed table holds —
+//! [`RouteBook`] exploits that to make the two implementations
+//! bit-identical and interchangeable behind [`RouteProvider`].
+
+use crate::routing::scratch::RoutingScratch;
+use crate::routing::table::RouteTable;
+use crate::{AnycastGroup, LinkId, NetError, NodeId, Path, Topology, LINKS_PER_SHARD};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A source's routes to every group member, in member order.
+///
+/// Shared and cheaply clonable so cached routes survive eviction while a
+/// caller still holds them, and so batched evaluation can hand the same
+/// set to worker threads without copying paths.
+pub type RouteSet = Arc<[Path]>;
+
+/// Default bound on resident [`RouteOracle`] cache entries.
+pub const DEFAULT_ROUTE_CACHE_CAPACITY: usize = 4096;
+
+/// How an experiment obtains its per-`(source, member)` routes.
+///
+/// This is an execution knob, not a model parameter: both modes produce
+/// bit-identical results (see [`RouteBook`]); they differ only in memory
+/// footprint and when the BFS work happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RouteMode {
+    /// Materialise the full [`RouteTable`] up front (the §3 reference
+    /// implementation; O(nodes × members) paths resident).
+    #[default]
+    Precomputed,
+    /// Compute routes on demand through a [`RouteOracle`] with at most
+    /// `capacity` resident sources.
+    OnDemand {
+        /// Bound on resident cache entries (clamped to at least 1).
+        capacity: usize,
+    },
+}
+
+impl RouteMode {
+    /// The on-demand mode with the default cache bound.
+    pub fn on_demand() -> Self {
+        RouteMode::OnDemand {
+            capacity: DEFAULT_ROUTE_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Counters describing how a [`RouteOracle`] cache behaved over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCacheStats {
+    /// Lookups served from the cache (including re-validated entries).
+    pub hits: u64,
+    /// Lookups that ran a BFS because no valid entry existed.
+    pub misses: u64,
+    /// Hits that had to re-screen their links after a topology-change
+    /// epoch bump before being declared valid.
+    pub revalidations: u64,
+    /// Entries discarded because a changed link lay on a cached path.
+    pub invalidations: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+    /// High-water mark of resident entries.
+    pub peak_entries: usize,
+}
+
+impl RouteCacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`; `1.0` for
+    /// an untouched cache so derived metrics stay finite.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter set into `self` (peak is max-merged).
+    pub fn absorb(&mut self, other: &RouteCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.revalidations += other.revalidations;
+        self.invalidations += other.invalidations;
+        self.evictions += other.evictions;
+        self.peak_entries = self.peak_entries.max(other.peak_entries);
+    }
+}
+
+/// One interface over both route implementations.
+///
+/// Consumers (admission controllers, baselines, the experiment loop)
+/// depend on this trait rather than on [`RouteTable`] directly, so the
+/// precomputed table and the on-demand oracle are interchangeable.
+/// Lookups take `&mut self` because the oracle mutates its cache; the
+/// table implementation ignores the mutability.
+pub trait RouteProvider {
+    /// The anycast group being routed toward.
+    fn group(&self) -> &AnycastGroup;
+
+    /// Routes from `source` to every group member, in member order.
+    ///
+    /// Errors with [`NetError::UnknownNode`] when `source` is not a node
+    /// of `topo` and [`NetError::NoRoute`] when some member is
+    /// unreachable — it never panics, so chaos-partitioned topologies
+    /// surface a typed error instead of dying mid-run.
+    fn routes(&mut self, topo: &Topology, source: NodeId) -> Result<RouteSet, NetError>;
+
+    /// Reports that `link`'s state changed (failed or restored) so cached
+    /// routes crossing it can be revalidated. No-op for implementations
+    /// without a cache.
+    fn note_link_change(&mut self, _link: LinkId) {}
+
+    /// Cache behaviour counters, when the implementation has a cache.
+    fn cache_stats(&self) -> Option<RouteCacheStats> {
+        None
+    }
+
+    /// Hop distances `D_i` from `source` in member order, written into
+    /// `out` (cleared first) following the `weights::*_into` convention.
+    fn distances_into(
+        &mut self,
+        topo: &Topology,
+        source: NodeId,
+        out: &mut Vec<u32>,
+    ) -> Result<(), NetError> {
+        let routes = self.routes(topo, source)?;
+        out.clear();
+        out.extend(routes.iter().map(|p| p.hops() as u32));
+        Ok(())
+    }
+
+    /// Allocating convenience form of
+    /// [`distances_into`](RouteProvider::distances_into).
+    fn distances(&mut self, topo: &Topology, source: NodeId) -> Result<Vec<u32>, NetError> {
+        let mut out = Vec::new();
+        self.distances_into(topo, source, &mut out)?;
+        Ok(out)
+    }
+
+    /// Member index with the shortest route from `source` (the SP
+    /// baseline's choice); ties break toward the lower member index.
+    fn nearest_member(&mut self, topo: &Topology, source: NodeId) -> Result<usize, NetError> {
+        let routes = self.routes(topo, source)?;
+        let mut best = 0;
+        for (i, p) in routes.iter().enumerate().skip(1) {
+            if p.hops() < routes[best].hops() {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Computes the member-order route set from `source` with a reusable
+/// scratch, producing exactly the paths `bfs_tree` + `path_to` would:
+/// neighbours are visited in ascending node-id order, so predecessors —
+/// and therefore extracted paths — are identical. The sweep stops as
+/// soon as every member has been discovered (discovered predecessors
+/// never change afterwards, so early exit cannot alter a path).
+fn compute_route_set(
+    topo: &Topology,
+    group: &AnycastGroup,
+    source: NodeId,
+    scratch: &mut RoutingScratch,
+) -> Result<RouteSet, NetError> {
+    if !topo.contains_node(source) {
+        return Err(NetError::UnknownNode(source));
+    }
+    scratch.begin(topo.node_count());
+    scratch.mark_seen(source, None);
+    scratch.queue.push_back(source);
+    let mut remaining = group.len();
+    if group.member_index(source).is_some() {
+        remaining -= 1;
+    }
+    while remaining > 0 {
+        let Some(u) = scratch.queue.pop_front() else {
+            break;
+        };
+        for &(v, link) in topo.neighbors(u) {
+            if !scratch.is_seen(v) {
+                scratch.mark_seen(v, Some((u, link)));
+                if group.member_index(v).is_some() {
+                    remaining -= 1;
+                }
+                scratch.queue.push_back(v);
+            }
+        }
+    }
+    let mut paths = Vec::with_capacity(group.len());
+    for &m in group.members() {
+        if !topo.contains_node(m) || !scratch.is_seen(m) {
+            return Err(NetError::NoRoute(source, m));
+        }
+        let (nodes, links) = scratch.extract(source, m);
+        paths.push(Path::new(topo, nodes, links)?);
+    }
+    Ok(paths.into())
+}
+
+/// Whether any link of any cached path changed after `since`, screening
+/// whole [`LINKS_PER_SHARD`]-link stripes before per-link stamps.
+fn paths_changed_since(
+    link_stamps: &[u64],
+    shard_stamps: &[u64],
+    routes: &[Path],
+    since: u64,
+) -> bool {
+    routes.iter().any(|p| {
+        p.links().iter().any(|&l| {
+            let idx = l.index();
+            shard_stamps
+                .get(idx / LINKS_PER_SHARD)
+                .is_some_and(|&s| s > since)
+                && link_stamps.get(idx).is_some_and(|&s| s > since)
+        })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    routes: RouteSet,
+    /// Oracle epoch up to which this entry is known valid.
+    stamp: u64,
+    /// Unique recency counter (ties impossible, so eviction is
+    /// deterministic regardless of hash-map iteration order).
+    last_used: u64,
+}
+
+/// On-demand routes behind a bounded, epoch-stamped LRU cache.
+///
+/// See the [module docs](self) for the invalidation discipline. All
+/// lookups go through [`RouteProvider::routes`]; construction is cheap
+/// (no BFS until the first lookup).
+///
+/// ```rust
+/// use anycast_net::{topologies, AnycastGroup, NodeId, RouteOracle, RouteProvider, RouteTable};
+///
+/// # fn main() -> Result<(), anycast_net::NetError> {
+/// let topo = topologies::mci();
+/// let group = AnycastGroup::new("A", [0u32, 4, 8, 12, 16].map(NodeId::new))?;
+/// let mut oracle = RouteOracle::new(group.clone(), 64);
+/// let table = RouteTable::shortest_paths(&topo, &group);
+/// let on_demand = oracle.routes(&topo, NodeId::new(1))?;
+/// assert_eq!(&on_demand[..], table.routes_from(NodeId::new(1)).unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteOracle {
+    group: AnycastGroup,
+    capacity: usize,
+    /// Bumped once per reported link change; entries stamped `== epoch`
+    /// are valid without any screening.
+    epoch: u64,
+    /// Per-link epoch of the last reported change (0 = never changed).
+    link_stamps: Vec<u64>,
+    /// Per-stripe upper bound over `link_stamps`, mirroring the
+    /// [`LinkStateTable`](crate::LinkStateTable) shard layout.
+    shard_stamps: Vec<u64>,
+    entries: HashMap<NodeId, CacheEntry>,
+    clock: u64,
+    scratch: RoutingScratch,
+    stats: RouteCacheStats,
+}
+
+impl RouteOracle {
+    /// Creates an oracle for `group` holding at most `capacity` sources
+    /// (clamped to at least 1). No routes are computed until first use.
+    pub fn new(group: AnycastGroup, capacity: usize) -> Self {
+        RouteOracle {
+            group,
+            capacity: capacity.max(1),
+            epoch: 0,
+            link_stamps: Vec::new(),
+            shard_stamps: Vec::new(),
+            entries: HashMap::new(),
+            clock: 0,
+            scratch: RoutingScratch::new(),
+            stats: RouteCacheStats::default(),
+        }
+    }
+
+    /// Creates an oracle with [`DEFAULT_ROUTE_CACHE_CAPACITY`].
+    pub fn with_default_capacity(group: AnycastGroup) -> Self {
+        Self::new(group, DEFAULT_ROUTE_CACHE_CAPACITY)
+    }
+
+    /// The capacity bound this oracle was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident cache entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache behaviour counters so far.
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+}
+
+impl RouteProvider for RouteOracle {
+    fn group(&self) -> &AnycastGroup {
+        &self.group
+    }
+
+    fn routes(&mut self, topo: &Topology, source: NodeId) -> Result<RouteSet, NetError> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(entry) = self.entries.get_mut(&source) {
+            let fresh = entry.stamp == self.epoch || {
+                let changed = paths_changed_since(
+                    &self.link_stamps,
+                    &self.shard_stamps,
+                    &entry.routes,
+                    entry.stamp,
+                );
+                if !changed {
+                    entry.stamp = self.epoch;
+                    self.stats.revalidations += 1;
+                }
+                !changed
+            };
+            if fresh {
+                entry.last_used = clock;
+                self.stats.hits += 1;
+                return Ok(entry.routes.clone());
+            }
+            self.stats.invalidations += 1;
+            self.entries.remove(&source);
+        }
+        self.stats.misses += 1;
+        let routes = compute_route_set(topo, &self.group, source, &mut self.scratch)?;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&s, _)| s)
+                .expect("capacity >= 1 implies a resident entry to evict");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(
+            source,
+            CacheEntry {
+                routes: routes.clone(),
+                stamp: self.epoch,
+                last_used: clock,
+            },
+        );
+        self.stats.peak_entries = self.stats.peak_entries.max(self.entries.len());
+        Ok(routes)
+    }
+
+    fn note_link_change(&mut self, link: LinkId) {
+        self.epoch += 1;
+        let idx = link.index();
+        if idx >= self.link_stamps.len() {
+            self.link_stamps.resize(idx + 1, 0);
+        }
+        self.link_stamps[idx] = self.epoch;
+        let shard = idx / LINKS_PER_SHARD;
+        if shard >= self.shard_stamps.len() {
+            self.shard_stamps.resize(shard + 1, 0);
+        }
+        self.shard_stamps[shard] = self.epoch;
+    }
+
+    fn cache_stats(&self) -> Option<RouteCacheStats> {
+        Some(self.stats)
+    }
+}
+
+impl RouteProvider for RouteTable {
+    fn group(&self) -> &AnycastGroup {
+        RouteTable::group(self)
+    }
+
+    fn routes(&mut self, _topo: &Topology, source: NodeId) -> Result<RouteSet, NetError> {
+        self.route_set(source).ok_or(NetError::UnknownNode(source))
+    }
+}
+
+/// Either route implementation behind one concrete type, so the
+/// experiment loop can hold a `Vec<RouteBook>` without trait objects.
+// A run holds one book per anycast group (a handful), so the size
+// difference between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RouteBook {
+    /// The precomputed §3 reference table.
+    Table(RouteTable),
+    /// The bounded on-demand cache.
+    Oracle(RouteOracle),
+}
+
+impl RouteBook {
+    /// Builds the implementation selected by `mode`.
+    ///
+    /// # Panics
+    ///
+    /// In `Precomputed` mode this materialises the full table and, like
+    /// [`RouteTable::shortest_paths`], panics when the topology is
+    /// disconnected. `OnDemand` construction never runs a BFS.
+    pub fn for_mode(mode: RouteMode, topo: &Topology, group: &AnycastGroup) -> Self {
+        match mode {
+            RouteMode::Precomputed => RouteBook::Table(RouteTable::shortest_paths(topo, group)),
+            RouteMode::OnDemand { capacity } => {
+                RouteBook::Oracle(RouteOracle::new(group.clone(), capacity))
+            }
+        }
+    }
+}
+
+impl RouteProvider for RouteBook {
+    fn group(&self) -> &AnycastGroup {
+        match self {
+            RouteBook::Table(t) => RouteProvider::group(t),
+            RouteBook::Oracle(o) => RouteProvider::group(o),
+        }
+    }
+
+    fn routes(&mut self, topo: &Topology, source: NodeId) -> Result<RouteSet, NetError> {
+        match self {
+            RouteBook::Table(t) => t.routes(topo, source),
+            RouteBook::Oracle(o) => o.routes(topo, source),
+        }
+    }
+
+    fn note_link_change(&mut self, link: LinkId) {
+        match self {
+            RouteBook::Table(t) => t.note_link_change(link),
+            RouteBook::Oracle(o) => o.note_link_change(link),
+        }
+    }
+
+    fn cache_stats(&self) -> Option<RouteCacheStats> {
+        match self {
+            RouteBook::Table(t) => t.cache_stats(),
+            RouteBook::Oracle(o) => o.cache_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topologies, Bandwidth, TopologyBuilder};
+
+    fn mci_group() -> (Topology, AnycastGroup) {
+        let topo = topologies::mci();
+        let group = AnycastGroup::new("A", [0u32, 4, 8, 12, 16].map(NodeId::new)).unwrap();
+        (topo, group)
+    }
+
+    #[test]
+    fn oracle_matches_table_on_every_source() {
+        let (topo, group) = mci_group();
+        let table = RouteTable::shortest_paths(&topo, &group);
+        let mut oracle = RouteOracle::new(group.clone(), 8);
+        for s in topo.nodes() {
+            let on_demand = oracle.routes(&topo, s).unwrap();
+            assert_eq!(&on_demand[..], table.routes_from(s).unwrap(), "source {s}");
+        }
+    }
+
+    #[test]
+    fn repeated_lookup_hits_the_cache() {
+        let (topo, group) = mci_group();
+        let mut oracle = RouteOracle::new(group, 8);
+        let s = NodeId::new(3);
+        let a = oracle.routes(&topo, s).unwrap();
+        let b = oracle.routes(&topo, s).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second lookup must reuse the cached set"
+        );
+        let stats = oracle.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_is_respected_and_eviction_is_lru() {
+        let (topo, group) = mci_group();
+        let mut oracle = RouteOracle::new(group, 2);
+        oracle.routes(&topo, NodeId::new(1)).unwrap();
+        oracle.routes(&topo, NodeId::new(2)).unwrap();
+        // Touch 1 so 2 is the LRU victim.
+        oracle.routes(&topo, NodeId::new(1)).unwrap();
+        oracle.routes(&topo, NodeId::new(3)).unwrap();
+        assert_eq!(oracle.len(), 2);
+        assert_eq!(oracle.stats().evictions, 1);
+        // 1 survives (hit), 2 was evicted (miss).
+        let before = oracle.stats().misses;
+        oracle.routes(&topo, NodeId::new(1)).unwrap();
+        assert_eq!(oracle.stats().misses, before);
+        oracle.routes(&topo, NodeId::new(2)).unwrap();
+        assert_eq!(oracle.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn link_change_invalidates_only_crossing_sources() {
+        let (topo, group) = mci_group();
+        let mut oracle = RouteOracle::new(group.clone(), 64);
+        let table = RouteTable::shortest_paths(&topo, &group);
+        let crossing = NodeId::new(1);
+        let link = table.routes_from(crossing).unwrap()[0].links()[0];
+        // A source whose paths avoid `link` entirely.
+        let avoiding = topo
+            .nodes()
+            .find(|&s| {
+                table
+                    .routes_from(s)
+                    .unwrap()
+                    .iter()
+                    .all(|p| !p.uses_link(link))
+            })
+            .expect("some source avoids the link");
+        oracle.routes(&topo, crossing).unwrap();
+        oracle.routes(&topo, avoiding).unwrap();
+        oracle.note_link_change(link);
+        oracle.routes(&topo, avoiding).unwrap();
+        let stats = oracle.stats();
+        assert_eq!(stats.invalidations, 0, "avoiding source revalidates");
+        assert_eq!(stats.revalidations, 1);
+        oracle.routes(&topo, crossing).unwrap();
+        assert_eq!(
+            oracle.stats().invalidations,
+            1,
+            "crossing source recomputes"
+        );
+        // Recomputed routes are identical (the topology never changed).
+        let again = oracle.routes(&topo, crossing).unwrap();
+        assert_eq!(&again[..], table.routes_from(crossing).unwrap());
+    }
+
+    #[test]
+    fn unknown_source_and_unreachable_member_are_typed_errors() {
+        let (topo, group) = mci_group();
+        let mut oracle = RouteOracle::new(group, 8);
+        assert_eq!(
+            oracle.routes(&topo, NodeId::new(999)).unwrap_err(),
+            NetError::UnknownNode(NodeId::new(999))
+        );
+        let mut b = TopologyBuilder::new(3);
+        b.link(NodeId::new(0), NodeId::new(1), Bandwidth::from_mbps(1))
+            .unwrap();
+        let island = b.build();
+        let g = AnycastGroup::new("B", [NodeId::new(2)]).unwrap();
+        let mut o = RouteOracle::new(g, 8);
+        assert_eq!(
+            o.routes(&island, NodeId::new(0)).unwrap_err(),
+            NetError::NoRoute(NodeId::new(0), NodeId::new(2))
+        );
+    }
+
+    #[test]
+    fn results_are_independent_of_capacity() {
+        let (topo, group) = mci_group();
+        let table = RouteTable::shortest_paths(&topo, &group);
+        // A recurring access pattern with re-visits, across tiny caches.
+        let pattern: Vec<NodeId> = [1u32, 5, 9, 1, 13, 5, 1, 17, 9, 2]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
+        for capacity in [1usize, 2, 5, 64] {
+            let mut oracle = RouteOracle::new(group.clone(), capacity);
+            for &s in &pattern {
+                let routes = oracle.routes(&topo, s).unwrap();
+                assert_eq!(
+                    &routes[..],
+                    table.routes_from(s).unwrap(),
+                    "capacity {capacity}, source {s}"
+                );
+            }
+            assert!(oracle.len() <= capacity);
+            assert!(oracle.stats().peak_entries <= capacity);
+        }
+    }
+
+    #[test]
+    fn provider_distances_and_nearest_match_table() {
+        let (topo, group) = mci_group();
+        let table = RouteTable::shortest_paths(&topo, &group);
+        let mut oracle = RouteOracle::new(group, 8);
+        let mut buf = Vec::new();
+        for s in topo.nodes() {
+            oracle.distances_into(&topo, s, &mut buf).unwrap();
+            assert_eq!(buf, table.distances(s).unwrap());
+            assert_eq!(
+                oracle.nearest_member(&topo, s).unwrap(),
+                table.nearest_member(s).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn route_book_dispatches_both_ways() {
+        let (topo, group) = mci_group();
+        let mut table = RouteBook::for_mode(RouteMode::Precomputed, &topo, &group);
+        let mut oracle = RouteBook::for_mode(RouteMode::OnDemand { capacity: 8 }, &topo, &group);
+        assert_eq!(RouteProvider::group(&table), &group);
+        assert_eq!(RouteProvider::group(&oracle), &group);
+        assert!(table.cache_stats().is_none());
+        assert!(oracle.cache_stats().is_some());
+        let s = NodeId::new(7);
+        assert_eq!(
+            &table.routes(&topo, s).unwrap()[..],
+            &oracle.routes(&topo, s).unwrap()[..]
+        );
+        // note_link_change is a no-op on the table, an epoch bump on the oracle.
+        table.note_link_change(LinkId::new(0));
+        oracle.note_link_change(LinkId::new(0));
+    }
+
+    #[test]
+    fn stats_hit_rate_and_absorb() {
+        let mut a = RouteCacheStats::default();
+        assert_eq!(a.hit_rate(), 1.0);
+        a.hits = 3;
+        a.misses = 1;
+        a.peak_entries = 5;
+        let b = RouteCacheStats {
+            hits: 1,
+            misses: 1,
+            revalidations: 1,
+            invalidations: 1,
+            evictions: 1,
+            peak_entries: 9,
+        };
+        a.absorb(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.peak_entries, 9);
+        assert!((a.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_mode_default_is_the_reference_table() {
+        assert_eq!(RouteMode::default(), RouteMode::Precomputed);
+        assert_eq!(
+            RouteMode::on_demand(),
+            RouteMode::OnDemand {
+                capacity: DEFAULT_ROUTE_CACHE_CAPACITY
+            }
+        );
+    }
+}

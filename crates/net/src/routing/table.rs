@@ -1,6 +1,7 @@
 //! Precomputed fixed routes from every source to every group member.
 
 use crate::routing::bfs_tree;
+use crate::routing::oracle::RouteSet;
 use crate::{AnycastGroup, NodeId, Path, Topology};
 use std::collections::HashMap;
 
@@ -9,6 +10,14 @@ use std::collections::HashMap;
 ///
 /// Route distances feed the `1/D_i` terms of the weighted selection
 /// algorithms; the paths themselves are what the reservation engine walks.
+/// This is the eager reference implementation; the on-demand
+/// [`RouteOracle`](crate::RouteOracle) produces bit-identical routes with
+/// a bounded memory footprint for datacenter-scale topologies.
+///
+/// Every lookup takes an `Option`/`Result` form: a source outside the
+/// topology the table was built from yields `None` (or a typed error via
+/// [`RouteProvider`](crate::RouteProvider)) rather than a panic, so
+/// chaos-partitioned topologies cannot die mid-run.
 ///
 /// ```rust
 /// use anycast_net::{topologies, AnycastGroup, NodeId, RouteTable};
@@ -17,7 +26,7 @@ use std::collections::HashMap;
 /// let topo = topologies::mci();
 /// let group = AnycastGroup::new("A", [0u32, 4, 8, 12, 16].map(NodeId::new))?;
 /// let routes = RouteTable::shortest_paths(&topo, &group);
-/// let dists = routes.distances(NodeId::new(1));
+/// let dists = routes.distances(NodeId::new(1)).unwrap();
 /// assert_eq!(dists.len(), group.len());
 /// # Ok(())
 /// # }
@@ -25,8 +34,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     group: AnycastGroup,
-    /// `routes[source][member_index]`
-    routes: HashMap<NodeId, Vec<Path>>,
+    /// `routes[source][member_index]`; shared sets so handing routes to
+    /// worker threads or trait consumers never copies paths.
+    routes: HashMap<NodeId, RouteSet>,
 }
 
 impl RouteTable {
@@ -55,7 +65,7 @@ impl RouteTable {
             for &m in group.members() {
                 paths.push(tree.path_to(topo, m)?);
             }
-            routes.insert(src, paths);
+            routes.insert(src, RouteSet::from(paths));
         }
         Some(RouteTable {
             group: group.clone(),
@@ -70,15 +80,15 @@ impl RouteTable {
 
     /// All routes from `source`, indexed by member index.
     ///
-    /// # Panics
-    ///
-    /// Panics if `source` was not a node of the topology the table was
-    /// built from.
-    pub fn routes_from(&self, source: NodeId) -> &[Path] {
-        self.routes
-            .get(&source)
-            .map(Vec::as_slice)
-            .unwrap_or_else(|| panic!("no routes recorded for source {source}"))
+    /// Returns `None` when `source` was not a node of the topology the
+    /// table was built from (mirroring [`RouteTable::route`]).
+    pub fn routes_from(&self, source: NodeId) -> Option<&[Path]> {
+        self.routes.get(&source).map(|set| &set[..])
+    }
+
+    /// The shared route set from `source`, or `None` for unknown sources.
+    pub fn route_set(&self, source: NodeId) -> Option<RouteSet> {
+        self.routes.get(&source).cloned()
     }
 
     /// The fixed route from `source` to a specific member node.
@@ -89,33 +99,39 @@ impl RouteTable {
         self.routes.get(&source).map(|paths| &paths[idx])
     }
 
-    /// Hop distances `D_i` from `source` to every member, in member order.
+    /// Hop distances `D_i` from `source` to every member, written into
+    /// `out` (cleared first) following the `weights::*_into` convention so
+    /// admission hot paths reuse one buffer instead of allocating per
+    /// decision.
     ///
-    /// # Panics
-    ///
-    /// Panics if `source` was not a node of the topology.
-    pub fn distances(&self, source: NodeId) -> Vec<u32> {
-        self.routes_from(source)
-            .iter()
-            .map(|p| p.hops() as u32)
-            .collect()
+    /// Returns `None` (leaving `out` cleared) for unknown sources.
+    pub fn distances_into(&self, source: NodeId, out: &mut Vec<u32>) -> Option<()> {
+        out.clear();
+        let paths = self.routes_from(source)?;
+        out.extend(paths.iter().map(|p| p.hops() as u32));
+        Some(())
+    }
+
+    /// Allocating convenience wrapper over [`RouteTable::distances_into`].
+    pub fn distances(&self, source: NodeId) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        self.distances_into(source, &mut out)?;
+        Some(out)
     }
 
     /// Member index of the member with the shortest route from `source`
     /// (the SP baseline's choice). Ties break toward the lower member index.
     ///
-    /// # Panics
-    ///
-    /// Panics if `source` was not a node of the topology.
-    pub fn nearest_member(&self, source: NodeId) -> usize {
-        let paths = self.routes_from(source);
+    /// Returns `None` when `source` was not a node of the topology.
+    pub fn nearest_member(&self, source: NodeId) -> Option<usize> {
+        let paths = self.routes_from(source)?;
         let mut best = 0;
         for (i, p) in paths.iter().enumerate().skip(1) {
             if p.hops() < paths[best].hops() {
                 best = i;
             }
         }
-        best
+        Some(best)
     }
 }
 
@@ -136,18 +152,18 @@ mod tests {
     fn distances_in_member_order() {
         let (topo, g) = line5_group();
         let table = RouteTable::shortest_paths(&topo, &g);
-        assert_eq!(table.distances(NodeId::new(1)), vec![1, 3]);
-        assert_eq!(table.distances(NodeId::new(4)), vec![4, 0]);
+        assert_eq!(table.distances(NodeId::new(1)).unwrap(), vec![1, 3]);
+        assert_eq!(table.distances(NodeId::new(4)).unwrap(), vec![4, 0]);
     }
 
     #[test]
     fn nearest_member_matches_distances() {
         let (topo, g) = line5_group();
         let table = RouteTable::shortest_paths(&topo, &g);
-        assert_eq!(table.nearest_member(NodeId::new(1)), 0);
-        assert_eq!(table.nearest_member(NodeId::new(3)), 1);
+        assert_eq!(table.nearest_member(NodeId::new(1)), Some(0));
+        assert_eq!(table.nearest_member(NodeId::new(3)), Some(1));
         // Equidistant: tie toward lower member index.
-        assert_eq!(table.nearest_member(NodeId::new(2)), 0);
+        assert_eq!(table.nearest_member(NodeId::new(2)), Some(0));
     }
 
     #[test]
@@ -175,6 +191,21 @@ mod tests {
             .route(NodeId::new(0), NodeId::new(0))
             .unwrap()
             .is_trivial());
+    }
+
+    #[test]
+    fn unknown_source_is_none_everywhere() {
+        let (topo, g) = line5_group();
+        let table = RouteTable::shortest_paths(&topo, &g);
+        let foreign = NodeId::new(99);
+        assert!(table.routes_from(foreign).is_none());
+        assert!(table.route_set(foreign).is_none());
+        assert!(table.route(foreign, NodeId::new(0)).is_none());
+        assert!(table.distances(foreign).is_none());
+        assert!(table.nearest_member(foreign).is_none());
+        let mut buf = vec![7u32];
+        assert!(table.distances_into(foreign, &mut buf).is_none());
+        assert!(buf.is_empty(), "distances_into clears the buffer first");
     }
 
     #[test]

@@ -154,7 +154,7 @@ mod tests {
         let group = AnycastGroup::new("A", MCI_GROUP_MEMBERS.map(NodeId::new)).unwrap();
         let table = RouteTable::shortest_paths(&topo, &group);
         for s in mci_source_nodes() {
-            let dists = table.distances(s);
+            let dists = table.distances(s).unwrap();
             assert_eq!(dists.len(), 5);
             assert!(dists.iter().all(|&d| d >= 1), "sources are not members");
             // Members are spread: some member is close, some far.

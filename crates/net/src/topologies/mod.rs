@@ -8,11 +8,20 @@
 //! The synthetic families ([`grid`], [`ring`], [`star`], [`waxman`]) drive
 //! the topology-robustness ablation: the paper's qualitative conclusions
 //! should not depend on the particular backbone.
+//!
+//! The datacenter fabrics ([`fat_tree`], [`clos`]) scale the reproduction
+//! past paper-size meshes — thousands of hosts behind regular switching
+//! tiers, served by the on-demand
+//! [`RouteOracle`](crate::RouteOracle) instead of the all-pairs table.
 
+mod datacenter;
 mod mci;
 mod synthetic;
 
+pub use datacenter::{
+    clos, clos_hosts, clos_node_count, fat_tree, fat_tree_hosts, fat_tree_node_count,
+};
 pub use mci::{
     mci, mci_source_nodes, mci_with_capacity, MCI_GROUP_MEMBERS, MCI_LINKS, MCI_NODES, MCI_SOURCES,
 };
-pub use synthetic::{grid, ring, star, waxman};
+pub use synthetic::{grid, ring, star, waxman, WAXMAN_MAX_ATTEMPTS};

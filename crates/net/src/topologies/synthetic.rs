@@ -1,6 +1,6 @@
 //! Synthetic topology families for robustness ablations.
 
-use crate::{Bandwidth, NodeId, Topology, TopologyBuilder};
+use crate::{Bandwidth, NetError, NodeId, Topology, TopologyBuilder};
 
 /// Builds a `width × height` grid (mesh) topology.
 ///
@@ -67,25 +67,58 @@ pub fn star(n: usize, capacity: Bandwidth) -> Topology {
     b.build()
 }
 
+/// Bound on re-seeded draws before [`waxman`] gives up on connectivity.
+pub const WAXMAN_MAX_ATTEMPTS: u32 = 64;
+
 /// Builds a connected Waxman random graph over `n` nodes.
 ///
 /// Nodes are placed uniformly in the unit square by a deterministic
 /// splitmix-style generator seeded with `seed`; each pair is linked with the
 /// Waxman probability `α · exp(−d / (β · √2))` where `d` is Euclidean
-/// distance. A spanning chain in placement order is added first so the
-/// result is always connected, mimicking real ISP growth.
+/// distance. A raw Waxman draw can come out disconnected (it used to be
+/// patched over with a spanning chain, which distorted the degree/distance
+/// model *and* still left pathological parameters broken); instead the draw
+/// is now checked at build time and retried with deterministically advanced
+/// seeds, so the result is a faithful Waxman graph whenever one is found
+/// within [`WAXMAN_MAX_ATTEMPTS`] attempts and a typed
+/// [`NetError::DisconnectedTopology`] otherwise — a sweep over sparse
+/// parameters reports the failure instead of panicking deep inside
+/// `RouteTable::shortest_paths`.
 ///
 /// Typical parameters: `alpha = 0.4`, `beta = 0.3`.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2` or the parameters are not in `(0, 1]`.
-pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64, capacity: Bandwidth) -> Topology {
+pub fn waxman(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    seed: u64,
+    capacity: Bandwidth,
+) -> Result<Topology, NetError> {
     assert!(n >= 2, "waxman needs at least 2 nodes");
     assert!(
         alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0,
         "waxman parameters must be in (0, 1]"
     );
+    for attempt in 0..WAXMAN_MAX_ATTEMPTS {
+        // Advance by the splitmix64 golden-ratio increment so retry seeds
+        // are deterministic and decorrelated from the caller's seed line.
+        let attempt_seed =
+            seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let topo = waxman_draw(n, alpha, beta, attempt_seed, capacity);
+        if topo.is_connected() {
+            return Ok(topo);
+        }
+    }
+    Err(NetError::DisconnectedTopology {
+        attempts: WAXMAN_MAX_ATTEMPTS,
+    })
+}
+
+/// One raw (possibly disconnected) Waxman draw.
+fn waxman_draw(n: usize, alpha: f64, beta: f64, seed: u64, capacity: Bandwidth) -> Topology {
     let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
     let mut next_f64 = move || {
         // splitmix64
@@ -98,17 +131,9 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64, capacity: Bandwidth) -
     };
     let points: Vec<(f64, f64)> = (0..n).map(|_| (next_f64(), next_f64())).collect();
     let mut b = TopologyBuilder::new(n);
-    // Spanning chain for guaranteed connectivity.
-    for i in 0..n - 1 {
-        b.link(NodeId::new(i as u32), NodeId::new(i as u32 + 1), capacity)
-            .expect("chain links valid");
-    }
     let max_d = std::f64::consts::SQRT_2;
     for i in 0..n {
         for j in i + 1..n {
-            if j == i + 1 {
-                continue; // already chained
-            }
             let dx = points[i].0 - points[j].0;
             let dy = points[i].1 - points[j].1;
             let d = (dx * dx + dy * dy).sqrt();
@@ -172,8 +197,8 @@ mod tests {
 
     #[test]
     fn waxman_is_connected_and_deterministic() {
-        let a = waxman(20, 0.4, 0.3, 42, CAP);
-        let b = waxman(20, 0.4, 0.3, 42, CAP);
+        let a = waxman(20, 0.4, 0.3, 42, CAP).unwrap();
+        let b = waxman(20, 0.4, 0.3, 42, CAP).unwrap();
         assert!(a.is_connected());
         assert_eq!(a.link_count(), b.link_count());
         let la: Vec<_> = a.links().map(|l| (l.a(), l.b())).collect();
@@ -183,8 +208,8 @@ mod tests {
 
     #[test]
     fn waxman_seeds_differ() {
-        let a = waxman(20, 0.4, 0.3, 1, CAP);
-        let b = waxman(20, 0.4, 0.3, 2, CAP);
+        let a = waxman(20, 0.4, 0.3, 1, CAP).unwrap();
+        let b = waxman(20, 0.4, 0.3, 2, CAP).unwrap();
         let la: Vec<_> = a.links().map(|l| (l.a(), l.b())).collect();
         let lb: Vec<_> = b.links().map(|l| (l.a(), l.b())).collect();
         assert_ne!(la, lb, "different seeds should give different graphs");
@@ -192,9 +217,38 @@ mod tests {
 
     #[test]
     fn waxman_density_grows_with_alpha() {
-        let sparse = waxman(30, 0.1, 0.3, 7, CAP);
-        let dense = waxman(30, 0.9, 0.9, 7, CAP);
+        let sparse = waxman(30, 0.4, 0.4, 7, CAP).unwrap();
+        let dense = waxman(30, 0.9, 0.9, 7, CAP).unwrap();
         assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn waxman_retries_until_connected() {
+        // Sparse-but-feasible parameters: many raw draws come out
+        // disconnected, yet the deterministic re-seeding finds a connected
+        // one within the attempt budget — and keeps finding the *same* one.
+        for seed in 0..20 {
+            let a = waxman(12, 0.5, 0.4, seed, CAP).unwrap();
+            let b = waxman(12, 0.5, 0.4, seed, CAP).unwrap();
+            assert!(a.is_connected(), "seed {seed}");
+            let la: Vec<_> = a.links().map(|l| (l.a(), l.b())).collect();
+            let lb: Vec<_> = b.links().map(|l| (l.a(), l.b())).collect();
+            assert_eq!(la, lb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn waxman_exhaustion_is_a_typed_error() {
+        // alpha so small that essentially no links are drawn: every attempt
+        // is disconnected, so the bounded retry reports a typed error
+        // instead of letting route construction panic downstream.
+        let err = waxman(10, 1e-9, 1e-3, 3, CAP).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::DisconnectedTopology {
+                attempts: WAXMAN_MAX_ATTEMPTS
+            }
+        );
     }
 
     #[test]

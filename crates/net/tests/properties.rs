@@ -8,8 +8,10 @@ use proptest::prelude::*;
 
 /// Strategy: a connected random topology (Waxman) with 5–30 nodes.
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (5usize..30, any::<u64>())
-        .prop_map(|(n, seed)| topologies::waxman(n, 0.6, 0.6, seed, Bandwidth::from_mbps(100)))
+    (5usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        topologies::waxman(n, 0.6, 0.6, seed, Bandwidth::from_mbps(100))
+            .expect("waxman retry finds a connected graph at these densities")
+    })
 }
 
 proptest! {

@@ -1,7 +1,90 @@
 //! The stochastic workload of §5.1: Poisson flow-request arrivals with
-//! exponentially distributed lifetimes.
+//! exponentially distributed lifetimes — plus the datacenter-facing
+//! extensions (heavy-tailed Pareto lifetimes via [`HoldingSampler`],
+//! diurnal rate curves and flash-crowd windows via [`ModulatedWorkload`]).
 
 use crate::{Duration, SimRng, SimTime};
+
+/// How flow lifetimes are drawn.
+///
+/// The default [`HoldingSampler::Exponential`] consumes exactly the same
+/// RNG draws as the historical `exp_duration` call, so existing seeded
+/// scenarios stay byte-identical. [`HoldingSampler::Pareto`] models the
+/// heavy-tailed ("elephant and mice") lifetimes of datacenter traffic: a
+/// Pareto-I variable with the given tail `shape > 1`, scaled so the mean
+/// matches `mean_secs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HoldingSampler {
+    /// `Exp(mean_secs)` — the paper's §5.1 model.
+    Exponential {
+        /// Mean lifetime in seconds.
+        mean_secs: f64,
+    },
+    /// Pareto-I with tail index `shape` and mean `mean_secs`
+    /// (`x_min = mean · (shape − 1) / shape`); finite variance needs
+    /// `shape > 2`, finite mean needs `shape > 1` (enforced).
+    Pareto {
+        /// Mean lifetime in seconds.
+        mean_secs: f64,
+        /// Tail index; smaller is heavier-tailed. Must exceed 1.
+        shape: f64,
+    },
+}
+
+impl HoldingSampler {
+    /// An exponential sampler with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_secs` is not positive and finite.
+    pub fn exponential(mean_secs: f64) -> Self {
+        assert!(
+            mean_secs.is_finite() && mean_secs > 0.0,
+            "mean holding time must be positive and finite, got {mean_secs}"
+        );
+        HoldingSampler::Exponential { mean_secs }
+    }
+
+    /// A Pareto sampler with the given mean and tail index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_secs` is not positive and finite or `shape <= 1`
+    /// (the mean would be infinite).
+    pub fn pareto(mean_secs: f64, shape: f64) -> Self {
+        assert!(
+            mean_secs.is_finite() && mean_secs > 0.0,
+            "mean holding time must be positive and finite, got {mean_secs}"
+        );
+        assert!(
+            shape.is_finite() && shape > 1.0,
+            "pareto shape must exceed 1 for a finite mean, got {shape}"
+        );
+        HoldingSampler::Pareto { mean_secs, shape }
+    }
+
+    /// The configured mean lifetime in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        match *self {
+            HoldingSampler::Exponential { mean_secs }
+            | HoldingSampler::Pareto { mean_secs, .. } => mean_secs,
+        }
+    }
+
+    /// Draws one lifetime from `rng`.
+    pub fn draw(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            HoldingSampler::Exponential { mean_secs } => rng.exp_duration(mean_secs),
+            HoldingSampler::Pareto { mean_secs, shape } => {
+                let x_min = mean_secs * (shape - 1.0) / shape;
+                // Inversion: X = x_min · U^(−1/shape); use 1 − U ∈ (0, 1]
+                // so the tail draw never divides by zero.
+                let u = 1.0 - rng.uniform();
+                Duration::from_secs(x_min * u.powf(-1.0 / shape))
+            }
+        }
+    }
+}
 
 /// One anycast flow-establishment request drawn from the workload.
 ///
@@ -26,7 +109,7 @@ pub struct FlowRequest {
 #[derive(Debug, Clone)]
 pub struct PoissonWorkload {
     lambda: f64,
-    mean_holding_secs: f64,
+    holding: HoldingSampler,
     source_count: usize,
     next_arrival: SimTime,
     arrivals_rng: SimRng,
@@ -52,10 +135,7 @@ impl PoissonWorkload {
             lambda.is_finite() && lambda > 0.0,
             "arrival rate must be positive and finite, got {lambda}"
         );
-        assert!(
-            mean_holding_secs.is_finite() && mean_holding_secs > 0.0,
-            "mean holding time must be positive and finite, got {mean_holding_secs}"
-        );
+        let holding = HoldingSampler::exponential(mean_holding_secs);
         assert!(source_count > 0, "need at least one source");
         let mut arrivals_rng = rng.fork();
         let holding_rng = rng.fork();
@@ -63,13 +143,21 @@ impl PoissonWorkload {
         let first = SimTime::ZERO + Duration::from_secs(arrivals_rng.exp(1.0 / lambda));
         PoissonWorkload {
             lambda,
-            mean_holding_secs,
+            holding,
             source_count,
             next_arrival: first,
             arrivals_rng,
             holding_rng,
             source_rng,
         }
+    }
+
+    /// Replaces the lifetime model (e.g. with a heavy-tailed
+    /// [`HoldingSampler::Pareto`]); arrival and source draws are
+    /// unaffected because lifetimes consume an independent sub-stream.
+    pub fn with_holding(mut self, holding: HoldingSampler) -> Self {
+        self.holding = holding;
+        self
     }
 
     /// The configured total arrival rate.
@@ -80,7 +168,7 @@ impl PoissonWorkload {
     /// The offered traffic intensity per source in erlangs:
     /// `(λ / sources) · mean_holding`.
     pub fn per_source_erlangs(&self) -> f64 {
-        self.lambda * self.mean_holding_secs / self.source_count as f64
+        self.lambda * self.holding.mean_secs() / self.source_count as f64
     }
 
     /// Arrival time of the next request without consuming it.
@@ -96,7 +184,7 @@ impl PoissonWorkload {
         FlowRequest {
             source_index: self.source_rng.below(self.source_count),
             arrival,
-            holding: self.holding_rng.exp_duration(self.mean_holding_secs),
+            holding: self.holding.draw(&mut self.holding_rng),
         }
     }
 }
@@ -116,7 +204,7 @@ pub struct BurstyWorkload {
     burst_rate: f64,
     mean_calm_secs: f64,
     mean_burst_secs: f64,
-    mean_holding_secs: f64,
+    holding: HoldingSampler,
     source_count: usize,
     in_burst: bool,
     state_ends: SimTime,
@@ -150,13 +238,13 @@ impl BurstyWorkload {
             ("burst rate", burst_rate),
             ("mean calm sojourn", mean_calm_secs),
             ("mean burst sojourn", mean_burst_secs),
-            ("mean holding time", mean_holding_secs),
         ] {
             assert!(
                 v.is_finite() && v > 0.0,
                 "{name} must be positive and finite, got {v}"
             );
         }
+        let holding = HoldingSampler::exponential(mean_holding_secs);
         assert!(source_count > 0, "need at least one source");
         let arrivals_rng = rng.fork();
         let mut state_rng = rng.fork();
@@ -168,7 +256,7 @@ impl BurstyWorkload {
             burst_rate,
             mean_calm_secs,
             mean_burst_secs,
-            mean_holding_secs,
+            holding,
             source_count,
             in_burst: false,
             state_ends: SimTime::from_secs(first_sojourn),
@@ -216,6 +304,13 @@ impl BurstyWorkload {
         )
     }
 
+    /// Replaces the lifetime model (see
+    /// [`PoissonWorkload::with_holding`]).
+    pub fn with_holding(mut self, holding: HoldingSampler) -> Self {
+        self.holding = holding;
+        self
+    }
+
     /// The long-run mean arrival rate.
     pub fn mean_rate(&self) -> f64 {
         (self.calm_rate * self.mean_calm_secs + self.burst_rate * self.mean_burst_secs)
@@ -249,7 +344,7 @@ impl BurstyWorkload {
                 return FlowRequest {
                     source_index: self.source_rng.below(self.source_count),
                     arrival: candidate,
-                    holding: self.holding_rng.exp_duration(self.mean_holding_secs),
+                    holding: self.holding.draw(&mut self.holding_rng),
                 };
             }
             // Cross into the next state.
@@ -261,6 +356,210 @@ impl BurstyWorkload {
                 self.state_rng.exp(self.mean_calm_secs)
             };
             self.state_ends = self.clock + Duration::from_secs(sojourn);
+        }
+    }
+}
+
+/// A deterministic time-varying multiplier on a base arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateEnvelope {
+    /// Sinusoidal diurnal curve: the instantaneous rate is
+    /// `mean · (1 + amplitude · sin(2π · t / period_secs))`, averaging to
+    /// the mean over each period.
+    Diurnal {
+        /// Relative swing in `[0, 1)`; `0.5` means ±50 % around the mean.
+        amplitude: f64,
+        /// Cycle length in seconds (86 400 for a literal day).
+        period_secs: f64,
+    },
+    /// Flash crowd: the rate is `mean · multiplier` inside
+    /// `[start_secs, start_secs + duration_secs)` and `mean` outside.
+    Window {
+        /// Window start in seconds.
+        start_secs: f64,
+        /// Window length in seconds.
+        duration_secs: f64,
+        /// Rate multiplier `≥ 1` inside the window.
+        multiplier: f64,
+    },
+}
+
+impl RateEnvelope {
+    fn validate(&self) {
+        match *self {
+            RateEnvelope::Diurnal {
+                amplitude,
+                period_secs,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(&amplitude),
+                    "diurnal amplitude must lie in [0, 1), got {amplitude}"
+                );
+                assert!(
+                    period_secs.is_finite() && period_secs > 0.0,
+                    "diurnal period must be positive and finite, got {period_secs}"
+                );
+            }
+            RateEnvelope::Window {
+                start_secs,
+                duration_secs,
+                multiplier,
+            } => {
+                assert!(
+                    start_secs.is_finite() && start_secs >= 0.0,
+                    "window start must be non-negative and finite, got {start_secs}"
+                );
+                assert!(
+                    duration_secs.is_finite() && duration_secs > 0.0,
+                    "window duration must be positive and finite, got {duration_secs}"
+                );
+                assert!(
+                    multiplier.is_finite() && multiplier >= 1.0,
+                    "window multiplier must be >= 1 and finite, got {multiplier}"
+                );
+            }
+        }
+    }
+
+    /// The multiplier applied to the base rate at time `t_secs`.
+    pub fn factor_at(&self, t_secs: f64) -> f64 {
+        match *self {
+            RateEnvelope::Diurnal {
+                amplitude,
+                period_secs,
+            } => 1.0 + amplitude * (std::f64::consts::TAU * t_secs / period_secs).sin(),
+            RateEnvelope::Window {
+                start_secs,
+                duration_secs,
+                multiplier,
+            } => {
+                if t_secs >= start_secs && t_secs < start_secs + duration_secs {
+                    multiplier
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// The largest multiplier the envelope ever produces (the thinning
+    /// bound).
+    pub fn peak_factor(&self) -> f64 {
+        match *self {
+            RateEnvelope::Diurnal { amplitude, .. } => 1.0 + amplitude,
+            RateEnvelope::Window { multiplier, .. } => multiplier,
+        }
+    }
+
+    /// Whether `t_secs` falls inside a [`RateEnvelope::Window`]; always
+    /// `false` for diurnal envelopes.
+    pub fn in_window(&self, t_secs: f64) -> bool {
+        match *self {
+            RateEnvelope::Diurnal { .. } => false,
+            RateEnvelope::Window {
+                start_secs,
+                duration_secs,
+                ..
+            } => t_secs >= start_secs && t_secs < start_secs + duration_secs,
+        }
+    }
+}
+
+/// A non-homogeneous Poisson workload whose rate follows a deterministic
+/// [`RateEnvelope`] — diurnal load curves and flash-crowd bursts.
+///
+/// Arrivals are generated by thinning a homogeneous Poisson process at
+/// the envelope's peak rate: candidates are drawn at
+/// `mean_rate · peak_factor` and accepted with probability
+/// `rate(t) / peak`. The candidate stream and the accept/reject stream
+/// are independent forks, so the same seed yields the same accepted
+/// arrivals regardless of the lifetime model.
+#[derive(Debug, Clone)]
+pub struct ModulatedWorkload {
+    mean_rate: f64,
+    peak_rate: f64,
+    envelope: RateEnvelope,
+    holding: HoldingSampler,
+    source_count: usize,
+    clock: SimTime,
+    arrivals_rng: SimRng,
+    thin_rng: SimRng,
+    holding_rng: SimRng,
+    source_rng: SimRng,
+}
+
+impl ModulatedWorkload {
+    /// Creates a modulated workload with base rate `mean_rate` and
+    /// exponential lifetimes of mean `mean_holding_secs` (swap with
+    /// [`ModulatedWorkload::with_holding`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rate` or `mean_holding_secs` is not positive and
+    /// finite, the envelope parameters are out of range, or
+    /// `source_count` is zero.
+    pub fn new(
+        mean_rate: f64,
+        envelope: RateEnvelope,
+        mean_holding_secs: f64,
+        source_count: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(
+            mean_rate.is_finite() && mean_rate > 0.0,
+            "arrival rate must be positive and finite, got {mean_rate}"
+        );
+        envelope.validate();
+        let holding = HoldingSampler::exponential(mean_holding_secs);
+        assert!(source_count > 0, "need at least one source");
+        let arrivals_rng = rng.fork();
+        let thin_rng = rng.fork();
+        let holding_rng = rng.fork();
+        let source_rng = rng.fork();
+        ModulatedWorkload {
+            mean_rate,
+            peak_rate: mean_rate * envelope.peak_factor(),
+            envelope,
+            holding,
+            source_count,
+            clock: SimTime::ZERO,
+            arrivals_rng,
+            thin_rng,
+            holding_rng,
+            source_rng,
+        }
+    }
+
+    /// Replaces the lifetime model (see
+    /// [`PoissonWorkload::with_holding`]).
+    pub fn with_holding(mut self, holding: HoldingSampler) -> Self {
+        self.holding = holding;
+        self
+    }
+
+    /// The base (off-peak mean) arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+
+    /// The envelope modulating this workload.
+    pub fn envelope(&self) -> &RateEnvelope {
+        &self.envelope
+    }
+
+    /// Draws the next request by thinning the peak-rate candidate stream.
+    pub fn next_request(&mut self) -> FlowRequest {
+        loop {
+            let gap = self.arrivals_rng.exp(1.0 / self.peak_rate);
+            self.clock += Duration::from_secs(gap);
+            let rate = self.mean_rate * self.envelope.factor_at(self.clock.as_secs());
+            if self.thin_rng.uniform() * self.peak_rate < rate {
+                return FlowRequest {
+                    source_index: self.source_rng.below(self.source_count),
+                    arrival: self.clock,
+                    holding: self.holding.draw(&mut self.holding_rng),
+                };
+            }
         }
     }
 }
@@ -465,5 +764,172 @@ mod tests {
     fn bursty_rejects_zero_rate() {
         let mut rng = SimRng::seed_from(18);
         let _ = BurstyWorkload::new(0.0, 1.0, 1.0, 1.0, 1.0, 1, &mut rng);
+    }
+
+    #[test]
+    fn exponential_sampler_is_byte_identical_to_legacy_draws() {
+        // The default sampler must consume exactly the draws the old
+        // direct `exp_duration` call did, so seeded scenarios replay.
+        let sampler = HoldingSampler::exponential(180.0);
+        let mut a = SimRng::seed_from(21);
+        let mut b = SimRng::seed_from(21);
+        for _ in 0..1_000 {
+            assert_eq!(sampler.draw(&mut a), b.exp_duration(180.0));
+        }
+    }
+
+    #[test]
+    fn pareto_sampler_matches_mean_and_is_heavy_tailed() {
+        let sampler = HoldingSampler::pareto(180.0, 2.5);
+        assert_eq!(sampler.mean_secs(), 180.0);
+        let mut rng = SimRng::seed_from(22);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| sampler.draw(&mut rng).as_secs()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 180.0).abs() < 8.0, "pareto mean {mean}");
+        // Minimum is the scale parameter, never below it.
+        let x_min = 180.0 * 1.5 / 2.5;
+        assert!(draws.iter().all(|&d| d >= x_min - 1e-9));
+        // Heavy tail: the max draw dwarfs anything exponential sampling
+        // of the same mean plausibly produces over n draws.
+        let max = draws.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 20.0 * 180.0, "pareto max {max} not heavy-tailed");
+    }
+
+    #[test]
+    fn pareto_holding_leaves_arrivals_untouched() {
+        let mut a = workload(10.0, 23);
+        let mut b = workload(10.0, 23).with_holding(HoldingSampler::pareto(180.0, 2.0));
+        for _ in 0..500 {
+            let ra = a.next_request();
+            let rb = b.next_request();
+            assert_eq!(ra.arrival, rb.arrival);
+            assert_eq!(ra.source_index, rb.source_index);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn pareto_rejects_infinite_mean_shape() {
+        let _ = HoldingSampler::pareto(180.0, 1.0);
+    }
+
+    #[test]
+    fn diurnal_rate_follows_the_envelope() {
+        let env = RateEnvelope::Diurnal {
+            amplitude: 0.8,
+            period_secs: 1_000.0,
+        };
+        let mut rng = SimRng::seed_from(24);
+        let mut w = ModulatedWorkload::new(20.0, env, 180.0, 9, &mut rng);
+        // Count arrivals in the rising half (factor > 1) vs falling half
+        // of each period over many cycles.
+        let mut rising = 0usize;
+        let mut falling = 0usize;
+        let mut last = SimTime::ZERO;
+        for _ in 0..100_000 {
+            let req = w.next_request();
+            assert!(req.arrival >= last, "arrivals must be nondecreasing");
+            last = req.arrival;
+            let phase = req.arrival.as_secs() % 1_000.0;
+            if phase < 500.0 {
+                rising += 1;
+            } else {
+                falling += 1;
+            }
+        }
+        let ratio = rising as f64 / falling as f64;
+        // With amplitude 0.8 the half-period mean rates are
+        // 1 + 1.6/π vs 1 − 1.6/π, a ratio of ~3.1.
+        assert!(
+            ratio > 2.5,
+            "diurnal peak/trough arrival ratio {ratio} too flat"
+        );
+        // The long-run rate still averages to the mean.
+        let measured = 100_000.0 / last.as_secs();
+        assert!((measured - 20.0).abs() < 1.0, "long-run rate {measured}");
+    }
+
+    #[test]
+    fn flash_crowd_window_multiplies_arrivals() {
+        let env = RateEnvelope::Window {
+            start_secs: 500.0,
+            duration_secs: 500.0,
+            multiplier: 5.0,
+        };
+        assert!(env.in_window(600.0));
+        assert!(!env.in_window(499.0));
+        assert!(!env.in_window(1_000.0));
+        let mut rng = SimRng::seed_from(25);
+        let mut w = ModulatedWorkload::new(10.0, env, 180.0, 9, &mut rng);
+        let mut inside = 0usize;
+        let mut before = 0usize;
+        loop {
+            let req = w.next_request();
+            let t = req.arrival.as_secs();
+            if t >= 1_000.0 {
+                break;
+            }
+            if t < 500.0 {
+                before += 1;
+            } else {
+                inside += 1;
+            }
+        }
+        let ratio = inside as f64 / before as f64;
+        assert!(
+            (ratio - 5.0).abs() < 1.5,
+            "window arrival ratio {ratio} should be ~5"
+        );
+    }
+
+    #[test]
+    fn modulated_deterministic_per_seed() {
+        let env = RateEnvelope::Diurnal {
+            amplitude: 0.5,
+            period_secs: 600.0,
+        };
+        let mut a = SimRng::seed_from(26);
+        let mut b = SimRng::seed_from(26);
+        let mut wa = ModulatedWorkload::new(10.0, env, 180.0, 9, &mut a);
+        let mut wb = ModulatedWorkload::new(10.0, env, 180.0, 9, &mut b);
+        for _ in 0..500 {
+            assert_eq!(wa.next_request(), wb.next_request());
+        }
+        assert_eq!(wa.mean_rate(), 10.0);
+        assert_eq!(wa.envelope(), &env);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must lie in [0, 1)")]
+    fn diurnal_rejects_full_amplitude() {
+        let mut rng = SimRng::seed_from(27);
+        let _ = ModulatedWorkload::new(
+            10.0,
+            RateEnvelope::Diurnal {
+                amplitude: 1.0,
+                period_secs: 600.0,
+            },
+            180.0,
+            9,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be >= 1")]
+    fn window_rejects_damping_multiplier() {
+        let mut rng = SimRng::seed_from(28);
+        let _ = ModulatedWorkload::new(
+            10.0,
+            RateEnvelope::Window {
+                start_secs: 0.0,
+                duration_secs: 10.0,
+                multiplier: 0.5,
+            },
+            180.0,
+            9,
+            &mut rng,
+        );
     }
 }

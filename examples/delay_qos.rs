@@ -45,7 +45,7 @@ fn main() {
 
     // The delay→bandwidth mapping per candidate member.
     let mut demands = Vec::new();
-    for (i, path) in routes.routes_from(source).iter().enumerate() {
+    for (i, path) in routes.routes_from(source).unwrap().iter().enumerate() {
         let member = group.members()[i];
         match required_bandwidth(&spec, delay_budget, path.hops(), link_capacity, 1_500) {
             Ok(bw) => {
@@ -78,7 +78,7 @@ fn main() {
         .filter_map(|(i, d)| d.map(|bw| (i, bw)))
         .min_by_key(|&(_, bw)| bw)
         .expect("at least one member is feasible");
-    let route = &routes.routes_from(source)[best.0];
+    let route = &routes.routes_from(source).unwrap()[best.0];
     let outcome = rsvp
         .probe_and_reserve(&mut links, route, best.1)
         .expect("idle network admits the first flow");

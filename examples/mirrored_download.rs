@@ -31,7 +31,7 @@ fn main() {
     let mut controller = AdmissionController::new(
         PolicySpec::wd_dh_default().build().expect("valid policy"),
         RetrialPolicy::FixedLimit(2),
-        routes.distances(client),
+        routes.distances(client).expect("client is in the topology"),
     );
 
     let demand = Bandwidth::from_kbps(64);
@@ -39,7 +39,7 @@ fn main() {
     println!("client at {client}, mirrors at {}", mirror_names.join(", "));
     println!(
         "initial weights: {:?}\n",
-        rounded(&controller.current_weights(routes.routes_from(client), &links))
+        rounded(&controller.current_weights(routes.routes_from(client).unwrap(), &links))
     );
 
     // Phase 1: a burst of downloads on an idle network. Each download
@@ -48,7 +48,7 @@ fn main() {
     let mut admitted = 0;
     for _ in 0..100 {
         let outcome = controller.admit(
-            routes.routes_from(client),
+            routes.routes_from(client).unwrap(),
             &mut links,
             &mut rsvp,
             demand,
@@ -64,9 +64,9 @@ fn main() {
 
     // Phase 2: a flash crowd elsewhere congests the nearest mirror's
     // *own* access route; watch the controller adapt.
-    let nearest = routes.nearest_member(client);
+    let nearest = routes.nearest_member(client).unwrap();
     let nearest_node = group.members()[nearest];
-    let dead_route = &routes.routes_from(client)[nearest];
+    let dead_route = &routes.routes_from(client).unwrap()[nearest];
     let bottleneck = *dead_route.links().last().expect("nearest member is remote");
     let avail = links.available(bottleneck);
     if !avail.is_zero() {
@@ -82,7 +82,7 @@ fn main() {
     let mut to_nearest = 0;
     for _ in 0..200 {
         let outcome = controller.admit(
-            routes.routes_from(client),
+            routes.routes_from(client).unwrap(),
             &mut links,
             &mut rsvp,
             demand,
@@ -96,7 +96,7 @@ fn main() {
             sessions.push(flow.session);
         }
     }
-    let weights = controller.current_weights(routes.routes_from(client), &links);
+    let weights = controller.current_weights(routes.routes_from(client).unwrap(), &links);
     println!("phase 2 (congested nearest mirror): {admitted2}/200 admitted, {to_nearest} to the dead mirror");
     println!("history h_i = {:?}", controller.history().entries());
     println!("adapted weights: {:?}", rounded(&weights));
@@ -115,7 +115,7 @@ fn main() {
         rsvp.teardown(&mut links, s).expect("sessions are live");
     }
     println!("\nall downloads finished; residual reserved bandwidth on client-side routes:");
-    for (i, path) in routes.routes_from(client).iter().enumerate() {
+    for (i, path) in routes.routes_from(client).unwrap().iter().enumerate() {
         println!(
             "  to member #{i} ({} hops): bottleneck {}",
             path.hops(),

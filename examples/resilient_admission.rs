@@ -39,8 +39,8 @@ fn main() {
 
     // The failure: kill the first link of the fixed route to the member
     // nearest to our source.
-    let victim_member = routes.nearest_member(source);
-    let victim_link = routes.routes_from(source)[victim_member].links()[0];
+    let victim_member = routes.nearest_member(source).unwrap();
+    let victim_link = routes.routes_from(source).unwrap()[victim_member].links()[0];
 
     println!("source {source}; failing {victim_link} on the route to member #{victim_member}\n");
     println!(
@@ -57,7 +57,7 @@ fn main() {
         let mut controller = AdmissionController::new(
             spec.build().expect("valid policy"),
             RetrialPolicy::FixedLimit(2),
-            routes.distances(source),
+            routes.distances(source).expect("source is in the topology"),
         );
         let before = run_batch(&mut lab, &mut controller, &routes, source, demand, batch);
 
@@ -106,7 +106,7 @@ fn run_batch(
     let mut tries = 0u64;
     for _ in 0..n {
         let out = controller.admit(
-            routes.routes_from(source),
+            routes.routes_from(source).unwrap(),
             &mut lab.links,
             &mut lab.rsvp,
             demand,
@@ -134,7 +134,7 @@ fn run_sp_batch(
     let mut admitted = 0usize;
     for _ in 0..n {
         let out = sp.admit(
-            routes.routes_from(source),
+            routes.routes_from(source).unwrap(),
             &mut lab.links,
             &mut lab.rsvp,
             demand,

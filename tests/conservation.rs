@@ -24,7 +24,7 @@ fn ledger_never_leaks_under_random_schedule() {
             AdmissionController::new(
                 PolicySpec::wd_dh_default().build().unwrap(),
                 RetrialPolicy::FixedLimit(3),
-                routes.distances(s),
+                routes.distances(s).expect("sources are in the topology"),
             )
         })
         .collect();
@@ -36,14 +36,14 @@ fn ledger_never_leaks_under_random_schedule() {
         if admit {
             let si = rng.below(sources.len());
             let out = controllers[si].admit(
-                routes.routes_from(sources[si]),
+                routes.routes_from(sources[si]).unwrap(),
                 &mut links,
                 &mut rsvp,
                 demand,
                 &mut rng,
             );
             if let Some(flow) = out.admitted {
-                let hops = routes.routes_from(sources[si])[flow.member_index].hops();
+                let hops = routes.routes_from(sources[si]).unwrap()[flow.member_index].hops();
                 expected_flow_bandwidth += demand * hops as u64;
                 live.push((flow.session, hops));
             }

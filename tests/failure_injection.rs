@@ -65,9 +65,9 @@ fn wddh_steers_around_failed_link_and_recovers() {
     let mut controller = AdmissionController::new(
         PolicySpec::wd_dh_default().build().unwrap(),
         RetrialPolicy::FixedLimit(2),
-        routes.distances(source),
+        routes.distances(source).expect("source is in the topology"),
     );
-    let source_routes = routes.routes_from(source);
+    let source_routes = routes.routes_from(source).unwrap();
 
     let (ap0, dist0) = admit_release_batch(
         &mut controller,
@@ -81,7 +81,7 @@ fn wddh_steers_around_failed_link_and_recovers() {
     assert!(dist0.iter().all(|&c| c > 0), "all members used: {dist0:?}");
 
     // Kill the last hop toward the nearest member.
-    let victim_member = routes.nearest_member(source);
+    let victim_member = routes.nearest_member(source).unwrap();
     let victim_link = *source_routes[victim_member].links().last().unwrap();
     links.fail_link(victim_link).unwrap();
 
@@ -160,10 +160,10 @@ fn history_cap_recovers_without_reset() {
     let mut controller = AdmissionController::new(
         Box::new(policy),
         RetrialPolicy::FixedLimit(2),
-        routes.distances(source),
+        routes.distances(source).expect("source is in the topology"),
     );
-    let source_routes = routes.routes_from(source);
-    let victim_member = routes.nearest_member(source);
+    let source_routes = routes.routes_from(source).unwrap();
+    let victim_member = routes.nearest_member(source).unwrap();
     let victim_link = *source_routes[victim_member].links().last().unwrap();
 
     // Outage long enough to exile the uncapped policy.
@@ -208,7 +208,7 @@ fn history_cap_recovers_without_reset() {
 fn gdi_is_immune_to_single_link_failure() {
     let (topo, group, routes, mut links, mut rsvp, _) = setup();
     let source = NodeId::new(17);
-    let victim = *routes.routes_from(source)[routes.nearest_member(source)]
+    let victim = *routes.routes_from(source).unwrap()[routes.nearest_member(source).unwrap()]
         .links()
         .first()
         .unwrap();
@@ -280,11 +280,11 @@ fn partitioned_member_is_isolated_not_fatal() {
     let mut controller = AdmissionController::new(
         PolicySpec::WdDb.build().unwrap(),
         RetrialPolicy::FixedLimit(5),
-        routes.distances(source),
+        routes.distances(source).expect("source is in the topology"),
     );
     let (ap, dist) = admit_release_batch(
         &mut controller,
-        routes.routes_from(source),
+        routes.routes_from(source).unwrap(),
         &mut links,
         &mut rsvp,
         &mut rng,

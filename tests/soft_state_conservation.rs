@@ -42,7 +42,7 @@ proptest! {
         for i in 0..flows {
             let source = sources[rng.below(sources.len())];
             let member = rng.below(group.len());
-            let route = &routes.routes_from(source)[member];
+            let route = &routes.routes_from(source).unwrap()[member];
             let out = rsvp
                 .probe_and_reserve(&mut links, route, Bandwidth::from_kbps(64))
                 .expect("light load always fits");
